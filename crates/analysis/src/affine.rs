@@ -1,0 +1,528 @@
+//! Induction-variable recognition and affine subscript analysis.
+//!
+//! This is the substrate of the *static* baselines (Polly-style and
+//! ICC-style detection): recognize basic induction variables, express array
+//! subscripts as affine functions of them, and extract loop bounds. Loops or
+//! accesses that escape this form are what defeat static dependence
+//! analysis — and what DCA handles uniformly at run time.
+
+use crate::liveness::Liveness;
+use dca_ir::{
+    BinOp, FuncView, GlobalId, Inst, Loop, MemBase, Operand, Terminator, VarId,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// A basic induction variable: `iv = iv + step` once per iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InductionVar {
+    /// The variable.
+    pub var: VarId,
+    /// The (constant) per-iteration step.
+    pub step: i64,
+}
+
+/// An affine expression `Σ coeff·iv + Σ coeff·sym + konst`, where `iv` are
+/// induction variables of enclosing loops and `sym` are loop-invariant
+/// integer variables (kept symbolic, the way ICC's tests tolerate them).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    /// Induction-variable terms.
+    pub iv_terms: BTreeMap<VarId, i64>,
+    /// Loop-invariant symbolic terms.
+    pub sym_terms: BTreeMap<VarId, i64>,
+    /// Constant part.
+    pub konst: i64,
+}
+
+impl Affine {
+    /// The constant `k`.
+    pub fn constant(k: i64) -> Self {
+        Affine {
+            konst: k,
+            ..Default::default()
+        }
+    }
+
+    /// A single variable with coefficient 1 (an IV term).
+    pub fn iv(v: VarId) -> Self {
+        let mut a = Affine::default();
+        a.iv_terms.insert(v, 1);
+        a
+    }
+
+    /// A single loop-invariant symbol with coefficient 1.
+    pub fn sym(v: VarId) -> Self {
+        let mut a = Affine::default();
+        a.sym_terms.insert(v, 1);
+        a
+    }
+
+    /// True if the expression has no variable terms at all.
+    pub fn is_constant(&self) -> bool {
+        self.iv_terms.is_empty() && self.sym_terms.is_empty()
+    }
+
+    /// True if the expression uses no symbolic (non-IV) terms.
+    pub fn is_pure_iv(&self) -> bool {
+        self.sym_terms.is_empty()
+    }
+
+    fn add(mut self, other: &Affine) -> Affine {
+        for (&v, &c) in &other.iv_terms {
+            *self.iv_terms.entry(v).or_insert(0) += c;
+        }
+        for (&v, &c) in &other.sym_terms {
+            *self.sym_terms.entry(v).or_insert(0) += c;
+        }
+        self.konst += other.konst;
+        self.normalize()
+    }
+
+    fn scale(mut self, k: i64) -> Affine {
+        for c in self.iv_terms.values_mut() {
+            *c *= k;
+        }
+        for c in self.sym_terms.values_mut() {
+            *c *= k;
+        }
+        self.konst *= k;
+        self.normalize()
+    }
+
+    fn normalize(mut self) -> Affine {
+        self.iv_terms.retain(|_, c| *c != 0);
+        self.sym_terms.retain(|_, c| *c != 0);
+        self
+    }
+
+    /// The coefficient of induction variable `v` (0 if absent).
+    pub fn iv_coeff(&self, v: VarId) -> i64 {
+        self.iv_terms.get(&v).copied().unwrap_or(0)
+    }
+}
+
+/// The identity of an array for dependence testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArrayKey {
+    /// A global fixed array.
+    Global(GlobalId),
+    /// A loop-invariant pointer variable (heap array or frame array).
+    Var(VarId),
+}
+
+/// One array access inside a loop.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Which array.
+    pub array: ArrayKey,
+    /// The subscript as an affine expression, `None` when non-affine.
+    pub subscript: Option<Affine>,
+    /// True for stores.
+    pub is_write: bool,
+}
+
+/// Loop bound of the form `iv </<= bound`.
+#[derive(Debug, Clone)]
+pub struct LoopBound {
+    /// The controlling induction variable.
+    pub iv: VarId,
+    /// The bound, affine in symbols/constants (never in IVs).
+    pub bound: Affine,
+    /// True if the comparison is inclusive (`<=`).
+    pub inclusive: bool,
+}
+
+/// Everything the static dependence tests need to know about one loop.
+#[derive(Debug, Clone)]
+pub struct AffineLoopInfo {
+    /// Recognized basic induction variables.
+    pub ivs: Vec<InductionVar>,
+    /// Array accesses in the loop (payload and iterator alike).
+    pub accesses: Vec<Access>,
+    /// The loop bound, when the header condition has the canonical form.
+    pub bound: Option<LoopBound>,
+    /// True if the loop contains calls (any callee).
+    pub has_calls: bool,
+    /// True if the loop reads or writes through struct-pointer fields
+    /// (pointer chasing — outside the affine world).
+    pub has_pointer_access: bool,
+    /// True if the loop writes scalar globals.
+    pub writes_scalar_global: bool,
+    /// True if the loop allocates.
+    pub has_alloc: bool,
+    /// True if the loop prints.
+    pub has_io: bool,
+}
+
+impl AffineLoopInfo {
+    /// Analyzes loop `l` of `view`'s function.
+    pub fn compute(view: &FuncView<'_>, live: &Liveness, l: &Loop) -> Self {
+        let f = view.func;
+        let defined = live.loop_defs(l);
+        let invariant = |v: VarId| !defined.contains(&v);
+
+        // --- induction variables: exactly one in-loop def `v = v ± c`.
+        // The lowered pattern is `t = add v, c; v = t` with `t` otherwise
+        // unused, so recognize through one level of copy.
+        let mut def_counts: HashMap<VarId, u32> = HashMap::new();
+        for &b in &l.blocks {
+            for inst in &f.block(b).insts {
+                if let Some(d) = inst.def() {
+                    *def_counts.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        // Map from temp -> (base, step) for `t = base ± c` instructions.
+        let mut add_temps: HashMap<VarId, (VarId, i64)> = HashMap::new();
+        for &b in &l.blocks {
+            for inst in &f.block(b).insts {
+                if let Inst::Bin { dst, op, a, b: rhs } = inst {
+                    let step = match (op, a, rhs) {
+                        (BinOp::Add, Operand::Var(v), Operand::ConstInt(c)) => Some((*v, *c)),
+                        (BinOp::Add, Operand::ConstInt(c), Operand::Var(v)) => Some((*v, *c)),
+                        (BinOp::Sub, Operand::Var(v), Operand::ConstInt(c)) => Some((*v, -*c)),
+                        _ => None,
+                    };
+                    if let Some((base, c)) = step {
+                        add_temps.insert(*dst, (base, c));
+                    }
+                }
+            }
+        }
+        let mut ivs = Vec::new();
+        for &b in &l.blocks {
+            for inst in &f.block(b).insts {
+                if let Inst::Copy {
+                    dst,
+                    src: Operand::Var(t),
+                } = inst
+                {
+                    if let Some(&(base, step)) = add_temps.get(t) {
+                        if base == *dst && def_counts.get(dst) == Some(&1) {
+                            ivs.push(InductionVar { var: *dst, step });
+                        }
+                    }
+                }
+            }
+        }
+        ivs.sort_by_key(|iv| iv.var);
+        ivs.dedup_by_key(|iv| iv.var);
+        let is_iv = |v: VarId| ivs.iter().any(|iv| iv.var == v);
+
+        // --- affine evaluation of integer expressions within the loop.
+        // Resolve a variable to an affine expr by chasing its unique in-loop
+        // definition; depth-limited to keep this linear in practice.
+        let mut single_def: HashMap<VarId, &Inst> = HashMap::new();
+        for &b in &l.blocks {
+            for inst in &f.block(b).insts {
+                if let Some(d) = inst.def() {
+                    if def_counts.get(&d) == Some(&1) {
+                        single_def.insert(d, inst);
+                    }
+                }
+            }
+        }
+        fn eval_operand(
+            op: &Operand,
+            depth: u32,
+            is_iv: &dyn Fn(VarId) -> bool,
+            invariant: &dyn Fn(VarId) -> bool,
+            single_def: &HashMap<VarId, &Inst>,
+        ) -> Option<Affine> {
+            match op {
+                Operand::ConstInt(c) => Some(Affine::constant(*c)),
+                Operand::Var(v) => eval_var(*v, depth, is_iv, invariant, single_def),
+                _ => None,
+            }
+        }
+        fn eval_var(
+            v: VarId,
+            depth: u32,
+            is_iv: &dyn Fn(VarId) -> bool,
+            invariant: &dyn Fn(VarId) -> bool,
+            single_def: &HashMap<VarId, &Inst>,
+        ) -> Option<Affine> {
+            if is_iv(v) {
+                return Some(Affine::iv(v));
+            }
+            if invariant(v) {
+                return Some(Affine::sym(v));
+            }
+            if depth == 0 {
+                return None;
+            }
+            let inst = single_def.get(&v)?;
+            match inst {
+                Inst::Copy { src, .. } => {
+                    eval_operand(src, depth - 1, is_iv, invariant, single_def)
+                }
+                Inst::Bin { op, a, b, .. } => {
+                    let ea = eval_operand(a, depth - 1, is_iv, invariant, single_def)?;
+                    let eb = eval_operand(b, depth - 1, is_iv, invariant, single_def)?;
+                    match op {
+                        BinOp::Add => Some(ea.add(&eb)),
+                        BinOp::Sub => Some(ea.add(&eb.scale(-1))),
+                        BinOp::Mul if eb.is_constant() => Some(ea.scale(eb.konst)),
+                        BinOp::Mul if ea.is_constant() => Some(eb.scale(ea.konst)),
+                        BinOp::Shl if eb.is_constant() && (0..62).contains(&eb.konst) => {
+                            Some(ea.scale(1 << eb.konst))
+                        }
+                        _ => None,
+                    }
+                }
+                Inst::Un {
+                    op: dca_ir::UnOp::Neg,
+                    a,
+                    ..
+                } => Some(eval_operand(a, depth - 1, is_iv, invariant, single_def)?.scale(-1)),
+                _ => None,
+            }
+        }
+        let eval = |op: &Operand| eval_operand(op, 16, &is_iv, &invariant, &single_def);
+
+        // --- collect accesses and loop-shape facts.
+        let mut accesses = Vec::new();
+        let mut has_calls = false;
+        let mut has_pointer_access = false;
+        let mut writes_scalar_global = false;
+        let mut has_alloc = false;
+        let mut has_io = false;
+        for &b in &l.blocks {
+            for inst in &f.block(b).insts {
+                match inst {
+                    Inst::LoadIndex { base, index, .. }
+                    | Inst::StoreIndex { base, index, .. } => {
+                        let is_write = matches!(inst, Inst::StoreIndex { .. });
+                        let array = match base {
+                            MemBase::Global(g) => Some(ArrayKey::Global(*g)),
+                            MemBase::Var(v) if invariant(*v) => Some(ArrayKey::Var(*v)),
+                            MemBase::Var(_) => None,
+                        };
+                        match array {
+                            Some(array) => accesses.push(Access {
+                                array,
+                                subscript: eval(index),
+                                is_write,
+                            }),
+                            None => has_pointer_access = true,
+                        }
+                    }
+                    Inst::LoadField { .. } | Inst::StoreField { .. } => {
+                        has_pointer_access = true;
+                    }
+                    Inst::StoreGlobal { .. } => writes_scalar_global = true,
+                    Inst::LoadGlobal { .. } => {}
+                    Inst::Call { .. } => has_calls = true,
+                    Inst::AllocArray { .. } | Inst::AllocStruct { .. } => has_alloc = true,
+                    Inst::Print { .. } => has_io = true,
+                    _ => {}
+                }
+            }
+        }
+
+        // --- the loop bound from the header terminator: `t = lt/le iv, B`.
+        let mut bound = None;
+        if let Terminator::Branch {
+            cond: Operand::Var(c),
+            ..
+        } = &f.block(l.header).term
+        {
+            if let Some(Inst::Bin { op, a, b, .. }) = single_def.get(c) {
+                let (iv_op, bound_op, inclusive, flipped) = match op {
+                    BinOp::Lt => (a, b, false, false),
+                    BinOp::Le => (a, b, true, false),
+                    BinOp::Gt => (b, a, false, true),
+                    BinOp::Ge => (b, a, true, true),
+                    _ => (a, a, false, false),
+                };
+                let _ = flipped;
+                if matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+                    if let Operand::Var(v) = iv_op {
+                        if is_iv(*v) {
+                            if let Some(e) = eval(bound_op) {
+                                if e.iv_terms.is_empty() {
+                                    bound = Some(LoopBound {
+                                        iv: *v,
+                                        bound: e,
+                                        inclusive,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        AffineLoopInfo {
+            ivs,
+            accesses,
+            bound,
+            has_calls,
+            has_pointer_access,
+            writes_scalar_global,
+            has_alloc,
+            has_io,
+        }
+    }
+
+    /// True if every array access has an affine subscript.
+    pub fn all_affine(&self) -> bool {
+        self.accesses.iter().all(|a| a.subscript.is_some())
+    }
+
+    /// True if every array access is affine using *constant-only* terms
+    /// (the strict SCoP shape a Polly-style tool requires).
+    pub fn all_affine_pure(&self) -> bool {
+        self.accesses
+            .iter()
+            .all(|a| a.subscript.as_ref().map(|s| s.is_pure_iv()).unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liveness::Liveness;
+    use dca_ir::{compile, FuncView};
+
+    fn info_of(src: &str, tag: &str) -> (dca_ir::Module, AffineLoopInfo) {
+        let m = compile(src).expect("compile");
+        let view = FuncView::new(&m, m.main().expect("main"));
+        let live = Liveness::new(&view);
+        let l = view.loops.by_tag(tag).expect("tagged loop").clone();
+        let info = AffineLoopInfo::compute(&view, &live, &l);
+        (m, info)
+    }
+
+    #[test]
+    fn recognizes_basic_induction_variable() {
+        let (_, info) = info_of(
+            "fn main() { let a: [int; 16]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { a[i] = i; } }",
+            "l",
+        );
+        assert_eq!(info.ivs.len(), 1);
+        assert_eq!(info.ivs[0].step, 1);
+        let b = info.bound.as_ref().expect("bound recognized");
+        assert_eq!(b.bound, Affine::constant(16));
+        assert!(!b.inclusive);
+    }
+
+    #[test]
+    fn strided_and_offset_subscripts_are_affine() {
+        let (_, info) = info_of(
+            "fn main() { let a: [int; 64]; \
+             @l: for (let i: int = 0; i < 30; i = i + 2) { a[2 * i + 3] = a[i]; } }",
+            "l",
+        );
+        assert_eq!(info.ivs[0].step, 2);
+        assert!(info.all_affine());
+        let store = info.accesses.iter().find(|a| a.is_write).expect("store");
+        let sub = store.subscript.as_ref().expect("affine");
+        assert_eq!(sub.iv_coeff(info.ivs[0].var), 2);
+        assert_eq!(sub.konst, 3);
+    }
+
+    #[test]
+    fn indirect_subscript_is_not_affine() {
+        let (_, info) = info_of(
+            "fn main() { let a: [int; 16]; let idx: [int; 16]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { a[idx[i]] = i; } }",
+            "l",
+        );
+        assert!(!info.all_affine());
+        // The idx[i] load itself is affine; the a[idx[i]] store is not.
+        let store = info.accesses.iter().find(|a| a.is_write).expect("store");
+        assert!(store.subscript.is_none());
+    }
+
+    #[test]
+    fn symbolic_bound_and_subscript_offsets() {
+        let (_, info) = info_of(
+            "fn main(n: int, off: int) { let a: *int = new [int; 128]; \
+             @l: for (let i: int = 0; i < n; i = i + 1) { a[i + off] = i; } }",
+            "l",
+        );
+        let b = info.bound.as_ref().expect("bound");
+        assert!(!b.bound.is_constant());
+        assert!(b.bound.sym_terms.len() == 1);
+        assert!(info.all_affine());
+        assert!(!info.all_affine_pure(), "offset is symbolic, not constant");
+    }
+
+    #[test]
+    fn pointer_chasing_flagged() {
+        let (_, info) = info_of(
+            "struct N { v: int, next: *N }\n\
+             fn main() { let p: *N = new N; \
+             @walk: while (p != null) { p.v = 1; p = p.next; } }",
+            "walk",
+        );
+        assert!(info.has_pointer_access);
+        assert!(info.bound.is_none());
+    }
+
+    #[test]
+    fn calls_and_io_flagged() {
+        let (_, info) = info_of(
+            "fn f(x: int) -> int { return x; }\n\
+             fn main() { let s: int = 0; \
+             @l: for (let i: int = 0; i < 4; i = i + 1) { s = f(s); print(s); } }",
+            "l",
+        );
+        assert!(info.has_calls);
+        assert!(info.has_io);
+    }
+
+    #[test]
+    fn downward_counting_loop_recognized_conservatively() {
+        // `for (i = n-1; i >= 0; i--)`: the IV (step -1) is recognized,
+        // but the `i >= 0` bound shape is not canonical, so static tools
+        // fall back to "no bound" — conservative, never wrong.
+        let (_, info) = info_of(
+            "fn main(n: int) { let a: *int = new [int; 64];              @l: for (let i: int = 31; i >= 0; i = i - 1) { a[i] = i; } }",
+            "l",
+        );
+        assert_eq!(info.ivs.len(), 1);
+        assert_eq!(info.ivs[0].step, -1);
+        assert!(info.bound.is_none(), "downward bounds are not extracted");
+    }
+
+    #[test]
+    fn bound_with_iv_on_the_right_recognized() {
+        // `n > i` is the same loop as `i < n`.
+        let (_, info) = info_of(
+            "fn main(n: int) { let a: *int = new [int; 64];              @l: for (let i: int = 0; n > i; i = i + 1) { a[i] = i; } }",
+            "l",
+        );
+        let b = info.bound.as_ref().expect("bound recognized");
+        assert!(!b.inclusive);
+        assert!(b.bound.sym_terms.len() == 1);
+    }
+
+    #[test]
+    fn strided_iv_with_shift_subscript() {
+        let (_, info) = info_of(
+            "fn main() { let a: [int; 64];              @l: for (let i: int = 0; i < 8; i = i + 1) { a[(i << 2) + 1] = i; } }",
+            "l",
+        );
+        assert!(info.all_affine(), "shifts by constants are affine scaling");
+        let store = info.accesses.iter().find(|a| a.is_write).expect("store");
+        assert_eq!(store.subscript.as_ref().expect("affine").iv_coeff(info.ivs[0].var), 4);
+    }
+
+    #[test]
+    fn nested_loop_outer_iv_symbolic_in_inner() {
+        let (_, info) = info_of(
+            "fn main() { let a: [int; 64]; \
+             for (let i: int = 0; i < 8; i = i + 1) { \
+               @inner: for (let j: int = 0; j < 8; j = j + 1) { a[8 * i + j] = 1; } } }",
+            "inner",
+        );
+        // From the inner loop's perspective, `i` is loop-invariant, so the
+        // subscript is affine with a symbolic term.
+        assert!(info.all_affine());
+        assert!(!info.all_affine_pure());
+    }
+}

@@ -1,0 +1,273 @@
+//! Static data-dependence tests over affine accesses.
+//!
+//! Implements the classical ZIV / strong-SIV / GCD decision procedure on
+//! the [`Affine`] subscripts produced by [`crate::affine`]. These are the
+//! tests a Polly- or ICC-style detector runs to prove a loop's iterations
+//! independent; their conservatism on anything non-affine is exactly the
+//! gap DCA exploits (paper §I).
+
+use crate::affine::{Access, Affine, AffineLoopInfo};
+
+/// The verdict of a pairwise dependence test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepResult {
+    /// Proven independent across iterations.
+    Independent,
+    /// Proven (or assumed) dependent across iterations.
+    Dependent,
+    /// Dependence exists but only within a single iteration.
+    LoopIndependent,
+}
+
+/// Greatest common divisor (non-negative).
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Tests a pair of subscripts on the same array for a cross-iteration
+/// dependence with respect to induction variable `iv` (the loop being
+/// analyzed). `trip` is the loop's trip count when statically known; it
+/// bounds the dependence distance in the strong-SIV case.
+pub fn test_pair(s1: &Affine, s2: &Affine, iv: dca_ir::VarId, trip: Option<i64>) -> DepResult {
+    // Split each subscript into the iv coefficient and "the rest".
+    let a1 = s1.iv_coeff(iv);
+    let a2 = s2.iv_coeff(iv);
+    let rest_equal = {
+        let mut r1 = s1.clone();
+        r1.iv_terms.remove(&iv);
+        let mut r2 = s2.clone();
+        r2.iv_terms.remove(&iv);
+        // Symbolic/other-iv parts must match exactly for the precise tests;
+        // otherwise fall through to GCD/conservative.
+        (r1.iv_terms == r2.iv_terms && r1.sym_terms == r2.sym_terms, r1.konst - r2.konst)
+    };
+    let (same_rest, c_diff) = rest_equal;
+
+    if a1 == 0 && a2 == 0 {
+        // ZIV: subscripts do not vary with the loop.
+        return if same_rest && c_diff == 0 {
+            DepResult::Dependent // same location touched every iteration
+        } else if same_rest {
+            DepResult::Independent
+        } else {
+            DepResult::Dependent // unknown symbols: assume the worst
+        };
+    }
+
+    if a1 == a2 && same_rest {
+        // Strong SIV: distance = (c2 - c1) / a.
+        let a = a1;
+        if c_diff % a != 0 {
+            return DepResult::Independent;
+        }
+        let dist = -c_diff / a;
+        if dist == 0 {
+            return DepResult::LoopIndependent;
+        }
+        if let Some(t) = trip {
+            if dist.abs() >= t {
+                return DepResult::Independent;
+            }
+        }
+        return DepResult::Dependent;
+    }
+
+    if same_rest {
+        // Weak SIV / MIV on the same loop: GCD test on `a1*i1 - a2*i2 = c`.
+        let g = gcd(a1, a2);
+        if g != 0 && c_diff % g != 0 {
+            return DepResult::Independent;
+        }
+        return DepResult::Dependent;
+    }
+
+    // Different symbolic parts: no theory, assume dependence.
+    DepResult::Dependent
+}
+
+/// Result of testing a whole loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopDepSummary {
+    /// A cross-iteration dependence (RAW, WAR or WAW) was found or assumed.
+    pub has_cross_iteration_dep: bool,
+    /// Some access pair could not be tested precisely (assumed dependent).
+    pub assumed: bool,
+}
+
+/// Runs the dependence tests over all conflicting access pairs of `info`
+/// for the loop's primary induction variable.
+///
+/// Returns `None` if the loop has no recognized induction variable or a
+/// non-affine access — the "give up" outcome of a static tool.
+pub fn test_loop(info: &AffineLoopInfo) -> Option<LoopDepSummary> {
+    let iv = info.ivs.first()?.var;
+    if !info.all_affine() {
+        return None;
+    }
+    let trip = info.bound.as_ref().and_then(|b| {
+        if b.bound.is_constant() {
+            // i in [0, B) or [0, B]; trip count relative to a unit step.
+            let step = info.ivs.first().map(|iv| iv.step).unwrap_or(1);
+            if step == 0 {
+                None
+            } else {
+                Some(((b.bound.konst + i64::from(b.inclusive)) / step).max(0))
+            }
+        } else {
+            None
+        }
+    });
+    let mut has_dep = false;
+    let mut assumed = false;
+    let n = info.accesses.len();
+    for i in 0..n {
+        for j in i..n {
+            let (x, y): (&Access, &Access) = (&info.accesses[i], &info.accesses[j]);
+            if !(x.is_write || y.is_write) || x.array != y.array {
+                continue;
+            }
+            if i == j && !x.is_write {
+                continue;
+            }
+            let (sx, sy) = (
+                x.subscript.as_ref().expect("checked affine"),
+                y.subscript.as_ref().expect("checked affine"),
+            );
+            match test_pair(sx, sy, iv, trip) {
+                DepResult::Dependent => {
+                    has_dep = true;
+                    if !sx.is_pure_iv() || !sy.is_pure_iv() {
+                        assumed = true;
+                    }
+                }
+                DepResult::LoopIndependent | DepResult::Independent => {}
+            }
+        }
+    }
+    Some(LoopDepSummary {
+        has_cross_iteration_dep: has_dep,
+        assumed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineLoopInfo;
+    use crate::liveness::Liveness;
+    use dca_ir::{compile, FuncView};
+
+    fn summary(src: &str, tag: &str) -> Option<LoopDepSummary> {
+        let m = compile(src).expect("compile");
+        let view = FuncView::new(&m, m.main().expect("main"));
+        let live = Liveness::new(&view);
+        let l = view.loops.by_tag(tag).expect("tag");
+        let info = AffineLoopInfo::compute(&view, &live, l);
+        test_loop(&info)
+    }
+
+    #[test]
+    fn disjoint_writes_are_independent() {
+        let s = summary(
+            "fn main() { let a: [int; 16]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { a[i] = i; } }",
+            "l",
+        )
+        .expect("affine loop");
+        assert!(!s.has_cross_iteration_dep);
+    }
+
+    #[test]
+    fn recurrence_is_dependent() {
+        let s = summary(
+            "fn main() { let a: [int; 16]; \
+             @l: for (let i: int = 1; i < 16; i = i + 1) { a[i] = a[i - 1] + 1; } }",
+            "l",
+        )
+        .expect("affine loop");
+        assert!(s.has_cross_iteration_dep);
+    }
+
+    #[test]
+    fn offset_beyond_trip_count_is_independent() {
+        // a[i] and a[i + 100] never collide within 16 iterations.
+        let s = summary(
+            "fn main() { let a: [int; 200]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { a[i] = a[i + 100]; } }",
+            "l",
+        )
+        .expect("affine loop");
+        assert!(!s.has_cross_iteration_dep);
+    }
+
+    #[test]
+    fn gcd_test_separates_odd_even() {
+        // Writes to 2i, reads from 2i+1: different parity, never collide.
+        let s = summary(
+            "fn main() { let a: [int; 64]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { a[2 * i] = a[2 * i + 1]; } }",
+            "l",
+        )
+        .expect("affine loop");
+        assert!(!s.has_cross_iteration_dep);
+    }
+
+    #[test]
+    fn scalar_location_every_iteration_is_dependent() {
+        let s = summary(
+            "fn main() { let a: [int; 4]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { a[0] = a[0] + i; } }",
+            "l",
+        )
+        .expect("affine loop");
+        assert!(s.has_cross_iteration_dep);
+    }
+
+    #[test]
+    fn non_affine_gives_up() {
+        assert!(summary(
+            "fn main() { let a: [int; 16]; let idx: [int; 16]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { a[idx[i]] = i; } }",
+            "l",
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn read_only_pairs_ignored() {
+        let s = summary(
+            "fn main() { let a: [int; 16]; let s: int = 0; \
+             @l: for (let i: int = 1; i < 15; i = i + 1) { s = s + a[i] + a[i - 1]; } }",
+            "l",
+        )
+        .expect("affine loop");
+        assert!(!s.has_cross_iteration_dep, "reads never conflict");
+    }
+
+    #[test]
+    fn gcd_function() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-4, 6), 2);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(7, 0), 7);
+    }
+
+    #[test]
+    fn symbolic_same_offset_is_loop_independent() {
+        // a[i + off] written and read with identical symbolic part: the
+        // strong-SIV distance is 0 — no cross-iteration dependence.
+        let s = summary(
+            "fn main(off: int) { let a: *int = new [int; 256]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { a[i + off] = a[i + off] + 1; } }",
+            "l",
+        )
+        .expect("affine loop");
+        assert!(!s.has_cross_iteration_dep);
+    }
+}

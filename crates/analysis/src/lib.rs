@@ -1,0 +1,57 @@
+//! Static analyses for the DCA reproduction.
+//!
+//! Four families of analysis, mirroring what the paper's static stage and
+//! its baselines need:
+//!
+//! * [`liveness`] — live variables; in particular a loop's **live-outs**,
+//!   the values whose preservation defines liveness-based commutativity
+//!   (paper §III), and its loop-carried scalars.
+//! * [`iterator`] — generalized iterator recognition (paper §IV-A1): the
+//!   backward slice of the loop's continuation conditions, with a memory
+//!   closure that captures destructive iterators (worklist pops).
+//! * [`affine`] + [`deptest`] — induction variables, affine subscripts and
+//!   the ZIV/SIV/GCD dependence tests that power the Polly-/ICC-style
+//!   static baselines.
+//! * [`reduction`] — scalar reduction, histogram and privatization
+//!   classification (paper §IV-C), shared by the Idioms baseline and the
+//!   parallel code generator.
+//! * [`purity`] — interprocedural effects: I/O (DCA's exclusion rule,
+//!   §IV-E) and purity (ICC's call-inlining model, §V-C1).
+//!
+//! # Example
+//!
+//! ```
+//! use dca_analysis::{Liveness, IteratorSlice};
+//! use dca_ir::FuncView;
+//!
+//! let module = dca_ir::compile(
+//!     "fn main() -> int {
+//!          let s: int = 0;
+//!          @sum: for (let i: int = 0; i < 10; i = i + 1) { s = s + i; }
+//!          return s;
+//!      }",
+//! )?;
+//! let view = FuncView::new(&module, module.main().expect("main"));
+//! let live = Liveness::new(&view);
+//! let l = view.loops.by_tag("sum").expect("tagged loop");
+//! let slice = IteratorSlice::compute(&view, l);
+//! assert_eq!(slice.iter_vars.len(), 1); // the induction variable `i`
+//! assert!(live.loop_live_outs(l).len() == 1); // the accumulator `s`
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod deptest;
+pub mod iterator;
+pub mod liveness;
+pub mod purity;
+pub mod reduction;
+
+pub use affine::{Access, Affine, AffineLoopInfo, ArrayKey, InductionVar, LoopBound};
+pub use deptest::{test_loop, test_pair, DepResult, LoopDepSummary};
+pub use iterator::{exclusion, ExclusionReason, InstRef, IteratorSlice, LoopShape};
+pub use liveness::Liveness;
+pub use purity::{EffectMap, Effects};
+pub use reduction::{Histogram, ReductionInfo, ReductionOp, ScalarReduction};

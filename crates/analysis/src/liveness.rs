@@ -1,0 +1,272 @@
+//! Live-variable analysis.
+//!
+//! Classic backward may-dataflow over the CFG at whole-variable granularity
+//! (scalars, pointers and fixed arrays are all single dataflow facts). DCA
+//! uses it twice: to find a loop's **live-out** variables — the values whose
+//! preservation defines commutativity (paper §III) — and its loop-carried
+//! scalars, which the parallelization stage must privatize or reduce.
+
+use dca_ir::{BlockId, FuncView, Loop, VarId};
+use std::collections::BTreeSet;
+
+/// Per-block live-in/live-out sets for one function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<BTreeSet<VarId>>,
+    live_out: Vec<BTreeSet<VarId>>,
+    /// Variables defined (written) by each block.
+    defs: Vec<BTreeSet<VarId>>,
+}
+
+impl Liveness {
+    /// Computes liveness for a function.
+    pub fn new(view: &FuncView<'_>) -> Self {
+        let f = view.func;
+        let n = f.blocks.len();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![BTreeSet::new(); n];
+        let mut kill = vec![BTreeSet::new(); n];
+        for b in f.block_ids() {
+            let blk = f.block(b);
+            let g = &mut gen[b.index()];
+            let k = &mut kill[b.index()];
+            let mut uses = Vec::new();
+            for inst in &blk.insts {
+                uses.clear();
+                inst.uses_into(&mut uses);
+                for &u in &uses {
+                    if !k.contains(&u) {
+                        g.insert(u);
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    k.insert(d);
+                }
+            }
+            for u in blk.term.uses() {
+                if !k.contains(&u) {
+                    g.insert(u);
+                }
+            }
+        }
+        let mut live_in = vec![BTreeSet::new(); n];
+        let mut live_out = vec![BTreeSet::new(); n];
+        // Iterate to fixpoint, visiting blocks in reverse RPO for speed.
+        let order: Vec<BlockId> = view.cfg.reverse_postorder().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out = BTreeSet::new();
+                for &s in view.cfg.succs(b) {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn = gen[b.index()].clone();
+                for &v in &out {
+                    if !kill[b.index()].contains(&v) {
+                        inn.insert(v);
+                    }
+                }
+                if out != live_out[b.index()] || inn != live_in[b.index()] {
+                    live_out[b.index()] = out;
+                    live_in[b.index()] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness {
+            live_in,
+            live_out,
+            defs: kill,
+        }
+    }
+
+    /// Variables live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &BTreeSet<VarId> {
+        &self.live_in[b.index()]
+    }
+
+    /// Variables live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &BTreeSet<VarId> {
+        &self.live_out[b.index()]
+    }
+
+    /// Variables defined (written) somewhere in `b`.
+    pub fn defs(&self, b: BlockId) -> &BTreeSet<VarId> {
+        &self.defs[b.index()]
+    }
+
+    /// Variables **defined inside** `l` that are live on entry to any block
+    /// the loop exits to — the loop's *live-out variables* in the paper's
+    /// sense: values produced by the loop and consumed later.
+    pub fn loop_live_outs(&self, l: &Loop) -> BTreeSet<VarId> {
+        let defined = self.loop_defs(l);
+        let mut out = BTreeSet::new();
+        for t in l.exit_targets() {
+            for &v in self.live_in(t) {
+                if defined.contains(&v) {
+                    out.insert(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// All variables defined by any block of `l`.
+    pub fn loop_defs(&self, l: &Loop) -> BTreeSet<VarId> {
+        let mut defined = BTreeSet::new();
+        for &b in &l.blocks {
+            defined.extend(self.defs(b).iter().copied());
+        }
+        defined
+    }
+
+    /// Loop-carried scalars: variables defined inside `l` that are live on
+    /// entry to its header — their value flows around the back edge, so the
+    /// parallelizer must treat them as inductions, reductions, or reject.
+    pub fn loop_carried(&self, l: &Loop) -> BTreeSet<VarId> {
+        let defined = self.loop_defs(l);
+        self.live_in(l.header)
+            .iter()
+            .copied()
+            .filter(|v| defined.contains(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_ir::{compile, FuncView};
+
+    fn analyze(src: &str) -> (dca_ir::Module, Liveness) {
+        let m = compile(src).expect("compile");
+        let view = FuncView::new(&m, m.main().expect("main"));
+        let live = Liveness::new(&view);
+        (m, live)
+    }
+
+    fn var_named(m: &dca_ir::Module, name: &str) -> VarId {
+        let f = m.func(m.main().expect("main"));
+        for (i, v) in f.vars.iter().enumerate() {
+            if v.name == name {
+                return VarId(i as u32);
+            }
+        }
+        panic!("no var `{name}`");
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let (m, live) = analyze(
+            "fn main() -> int { let a: int = 1; let b: int = 2; return a + b; }",
+        );
+        let a = var_named(&m, "a");
+        // Everything happens in one block; nothing is live in or out.
+        assert!(live.live_in(BlockId(0)).is_empty());
+        assert!(live.live_out(BlockId(0)).is_empty());
+        assert!(live.defs(BlockId(0)).contains(&a));
+    }
+
+    #[test]
+    fn loop_live_outs_detect_values_used_after() {
+        let (m, live) = analyze(
+            "fn main() -> int { let s: int = 0; let t: int = 0; \
+             @l: for (let i: int = 0; i < 4; i = i + 1) { s = s + i; t = t + 2; } \
+             return s; }",
+        );
+        let view = FuncView::new(&m, m.main().expect("main"));
+        let l = view.loops.by_tag("l").expect("tagged loop");
+        let outs = live.loop_live_outs(l);
+        let s = var_named(&m, "s");
+        let t = var_named(&m, "t");
+        assert!(outs.contains(&s), "s is consumed by the return");
+        assert!(!outs.contains(&t), "t is transient (dead after the loop)");
+    }
+
+    #[test]
+    fn loop_carried_scalars() {
+        let (m, live) = analyze(
+            "fn main() -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < 4; i = i + 1) { \
+               let tmp: int = i * 2; s = s + tmp; } \
+             return s; }",
+        );
+        let view = FuncView::new(&m, m.main().expect("main"));
+        let l = view.loops.by_tag("l").expect("tagged loop");
+        let carried = live.loop_carried(l);
+        let s = var_named(&m, "s");
+        let i = var_named(&m, "i");
+        let tmp = var_named(&m, "tmp");
+        assert!(carried.contains(&s), "s accumulates across iterations");
+        assert!(carried.contains(&i), "i is the induction variable");
+        assert!(!carried.contains(&tmp), "tmp is reinitialized every iteration");
+    }
+
+    #[test]
+    fn pointer_chase_is_loop_carried_and_live_out_when_used() {
+        let (m, live) = analyze(
+            "struct N { v: int, next: *N }\n\
+             fn main() -> int { let p: *N = new N; \
+             @walk: while (p != null) { p = p.next; } \
+             if (p == null) { return 1; } return 0; }",
+        );
+        let view = FuncView::new(&m, m.main().expect("main"));
+        let l = view.loops.by_tag("walk").expect("tagged loop");
+        let p = var_named(&m, "p");
+        assert!(live.loop_carried(l).contains(&p));
+        assert!(live.loop_live_outs(l).contains(&p));
+    }
+
+    #[test]
+    fn branch_divergent_liveness() {
+        // A value live only along one branch arm is still live at the
+        // split (may-liveness), and dead after its last use.
+        let (m, live) = analyze(
+            "fn main(c: bool) -> int { let x: int = 5; let y: int = 7;              if (c) { return x; } return y; }",
+        );
+        let view = FuncView::new(&m, m.main().expect("main"));
+        let x = var_named(&m, "x");
+        let y = var_named(&m, "y");
+        // Both are live out of the entry block (the branch decides).
+        let entry_out = live.live_out(view.func.entry());
+        assert!(entry_out.contains(&x));
+        assert!(entry_out.contains(&y));
+    }
+
+    #[test]
+    fn array_variables_tracked_whole() {
+        // The array base variable is used by indexing on either side.
+        let (m, live) = analyze(
+            "fn main() -> int { let a: [int; 4];              @l: for (let i: int = 0; i < 4; i = i + 1) { a[i] = i; }              return a[2]; }",
+        );
+        let view = FuncView::new(&m, m.main().expect("main"));
+        let a = var_named(&m, "a");
+        let l = view.loops.by_tag("l").expect("loop");
+        // `a` is live into the loop (its pointer-to-frame-storage value
+        // flows through) and at every exit.
+        assert!(live.live_in(l.header).contains(&a));
+        for t in l.exit_targets() {
+            assert!(live.live_in(t).contains(&a));
+        }
+    }
+
+    #[test]
+    fn liveness_is_a_fixpoint() {
+        // live_in(b) == gen(b) ∪ (live_out(b) ∖ kill(b)) for all blocks, and
+        // live_out(b) == ∪ live_in(succ).
+        let (m, live) = analyze(
+            "fn main() -> int { let s: int = 0; let i: int = 0; \
+             while (i < 10) { if (i > 5) { s = s + i; } else { s = s + 1; } \
+             i = i + 1; } return s; }",
+        );
+        let view = FuncView::new(&m, m.main().expect("main"));
+        for b in view.func.block_ids() {
+            let mut out = BTreeSet::new();
+            for &succ in view.cfg.succs(b) {
+                out.extend(live.live_in(succ).iter().copied());
+            }
+            assert_eq!(&out, live.live_out(b), "live_out mismatch at {b}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Interprocedural effect analysis.
+//!
+//! Computes, per function, whether it may read/write memory, perform I/O or
+//! allocate — transitively through calls. DCA's static stage uses the I/O
+//! fact to exclude loops (paper §IV-E); the ICC-style baseline uses "pure"
+//! (no memory, no I/O) to decide which calls it can see through, which the
+//! paper credits for ICC's robustness (§V-C1).
+
+use dca_ir::{FuncId, Inst, Module};
+use std::collections::HashSet;
+
+/// The effects one function may have, transitively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// May read heap/array/global memory.
+    pub reads_memory: bool,
+    /// May write heap/array/global memory.
+    pub writes_memory: bool,
+    /// May print.
+    pub does_io: bool,
+    /// May allocate heap objects.
+    pub allocates: bool,
+    /// May call (transitively) a function whose body is recursive with it.
+    pub recursive: bool,
+}
+
+impl Effects {
+    /// "Pure" in the ICC-inlining sense: computes a value from its
+    /// arguments only.
+    pub fn is_pure(&self) -> bool {
+        !self.reads_memory && !self.writes_memory && !self.does_io && !self.allocates
+    }
+}
+
+/// Effects for every function of a module.
+#[derive(Debug, Clone)]
+pub struct EffectMap {
+    effects: Vec<Effects>,
+}
+
+impl EffectMap {
+    /// Computes effects by fixpoint over the call graph.
+    pub fn new(module: &Module) -> Self {
+        let n = module.funcs.len();
+        let mut effects = vec![Effects::default(); n];
+        // Local (intra-procedural) facts plus call edges.
+        let mut calls: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        for (i, f) in module.funcs.iter().enumerate() {
+            for b in f.block_ids() {
+                for inst in &f.block(b).insts {
+                    match inst {
+                        Inst::LoadIndex { .. }
+                        | Inst::LoadField { .. }
+                        | Inst::LoadGlobal { .. } => effects[i].reads_memory = true,
+                        Inst::StoreIndex { .. }
+                        | Inst::StoreField { .. }
+                        | Inst::StoreGlobal { .. } => effects[i].writes_memory = true,
+                        Inst::Print { .. } => effects[i].does_io = true,
+                        Inst::AllocArray { .. } | Inst::AllocStruct { .. } => {
+                            effects[i].allocates = true
+                        }
+                        Inst::Call { func, .. } => {
+                            calls[i].insert(func.index());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Propagate to fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                for &c in &calls[i] {
+                    let callee = effects[c];
+                    let merged = Effects {
+                        reads_memory: effects[i].reads_memory || callee.reads_memory,
+                        writes_memory: effects[i].writes_memory || callee.writes_memory,
+                        does_io: effects[i].does_io || callee.does_io,
+                        allocates: effects[i].allocates || callee.allocates,
+                        recursive: effects[i].recursive,
+                    };
+                    if merged != effects[i] {
+                        effects[i] = merged;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Recursion: a function that can reach itself through call edges
+        // (covers self- and mutual recursion).
+        for i in 0..n {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = calls[i].iter().copied().collect();
+            while let Some(c) = stack.pop() {
+                if c == i {
+                    effects[i].recursive = true;
+                    break;
+                }
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.extend(calls[c].iter().copied());
+                }
+            }
+        }
+        EffectMap { effects }
+    }
+
+    /// Effects of `f`.
+    pub fn effects(&self, f: FuncId) -> Effects {
+        self.effects[f.index()]
+    }
+
+    /// The set of functions that may perform I/O (for DCA's loop
+    /// exclusion).
+    pub fn io_funcs(&self) -> HashSet<FuncId> {
+        self.effects
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.does_io)
+            .map(|(i, _)| FuncId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_ir::compile;
+
+    fn effects_of(src: &str, name: &str) -> Effects {
+        let m = compile(src).expect("compile");
+        let map = EffectMap::new(&m);
+        map.effects(m.func_by_name(name).expect("function exists"))
+    }
+
+    #[test]
+    fn arithmetic_function_is_pure() {
+        let e = effects_of(
+            "fn sq(x: float) -> float { return x * x; } fn main() { }",
+            "sq",
+        );
+        assert!(e.is_pure());
+    }
+
+    #[test]
+    fn memory_and_io_effects_detected() {
+        let src = "let g: int;\n\
+                   fn reader() -> int { return g; }\n\
+                   fn writer() { g = 1; }\n\
+                   fn printer() { print(1); }\n\
+                   fn main() { }";
+        assert!(effects_of(src, "reader").reads_memory);
+        assert!(!effects_of(src, "reader").writes_memory);
+        assert!(effects_of(src, "writer").writes_memory);
+        assert!(effects_of(src, "printer").does_io);
+        assert!(!effects_of(src, "printer").is_pure());
+    }
+
+    #[test]
+    fn effects_propagate_through_calls() {
+        let src = "fn leaf() { print(1); }\n\
+                   fn mid() { leaf(); }\n\
+                   fn top() { mid(); }\n\
+                   fn main() { }";
+        assert!(effects_of(src, "top").does_io);
+        let m = compile(src).expect("compile");
+        let map = EffectMap::new(&m);
+        assert_eq!(map.io_funcs().len(), 3);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let e = effects_of(
+            "fn f(n: int) -> int { if (n < 1) { return 0; } return f(n - 1); }\n\
+             fn main() { }",
+            "f",
+        );
+        assert!(e.recursive);
+    }
+
+    #[test]
+    fn allocation_is_an_effect() {
+        let e = effects_of(
+            "struct N { v: int }\n\
+             fn mk() -> *N { return new N; }\n\
+             fn main() { }",
+            "mk",
+        );
+        assert!(e.allocates);
+        assert!(!e.is_pure());
+    }
+
+    #[test]
+    fn mutual_recursion_reaches_fixpoint() {
+        let src = "fn a(n: int) -> int { if (n < 1) { return 0; } return b(n - 1); }\n\
+                   fn b(n: int) -> int { print(n); return a(n); }\n\
+                   fn main() { }";
+        assert!(effects_of(src, "a").does_io);
+        assert!(effects_of(src, "a").recursive);
+        assert!(effects_of(src, "b").recursive);
+    }
+}

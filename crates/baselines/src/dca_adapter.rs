@@ -1,0 +1,79 @@
+//! DCA as a [`Detector`], so the evaluation tables can iterate over all six
+//! techniques uniformly.
+
+use crate::detect::{DetectionReport, Detector, Technique};
+use dca_core::{Dca, DcaConfig};
+use dca_interp::Value;
+use dca_ir::Module;
+
+/// Wraps the DCA engine behind the common detector interface: a loop is
+/// "parallelizable" when DCA's verdict is commutative.
+#[derive(Debug, Clone, Default)]
+pub struct DcaDetector {
+    config: DcaConfig,
+}
+
+impl DcaDetector {
+    /// A detector with a specific DCA configuration.
+    pub fn new(config: DcaConfig) -> Self {
+        DcaDetector { config }
+    }
+}
+
+impl Detector for DcaDetector {
+    fn technique(&self) -> Technique {
+        Technique::Dca
+    }
+
+    fn detect(&self, module: &Module, args: &[Value]) -> DetectionReport {
+        let mut report = DetectionReport::default();
+        match Dca::new(self.config.clone()).analyze(module, args) {
+            Ok(dca_report) => {
+                for r in dca_report.iter() {
+                    report.set(
+                        r.lref,
+                        r.verdict.is_commutative(),
+                        r.verdict.to_string(),
+                    );
+                }
+            }
+            Err(e) => {
+                // No entry point: report every loop as undetected.
+                for (lref, _) in dca_ir::all_loops(module) {
+                    report.set(lref, false, e.to_string());
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dca_detects_what_dependence_tools_cannot() {
+        let src = "struct N { v: int, next: *N }\n\
+             fn main() -> int { let head: *N = null; \
+             for (let i: int = 0; i < 8; i = i + 1) { \
+               let n: *N = new N; n.v = i; n.next = head; head = n; } \
+             let p: *N = head; \
+             @walk: while (p != null) { p.v = p.v + 1; p = p.next; } \
+             let s: int = 0; let q: *N = head; \
+             while (q != null) { s = s + q.v; q = q.next; } return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let dca = DcaDetector::new(DcaConfig::fast());
+        let dep = crate::dynamics::DependenceProfiling;
+        let dca_report = dca.detect(&m, &[]);
+        let dep_report = dep.detect(&m, &[]);
+        let walk = dca_ir::all_loops(&m)
+            .into_iter()
+            .find(|(_, t)| t.as_deref() == Some("walk"))
+            .expect("tagged")
+            .0;
+        assert!(dca_report.is_parallel(walk));
+        assert!(!dep_report.is_parallel(walk));
+        assert_eq!(dca.technique(), Technique::Dca);
+    }
+}

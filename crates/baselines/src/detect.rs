@@ -1,0 +1,155 @@
+//! The common detector interface all six techniques implement.
+
+use dca_interp::Value;
+use dca_ir::{LoopRef, Module};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The parallelism-detection techniques of the paper's evaluation
+/// (§V-A), plus DCA itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Technique {
+    /// Profile-driven dependence-based detection (Tournavitis et al.).
+    DependenceProfiling,
+    /// DiscoPoP-style profile-driven detection (Li et al.).
+    DiscoPop,
+    /// Constraint-based reduction/histogram idiom detection (Ginsbach &
+    /// O'Boyle).
+    Idioms,
+    /// Polyhedral (SCoP) detection, Polly-style.
+    Polly,
+    /// Industrial static auto-parallelization, ICC-style.
+    Icc,
+    /// Dynamic Commutativity Analysis (this paper).
+    Dca,
+}
+
+impl Technique {
+    /// True for the techniques that execute the program.
+    pub fn is_dynamic(self) -> bool {
+        matches!(
+            self,
+            Technique::DependenceProfiling | Technique::DiscoPop | Technique::Dca
+        )
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technique::DependenceProfiling => "DepProf",
+            Technique::DiscoPop => "DiscoPoP",
+            Technique::Idioms => "Idioms",
+            Technique::Polly => "Polly",
+            Technique::Icc => "ICC",
+            Technique::Dca => "DCA",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Per-loop detection outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopDetection {
+    /// Reported parallelizable?
+    pub parallel: bool,
+    /// Human-readable justification (for reports and debugging).
+    pub reason: String,
+}
+
+/// The result of running one detector over one module.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionReport {
+    per_loop: BTreeMap<LoopRef, LoopDetection>,
+}
+
+impl DetectionReport {
+    /// Records the outcome for one loop.
+    pub fn set(&mut self, l: LoopRef, parallel: bool, reason: impl Into<String>) {
+        self.per_loop.insert(
+            l,
+            LoopDetection {
+                parallel,
+                reason: reason.into(),
+            },
+        );
+    }
+
+    /// The outcome for `l`, if the loop was analyzed.
+    pub fn get(&self, l: LoopRef) -> Option<&LoopDetection> {
+        self.per_loop.get(&l)
+    }
+
+    /// True if `l` was reported parallelizable.
+    pub fn is_parallel(&self, l: LoopRef) -> bool {
+        self.per_loop.get(&l).map(|d| d.parallel).unwrap_or(false)
+    }
+
+    /// Loops reported parallelizable.
+    pub fn parallel_loops(&self) -> impl Iterator<Item = LoopRef> + '_ {
+        self.per_loop
+            .iter()
+            .filter(|(_, d)| d.parallel)
+            .map(|(&l, _)| l)
+    }
+
+    /// Number of loops reported parallelizable.
+    pub fn parallel_count(&self) -> usize {
+        self.parallel_loops().count()
+    }
+
+    /// Number of loops analyzed.
+    pub fn total(&self) -> usize {
+        self.per_loop.len()
+    }
+
+    /// All per-loop outcomes.
+    pub fn iter(&self) -> impl Iterator<Item = (LoopRef, &LoopDetection)> {
+        self.per_loop.iter().map(|(&l, d)| (l, d))
+    }
+}
+
+/// A parallelizable-loop detector.
+pub trait Detector {
+    /// The technique this detector models.
+    fn technique(&self) -> Technique;
+
+    /// Analyzes every loop of `module`. Dynamic techniques run
+    /// `main(args)` as their profiling workload; static ones ignore
+    /// `args`.
+    fn detect(&self, module: &Module, args: &[Value]) -> DetectionReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_ir::{FuncId, LoopId};
+
+    #[test]
+    fn report_accessors() {
+        let mut r = DetectionReport::default();
+        let l0 = LoopRef {
+            func: FuncId(0),
+            loop_id: LoopId(0),
+        };
+        let l1 = LoopRef {
+            func: FuncId(0),
+            loop_id: LoopId(1),
+        };
+        r.set(l0, true, "affine, no deps");
+        r.set(l1, false, "cross-iteration RAW");
+        assert!(r.is_parallel(l0));
+        assert!(!r.is_parallel(l1));
+        assert_eq!(r.parallel_count(), 1);
+        assert_eq!(r.total(), 2);
+        assert!(r.get(l1).expect("analyzed").reason.contains("RAW"));
+    }
+
+    #[test]
+    fn technique_properties() {
+        assert!(Technique::Dca.is_dynamic());
+        assert!(Technique::DiscoPop.is_dynamic());
+        assert!(!Technique::Polly.is_dynamic());
+        assert_eq!(Technique::Icc.to_string(), "ICC");
+    }
+}

@@ -1,0 +1,347 @@
+//! The three static baselines: Idioms, Polly-style and ICC-style
+//! detection (paper §V-A).
+//!
+//! Each models the published decision procedure of the corresponding tool
+//! at the fidelity the paper's comparison needs (what *class of loops* the
+//! tool can prove parallel), configured as in the paper: profitability
+//! heuristics off during detection.
+
+use crate::detect::{DetectionReport, Detector, Technique};
+use dca_analysis::{
+    test_loop, AffineLoopInfo, EffectMap, IteratorSlice, Liveness, ReductionInfo,
+};
+use dca_interp::Value;
+use dca_ir::{FuncId, FuncView, Inst, LoopRef, Module};
+
+fn loop_contexts<'a>(
+    module: &'a Module,
+    view: &'a FuncView<'a>,
+    live: &Liveness,
+    effects: &EffectMap,
+) -> Vec<(LoopRef, AffineLoopInfo, ReductionInfo, bool)> {
+    let mut out = Vec::new();
+    for l in view.loops.iter() {
+        let slice = IteratorSlice::compute_with(view, l, effects);
+        let info = AffineLoopInfo::compute(view, live, l);
+        let red = ReductionInfo::compute(view, live, l, &slice.slice_vars);
+        // Impure calls: any callee that touches memory or I/O.
+        let mut impure_call = false;
+        let mut any_call = false;
+        for &b in &l.blocks {
+            for inst in &view.func.block(b).insts {
+                if let Inst::Call { func, .. } = inst {
+                    any_call = true;
+                    if !effects.effects(*func).is_pure() {
+                        impure_call = true;
+                    }
+                }
+            }
+        }
+        let _ = any_call;
+        out.push((
+            LoopRef {
+                func: view.id,
+                loop_id: l.id,
+            },
+            info,
+            red,
+            impure_call,
+        ));
+    }
+    let _ = module;
+    out
+}
+
+fn for_each_loop(
+    module: &Module,
+    mut f: impl FnMut(LoopRef, &AffineLoopInfo, &ReductionInfo, bool) -> (bool, String),
+) -> DetectionReport {
+    let effects = EffectMap::new(module);
+    let mut report = DetectionReport::default();
+    for i in 0..module.funcs.len() {
+        let view = FuncView::new(module, FuncId(i as u32));
+        if view.loops.is_empty() {
+            continue;
+        }
+        let live = Liveness::new(&view);
+        for (lref, info, red, impure_call) in loop_contexts(module, &view, &live, &effects) {
+            let (parallel, reason) = f(lref, &info, &red, impure_call);
+            report.set(lref, parallel, reason);
+        }
+    }
+    report
+}
+
+/// Polly-style polyhedral detection: the loop must be a SCoP — affine
+/// bounds and subscripts over induction variables and loop-invariant
+/// parameters, no calls, no pointer chasing, no irregular exits — and the
+/// ZIV/SIV/GCD tests must prove independence. No reduction support during
+/// detection (matching the paper's `-polly-process-unprofitable`
+/// configuration, which widens *profitability*, not the SCoP model).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PollyStyle;
+
+impl Detector for PollyStyle {
+    fn technique(&self) -> Technique {
+        Technique::Polly
+    }
+
+    fn detect(&self, module: &Module, _args: &[Value]) -> DetectionReport {
+        for_each_loop(module, |_lref, info, red, _impure| {
+            if info.has_io {
+                return (false, "I/O in loop".into());
+            }
+            if info.has_calls {
+                return (false, "calls break the SCoP".into());
+            }
+            if info.has_pointer_access {
+                return (false, "pointer accesses break the SCoP".into());
+            }
+            if info.has_alloc {
+                return (false, "allocation breaks the SCoP".into());
+            }
+            if info.writes_scalar_global {
+                return (false, "scalar global write".into());
+            }
+            if info.ivs.is_empty() || info.bound.is_none() {
+                return (false, "no canonical induction variable/bound".into());
+            }
+            if !info.all_affine() {
+                return (false, "non-affine subscript".into());
+            }
+            // Any loop-carried scalar beyond the IVs defeats detection
+            // (including reductions: not part of the dependence-free SCoP).
+            // Affine in-place array updates (`a[i] += e`) are fine: the
+            // dependence tests below prove their distance zero.
+            if !red.reductions.is_empty() || !red.unresolved_carried.is_empty() {
+                return (false, "loop-carried scalar (reduction or recurrence)".into());
+            }
+            match test_loop(info) {
+                Some(s) if !s.has_cross_iteration_dep => {
+                    (true, "affine SCoP, dependence-free".into())
+                }
+                Some(_) => (false, "cross-iteration dependence proven".into()),
+                None => (false, "dependence test inapplicable".into()),
+            }
+        })
+    }
+}
+
+/// ICC-style static detection: affine dependence testing like Polly, plus
+/// scalar reduction support, tolerance of symbolic (loop-invariant) terms,
+/// and *pure-function inlining* — loops whose calls are all pure remain
+/// analyzable, which the paper credits for ICC's robustness (§V-C1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IccStyle;
+
+impl Detector for IccStyle {
+    fn technique(&self) -> Technique {
+        Technique::Icc
+    }
+
+    fn detect(&self, module: &Module, _args: &[Value]) -> DetectionReport {
+        for_each_loop(module, |_lref, info, red, impure_call| {
+            if info.has_io {
+                return (false, "I/O in loop".into());
+            }
+            if impure_call {
+                return (false, "call with side effects".into());
+            }
+            if info.has_pointer_access {
+                return (false, "pointer accesses defeat dependence analysis".into());
+            }
+            if info.has_alloc {
+                return (false, "allocation in loop".into());
+            }
+            if info.writes_scalar_global {
+                return (false, "scalar global write".into());
+            }
+            if info.ivs.is_empty() || info.bound.is_none() {
+                return (false, "no canonical induction variable/bound".into());
+            }
+            if !info.all_affine() {
+                return (false, "non-affine subscript".into());
+            }
+            // Plain sum/product/bitwise reductions are fine; min/max and
+            // other complex reductions are what the paper notes ICC misses
+            // relative to Idioms (§V-C1). Other carried scalars reject.
+            if !red.unresolved_carried.is_empty() {
+                return (false, "unresolvable loop-carried scalar".into());
+            }
+            if red.reductions.iter().any(|r| {
+                matches!(
+                    r.op,
+                    dca_analysis::ReductionOp::Min | dca_analysis::ReductionOp::Max
+                )
+            }) {
+                return (false, "min/max reduction unsupported".into());
+            }
+            match test_loop(info) {
+                Some(s) if !s.has_cross_iteration_dep => (
+                    true,
+                    if red.reductions.is_empty() {
+                        "affine, dependence-free".into()
+                    } else {
+                        "affine with recognized scalar reduction".into()
+                    },
+                ),
+                Some(_) => (false, "cross-iteration dependence proven".into()),
+                None => (false, "dependence test inapplicable".into()),
+            }
+        })
+    }
+}
+
+/// Idioms-style constraint detection (Ginsbach & O'Boyle): recognizes
+/// loops that *are* complex reductions or histograms — every
+/// cross-iteration effect is a scalar reduction or a histogram update
+/// (whose subscript may be arbitrary, the idiom's strength) — and nothing
+/// else.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdiomsStyle;
+
+impl Detector for IdiomsStyle {
+    fn technique(&self) -> Technique {
+        Technique::Idioms
+    }
+
+    fn detect(&self, module: &Module, _args: &[Value]) -> DetectionReport {
+        for_each_loop(module, |_lref, info, red, impure_call| {
+            if info.has_io {
+                return (false, "I/O in loop".into());
+            }
+            if impure_call {
+                return (false, "call with side effects".into());
+            }
+            if info.has_pointer_access {
+                return (false, "pointer accesses outside the idiom language".into());
+            }
+            if info.writes_scalar_global {
+                return (false, "scalar global write".into());
+            }
+            if !red.unresolved_carried.is_empty() {
+                return (false, "carried scalar outside the idiom".into());
+            }
+            // The interesting idioms are scalar reductions and histograms
+            // with *non-affine* subscripts — an affine `a[i] += e` is a
+            // plain vectorizable update, not what this tool exists for.
+            let nonaffine_hist = red.histograms.iter().any(|h| {
+                info.accesses
+                    .iter()
+                    .any(|a| a.array == h.array && a.is_write && a.subscript.is_none())
+            });
+            if red.reductions.is_empty() && !nonaffine_hist {
+                return (false, "no reduction/histogram idiom".into());
+            }
+            // Every array *write* must belong to a histogram; reads are
+            // unconstrained (gather-style reductions are the tool's point).
+            let hist_arrays: Vec<_> = red.histograms.iter().map(|h| h.array).collect();
+            for acc in &info.accesses {
+                if acc.is_write && !hist_arrays.contains(&acc.array) {
+                    return (false, "array write outside the idiom".into());
+                }
+            }
+            (true, "reduction/histogram idiom".into())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detect_tag(det: &dyn Detector, src: &str, tag: &str) -> bool {
+        let m = dca_ir::compile(src).expect("compile");
+        let report = det.detect(&m, &[]);
+        for (lref, t) in dca_ir::all_loops(&m) {
+            if t.as_deref() == Some(tag) {
+                return report.is_parallel(lref);
+            }
+        }
+        panic!("no loop tagged @{tag}");
+    }
+
+    const MAP: &str = "fn main() { let a: [int; 16]; \
+         @l: for (let i: int = 0; i < 16; i = i + 1) { a[i] = i * 2; } }";
+
+    const REDUCTION: &str = "fn main() -> int { let s: int = 0; \
+         @l: for (let i: int = 0; i < 16; i = i + 1) { s = s + i; } return s; }";
+
+    const HISTOGRAM: &str = "fn main() { let h: [int; 8]; let d: [int; 32]; \
+         @l: for (let i: int = 0; i < 32; i = i + 1) { \
+           h[d[i] % 8] = h[d[i] % 8] + 1; } }";
+
+    const RECURRENCE: &str = "fn main() { let a: [int; 16]; a[0] = 1; \
+         @l: for (let i: int = 1; i < 16; i = i + 1) { a[i] = a[i - 1] + 1; } }";
+
+    const PLDS: &str = "struct N { v: int, next: *N }\n\
+         fn main() { let p: *N = new N; \
+         @l: while (p != null) { p.v = p.v + 1; p = p.next; } }";
+
+    const PURE_CALL: &str = "fn sq(x: int) -> int { return x * x; }\n\
+         fn main() { let a: [int; 16]; \
+         @l: for (let i: int = 0; i < 16; i = i + 1) { a[i] = sq(i); } }";
+
+    const INDIRECT: &str = "fn main() { let a: [int; 16]; let idx: [int; 16]; \
+         @l: for (let i: int = 0; i < 16; i = i + 1) { a[idx[i]] = i; } }";
+
+    #[test]
+    fn polly_accepts_affine_maps_only() {
+        assert!(detect_tag(&PollyStyle, MAP, "l"));
+        assert!(!detect_tag(&PollyStyle, REDUCTION, "l"), "no reductions");
+        assert!(!detect_tag(&PollyStyle, HISTOGRAM, "l"));
+        assert!(!detect_tag(&PollyStyle, RECURRENCE, "l"));
+        assert!(!detect_tag(&PollyStyle, PLDS, "l"));
+        assert!(!detect_tag(&PollyStyle, PURE_CALL, "l"), "calls break SCoPs");
+        assert!(!detect_tag(&PollyStyle, INDIRECT, "l"));
+    }
+
+    #[test]
+    fn icc_adds_reductions_and_pure_calls() {
+        assert!(detect_tag(&IccStyle, MAP, "l"));
+        assert!(detect_tag(&IccStyle, REDUCTION, "l"));
+        assert!(detect_tag(&IccStyle, PURE_CALL, "l"), "pure calls inlined");
+        assert!(!detect_tag(&IccStyle, HISTOGRAM, "l"), "no histograms");
+        assert!(!detect_tag(&IccStyle, RECURRENCE, "l"));
+        assert!(!detect_tag(&IccStyle, PLDS, "l"));
+        assert!(!detect_tag(&IccStyle, INDIRECT, "l"));
+    }
+
+    #[test]
+    fn idioms_accepts_reductions_and_histograms_only() {
+        assert!(detect_tag(&IdiomsStyle, REDUCTION, "l"));
+        assert!(detect_tag(&IdiomsStyle, HISTOGRAM, "l"), "non-affine subscript OK");
+        assert!(!detect_tag(&IdiomsStyle, MAP, "l"), "a map is not an idiom");
+        assert!(!detect_tag(&IdiomsStyle, RECURRENCE, "l"));
+        assert!(!detect_tag(&IdiomsStyle, PLDS, "l"));
+    }
+
+    #[test]
+    fn min_max_reductions_split_icc_and_idioms() {
+        let src = "fn main() -> int { let m: int = 0; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { m = imax(m, i * 7 % 13); } \
+             return m; }";
+        // The paper notes ICC misses the complex reductions Idioms finds;
+        // we model that split on min/max reductions.
+        assert!(detect_tag(&IdiomsStyle, src, "l"));
+        assert!(!detect_tag(&IccStyle, src, "l"));
+    }
+
+    #[test]
+    fn io_rejected_by_all() {
+        let src = "fn main() { \
+             @l: for (let i: int = 0; i < 4; i = i + 1) { print(i); } }";
+        assert!(!detect_tag(&PollyStyle, src, "l"));
+        assert!(!detect_tag(&IccStyle, src, "l"));
+        assert!(!detect_tag(&IdiomsStyle, src, "l"));
+    }
+
+    #[test]
+    fn symbolic_bounds_ok_for_both_static_dep_tools() {
+        let src = "fn kernel(a: *int, n: int) { \
+             @l: for (let i: int = 0; i < n; i = i + 1) { a[i] = i; } }\n\
+             fn main() { kernel(new [int; 8], 8); }";
+        assert!(detect_tag(&PollyStyle, src, "l"));
+        assert!(detect_tag(&IccStyle, src, "l"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Dynamic memory-dependence profiling.
+//!
+//! The dynamic baselines (Dependence Profiling [Tournavitis et al.] and
+//! DiscoPoP [Li et al.]) decide parallelizability from observed memory
+//! dependences. This module runs the program once under instrumentation and
+//! produces, for every loop, the cross-iteration dependences it exhibited
+//! and whether each conflicting location is privatizable (written before
+//! read in every iteration that touches it).
+//!
+//! Scalars held in registers are not memory here — like the real tools,
+//! the baselines combine this trace with *static* classification of
+//! loop-carried scalars (induction variables, reductions).
+
+use dca_interp::{Addr, Hooks, Machine, Site, Trap, Value};
+use dca_ir::{BlockId, FuncId, FuncView, LoopId, LoopRef, Module};
+use std::collections::HashMap;
+
+/// Per-location access state within one active loop invocation.
+#[derive(Debug, Clone, Copy, Default)]
+struct AddrState {
+    last_write_iter: Option<u64>,
+    last_read_iter: Option<u64>,
+    /// Iteration currently tracked by `written_this_iter`.
+    cur_iter: u64,
+    written_this_iter: bool,
+    /// Read before any write within some iteration (defeats privatization).
+    upward_read: bool,
+    raw: bool,
+    waw: bool,
+    war: bool,
+}
+
+/// Aggregated dependence facts for one loop (over all invocations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopDeps {
+    /// Some location was read in a later iteration than it was written.
+    pub cross_raw: bool,
+    /// Some location was written in two different iterations.
+    pub cross_waw: bool,
+    /// Some location was written after being read in an earlier iteration.
+    pub cross_war: bool,
+    /// A cross-iteration RAW hit a location *not* registered as a
+    /// reduction target.
+    pub raw_outside_reductions: bool,
+    /// A WAR/WAW conflict hit a non-reduction location with an
+    /// upward-exposed read, so privatization cannot remove it.
+    pub unprivatizable: bool,
+    /// The loop executed at least one iteration.
+    pub observed: bool,
+}
+
+/// Result of one profiling run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    deps: HashMap<LoopRef, LoopDeps>,
+}
+
+impl TraceReport {
+    /// The dependence facts for `l` (all-false if never observed).
+    pub fn deps(&self, l: LoopRef) -> LoopDeps {
+        self.deps.get(&l).copied().unwrap_or_default()
+    }
+}
+
+struct FuncTable {
+    innermost: Vec<Option<LoopId>>,
+    parent: Vec<Option<LoopId>>,
+    header: Vec<BlockId>,
+    /// Objects whose cells are reduction targets (histogram arrays),
+    /// resolved per activation: static key is (loop, var/global).
+    histogram_globals: Vec<Vec<dca_ir::GlobalId>>,
+    histogram_vars: Vec<Vec<dca_ir::VarId>>,
+}
+
+struct ActiveLoop {
+    depth: usize,
+    lref: LoopRef,
+    iter: u64,
+    /// Heap objects registered as reduction (histogram) targets for this
+    /// activation.
+    reduction_objs: Vec<dca_interp::ObjId>,
+    state: HashMap<Addr, AddrState>,
+}
+
+/// The profiling [`Hooks`] implementation.
+pub struct DepTracer {
+    tables: Vec<FuncTable>,
+    active: Vec<ActiveLoop>,
+    report: TraceReport,
+}
+
+impl DepTracer {
+    /// Precomputes the loop tables (including static histogram targets, so
+    /// RAWs on recognized array reductions can be classified).
+    pub fn new(module: &Module) -> Self {
+        let mut tables = Vec::with_capacity(module.funcs.len());
+        let effects = dca_analysis::EffectMap::new(module);
+        for i in 0..module.funcs.len() {
+            let view = FuncView::new(module, FuncId(i as u32));
+            let live = dca_analysis::Liveness::new(&view);
+            let nloops = view.loops.len();
+            let mut innermost = vec![None; view.func.blocks.len()];
+            for b in view.func.block_ids() {
+                innermost[b.index()] = view.loops.innermost(b);
+            }
+            let mut parent = vec![None; nloops];
+            let mut header = vec![BlockId(0); nloops];
+            let mut histogram_globals = vec![Vec::new(); nloops];
+            let mut histogram_vars = vec![Vec::new(); nloops];
+            for l in view.loops.iter() {
+                parent[l.id.index()] = l.parent;
+                header[l.id.index()] = l.header;
+                let slice = dca_analysis::IteratorSlice::compute_with(&view, l, &effects);
+                let red =
+                    dca_analysis::ReductionInfo::compute(&view, &live, l, &slice.slice_vars);
+                for h in &red.histograms {
+                    match h.array {
+                        dca_analysis::ArrayKey::Global(g) => {
+                            histogram_globals[l.id.index()].push(g)
+                        }
+                        dca_analysis::ArrayKey::Var(v) => histogram_vars[l.id.index()].push(v),
+                    }
+                }
+            }
+            tables.push(FuncTable {
+                innermost,
+                parent,
+                header,
+                histogram_globals,
+                histogram_vars,
+            });
+        }
+        DepTracer {
+            tables,
+            active: Vec::new(),
+            report: TraceReport::default(),
+        }
+    }
+
+    /// Consumes the tracer, producing the report.
+    pub fn finish(mut self) -> TraceReport {
+        while let Some(a) = self.active.pop() {
+            merge(&mut self.report, a);
+        }
+        self.report
+    }
+
+    fn chain(&self, func: FuncId, block: BlockId) -> Vec<LoopId> {
+        let t = &self.tables[func.index()];
+        let mut out = Vec::new();
+        let mut cur = t.innermost[block.index()];
+        while let Some(l) = cur {
+            out.push(l);
+            cur = t.parent[l.index()];
+        }
+        out.reverse();
+        out
+    }
+
+    fn close_down_to(&mut self, keep: usize) {
+        while self.active.len() > keep {
+            let a = self.active.pop().expect("len checked");
+            merge(&mut self.report, a);
+        }
+    }
+
+    fn access(&mut self, addr: Addr, is_write: bool) {
+        for a in &mut self.active {
+            let st = a.state.entry(addr).or_default();
+            if st.cur_iter != a.iter {
+                st.cur_iter = a.iter;
+                st.written_this_iter = false;
+            }
+            if is_write {
+                if let Some(w) = st.last_write_iter {
+                    if w != a.iter {
+                        st.waw = true;
+                    }
+                }
+                if let Some(r) = st.last_read_iter {
+                    if r != a.iter {
+                        st.war = true;
+                    }
+                }
+                st.last_write_iter = Some(a.iter);
+                st.written_this_iter = true;
+            } else {
+                if let Some(w) = st.last_write_iter {
+                    if w != a.iter {
+                        st.raw = true;
+                    }
+                }
+                if !st.written_this_iter {
+                    st.upward_read = true;
+                }
+                st.last_read_iter = Some(a.iter);
+            }
+        }
+    }
+}
+
+fn merge(report: &mut TraceReport, a: ActiveLoop) {
+    let e = report.deps.entry(a.lref).or_default();
+    for (addr, st) in &a.state {
+        let reduction = a.reduction_objs.contains(&addr.obj);
+        if st.raw {
+            e.cross_raw = true;
+            if !reduction {
+                e.raw_outside_reductions = true;
+            }
+        }
+        if st.waw {
+            e.cross_waw = true;
+        }
+        if st.war {
+            e.cross_war = true;
+        }
+        if (st.waw || st.war) && st.upward_read && !reduction {
+            e.unprivatizable = true;
+        }
+    }
+    // "Observed" means the loop actually iterated (or at least touched
+    // memory); a header evaluation that immediately exits is not an
+    // exercised loop.
+    e.observed |= a.iter > 0 || !a.state.is_empty();
+}
+
+impl Hooks for DepTracer {
+    fn on_block(&mut self, site: Site, block: BlockId, vars: &mut [Value]) {
+        let chain = self.chain(site.func, block);
+        let base = self
+            .active
+            .iter()
+            .position(|a| a.depth >= site.depth)
+            .unwrap_or(self.active.len());
+        let mut matched = 0;
+        while matched < chain.len() {
+            let idx = base + matched;
+            match self.active.get(idx) {
+                Some(a)
+                    if a.depth == site.depth
+                        && a.lref.func == site.func
+                        && a.lref.loop_id == chain[matched] =>
+                {
+                    matched += 1;
+                }
+                _ => break,
+            }
+        }
+        self.close_down_to(base + matched);
+        for &l in &chain[matched..] {
+            let lref = LoopRef {
+                func: site.func,
+                loop_id: l,
+            };
+            let t = &self.tables[site.func.index()];
+            let mut reduction_objs = Vec::new();
+            for &g in &t.histogram_globals[l.index()] {
+                reduction_objs.push(dca_interp::ObjId(g.0));
+            }
+            for &v in &t.histogram_vars[l.index()] {
+                if let Some(Value::Ptr(o)) = vars.get(v.index()) {
+                    reduction_objs.push(*o);
+                }
+            }
+            self.active.push(ActiveLoop {
+                depth: site.depth,
+                lref,
+                iter: 0,
+                reduction_objs,
+                state: HashMap::new(),
+            });
+        }
+        // Header re-arrival of the innermost active loop = next iteration.
+        if matched > 0 && matched == chain.len() {
+            let t = &self.tables[site.func.index()];
+            let inner = chain[matched - 1];
+            if t.header[inner.index()] == block {
+                if let Some(a) = self.active.last_mut() {
+                    if a.lref.loop_id == inner && a.lref.func == site.func {
+                        a.iter += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_read(&mut self, _site: Site, addr: Addr) {
+        self.access(addr, false);
+    }
+
+    fn on_write(&mut self, _site: Site, addr: Addr) {
+        self.access(addr, true);
+    }
+
+    fn on_return(&mut self, site: Site, _func: FuncId) {
+        let keep = self
+            .active
+            .iter()
+            .position(|a| a.depth >= site.depth)
+            .unwrap_or(self.active.len());
+        self.close_down_to(keep);
+    }
+}
+
+/// Runs `main(args)` under the dependence tracer and returns the report.
+///
+/// # Errors
+///
+/// Propagates interpreter traps.
+///
+/// # Panics
+///
+/// Panics if the module has no `main`.
+pub fn trace_dependences(
+    module: &Module,
+    args: &[Value],
+    max_steps: u64,
+) -> Result<TraceReport, Trap> {
+    let mut machine = Machine::new(module);
+    machine.push_call(module.main().expect("module has `main`"), args)?;
+    let mut tracer = DepTracer::new(module);
+    machine.run(&mut tracer, max_steps)?;
+    Ok(tracer.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deps_of(src: &str, tag: &str) -> LoopDeps {
+        let m = dca_ir::compile(src).expect("compile");
+        let report = trace_dependences(&m, &[], 50_000_000).expect("trace");
+        for (lref, t) in dca_ir::all_loops(&m) {
+            if t.as_deref() == Some(tag) {
+                return report.deps(lref);
+            }
+        }
+        panic!("no loop tagged @{tag}");
+    }
+
+    #[test]
+    fn independent_writes_have_no_cross_deps() {
+        let d = deps_of(
+            "fn main() { let a: [int; 16]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { a[i] = i; } }",
+            "l",
+        );
+        assert!(d.observed);
+        assert!(!d.cross_raw && !d.cross_waw && !d.cross_war);
+    }
+
+    #[test]
+    fn recurrence_shows_cross_raw() {
+        let d = deps_of(
+            "fn main() { let a: [int; 16]; a[0] = 1; \
+             @l: for (let i: int = 1; i < 16; i = i + 1) { a[i] = a[i - 1] + 1; } }",
+            "l",
+        );
+        assert!(d.cross_raw);
+        assert!(d.raw_outside_reductions);
+    }
+
+    #[test]
+    fn pointer_chase_iterator_has_no_memory_raw() {
+        // The `p = p.next` dependence lives in a register, not memory; the
+        // node updates touch disjoint cells. (This is why pure trace-based
+        // tools still reject it — the *scalar* p is loop-carried, which the
+        // static side flags.)
+        let d = deps_of(
+            "struct N { v: int, next: *N }\n\
+             fn main() { let head: *N = null; \
+             for (let i: int = 0; i < 8; i = i + 1) { \
+               let n: *N = new N; n.v = i; n.next = head; head = n; } \
+             let p: *N = head; \
+             @walk: while (p != null) { p.v = p.v + 1; p = p.next; } }",
+            "walk",
+        );
+        assert!(d.observed);
+        assert!(!d.cross_raw);
+    }
+
+    #[test]
+    fn histogram_raw_classified_as_reduction() {
+        let d = deps_of(
+            "fn main() { let h: [int; 5]; \
+             @l: for (let i: int = 0; i < 32; i = i + 1) { \
+               h[i % 5] = h[i % 5] + 1; } }",
+            "l",
+        );
+        assert!(d.cross_raw, "histogram cells collide across iterations");
+        assert!(
+            !d.raw_outside_reductions,
+            "but the collisions are on the recognized histogram array"
+        );
+    }
+
+    #[test]
+    fn shared_scalar_cell_shows_waw_and_raw() {
+        let d = deps_of(
+            "let g: int;\n\
+             fn main() { \
+             @l: for (let i: int = 0; i < 8; i = i + 1) { g = i; } }",
+            "l",
+        );
+        assert!(d.cross_waw);
+    }
+
+    #[test]
+    fn privatizable_temp_array_write_first() {
+        // tmp[] is fully written before being read in every iteration: WAW
+        // across iterations but privatizable (no upward-exposed reads).
+        let d = deps_of(
+            "fn main() { let tmp: [int; 4]; let a: [int; 16]; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { \
+               for (let k: int = 0; k < 4; k = k + 1) { tmp[k] = i + k; } \
+               let s: int = 0; \
+               for (let k: int = 0; k < 4; k = k + 1) { s = s + tmp[k]; } \
+               a[i] = s; } }",
+            "l",
+        );
+        assert!(d.cross_waw, "tmp rewritten each iteration");
+        assert!(!d.cross_raw);
+        assert!(!d.unprivatizable, "tmp written before read each time");
+    }
+
+    #[test]
+    fn upward_exposed_read_flagged() {
+        let d = deps_of(
+            "let g: [int; 4];\n\
+             fn main() { let a: [int; 8]; \
+             @l: for (let i: int = 0; i < 8; i = i + 1) { a[i] = g[i % 4]; } }",
+            "l",
+        );
+        // g is only read — reads of pre-loop values create no conflicts,
+        // so nothing is flagged.
+        assert!(!d.unprivatizable);
+        assert!(!d.cross_raw && !d.cross_waw && !d.cross_war);
+    }
+}

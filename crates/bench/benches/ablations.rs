@@ -1,0 +1,84 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. permutation presets — reverse-only vs k random shuffles vs
+//!    exhaustive enumeration (paper §IV-B2's safety/cost trade-off);
+//! 2. verification scope — whole-program outcome vs loop-exit digest
+//!    (§III vs the cheaper, stricter variant);
+//! 3. number of tested invocations (§IV-E context sensitivity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dca_core::{Dca, DcaConfig, PermutationSet, VerifyScope};
+use std::hint::black_box;
+
+fn fixture() -> (dca_ir::Module, Vec<dca_interp::Value>) {
+    let p = dca_suite::by_name("cg").expect("cg exists");
+    (p.module(), p.targs())
+}
+
+fn bench_permutation_presets(c: &mut Criterion) {
+    let (m, args) = fixture();
+    let mut g = c.benchmark_group("ablation/permutations");
+    let presets: &[(&str, PermutationSet)] = &[
+        ("reverse_only", PermutationSet::ReverseOnly),
+        ("shuffles_1", PermutationSet::Presets { shuffles: 1 }),
+        ("shuffles_3", PermutationSet::Presets { shuffles: 3 }),
+        ("shuffles_8", PermutationSet::Presets { shuffles: 8 }),
+        (
+            "exhaustive_5",
+            PermutationSet::Exhaustive {
+                max_trip: 5,
+                fallback_shuffles: 3,
+            },
+        ),
+    ];
+    for (name, preset) in presets {
+        g.bench_with_input(BenchmarkId::from_parameter(name), preset, |b, preset| {
+            let dca = Dca::new(DcaConfig {
+                permutations: preset.clone(),
+                ..DcaConfig::fast()
+            });
+            b.iter(|| black_box(dca.analyze(&m, &args).expect("analyze")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify_scope(c: &mut Criterion) {
+    let (m, args) = fixture();
+    let mut g = c.benchmark_group("ablation/verify_scope");
+    for (name, scope) in [
+        ("program_end", VerifyScope::ProgramEnd),
+        ("loop_exit", VerifyScope::LoopExit),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scope, |b, &scope| {
+            let dca = Dca::new(DcaConfig {
+                verify_scope: scope,
+                ..DcaConfig::fast()
+            });
+            b.iter(|| black_box(dca.analyze(&m, &args).expect("analyze")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_invocations(c: &mut Criterion) {
+    let (m, args) = fixture();
+    let mut g = c.benchmark_group("ablation/invocations");
+    for k in [1u32, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let dca = Dca::new(DcaConfig {
+                invocations: k,
+                ..DcaConfig::fast()
+            });
+            b.iter(|| black_box(dca.analyze(&m, &args).expect("analyze")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_permutation_presets, bench_verify_scope, bench_invocations
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Ablation study for the permutation presets (paper §IV-B2 / §V-D): how
+//! many permutations does the dynamic stage need before its verdicts match
+//! exhaustive enumeration?
+//!
+//! For every NPB benchmark, DCA runs under reverse-only, k random shuffles
+//! (k = 1, 3, 8) and exhaustive enumeration on small trip counts; the
+//! table reports commutative counts and disagreements against the
+//! strongest configuration. The paper's claim (§V-D) is that the pragmatic
+//! presets lose nothing in practice — the disagreement columns should be
+//! zero. Run with `--fast` for small workloads.
+
+use dca_core::{Dca, DcaConfig, DcaReport, PermutationSet};
+
+fn analyze(p: &dca_suite::SuiteProgram, preset: PermutationSet, fast: bool) -> DcaReport {
+    let m = p.module();
+    let args = if fast { p.targs() } else { p.args() };
+    Dca::new(DcaConfig {
+        permutations: preset,
+        ..DcaConfig::default()
+    })
+    .analyze(&m, &args)
+    .expect("suite programs have main")
+}
+
+fn main() {
+    let fast = dca_bench::fast_mode();
+    let presets: Vec<(&str, PermutationSet)> = vec![
+        ("reverse", PermutationSet::ReverseOnly),
+        ("shuf1", PermutationSet::Presets { shuffles: 1 }),
+        ("shuf3", PermutationSet::Presets { shuffles: 3 }),
+        ("shuf8", PermutationSet::Presets { shuffles: 8 }),
+        (
+            "exh6",
+            PermutationSet::Exhaustive {
+                max_trip: 6,
+                fallback_shuffles: 8,
+            },
+        ),
+    ];
+    println!("Ablation: commutative loops per permutation preset (disagreements vs exh6)");
+    print!("{:<6}", "Bmk");
+    for (name, _) in &presets {
+        print!(" {name:>9}");
+    }
+    println!(" {:>12}", "disagree");
+    let mut total_disagree = 0usize;
+    for p in dca_suite::npb::programs() {
+        let reports: Vec<DcaReport> = presets
+            .iter()
+            .map(|(_, preset)| analyze(p, preset.clone(), fast))
+            .collect();
+        print!("{:<6}", p.name.to_uppercase());
+        for r in &reports {
+            print!(" {:>9}", r.commutative_count());
+        }
+        // Disagreements: loops whose verdict class (commutative or not)
+        // differs between any preset and the reference (last column).
+        let reference = reports.last().expect("presets non-empty");
+        let mut disagree = 0;
+        for r in &reports[..reports.len() - 1] {
+            for (a, b) in r.iter().zip(reference.iter()) {
+                if a.verdict.is_commutative() != b.verdict.is_commutative() {
+                    disagree += 1;
+                }
+            }
+        }
+        total_disagree += disagree;
+        println!(" {disagree:>12}");
+    }
+    println!(
+        "\ntotal verdict disagreements across presets: {total_disagree} \
+         (the paper's §V-D expects ~0)"
+    );
+
+    // Second study: verification scope. The whole-program scope is §III's
+    // definition; the loop-exit digest is cheaper but stricter (transient
+    // structure differences count). Loops the strict scope rejects while
+    // the program scope accepts are exactly the "transient state relaxed
+    // by liveness" cases (paper §II-C).
+    println!("\nVerification-scope study: commutative loops per scope");
+    println!(
+        "{:<6} {:>12} {:>10} {:>22}",
+        "Bmk", "ProgramEnd", "LoopExit", "strictly-rejected"
+    );
+    for p in dca_suite::npb::programs() {
+        let m = p.module();
+        let args = if fast { p.targs() } else { p.args() };
+        let pe = Dca::new(DcaConfig::default())
+            .analyze(&m, &args)
+            .expect("analyze");
+        let le = Dca::new(DcaConfig {
+            verify_scope: dca_core::VerifyScope::LoopExit,
+            ..DcaConfig::default()
+        })
+        .analyze(&m, &args)
+        .expect("analyze");
+        let stricter = pe
+            .iter()
+            .zip(le.iter())
+            .filter(|(a, b)| {
+                a.verdict.is_commutative() && !b.verdict.is_commutative()
+            })
+            .count();
+        println!(
+            "{:<6} {:>12} {:>10} {:>22}",
+            p.name.to_uppercase(),
+            pe.commutative_count(),
+            le.commutative_count(),
+            stricter
+        );
+    }
+}

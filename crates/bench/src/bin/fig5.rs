@@ -1,0 +1,21 @@
+//! Regenerates Fig. 5: overall speedup achieved by DCA's simple
+//! parallelization for the PLDS loops, on the simulated 72-core host.
+//! The baselines detect none of these loops, so their bars are 1.0 by
+//! construction. Run with `--fast` for the small test workloads.
+
+use dca_ir::LoopRef;
+use std::collections::BTreeSet;
+
+fn main() {
+    let fast = dca_bench::fast_mode();
+    println!("Fig. 5: DCA parallelization speedup for PLDS loops (simulated 72 cores)");
+    println!("{:<12} {:>9}", "Bmk", "Speedup");
+    for name in ["treeadd", "perimeter", "water", "ks", "spmatmat", "bfs", "ising"] {
+        let p = dca_suite::by_name(name).expect("suite program");
+        let (module, r) = dca_bench::detect_all(p, fast);
+        let detected: BTreeSet<LoopRef> = r.dca.parallel_loops().collect();
+        let selection = dca_bench::profitable_selection(p, &module, &detected);
+        let s = dca_bench::speedup(p, &module, &selection, fast);
+        println!("{name:<12} {s:>9.2}");
+    }
+}

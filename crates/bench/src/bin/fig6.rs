@@ -1,0 +1,57 @@
+//! Regenerates Fig. 6: overall NPB speedup by Idioms, Polly-style,
+//! ICC-style and DCA parallelization on the simulated 72-core host.
+//! DCA and Idioms use the expert profitability selection (paper §V-C2);
+//! the static tools parallelize what they detect. Run with `--fast` for
+//! the small test workloads.
+
+use dca_ir::LoopRef;
+use std::collections::BTreeSet;
+
+fn main() {
+    let fast = dca_bench::fast_mode();
+    println!("Fig. 6: NPB speedup by technique (simulated 72 cores)");
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8}",
+        "Bmk", "Idioms", "Polly", "ICC", "DCA"
+    );
+    let mut cols: [Vec<f64>; 4] = [vec![], vec![], vec![], vec![]];
+    for p in dca_suite::npb::programs() {
+        let (module, r) = dca_bench::detect_all(p, fast);
+        let sel_of = |rep: &dca_baselines::DetectionReport| -> BTreeSet<LoopRef> {
+            rep.parallel_loops().collect()
+        };
+        let s_idioms = dca_bench::speedup(
+            p,
+            &module,
+            &dca_bench::profitable_selection(p, &module, &sel_of(&r.idioms)),
+            fast,
+        );
+        let s_polly = dca_bench::speedup(p, &module, &sel_of(&r.polly), fast);
+        let s_icc = dca_bench::speedup(p, &module, &sel_of(&r.icc), fast);
+        let s_dca = dca_bench::speedup(
+            p,
+            &module,
+            &dca_bench::profitable_selection(p, &module, &sel_of(&r.dca)),
+            fast,
+        );
+        println!(
+            "{:<6} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            p.name.to_uppercase(),
+            s_idioms,
+            s_polly,
+            s_icc,
+            s_dca
+        );
+        for (c, s) in cols.iter_mut().zip([s_idioms, s_polly, s_icc, s_dca]) {
+            c.push(s);
+        }
+    }
+    println!(
+        "{:<6} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "GMean",
+        dca_bench::gmean(&cols[0]),
+        dca_bench::gmean(&cols[1]),
+        dca_bench::gmean(&cols[2]),
+        dca_bench::gmean(&cols[3])
+    );
+}

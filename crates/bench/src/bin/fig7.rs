@@ -1,0 +1,45 @@
+//! Regenerates Fig. 7: DCA vs expert parallelization of NPB — loop-only
+//! expert (the data-parallel loops an expert selects) and the full expert
+//! parallelization including beyond-loop sections. Run with `--fast` for
+//! the small test workloads.
+
+use dca_ir::LoopRef;
+use std::collections::BTreeSet;
+
+fn main() {
+    let fast = dca_bench::fast_mode();
+    println!("Fig. 7: DCA vs expert parallelization on NPB (simulated 72 cores)");
+    println!(
+        "{:<6} {:>8} {:>18} {:>14}",
+        "Bmk", "DCA", "ExpertLoopOnly", "ExpertFull"
+    );
+    let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    for p in dca_suite::npb::programs() {
+        let (module, r) = dca_bench::detect_all(p, fast);
+        let detected: BTreeSet<LoopRef> = r.dca.parallel_loops().collect();
+        let s_dca = dca_bench::speedup(
+            p,
+            &module,
+            &dca_bench::profitable_selection(p, &module, &detected),
+            fast,
+        );
+        let (s_loop, s_full) = dca_bench::expert_speedups(p, &module, fast);
+        println!(
+            "{:<6} {:>8.2} {:>18.2} {:>14.2}",
+            p.name.to_uppercase(),
+            s_dca,
+            s_loop,
+            s_full
+        );
+        for (c, s) in cols.iter_mut().zip([s_dca, s_loop, s_full]) {
+            c.push(s);
+        }
+    }
+    println!(
+        "{:<6} {:>8.2} {:>18.2} {:>14.2}",
+        "GMean",
+        dca_bench::gmean(&cols[0]),
+        dca_bench::gmean(&cols[1]),
+        dca_bench::gmean(&cols[2])
+    );
+}

@@ -1,0 +1,19 @@
+//! Prints per-benchmark detection counts on the fast workloads, used to
+//! refresh the golden values in `tests/golden_counts.rs` after intended
+//! suite changes.
+fn main() {
+    for p in dca_suite::all_programs() {
+        let (_m, r) = dca_bench::detect_all(p, true);
+        println!(
+            "(\"{}\", {}, {}, {}, {}, {}, {}, {}),",
+            p.name,
+            r.total,
+            r.depprof.parallel_count(),
+            r.discopop.parallel_count(),
+            r.idioms.parallel_count(),
+            r.polly.parallel_count(),
+            r.icc.parallel_count(),
+            r.dca.parallel_count(),
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Debug helper: prints per-loop detection results for one suite program.
+use dca_baselines::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ep".into());
+    let p = dca_suite::by_name(&name).expect("unknown program");
+    let m = p.module();
+    let args = p.targs();
+    let dets = all_detectors(dca_core::DcaConfig::fast());
+    let reports: Vec<_> = dets.iter().map(|d| (d.technique(), d.detect(&m, &args))).collect();
+    println!("{:<12} {}", "loop", reports.iter().map(|(t, _)| format!("{t:>8}")).collect::<String>());
+    for (lref, tag) in dca_ir::all_loops(&m) {
+        let tag = tag.unwrap_or_else(|| lref.to_string());
+        let mut row = format!("{:<12}", tag);
+        for (_, r) in &reports {
+            row += &format!("{:>8}", if r.is_parallel(lref) { "Y" } else { "." });
+        }
+        println!("{row}");
+        for (t, r) in &reports {
+            if let Some(d) = r.get(lref) {
+                if std::env::args().nth(2).as_deref() == Some("-v") {
+                    println!("    {t}: {}", d.reason);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table I: NPB loops reported parallelizable by the dynamic
+//! baselines (Dependence Profiling, DiscoPoP-style) and as commutative by
+//! DCA. Run with `--fast` for the small test workloads.
+
+fn main() {
+    let fast = dca_bench::fast_mode();
+    println!("Table I: NPB loops parallelizable (dynamic techniques) vs commutative (DCA)");
+    println!(
+        "{:<6} {:>6} {:>18} {:>10} {:>6}",
+        "Bmk", "Loops", "DepProfiling", "DiscoPoP", "DCA"
+    );
+    let mut tot = (0, 0, 0, 0);
+    for p in dca_suite::npb::programs() {
+        let (_m, r) = dca_bench::detect_all(p, fast);
+        let (dp, dpp, dca) = (
+            r.depprof.parallel_count(),
+            r.discopop.parallel_count(),
+            r.dca.parallel_count(),
+        );
+        println!(
+            "{:<6} {:>6} {:>18} {:>10} {:>6}",
+            p.name.to_uppercase(),
+            r.total,
+            dp,
+            dpp,
+            dca
+        );
+        tot = (tot.0 + r.total, tot.1 + dp, tot.2 + dpp, tot.3 + dca);
+    }
+    println!(
+        "{:<6} {:>6} {:>18} {:>10} {:>6}",
+        "Total", tot.0, tot.1, tot.2, tot.3
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table II: PLDS-based loops that DCA detects as commutative
+//! while every baseline fails. Coverage is measured on our workloads; the
+//! potential-speedup and technique columns reproduce the literature values
+//! the paper tabulates. Run with `--fast` for the small test workloads.
+
+use std::collections::BTreeSet;
+
+fn main() {
+    let fast = dca_bench::fast_mode();
+    println!("Table II: PLDS loops detected as commutative by DCA (baselines detect none)");
+    println!(
+        "{:<10} {:<14} {:<24} {:>8} {:>8} {:>7} {:>9} {:<16} {:>9} {:>9}",
+        "Bmk", "Origin", "Function", "Cov(%)", "Paper%", "Loop x", "Overall x", "Technique", "DCA", "Baseline"
+    );
+    for p in dca_suite::plds::programs() {
+        let (module, r) = dca_bench::detect_all(p, fast);
+        let paper = p.expert.paper.expect("plds programs carry paper metadata");
+        let key = p
+            .loop_by_tag(&module, p.expert.profitable_tags[0])
+            .expect("key loop");
+        let cov = dca_bench::coverage_pct(p, &module, &BTreeSet::from([key]), fast);
+        let baseline_hits = r.depprof.is_parallel(key) as usize
+            + r.discopop.is_parallel(key) as usize
+            + r.idioms.is_parallel(key) as usize
+            + r.polly.is_parallel(key) as usize
+            + r.icc.is_parallel(key) as usize;
+        let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or("-".into());
+        println!(
+            "{:<10} {:<14} {:<24} {:>8.0} {:>8.0} {:>7} {:>9} {:<16} {:>9} {:>9}",
+            p.name,
+            paper.origin,
+            paper.function,
+            cov,
+            paper.coverage_pct,
+            fmt_opt(paper.loop_speedup),
+            fmt_opt(paper.overall_speedup),
+            paper.technique,
+            if r.dca.is_parallel(key) { "yes" } else { "NO!" },
+            baseline_hits
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates Table III: NPB loops reported parallelizable by the static
+//! baselines (Idioms, Polly-style, ICC-style), their union ("Combined
+//! Static"), and DCA. Run with `--fast` for the small test workloads.
+
+fn main() {
+    let fast = dca_bench::fast_mode();
+    println!("Table III: NPB loops parallelizable (static techniques) vs commutative (DCA)");
+    println!(
+        "{:<6} {:>6} {:>11} {:>11} {:>11} {:>15} {:>11}",
+        "Bmk", "Loops", "Idioms", "Polly", "ICC", "CombinedStatic", "DCA"
+    );
+    let pct = |n: usize, d: usize| format!("{n} ({:.0}%)", 100.0 * n as f64 / d.max(1) as f64);
+    let mut tot = (0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
+    for p in dca_suite::npb::programs() {
+        let (_m, r) = dca_bench::detect_all(p, fast);
+        let (id, po, ic) = (
+            r.idioms.parallel_count(),
+            r.polly.parallel_count(),
+            r.icc.parallel_count(),
+        );
+        let comb = r.combined_static().len();
+        let dca = r.dca.parallel_count();
+        println!(
+            "{:<6} {:>6} {:>11} {:>11} {:>11} {:>15} {:>11}",
+            p.name.to_uppercase(),
+            r.total,
+            pct(id, r.total),
+            pct(po, r.total),
+            pct(ic, r.total),
+            pct(comb, r.total),
+            pct(dca, r.total)
+        );
+        tot = (
+            tot.0 + r.total,
+            tot.1 + id,
+            tot.2 + po,
+            tot.3 + ic,
+            tot.4 + comb,
+            tot.5 + dca,
+        );
+    }
+    println!(
+        "{:<6} {:>6} {:>11} {:>11} {:>11} {:>15} {:>11}",
+        "Total",
+        tot.0,
+        pct(tot.1, tot.0),
+        pct(tot.2, tot.0),
+        pct(tot.3, tot.0),
+        pct(tot.4, tot.0),
+        pct(tot.5, tot.0)
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerates Table IV: DCA's detection precision against the expert
+//! ground truth (false positives/negatives) and the sequential coverage of
+//! the loops DCA vs the combined static techniques detect. Run with
+//! `--fast` for the small test workloads.
+
+use dca_ir::LoopRef;
+use std::collections::BTreeSet;
+
+fn main() {
+    let fast = dca_bench::fast_mode();
+    println!("Table IV: DCA detection precision and coverage on NPB");
+    println!(
+        "{:<6} {:>6} {:>6} {:>9} {:>9} {:>9} {:>12}",
+        "Bmk", "Loops", "Found", "FalsePos", "FalseNeg", "DCACov%", "StaticCov%"
+    );
+    for p in dca_suite::npb::programs() {
+        let (module, r) = dca_bench::detect_all(p, fast);
+        let truth = dca_bench::tags_to_loops(p, &module, p.expert.parallel_tags);
+        let dca: BTreeSet<LoopRef> = r.dca.parallel_loops().collect();
+        let fp = dca.difference(&truth).count();
+        let fneg = truth
+            .iter()
+            .filter(|l| {
+                r.dca_verdicts
+                    .get(**l)
+                    .map(|d| matches!(d.verdict, dca_core::LoopVerdict::NonCommutative(_)))
+                    .unwrap_or(false)
+            })
+            .count();
+        let cov_dca = dca_bench::coverage_pct(p, &module, &dca, fast);
+        let cov_static = dca_bench::coverage_pct(p, &module, &r.combined_static(), fast);
+        println!(
+            "{:<6} {:>6} {:>6} {:>9} {:>9} {:>9.0} {:>12.0}",
+            p.name.to_uppercase(),
+            r.total,
+            dca.len(),
+            fp,
+            fneg,
+            cov_dca,
+            cov_static
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! DCA configuration: permutation presets, verification scope, budgets.
+
+/// Which iteration permutations the dynamic stage tests (paper §IV-B2).
+///
+/// Exhaustive testing is exponential, so the paper uses reduced presets —
+/// reverse plus a configurable number of random shuffles — accepting a
+/// (small, §V-D) chance of missing a violating permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermutationSet {
+    /// Reverse order plus `shuffles` uniformly random shuffles.
+    Presets {
+        /// Number of random shuffles (in addition to the reverse).
+        shuffles: u32,
+    },
+    /// Reverse order only.
+    ReverseOnly,
+    /// All `trip!` permutations, for loops with at most `max_trip`
+    /// iterations; loops with longer trips fall back to the presets with
+    /// `fallback_shuffles` shuffles. Used by the §V-D precision study.
+    Exhaustive {
+        /// Maximum trip count to enumerate exhaustively.
+        max_trip: usize,
+        /// Shuffles to use beyond that.
+        fallback_shuffles: u32,
+    },
+}
+
+impl Default for PermutationSet {
+    fn default() -> Self {
+        PermutationSet::Presets { shuffles: 3 }
+    }
+}
+
+/// Where live-out verification happens (paper §IV-B3 and §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyScope {
+    /// Continue the program to completion after the permuted loop and
+    /// compare the *program outcome* (output stream + return value). This
+    /// is §III's definition — "rearranging its iterations preserves the
+    /// outcome of the original program" — and the default.
+    #[default]
+    ProgramEnd,
+    /// Compare at the loop exit: live-out scalars plus a canonical digest
+    /// of the heap reachable from live-out pointers and globals. Cheaper
+    /// but stricter (transient structure differences, such as a permuted
+    /// worklist's element order, count as mismatches).
+    LoopExit,
+}
+
+/// Configuration for a [`crate::Dca`] engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcaConfig {
+    /// Permutation preset.
+    pub permutations: PermutationSet,
+    /// RNG seed for the random shuffles (runs are deterministic).
+    pub seed: u64,
+    /// Verification scope.
+    pub verify_scope: VerifyScope,
+    /// Relative tolerance when comparing floats (floating-point reductions
+    /// are not associative; the NPB verification routines use relative
+    /// error thresholds for the same reason).
+    pub float_tolerance: f64,
+    /// Which invocation of each loop to test (0 = first), and how many
+    /// consecutive invocations starting there.
+    pub invocations: u32,
+    /// Step budget per program run (golden or replay).
+    pub max_steps: u64,
+    /// Loops with more recorded iterations than this are skipped.
+    pub max_trip: usize,
+}
+
+impl Default for DcaConfig {
+    fn default() -> Self {
+        DcaConfig {
+            permutations: PermutationSet::default(),
+            seed: 42,
+            verify_scope: VerifyScope::ProgramEnd,
+            float_tolerance: 1e-8,
+            invocations: 1,
+            max_steps: 200_000_000,
+            max_trip: 1 << 16,
+        }
+    }
+}
+
+impl DcaConfig {
+    /// A configuration for quick tests: reverse + 2 shuffles, small budgets.
+    pub fn fast() -> Self {
+        DcaConfig {
+            permutations: PermutationSet::Presets { shuffles: 2 },
+            max_steps: 20_000_000,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = DcaConfig::default();
+        assert_eq!(c.permutations, PermutationSet::Presets { shuffles: 3 });
+        assert_eq!(c.verify_scope, VerifyScope::ProgramEnd);
+        assert!(c.float_tolerance > 0.0);
+    }
+}

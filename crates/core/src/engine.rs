@@ -1,0 +1,746 @@
+//! The DCA engine: orchestrates the static stage, golden recording,
+//! permuted replay and live-out verification for every loop of a module
+//! (paper Fig. 3).
+
+use crate::config::{DcaConfig, VerifyScope};
+use crate::outcome::{ProgramOutcome, StateDigest};
+use crate::perm::schedules;
+use crate::record::{record_golden_min_trip, GoldenRecord, RecordError};
+use crate::replay::{run_replay, ReplayController, ReplayEnd};
+use crate::report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};
+use dca_analysis::{exclusion, EffectMap, IteratorSlice, Liveness};
+use dca_interp::{Machine, Value};
+use dca_ir::{FuncId, FuncView, Loop, LoopRef, Module};
+use std::fmt;
+
+/// Errors that prevent analysis from starting at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcaError {
+    /// The module has no `main` function to execute.
+    NoMain,
+}
+
+impl fmt::Display for DcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcaError::NoMain => write!(f, "module has no `main` function"),
+        }
+    }
+}
+
+impl std::error::Error for DcaError {}
+
+/// The Dynamic Commutativity Analysis engine.
+///
+/// # Example
+///
+/// ```
+/// use dca_core::{Dca, DcaConfig};
+///
+/// let module = dca_ir::compile(
+///     "fn main() -> int {
+///          let a: [int; 32]; let s: int = 0;
+///          @fill: for (let i: int = 0; i < 32; i = i + 1) { a[i] = i * 2; }
+///          @sum: for (let i: int = 0; i < 32; i = i + 1) { s = s + a[i]; }
+///          return s;
+///      }",
+/// ).map_err(|e| e.to_string())?;
+/// let report = Dca::new(DcaConfig::fast()).analyze_module(&module)
+///     .map_err(|e| e.to_string())?;
+/// assert!(report.by_tag("fill").expect("fill").verdict.is_commutative());
+/// assert!(report.by_tag("sum").expect("sum").verdict.is_commutative());
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dca {
+    config: DcaConfig,
+}
+
+impl Dca {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: DcaConfig) -> Self {
+        Dca { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DcaConfig {
+        &self.config
+    }
+
+    /// Analyzes every loop of `module`, running `main()` with no
+    /// arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcaError::NoMain`] if the module has no entry point.
+    pub fn analyze_module(&self, module: &Module) -> Result<DcaReport, DcaError> {
+        self.analyze(module, &[])
+    }
+
+    /// Analyzes every loop of `module`, running `main(args)` as the
+    /// workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcaError::NoMain`] if the module has no entry point.
+    pub fn analyze(&self, module: &Module, args: &[Value]) -> Result<DcaReport, DcaError> {
+        let main = module.main().ok_or(DcaError::NoMain)?;
+        let effects = EffectMap::new(module);
+        let mut report = DcaReport::default();
+        for (i, _) in module.funcs.iter().enumerate() {
+            let fid = FuncId(i as u32);
+            let view = FuncView::new(module, fid);
+            if view.loops.is_empty() {
+                continue;
+            }
+            let live = Liveness::new(&view);
+            for l in view.loops.iter() {
+                let result =
+                    self.test_loop_inner(module, main, args, &effects, &view, &live, l);
+                report.push(result);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Analyzes the module under **several workloads** and combines the
+    /// verdicts — the paper's §V-D future-work direction ("applying
+    /// combined tests for multiple inputs"). A loop is commutative only if
+    /// no input refutes it and at least one input exercises it; a single
+    /// non-commutative observation wins over any number of commutative
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcaError::NoMain`] if the module has no entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn analyze_inputs(
+        &self,
+        module: &Module,
+        inputs: &[Vec<Value>],
+    ) -> Result<DcaReport, DcaError> {
+        assert!(!inputs.is_empty(), "at least one workload is required");
+        let mut combined: Option<DcaReport> = None;
+        for args in inputs {
+            let report = self.analyze(module, args)?;
+            combined = Some(match combined {
+                None => report,
+                Some(prev) => merge_reports(prev, report),
+            });
+        }
+        Ok(combined.expect("inputs is non-empty"))
+    }
+
+    /// Tests a single loop (by reference) and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcaError::NoMain`] if the module has no entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lref` does not name a loop of `module`.
+    pub fn test_loop(
+        &self,
+        module: &Module,
+        lref: LoopRef,
+        args: &[Value],
+    ) -> Result<LoopResult, DcaError> {
+        let main = module.main().ok_or(DcaError::NoMain)?;
+        let effects = EffectMap::new(module);
+        let view = FuncView::new(module, lref.func);
+        let live = Liveness::new(&view);
+        let l = view.loops.get(lref.loop_id);
+        Ok(self.test_loop_inner(module, main, args, &effects, &view, &live, l))
+    }
+
+    /// Tests each of the first `k` *eligible* invocations (trip ≥ 2) of
+    /// one loop separately — a prototype of the context sensitivity the
+    /// paper leaves as future work (§IV-E: "Loop candidates can exhibit
+    /// commutativity in some execution contexts, but not in others"). The
+    /// vector is shorter than `k` when the workload provides fewer
+    /// eligible invocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcaError::NoMain`] if the module has no entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lref` does not name a loop of `module`.
+    pub fn test_invocations(
+        &self,
+        module: &Module,
+        lref: LoopRef,
+        args: &[Value],
+        k: u32,
+    ) -> Result<Vec<LoopResult>, DcaError> {
+        let main = module.main().ok_or(DcaError::NoMain)?;
+        let effects = EffectMap::new(module);
+        let view = FuncView::new(module, lref.func);
+        let live = Liveness::new(&view);
+        let l = view.loops.get(lref.loop_id);
+        let slice = IteratorSlice::compute_with(&view, l, &effects);
+        let base = LoopResult {
+            lref,
+            tag: l.tag.clone(),
+            verdict: LoopVerdict::NotExercised,
+            trips: 0,
+            permutations_tested: 0,
+        };
+        if let Some(reason) = exclusion(&view, l, &slice, &effects.io_funcs()) {
+            return Ok(vec![LoopResult {
+                verdict: LoopVerdict::Excluded(reason),
+                ..base
+            }]);
+        }
+        let mut out = Vec::new();
+        for invocation in 0..k {
+            let mut machine = Machine::new(module);
+            let golden = match record_golden_min_trip(
+                &mut machine,
+                main,
+                args,
+                view.id,
+                l,
+                &slice,
+                invocation,
+                self.config.max_trip,
+                self.config.max_steps,
+                2,
+            ) {
+                Ok(g) => g,
+                Err(RecordError::NotExercised) => break,
+                Err(RecordError::TripLimit) => {
+                    out.push(LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::TripLimit),
+                        ..base.clone()
+                    });
+                    break;
+                }
+                Err(RecordError::Trapped(_)) => {
+                    out.push(LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::GoldenTrapped),
+                        ..base.clone()
+                    });
+                    break;
+                }
+                Err(RecordError::BudgetExhausted) => {
+                    out.push(LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::GoldenBudget),
+                        ..base.clone()
+                    });
+                    break;
+                }
+            };
+            let trip = golden.iters.len();
+            let seed = self
+                .config
+                .seed
+                .wrapping_add((lref.func.0 as u64) << 32)
+                .wrapping_add(lref.loop_id.0 as u64)
+                .wrapping_add(invocation as u64);
+            let perms = schedules(&self.config.permutations, trip, seed);
+            let result = match self
+                .verify_permutations(module, &view, &live, l, &slice, &golden, &perms)
+            {
+                Ok(tested) => LoopResult {
+                    verdict: LoopVerdict::Commutative,
+                    trips: trip,
+                    permutations_tested: tested,
+                    ..base.clone()
+                },
+                Err(violation) => LoopResult {
+                    verdict: LoopVerdict::NonCommutative(violation),
+                    trips: trip,
+                    permutations_tested: 0,
+                    ..base.clone()
+                },
+            };
+            out.push(result);
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn test_loop_inner(
+        &self,
+        module: &Module,
+        main: FuncId,
+        args: &[Value],
+        effects: &EffectMap,
+        view: &FuncView<'_>,
+        live: &Liveness,
+        l: &Loop,
+    ) -> LoopResult {
+        let lref = LoopRef {
+            func: view.id,
+            loop_id: l.id,
+        };
+        let base = LoopResult {
+            lref,
+            tag: l.tag.clone(),
+            verdict: LoopVerdict::NotExercised,
+            trips: 0,
+            permutations_tested: 0,
+        };
+        // ---- static stage (paper §IV-A): separation + exclusion.
+        let slice = IteratorSlice::compute_with(view, l, effects);
+        if let Some(reason) = exclusion(view, l, &slice, &effects.io_funcs()) {
+            return LoopResult {
+                verdict: LoopVerdict::Excluded(reason),
+                ..base
+            };
+        }
+        // ---- dynamic stage: aggregate over the tested invocations.
+        let mut trips_seen = 0;
+        let mut perms_total = 0;
+        let mut exercised = false;
+        for invocation in 0..self.config.invocations {
+            let mut machine = Machine::new(module);
+            let golden = match record_golden_min_trip(
+                &mut machine,
+                main,
+                args,
+                view.id,
+                l,
+                &slice,
+                invocation,
+                self.config.max_trip,
+                self.config.max_steps,
+                2,
+            ) {
+                Ok(g) => g,
+                Err(RecordError::NotExercised) => break,
+                Err(RecordError::TripLimit) => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::TripLimit),
+                        ..base
+                    }
+                }
+                Err(RecordError::Trapped(_)) => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::GoldenTrapped),
+                        ..base
+                    }
+                }
+                Err(RecordError::BudgetExhausted) => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::GoldenBudget),
+                        ..base
+                    }
+                }
+            };
+            let trip = golden.iters.len();
+            trips_seen = trips_seen.max(trip);
+            if trip < 2 {
+                // Nothing to permute in this invocation.
+                continue;
+            }
+            exercised = true;
+            let seed = self
+                .config
+                .seed
+                .wrapping_add((lref.func.0 as u64) << 32)
+                .wrapping_add(lref.loop_id.0 as u64)
+                .wrapping_add(invocation as u64);
+            let perms = schedules(&self.config.permutations, trip, seed);
+            match self.verify_permutations(module, view, live, l, &slice, &golden, &perms) {
+                Ok(tested) => perms_total += tested,
+                Err(violation) => {
+                    return LoopResult {
+                        verdict: LoopVerdict::NonCommutative(violation),
+                        trips: trip,
+                        permutations_tested: perms_total,
+                        ..base
+                    }
+                }
+            }
+        }
+        if !exercised {
+            return LoopResult {
+                trips: trips_seen,
+                ..base
+            };
+        }
+        LoopResult {
+            verdict: LoopVerdict::Commutative,
+            trips: trips_seen,
+            permutations_tested: perms_total,
+            ..base
+        }
+    }
+
+    /// Runs every permutation and verifies it against the golden
+    /// reference; returns the number of permutations tested.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_permutations(
+        &self,
+        module: &Module,
+        view: &FuncView<'_>,
+        live: &Liveness,
+        l: &Loop,
+        slice: &IteratorSlice,
+        golden: &GoldenRecord,
+        perms: &[Vec<usize>],
+    ) -> Result<usize, Violation> {
+        let mut machine = Machine::new(module);
+        let stop_at_exit = self.config.verify_scope == VerifyScope::LoopExit;
+        // Under the loop-exit scope the reference digest comes from an
+        // identity replay (identical by construction to the golden run up
+        // to the exit point).
+        let reference_digest = if stop_at_exit {
+            let identity: Vec<usize> = (0..golden.iters.len()).collect();
+            machine.restore(&golden.snapshot);
+            let mut ctl =
+                ReplayController::new(view.id, view.func, l, slice, golden, &identity);
+            match run_replay(&mut machine, &mut ctl, true, self.config.max_steps) {
+                ReplayEnd::LoopExited => {}
+                // `Finished` without a loop exit means the frame unwound
+                // before the loop completed: there is no state to digest.
+                ReplayEnd::Finished(_) | ReplayEnd::BudgetExhausted => {
+                    return Err(Violation::ReplayDiverged)
+                }
+                ReplayEnd::Trapped(_) => return Err(Violation::ReplayTrapped),
+            }
+            Some(self.capture_digest(&machine, live, l))
+        } else {
+            None
+        };
+        for perm in perms {
+            machine.restore(&golden.snapshot);
+            let mut ctl = ReplayController::new(view.id, view.func, l, slice, golden, perm);
+            let end = run_replay(&mut machine, &mut ctl, stop_at_exit, self.config.max_steps);
+            match (&self.config.verify_scope, end) {
+                (VerifyScope::ProgramEnd, ReplayEnd::Finished(ret)) => {
+                    let outcome = ProgramOutcome::capture(&machine, ret);
+                    if !golden.outcome.matches(&outcome, self.config.float_tolerance) {
+                        return Err(Violation::OutcomeMismatch);
+                    }
+                }
+                (VerifyScope::LoopExit, ReplayEnd::LoopExited) => {
+                    let digest = self.capture_digest(&machine, live, l);
+                    let reference = reference_digest.as_ref().expect("captured above");
+                    if !reference.matches(&digest, self.config.float_tolerance) {
+                        return Err(Violation::OutcomeMismatch);
+                    }
+                }
+                (VerifyScope::LoopExit, ReplayEnd::Finished(_)) => {
+                    // The frame unwound before the loop exit was observed:
+                    // nothing safe to digest — conservative refutation.
+                    return Err(Violation::ReplayDiverged);
+                }
+                (_, ReplayEnd::Trapped(_)) => return Err(Violation::ReplayTrapped),
+                (_, ReplayEnd::BudgetExhausted) => return Err(Violation::ReplayDiverged),
+                (VerifyScope::ProgramEnd, ReplayEnd::LoopExited) => {
+                    unreachable!("ProgramEnd replays never stop at loop exit")
+                }
+            }
+        }
+        Ok(perms.len())
+    }
+
+    /// Captures the loop-exit digest. Roots are *all* variables live at
+    /// any exit target — not just loop-defined ones — so arrays allocated
+    /// before the loop but filled inside it (their pointer is live-in and
+    /// live-out) contribute their contents to the digest; globals are
+    /// always included by [`StateDigest::capture`].
+    fn capture_digest(&self, machine: &Machine<'_>, live: &Liveness, l: &Loop) -> StateDigest {
+        let mut vars: std::collections::BTreeSet<dca_ir::VarId> =
+            live.loop_live_outs(l).into_iter().collect();
+        for t in l.exit_targets() {
+            vars.extend(live.live_in(t).iter().copied());
+        }
+        let roots: Vec<Value> = vars.iter().map(|&v| machine.read_var(v)).collect();
+        StateDigest::capture(machine, &roots)
+    }
+}
+
+/// Combines the per-loop results of two workloads: a refutation
+/// (non-commutative) dominates; otherwise any commutative observation
+/// upgrades "not exercised"; exclusions and skips are stable across
+/// inputs.
+fn merge_reports(a: DcaReport, b: DcaReport) -> DcaReport {
+    let mut out = DcaReport::default();
+    for ra in a.iter() {
+        let rb = b.get(ra.lref).expect("same module, same loops");
+        let verdict = match (&ra.verdict, &rb.verdict) {
+            (LoopVerdict::NonCommutative(v), _) => LoopVerdict::NonCommutative(v.clone()),
+            (_, LoopVerdict::NonCommutative(v)) => LoopVerdict::NonCommutative(v.clone()),
+            (LoopVerdict::Commutative, _) | (_, LoopVerdict::Commutative) => {
+                LoopVerdict::Commutative
+            }
+            (LoopVerdict::Excluded(r), _) => LoopVerdict::Excluded(*r),
+            (LoopVerdict::Skipped(s), _) | (_, LoopVerdict::Skipped(s)) => {
+                LoopVerdict::Skipped(s.clone())
+            }
+            (LoopVerdict::NotExercised, LoopVerdict::NotExercised) => LoopVerdict::NotExercised,
+            (LoopVerdict::NotExercised, other) => other.clone(),
+        };
+        out.push(crate::report::LoopResult {
+            lref: ra.lref,
+            tag: ra.tag.clone(),
+            verdict,
+            trips: ra.trips.max(rb.trips),
+            permutations_tested: ra.permutations_tested + rb.permutations_tested,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PermutationSet;
+
+    fn analyze(src: &str) -> DcaReport {
+        let m = dca_ir::compile(src).expect("compile");
+        Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze")
+    }
+
+    fn verdict(report: &DcaReport, tag: &str) -> LoopVerdict {
+        report.by_tag(tag).expect("tagged loop").verdict.clone()
+    }
+
+    #[test]
+    fn paper_fig1a_array_map_is_commutative() {
+        let r = analyze(
+            "let array: [int; 32];\n\
+             fn main() -> int { \
+             @map: for (let i: int = 0; i < 32; i = i + 1) { array[i] = array[i] + 1; } \
+             return array[7]; }",
+        );
+        assert_eq!(verdict(&r, "map"), LoopVerdict::Commutative);
+    }
+
+    #[test]
+    fn paper_fig1b_pointer_map_is_commutative() {
+        // The PLDS twin of Fig. 1(a): dependence analysis fails on the
+        // `ptr = ptr->next` cross-iteration dependence, DCA does not.
+        let r = analyze(
+            "struct Node { val: int, next: *Node }\n\
+             fn main() -> int {\n\
+               let head: *Node = null;\n\
+               for (let i: int = 0; i < 16; i = i + 1) {\n\
+                 let n: *Node = new Node; n.val = i; n.next = head; head = n;\n\
+               }\n\
+               let ptr: *Node = head;\n\
+               @map: while (ptr != null) { ptr.val = ptr.val + 1; ptr = ptr.next; }\n\
+               let s: int = 0; let q: *Node = head;\n\
+               while (q != null) { s = s + q.val; q = q.next; }\n\
+               return s;\n\
+             }",
+        );
+        assert_eq!(verdict(&r, "map"), LoopVerdict::Commutative);
+    }
+
+    #[test]
+    fn recurrence_is_non_commutative() {
+        let r = analyze(
+            "fn main() -> int { let a: [int; 16]; a[0] = 1; let s: int = 0; \
+             @rec: for (let i: int = 1; i < 16; i = i + 1) { a[i] = a[i - 1] * 2; } \
+             for (let i: int = 0; i < 16; i = i + 1) { s = s + a[i]; } return s; }",
+        );
+        assert!(matches!(
+            verdict(&r, "rec"),
+            LoopVerdict::NonCommutative(Violation::OutcomeMismatch)
+        ));
+    }
+
+    #[test]
+    fn reduction_is_commutative() {
+        let r = analyze(
+            "fn main() -> int { let s: int = 0; \
+             @red: for (let i: int = 0; i < 20; i = i + 1) { s = s + i * i; } \
+             return s; }",
+        );
+        assert_eq!(verdict(&r, "red"), LoopVerdict::Commutative);
+    }
+
+    #[test]
+    fn io_loop_is_excluded() {
+        let r = analyze(
+            "fn main() { \
+             @io: for (let i: int = 0; i < 4; i = i + 1) { print(i); } }",
+        );
+        assert!(matches!(verdict(&r, "io"), LoopVerdict::Excluded(_)));
+    }
+
+    #[test]
+    fn unexercised_loop_reported() {
+        let r = analyze(
+            "fn main() { let s: int = 0; let n: int = 0; \
+             @dead: for (let i: int = 0; i < n; i = i + 1) { s = s + 1; } }",
+        );
+        assert_eq!(verdict(&r, "dead"), LoopVerdict::NotExercised);
+    }
+
+    #[test]
+    fn first_match_search_is_non_commutative() {
+        let r = analyze(
+            "fn main() -> int { let a: [int; 16]; let first: int = 0 - 1; \
+             for (let i: int = 0; i < 16; i = i + 1) { a[i] = i * 7 % 16; } \
+             @find: for (let i: int = 0; i < 16; i = i + 1) { \
+               if (a[i] > 9 && first < 0) { first = i; } } \
+             return first; }",
+        );
+        assert!(matches!(
+            verdict(&r, "find"),
+            LoopVerdict::NonCommutative(_)
+        ));
+    }
+
+    #[test]
+    fn loop_exit_scope_detects_map_commutativity() {
+        let m = dca_ir::compile(
+            "fn main() -> int { let a: [int; 16]; \
+             @map: for (let i: int = 0; i < 16; i = i + 1) { a[i] = i * 2; } \
+             return a[3]; }",
+        )
+        .expect("compile");
+        let cfg = DcaConfig {
+            verify_scope: VerifyScope::LoopExit,
+            ..DcaConfig::fast()
+        };
+        let r = Dca::new(cfg).analyze_module(&m).expect("analyze");
+        assert_eq!(
+            r.by_tag("map").expect("map").verdict,
+            LoopVerdict::Commutative
+        );
+    }
+
+    #[test]
+    fn exhaustive_permutations_agree_with_presets_on_small_loops() {
+        let src = "fn main() -> int { let s: int = 0; \
+             @red: for (let i: int = 0; i < 5; i = i + 1) { s = s + i; } return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let cfg = DcaConfig {
+            permutations: PermutationSet::Exhaustive {
+                max_trip: 6,
+                fallback_shuffles: 2,
+            },
+            ..DcaConfig::fast()
+        };
+        let r = Dca::new(cfg).analyze_module(&m).expect("analyze");
+        let res = r.by_tag("red").expect("red");
+        assert_eq!(res.verdict, LoopVerdict::Commutative);
+        assert_eq!(res.permutations_tested, 120 - 1);
+    }
+
+    #[test]
+    fn nested_loops_tested_independently() {
+        let r = analyze(
+            "fn main() -> int { let a: [int; 64]; let s: int = 0; \
+             @outer: for (let i: int = 0; i < 8; i = i + 1) { \
+               @inner: for (let j: int = 0; j < 8; j = j + 1) { \
+                 a[i * 8 + j] = i + j; } } \
+             for (let k: int = 0; k < 64; k = k + 1) { s = s + a[k]; } return s; }",
+        );
+        assert_eq!(verdict(&r, "outer"), LoopVerdict::Commutative);
+        assert_eq!(verdict(&r, "inner"), LoopVerdict::Commutative);
+    }
+
+    #[test]
+    fn float_reductions_verify_under_tolerance() {
+        let r = analyze(
+            "fn main() -> float { let s: float = 0.0; \
+             @fred: for (let i: int = 0; i < 50; i = i + 1) { \
+               s = s + 1.0 / (i as float + 1.0); } \
+             return s; }",
+        );
+        assert_eq!(verdict(&r, "fred"), LoopVerdict::Commutative);
+    }
+
+    #[test]
+    fn per_invocation_testing_exposes_context_sensitivity() {
+        // The callee loop is commutative when the caller passes disjoint
+        // strides and a recurrence when it passes stride 1 — different
+        // verdicts per invocation (the §IV-E context-sensitivity case).
+        let src = "fn upd(a: *int, stride: int) { \
+             @u: for (let i: int = 0; i < 12; i = i + 1) { \
+               a[(i + stride) % 24] = a[i] + 1; } }\n\
+             fn main() -> int { let a: *int = new [int; 24]; let s: int = 0; \
+             for (let i: int = 0; i < 24; i = i + 1) { a[i] = i * i % 7; } \
+             upd(a, 12); upd(a, 1); \
+             for (let i: int = 0; i < 24; i = i + 1) { s = s + a[i] * (i + 1); } \
+             return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let lref = dca_ir::all_loops(&m)
+            .into_iter()
+            .find(|(_, t)| t.as_deref() == Some("u"))
+            .expect("tag")
+            .0;
+        let results = Dca::new(DcaConfig::fast())
+            .test_invocations(&m, lref, &[], 4)
+            .expect("analyze");
+        assert_eq!(results.len(), 2, "two invocations exist");
+        assert_eq!(results[0].verdict, LoopVerdict::Commutative);
+        assert!(matches!(
+            results[1].verdict,
+            LoopVerdict::NonCommutative(_)
+        ));
+    }
+
+    #[test]
+    fn multi_input_analysis_refutation_dominates() {
+        // An input-dependent dependence in the style of 429.mcf: with
+        // stride >= trip the writes never collide; with stride 1 they do.
+        let src = "fn main(stride: int) -> int { let a: [int; 64]; let s: int = 0; \
+             for (let i: int = 0; i < 32; i = i + 1) { a[i] = i * i % 7; } \
+             @upd: for (let i: int = 0; i < 16; i = i + 1) { \
+               a[(i + stride) % 32] = a[i] + 1; } \
+             for (let i: int = 0; i < 32; i = i + 1) { s = s + a[i] * (i + 1); } \
+             return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let dca = Dca::new(DcaConfig::fast());
+        // stride 16: reads a[0..16], writes a[16..32] — disjoint.
+        let benign = dca
+            .analyze(&m, &[Value::Int(16)])
+            .expect("analyze");
+        assert_eq!(
+            benign.by_tag("upd").expect("upd").verdict,
+            LoopVerdict::Commutative
+        );
+        // stride 1: a[i+1] = a[i] + 1 — a genuine recurrence.
+        let combined = dca
+            .analyze_inputs(&m, &[vec![Value::Int(16)], vec![Value::Int(1)]])
+            .expect("analyze");
+        assert!(matches!(
+            combined.by_tag("upd").expect("upd").verdict,
+            LoopVerdict::NonCommutative(_)
+        ));
+    }
+
+    #[test]
+    fn multi_input_analysis_upgrades_not_exercised() {
+        let src = "fn main(n: int) -> int { let a: [int; 32]; let s: int = 0; \
+             @m: for (let i: int = 0; i < n; i = i + 1) { a[i] = i * 2; } \
+             for (let i: int = 0; i < 32; i = i + 1) { s = s + a[i]; } return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let dca = Dca::new(DcaConfig::fast());
+        let combined = dca
+            .analyze_inputs(&m, &[vec![Value::Int(0)], vec![Value::Int(20)]])
+            .expect("analyze");
+        assert_eq!(
+            combined.by_tag("m").expect("m").verdict,
+            LoopVerdict::Commutative
+        );
+    }
+
+    #[test]
+    fn second_loop_in_other_function_analyzed() {
+        let r = analyze(
+            "fn kernel(a: *int, n: int) { \
+             @k: for (let i: int = 0; i < n; i = i + 1) { a[i] = a[i] * 2; } }\n\
+             fn main() -> int { let a: *int = new [int; 16]; \
+             for (let i: int = 0; i < 16; i = i + 1) { a[i] = i; } \
+             kernel(a, 16); return a[5]; }",
+        );
+        assert_eq!(verdict(&r, "k"), LoopVerdict::Commutative);
+    }
+}

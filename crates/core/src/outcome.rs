@@ -1,0 +1,297 @@
+//! Outcome capture and comparison — the "live-out verification" step
+//! (paper §IV-B3).
+//!
+//! Two capture scopes exist (see [`crate::config::VerifyScope`]): the whole
+//! program's observable outcome, and a loop-exit state digest built from
+//! live-out scalars plus a *canonical* serialization of the reachable heap.
+//! Canonicalization numbers objects by first visit during a deterministic
+//! traversal from the roots, so heaps that differ only in allocation order
+//! (as permuted executions legitimately do) still compare equal.
+
+use dca_interp::{Machine, ObjId, OutputItem, Value};
+use std::collections::HashMap;
+
+/// Compares two floats under a relative tolerance (exact for zero/inf/nan).
+pub fn float_close(a: f64, b: f64, rel_tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= rel_tol * scale.max(1.0)
+}
+
+fn value_close(a: &Value, b: &Value, rel_tol: f64) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => float_close(*x, *y, rel_tol),
+        (x, y) => x == y,
+    }
+}
+
+/// A program's observable outcome: output stream and return value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramOutcome {
+    /// Everything printed.
+    pub output: Vec<OutputItem>,
+    /// `main`'s return value.
+    pub ret: Option<Value>,
+}
+
+impl ProgramOutcome {
+    /// Captures the outcome of a finished machine.
+    pub fn capture(machine: &Machine<'_>, ret: Option<Value>) -> Self {
+        ProgramOutcome {
+            output: machine.output().to_vec(),
+            ret,
+        }
+    }
+
+    /// True if two outcomes agree (floats under `rel_tol`).
+    pub fn matches(&self, other: &ProgramOutcome, rel_tol: f64) -> bool {
+        if self.output.len() != other.output.len() {
+            return false;
+        }
+        let ret_ok = match (&self.ret, &other.ret) {
+            (None, None) => true,
+            (Some(a), Some(b)) => value_close(a, b, rel_tol),
+            _ => false,
+        };
+        if !ret_ok {
+            return false;
+        }
+        self.output
+            .iter()
+            .zip(other.output.iter())
+            .all(|(a, b)| match (a, b) {
+                (OutputItem::Label(x), OutputItem::Label(y)) => x == y,
+                (OutputItem::Value(x), OutputItem::Value(y)) => value_close(x, y, rel_tol),
+                _ => false,
+            })
+    }
+}
+
+/// One cell of a canonical heap digest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CanonValue {
+    /// A scalar value.
+    Scalar(Value),
+    /// A pointer, as the canonical (traversal-order) number of its target.
+    Ref(u32),
+}
+
+/// A loop-exit state digest: live-out scalar values plus the canonical
+/// reachable heap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDigest {
+    /// Values of live-out scalar variables, in a fixed order.
+    pub scalars: Vec<CanonValue>,
+    /// Canonicalized cells of every reachable object, concatenated in
+    /// first-visit order with per-object length markers.
+    pub heap: Vec<(u32, Vec<CanonValue>)>,
+}
+
+impl StateDigest {
+    /// Builds the digest from `roots` (live-out variable values; pointers
+    /// among them are traversal roots) plus every global object.
+    pub fn capture(machine: &Machine<'_>, roots: &[Value]) -> Self {
+        let heap = machine.heap();
+        let n_globals = machine.module().globals.len();
+        let mut canon: HashMap<ObjId, u32> = HashMap::new();
+        let mut order: Vec<ObjId> = Vec::new();
+        let mut queue: Vec<ObjId> = Vec::new();
+        let visit = |o: ObjId,
+                         canon: &mut HashMap<ObjId, u32>,
+                         order: &mut Vec<ObjId>,
+                         queue: &mut Vec<ObjId>| {
+            if let std::collections::hash_map::Entry::Vacant(e) = canon.entry(o) {
+                e.insert(order.len() as u32);
+                order.push(o);
+                queue.push(o);
+            }
+        };
+        // Roots: globals first (fixed order), then live-out pointers.
+        for g in 0..n_globals {
+            visit(ObjId(g as u32), &mut canon, &mut order, &mut queue);
+        }
+        for v in roots {
+            if let Value::Ptr(o) = v {
+                visit(*o, &mut canon, &mut order, &mut queue);
+            }
+        }
+        // BFS in canonical order.
+        let mut i = 0;
+        while i < queue.len() {
+            let o = queue[i];
+            i += 1;
+            for cell in &heap[o.index()].cells {
+                if let Value::Ptr(t) = cell {
+                    visit(*t, &mut canon, &mut order, &mut queue);
+                }
+            }
+        }
+        let canon_cell = |v: &Value| match v {
+            Value::Ptr(o) => CanonValue::Ref(canon[o]),
+            other => CanonValue::Scalar(*other),
+        };
+        let scalars = roots.iter().map(canon_cell).collect();
+        let heap_digest = order
+            .iter()
+            .map(|&o| {
+                let cells = heap[o.index()].cells.iter().map(canon_cell).collect();
+                (o.0.min(n_globals as u32), cells)
+            })
+            .collect();
+        StateDigest {
+            scalars,
+            heap: heap_digest,
+        }
+    }
+
+    /// True if two digests agree (floats under `rel_tol`).
+    pub fn matches(&self, other: &StateDigest, rel_tol: f64) -> bool {
+        let cv_ok = |a: &CanonValue, b: &CanonValue| match (a, b) {
+            (CanonValue::Scalar(x), CanonValue::Scalar(y)) => value_close(x, y, rel_tol),
+            (CanonValue::Ref(x), CanonValue::Ref(y)) => x == y,
+            _ => false,
+        };
+        self.scalars.len() == other.scalars.len()
+            && self.heap.len() == other.heap.len()
+            && self
+                .scalars
+                .iter()
+                .zip(&other.scalars)
+                .all(|(a, b)| cv_ok(a, b))
+            && self.heap.iter().zip(&other.heap).all(|((ka, ca), (kb, cb))| {
+                ka == kb && ca.len() == cb.len() && ca.iter().zip(cb).all(|(a, b)| cv_ok(a, b))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_interp::NoHooks;
+
+    #[test]
+    fn float_tolerance() {
+        assert!(float_close(1.0, 1.0 + 1e-12, 1e-8));
+        assert!(!float_close(1.0, 1.1, 1e-8));
+        assert!(float_close(0.0, 0.0, 1e-8));
+        assert!(!float_close(f64::NAN, f64::NAN, 1e-8));
+        assert!(float_close(1e20, 1e20 * (1.0 + 1e-10), 1e-8));
+    }
+
+    #[test]
+    fn program_outcomes_compare_with_tolerance() {
+        let a = ProgramOutcome {
+            output: vec![
+                OutputItem::Label("x".into()),
+                OutputItem::Value(Value::Float(1.0)),
+            ],
+            ret: Some(Value::Int(3)),
+        };
+        let mut b = a.clone();
+        assert!(a.matches(&b, 1e-8));
+        b.output[1] = OutputItem::Value(Value::Float(1.0 + 1e-13));
+        assert!(a.matches(&b, 1e-8));
+        b.output[1] = OutputItem::Value(Value::Float(2.0));
+        assert!(!a.matches(&b, 1e-8));
+        b = a.clone();
+        b.ret = Some(Value::Int(4));
+        assert!(!a.matches(&b, 1e-8));
+    }
+
+    fn machine_for(src: &str) -> (dca_ir::Module, Vec<Value>) {
+        let m = dca_ir::compile(src).expect("compile");
+        (m, vec![])
+    }
+
+    #[test]
+    fn digest_ignores_allocation_order() {
+        // Build the same two-node list with opposite allocation orders; the
+        // canonical digest from the head pointer must match.
+        let src_fwd = "struct N { v: int, next: *N }\n\
+             fn main() -> int { let a: *N = new N; let b: *N = new N; \
+             a.v = 1; b.v = 2; a.next = b; b.next = null; \
+             if (a.v > 0) { return 1; } return 0; }";
+        let src_rev = "struct N { v: int, next: *N }\n\
+             fn main() -> int { let b: *N = new N; let a: *N = new N; \
+             a.v = 1; b.v = 2; a.next = b; b.next = null; \
+             if (a.v > 0) { return 1; } return 0; }";
+        let digest = |src: &str| {
+            let (m, _) = machine_for(src);
+            let mut machine = dca_interp::Machine::new(&m);
+            machine
+                .push_call(m.main().expect("main"), &[])
+                .expect("push");
+            machine.run(&mut NoHooks, u64::MAX).expect("run");
+            // Roots: the `a` head pointer. Find it via the heap: the object
+            // whose v == 1.
+            let head = machine
+                .heap()
+                .iter()
+                .position(|o| o.cells.first() == Some(&Value::Int(1)))
+                .expect("node a");
+            StateDigest::capture(&machine, &[Value::Ptr(ObjId(head as u32))])
+        };
+        let d1 = digest(src_fwd);
+        let d2 = digest(src_rev);
+        assert!(d1.matches(&d2, 1e-8));
+    }
+
+    #[test]
+    fn digest_canonicalizes_cycles() {
+        // A two-node ring; digests from either entry node must differ (the
+        // root determines traversal order) but be stable across runs, and
+        // digesting an isomorphic ring built in the opposite order must
+        // match.
+        let src_a = "struct N { v: int, next: *N }\n\
+             fn main() -> int { let a: *N = new N; let b: *N = new N; \
+             a.v = 1; b.v = 2; a.next = b; b.next = a; return a.v; }";
+        let src_b = "struct N { v: int, next: *N }\n\
+             fn main() -> int { let b: *N = new N; let a: *N = new N; \
+             a.v = 1; b.v = 2; a.next = b; b.next = a; return a.v; }";
+        let digest = |src: &str| {
+            let m = dca_ir::compile(src).expect("compile");
+            let mut machine = dca_interp::Machine::new(&m);
+            machine.push_call(m.main().expect("main"), &[]).expect("push");
+            machine.run(&mut NoHooks, u64::MAX).expect("run");
+            let a = machine
+                .heap()
+                .iter()
+                .position(|o| o.cells.first() == Some(&Value::Int(1)))
+                .expect("node a");
+            StateDigest::capture(&machine, &[Value::Ptr(ObjId(a as u32))])
+        };
+        assert!(digest(src_a).matches(&digest(src_b), 1e-8));
+    }
+
+    #[test]
+    fn digest_floats_compare_with_tolerance() {
+        let mk = |x: f64| StateDigest {
+            scalars: vec![super::CanonValue::Scalar(Value::Float(x))],
+            heap: vec![],
+        };
+        assert!(mk(1.0).matches(&mk(1.0 + 1e-12), 1e-8));
+        assert!(!mk(1.0).matches(&mk(1.001), 1e-8));
+    }
+
+    #[test]
+    fn digest_detects_value_differences() {
+        let (m, _) = machine_for(
+            "struct N { v: int, next: *N }\n\
+             fn main() -> int { let a: *N = new N; a.v = 1; return 0; }",
+        );
+        let mut machine = dca_interp::Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
+        machine.run(&mut NoHooks, u64::MAX).expect("run");
+        let node = ObjId(machine.heap().len() as u32 - 1);
+        let d1 = StateDigest::capture(&machine, &[Value::Ptr(node)]);
+        let d2 = StateDigest::capture(&machine, &[Value::Int(5)]);
+        assert!(!d1.matches(&d2, 1e-8));
+    }
+}

@@ -1,0 +1,153 @@
+//! Permutation schedule generation (paper §IV-B1/2).
+//!
+//! The original order is always executed first (it *is* the golden run);
+//! the schedules produced here are the additional orders tested: the
+//! reverse, a configurable number of seeded random shuffles, or — for the
+//! §V-D precision study — every permutation of small trip counts.
+
+use crate::config::PermutationSet;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Generates the iteration orders to test for a loop with `trip`
+/// iterations. The identity permutation is never included (the golden run
+/// covers it); duplicates are removed.
+pub fn schedules(set: &PermutationSet, trip: usize, seed: u64) -> Vec<Vec<usize>> {
+    let identity: Vec<usize> = (0..trip).collect();
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let push = |p: Vec<usize>, out: &mut Vec<Vec<usize>>| {
+        if p != identity && !out.contains(&p) {
+            out.push(p);
+        }
+    };
+    match set {
+        PermutationSet::ReverseOnly => {
+            push((0..trip).rev().collect(), &mut out);
+        }
+        PermutationSet::Presets { shuffles } => {
+            push((0..trip).rev().collect(), &mut out);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for _ in 0..*shuffles {
+                let mut p = identity.clone();
+                p.shuffle(&mut rng);
+                push(p, &mut out);
+            }
+        }
+        PermutationSet::Exhaustive {
+            max_trip,
+            fallback_shuffles,
+        } => {
+            if trip <= *max_trip {
+                let mut p = identity.clone();
+                heaps(&mut p, trip, &mut |perm| {
+                    if perm != identity.as_slice() {
+                        out.push(perm.to_vec());
+                    }
+                });
+            } else {
+                return schedules(
+                    &PermutationSet::Presets {
+                        shuffles: *fallback_shuffles,
+                    },
+                    trip,
+                    seed,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Heap's algorithm: visits every permutation of `p[..n]`.
+fn heaps(p: &mut [usize], n: usize, visit: &mut impl FnMut(&[usize])) {
+    if n <= 1 {
+        visit(p);
+        return;
+    }
+    for i in 0..n - 1 {
+        heaps(p, n - 1, visit);
+        if n.is_multiple_of(2) {
+            p.swap(i, n - 1);
+        } else {
+            p.swap(0, n - 1);
+        }
+    }
+    heaps(p, n - 1, visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(p: &[usize]) -> bool {
+        let mut seen = vec![false; p.len()];
+        for &x in p {
+            if x >= p.len() || seen[x] {
+                return false;
+            }
+            seen[x] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn presets_contain_reverse_and_shuffles() {
+        let s = schedules(&PermutationSet::Presets { shuffles: 3 }, 10, 42);
+        assert!(!s.is_empty());
+        assert_eq!(s[0], (0..10).rev().collect::<Vec<_>>());
+        for p in &s {
+            assert!(is_permutation(p));
+            assert_ne!(p, &(0..10).collect::<Vec<_>>(), "identity excluded");
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let a = schedules(&PermutationSet::Presets { shuffles: 3 }, 16, 7);
+        let b = schedules(&PermutationSet::Presets { shuffles: 3 }, 16, 7);
+        let c = schedules(&PermutationSet::Presets { shuffles: 3 }, 16, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exhaustive_enumerates_all_but_identity() {
+        let s = schedules(
+            &PermutationSet::Exhaustive {
+                max_trip: 5,
+                fallback_shuffles: 2,
+            },
+            4,
+            0,
+        );
+        assert_eq!(s.len(), 24 - 1);
+        let mut dedup = s.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len(), "no duplicates");
+    }
+
+    #[test]
+    fn exhaustive_falls_back_beyond_limit() {
+        let s = schedules(
+            &PermutationSet::Exhaustive {
+                max_trip: 5,
+                fallback_shuffles: 2,
+            },
+            100,
+            0,
+        );
+        assert!(s.len() <= 3);
+        for p in &s {
+            assert!(is_permutation(p));
+        }
+    }
+
+    #[test]
+    fn tiny_trips_degenerate_gracefully() {
+        assert!(schedules(&PermutationSet::default(), 0, 0).is_empty());
+        assert!(schedules(&PermutationSet::default(), 1, 0).is_empty());
+        let two = schedules(&PermutationSet::default(), 2, 0);
+        assert_eq!(two, vec![vec![1, 0]]);
+    }
+}

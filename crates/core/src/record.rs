@@ -1,0 +1,539 @@
+//! Golden execution: iterator recording (paper §IV-B1).
+//!
+//! One instrumented run of the program in its original, programmer-intended
+//! order does three jobs at once:
+//!
+//! 1. **Linearization** — at every header arrival of the target loop
+//!    invocation, the values of the iterator-slice variables are captured
+//!    into a random-access sequence (Fig. 4(c));
+//! 2. **Snapshotting** — machine state is saved at the invocation's first
+//!    header arrival, so permuted replays start from identical state;
+//! 3. **Golden reference** — the run's outcome is the reference that every
+//!    permuted execution is verified against (§IV-B3).
+
+use crate::outcome::ProgramOutcome;
+use dca_analysis::IteratorSlice;
+use dca_interp::{
+    Hooks, InstAction, Machine, Site, Snapshot, Trap, Value,
+};
+use dca_ir::{BlockId, FuncId, Loop, VarId};
+use std::collections::BTreeSet;
+
+/// Everything recorded about one tested loop invocation.
+#[derive(Debug, Clone)]
+pub struct GoldenRecord {
+    /// Machine state at the invocation's first header arrival.
+    pub snapshot: Snapshot,
+    /// Committed per-iteration values of the recorded variables, in
+    /// original order.
+    pub iters: Vec<Vec<Value>>,
+    /// The recorded variables, in the order values are stored.
+    pub rec_vars: Vec<VarId>,
+    /// Values of the recorded variables at the moment the loop exited.
+    pub exit_vals: Vec<Value>,
+    /// The first out-of-loop block control reached (the golden exit
+    /// target).
+    pub exit_target: BlockId,
+    /// Frame depth the invocation ran at.
+    pub depth: usize,
+    /// The golden program outcome.
+    pub outcome: ProgramOutcome,
+    /// Total steps of the golden run.
+    pub total_steps: u64,
+}
+
+/// Why recording failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordError {
+    /// The loop's chosen invocation never started.
+    NotExercised,
+    /// The program trapped during the golden run.
+    Trapped(Trap),
+    /// The step budget ran out.
+    BudgetExhausted,
+    /// The loop iterated more times than the configured trip limit.
+    TripLimit,
+}
+
+enum Phase {
+    /// Waiting for the loop header.
+    Waiting,
+    /// Inside an invocation, recording it.
+    Recording,
+    /// Invocation kept; running to program end.
+    Finishing,
+}
+
+struct Recorder<'a> {
+    func: FuncId,
+    header: BlockId,
+    blocks: &'a BTreeSet<BlockId>,
+    rec_vars: &'a [VarId],
+    slice: &'a IteratorSlice,
+    max_trip: usize,
+    /// Invocations with fewer committed iterations than this are skipped
+    /// (there is nothing to permute below two iterations); the recorder
+    /// moves on to the next invocation.
+    min_trip: usize,
+    /// Eligible (long-enough) invocations still to skip before keeping
+    /// one: the caller's invocation index counts *eligible* invocations.
+    skips_left: u32,
+    /// Tells the driver to drop the snapshot of a too-short invocation.
+    discard_snapshot: bool,
+    phase: Phase,
+    /// Depth at which the tested invocation runs.
+    depth: Option<usize>,
+    /// Request flag: the driver should snapshot now.
+    want_snapshot: bool,
+    /// The iterator values of the in-flight iteration, frozen at its first
+    /// payload instruction (the point Fig. 4(c)'s `rt_iterator_linearize`
+    /// placement corresponds to): by then a `for` iterator still holds its
+    /// pre-increment value while a destructive pop has already produced
+    /// this iteration's element.
+    pending: Option<Vec<Value>>,
+    /// True between a header arrival and the loop exit/next arrival.
+    in_iteration: bool,
+    iters: Vec<Vec<Value>>,
+    exit_vals: Vec<Value>,
+    exit_target: Option<BlockId>,
+    trip_overflow: bool,
+}
+
+impl Recorder<'_> {
+    fn capture(&self, vars: &[Value]) -> Vec<Value> {
+        self.rec_vars.iter().map(|v| vars[v.index()]).collect()
+    }
+
+    /// Discards the in-flight invocation and waits for the next one.
+    fn restart(&mut self) {
+        self.iters.clear();
+        self.pending = None;
+        self.in_iteration = false;
+        self.discard_snapshot = true;
+        self.depth = None;
+        self.phase = Phase::Waiting;
+    }
+}
+
+impl Hooks for Recorder<'_> {
+    fn on_block(&mut self, site: Site, block: BlockId, vars: &mut [Value]) {
+        if site.func != self.func {
+            return;
+        }
+        match self.phase {
+            Phase::Waiting => {
+                if block == self.header {
+                    self.phase = Phase::Recording;
+                    self.depth = Some(site.depth);
+                    self.want_snapshot = true;
+                    self.pending = None;
+                    self.in_iteration = true;
+                }
+            }
+            Phase::Recording => {
+                if Some(site.depth) != self.depth {
+                    return;
+                }
+                if block == self.header {
+                    // Iteration boundary: commit the finished iteration.
+                    // All-slice iterations (no payload executed) commit
+                    // their end-of-iteration values; payload never reads
+                    // them during replay.
+                    if self.in_iteration {
+                        let tuple = self
+                            .pending
+                            .take()
+                            .unwrap_or_else(|| self.capture(vars));
+                        self.iters.push(tuple);
+                        if self.iters.len() > self.max_trip {
+                            self.trip_overflow = true;
+                        }
+                    }
+                    self.in_iteration = true;
+                    self.pending = None;
+                } else if !self.blocks.contains(&block) {
+                    // Loop exit: commit the final partial iteration only if
+                    // it did payload work (a break), not when the header
+                    // check simply failed.
+                    if let Some(p) = self.pending.take() {
+                        self.iters.push(p);
+                    }
+                    self.in_iteration = false;
+                    if self.iters.len() < self.min_trip {
+                        // Too short to permute: look for a longer
+                        // invocation instead (does not consume a skip).
+                        self.restart();
+                    } else if self.skips_left > 0 {
+                        // An eligible invocation the caller asked us to
+                        // pass over.
+                        self.skips_left -= 1;
+                        self.restart();
+                    } else {
+                        self.exit_vals = self.capture(vars);
+                        self.exit_target = Some(block);
+                        self.phase = Phase::Finishing;
+                    }
+                }
+            }
+            Phase::Finishing => {}
+        }
+    }
+
+    fn before_inst(
+        &mut self,
+        site: Site,
+        block: BlockId,
+        idx: usize,
+        vars: &mut [Value],
+    ) -> InstAction {
+        if let Phase::Recording = self.phase {
+            if self.pending.is_none()
+                && site.func == self.func
+                && Some(site.depth) == self.depth
+                && self.blocks.contains(&block)
+                && !self.slice.contains((block, idx))
+            {
+                // First payload instruction of this iteration: freeze the
+                // iterator values the payload instance will consume.
+                self.pending = Some(self.capture(vars));
+            }
+        }
+        InstAction::Run
+    }
+
+    fn on_return(&mut self, site: Site, func: FuncId) {
+        // The tested invocation's frame returned (the loop exited through
+        // a `return` block that itself sits outside the loop — on_block
+        // handles that first — or the whole function ended). Keep what was
+        // recorded if it qualifies; otherwise look for another invocation.
+        if let Phase::Recording = self.phase {
+            if func == self.func && Some(site.depth) == self.depth {
+                if self.iters.len() < self.min_trip || self.skips_left > 0 {
+                    self.skips_left = self
+                        .skips_left
+                        .saturating_sub(u32::from(self.iters.len() >= self.min_trip));
+                    self.restart();
+                } else {
+                    self.phase = Phase::Finishing;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the golden execution for `l` (invocation `skip_invocations`) and
+/// records everything replay needs.
+///
+/// `rec_vars` determines which variables are captured per iteration —
+/// normally the loop's iterator-slice variables.
+///
+/// # Errors
+///
+/// See [`RecordError`].
+#[allow(clippy::too_many_arguments)]
+pub fn record_golden(
+    machine: &mut Machine<'_>,
+    main: FuncId,
+    args: &[Value],
+    func: FuncId,
+    l: &Loop,
+    slice: &IteratorSlice,
+    skip_invocations: u32,
+    max_trip: usize,
+    max_steps: u64,
+) -> Result<GoldenRecord, RecordError> {
+    record_golden_min_trip(
+        machine,
+        main,
+        args,
+        func,
+        l,
+        slice,
+        skip_invocations,
+        max_trip,
+        max_steps,
+        0,
+    )
+}
+
+/// Like [`record_golden`], but skips invocations shorter than `min_trip`
+/// committed iterations, recording the first one long enough to permute.
+///
+/// # Errors
+///
+/// See [`RecordError`].
+#[allow(clippy::too_many_arguments)]
+pub fn record_golden_min_trip(
+    machine: &mut Machine<'_>,
+    main: FuncId,
+    args: &[Value],
+    func: FuncId,
+    l: &Loop,
+    slice: &IteratorSlice,
+    skip_invocations: u32,
+    max_trip: usize,
+    max_steps: u64,
+    min_trip: usize,
+) -> Result<GoldenRecord, RecordError> {
+    let rec_vars: Vec<VarId> = slice.slice_vars.iter().copied().collect();
+    machine
+        .push_call(main, args)
+        .map_err(RecordError::Trapped)?;
+    let mut rec = Recorder {
+        func,
+        header: l.header,
+        blocks: &l.blocks,
+        rec_vars: &rec_vars,
+        slice,
+        max_trip,
+        min_trip,
+        skips_left: skip_invocations,
+        discard_snapshot: false,
+        phase: Phase::Waiting,
+        depth: None,
+        want_snapshot: false,
+        pending: None,
+        in_iteration: false,
+        iters: Vec::new(),
+        exit_vals: Vec::new(),
+        exit_target: None,
+        trip_overflow: false,
+    };
+    // Step manually so the snapshot lands exactly at the header arrival.
+    let budget = machine.steps().saturating_add(max_steps);
+    let mut snapshot: Option<Snapshot> = None;
+    let ret = loop {
+        if machine.result().is_some() {
+            break machine.result().expect("checked");
+        }
+        if machine.steps() >= budget {
+            return Err(RecordError::BudgetExhausted);
+        }
+        match machine.step(&mut rec) {
+            Ok(()) => {}
+            Err(Trap::NotRunning) => break machine.result().unwrap_or(None),
+            Err(t) => return Err(RecordError::Trapped(t)),
+        }
+        if rec.want_snapshot {
+            rec.want_snapshot = false;
+            snapshot = Some(machine.snapshot());
+        }
+        if rec.discard_snapshot {
+            rec.discard_snapshot = false;
+            snapshot = None;
+        }
+        if rec.trip_overflow {
+            return Err(RecordError::TripLimit);
+        }
+    };
+    let snapshot = snapshot.ok_or(RecordError::NotExercised)?;
+    let exit_target = rec.exit_target.ok_or(RecordError::NotExercised)?;
+    let (iters, exit_vals, depth) = (rec.iters, rec.exit_vals, rec.depth);
+    Ok(GoldenRecord {
+        snapshot,
+        iters,
+        rec_vars,
+        exit_vals,
+        exit_target,
+        depth: depth.expect("recording started"),
+        outcome: ProgramOutcome::capture(machine, ret),
+        total_steps: machine.steps(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_analysis::IteratorSlice;
+    use dca_ir::FuncView;
+
+    fn golden(src: &str, tag: &str) -> Result<GoldenRecord, RecordError> {
+        let m = dca_ir::compile(src).expect("compile");
+        let main = m.main().expect("main");
+        // Find the tagged loop anywhere in the module.
+        for (i, _) in m.funcs.iter().enumerate() {
+            let fid = dca_ir::FuncId(i as u32);
+            let view = FuncView::new(&m, fid);
+            if let Some(l) = view.loops.by_tag(tag) {
+                let slice = IteratorSlice::compute(&view, l);
+                let mut machine = Machine::new(&m);
+                return record_golden(
+                    &mut machine,
+                    main,
+                    &[],
+                    fid,
+                    l,
+                    &slice,
+                    0,
+                    1 << 16,
+                    100_000_000,
+                );
+            }
+        }
+        panic!("no loop tagged @{tag}");
+    }
+
+    #[test]
+    fn records_counted_loop_iterations() {
+        let g = golden(
+            "fn main() -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < 5; i = i + 1) { s = s + i; } return s; }",
+            "l",
+        )
+        .expect("record");
+        assert_eq!(g.iters.len(), 5);
+        assert_eq!(g.outcome.ret, Some(Value::Int(10)));
+        // The recorded tuples include the induction variable's values
+        // 0,1,2,3,4 in order (among any other slice temps).
+        let positions: Vec<Vec<i64>> = g
+            .iters
+            .iter()
+            .map(|vals| {
+                vals.iter()
+                    .filter_map(|v| match v {
+                        Value::Int(x) => Some(*x),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        for (k, vals) in positions.iter().enumerate() {
+            assert!(
+                vals.contains(&(k as i64)),
+                "iteration {k} should capture i == {k}, got {vals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn records_pointer_chase_iterations() {
+        let g = golden(
+            "struct N { v: int, next: *N }\n\
+             fn main() -> int { let head: *N = null; \
+             for (let i: int = 0; i < 4; i = i + 1) { \
+               let n: *N = new N; n.v = i; n.next = head; head = n; } \
+             let s: int = 0; let p: *N = head; \
+             @walk: while (p != null) { s = s + p.v; p = p.next; } return s; }",
+            "walk",
+        )
+        .expect("record");
+        assert_eq!(g.iters.len(), 4);
+        assert_eq!(g.outcome.ret, Some(Value::Int(6)));
+        // Each iteration captures a distinct node pointer.
+        let ptrs: Vec<Vec<Value>> = g.iters.clone();
+        for w in ptrs.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn break_iteration_is_committed() {
+        let g = golden(
+            "fn main() -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < 100; i = i + 1) { \
+               s = s + i; if (i == 2) { break; } } return s; }",
+            "l",
+        )
+        .expect("record");
+        // Iterations 0, 1, 2 all executed payload.
+        assert_eq!(g.iters.len(), 3);
+        assert_eq!(g.outcome.ret, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn unexercised_loop_reports_not_exercised() {
+        let err = golden(
+            "fn dead() { @never: while (false) { let x: int = 1; x = x + 1; } }\n\
+             fn main() { }",
+            "never",
+        )
+        .expect_err("should fail");
+        assert_eq!(err, RecordError::NotExercised);
+        // A loop whose header runs but whose body never executes still
+        // records (with zero iterations).
+        let g = golden(
+            "fn main() { let s: int = 0; \
+             @zero: for (let i: int = 5; i < 0; i = i + 1) { s = s + 1; } }",
+            "zero",
+        )
+        .expect("record");
+        assert_eq!(g.iters.len(), 0);
+    }
+
+    #[test]
+    fn second_invocation_can_be_selected() {
+        let src = "fn work(n: int) -> int { let s: int = 0; \
+             @w: for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }\n\
+             fn main() -> int { return work(3) + work(5); }";
+        let m = dca_ir::compile(src).expect("compile");
+        let main = m.main().expect("main");
+        let fid = m.func_by_name("work").expect("work");
+        let view = FuncView::new(&m, fid);
+        let l = view.loops.by_tag("w").expect("tag");
+        let slice = IteratorSlice::compute(&view, l);
+        let mut machine = Machine::new(&m);
+        let g = record_golden(&mut machine, main, &[], fid, l, &slice, 1, 1 << 16, 1_000_000)
+            .expect("record");
+        assert_eq!(g.iters.len(), 5, "second invocation has 5 iterations");
+    }
+
+    #[test]
+    fn invocation_indices_count_eligible_invocations() {
+        // Invocations run with trips 0, 3, 1, 5: indices must select the
+        // 3-trip and then the 5-trip invocation (short ones don't count).
+        let src = "fn work(n: int) -> int { let s: int = 0; \
+             @w: for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }\n\
+             fn main() -> int { return work(0) + work(3) + work(1) + work(5); }";
+        let m = dca_ir::compile(src).expect("compile");
+        let fid = m.func_by_name("work").expect("work");
+        let view = FuncView::new(&m, fid);
+        let l = view.loops.by_tag("w").expect("tag");
+        let slice = IteratorSlice::compute(&view, l);
+        let trips_of = |skip: u32| {
+            let mut machine = Machine::new(&m);
+            crate::record::record_golden_min_trip(
+                &mut machine,
+                m.main().expect("main"),
+                &[],
+                fid,
+                l,
+                &slice,
+                skip,
+                1 << 16,
+                1_000_000,
+                2,
+            )
+            .map(|g| g.iters.len())
+        };
+        assert_eq!(trips_of(0).expect("first eligible"), 3);
+        assert_eq!(trips_of(1).expect("second eligible"), 5);
+        assert_eq!(trips_of(2), Err(RecordError::NotExercised));
+    }
+
+    #[test]
+    fn trip_limit_enforced() {
+        let err = golden(
+            "fn main() { let s: int = 0; \
+             @big: for (let i: int = 0; i < 100000; i = i + 1) { s = s + i; } }",
+            "big",
+        );
+        // Default limit in this helper is 65536 < 100000.
+        assert_eq!(err.expect_err("should overflow"), RecordError::TripLimit);
+    }
+
+    #[test]
+    fn exit_target_is_outside_the_loop() {
+        let g = golden(
+            "fn main() -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < 3; i = i + 1) { s = s + i; } return s; }",
+            "l",
+        )
+        .expect("record");
+        // exit_vals captured the final iterator state (i == 3 among them).
+        assert!(g
+            .exit_vals
+            .iter()
+            .any(|v| matches!(v, Value::Int(3))));
+        assert_eq!(g.depth, 0);
+    }
+}

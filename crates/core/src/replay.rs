@@ -1,0 +1,533 @@
+//! Permuted replay: DCA execution order (paper §IV-B2, Fig. 4(c)/(d)).
+//!
+//! The instrumented program of the paper runs a tested loop in two phases:
+//! first the *iterator loop* alone (linearization — `rt_iterator_linearize`
+//! in Fig. 4(c)), applying the iterator's side effects (a worklist pop, a
+//! pointer advance) exactly once in their original order; then the
+//! *payload loop* (`while (rt_iterator_next()) payload(rt_iterator_get())`
+//! in Fig. 4(d)), executing one payload instance per recorded iterator
+//! value, in the permuted order.
+//!
+//! [`ReplayController`] reproduces that structure on the interpreter,
+//! starting from the golden snapshot:
+//!
+//! 1. **Iterator pre-pass** — only iterator-slice instructions execute
+//!    (payload instructions are skipped); control flow runs naturally, so
+//!    destructive iterators drain their worklists exactly as the golden
+//!    run did. The pre-pass ends when control would leave the loop (or a
+//!    safety cap on header arrivals fires for iterators whose trip count
+//!    depended on skipped payload).
+//! 2. **Payload pass** — control is forced around the loop exactly
+//!    `perm.len()` times; at each header arrival the recorded variables of
+//!    the next permuted iteration are bound, slice instructions are
+//!    skipped, and edges that would leave the loop are forced back inside.
+//! 3. **Exit** — the golden exit values are restored to the iterator
+//!    variables and control jumps to the golden exit target; the rest of
+//!    the program runs untouched.
+
+use crate::record::GoldenRecord;
+use dca_analysis::IteratorSlice;
+use dca_interp::{Hooks, InstAction, Machine, Site, TermAction, Trap, Value};
+use dca_ir::{BlockId, FuncId, Function, Loop, Terminator, VarId};
+use std::collections::{BTreeSet, HashMap};
+
+/// What a replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayEnd {
+    /// The program ran to completion after the permuted loop.
+    Finished(Option<Value>),
+    /// The permuted loop finished and control reached the exit target
+    /// (used by the loop-exit verification scope).
+    LoopExited,
+    /// The replay trapped — permuted execution of a non-commutative loop
+    /// can fault; the paper notes these situations are reliably detected
+    /// (§IV-E).
+    Trapped(Trap),
+    /// The step budget ran out.
+    BudgetExhausted,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Running the iterator alone (Fig. 4(c) linearization semantics).
+    PrePass,
+    /// Running payload instances in permuted order.
+    Payload,
+    /// All iterations done: skip in-loop code, jump to the exit target.
+    Exiting,
+    /// Out of the loop; the rest of the program runs untouched.
+    Done,
+}
+
+/// The [`Hooks`] implementation driving one permuted replay.
+pub struct ReplayController<'a> {
+    func: FuncId,
+    func_ir: &'a Function,
+    header: BlockId,
+    blocks: &'a BTreeSet<BlockId>,
+    slice: &'a IteratorSlice,
+    golden: &'a GoldenRecord,
+    /// `perm[k]` = which recorded iteration runs k-th.
+    perm: &'a [usize],
+    /// Position of each recorded var in the capture tuples.
+    var_pos: HashMap<VarId, usize>,
+    k: usize,
+    needs_iter_start: bool,
+    /// Header arrivals during the pre-pass (safety cap).
+    prepass_arrivals: usize,
+    mode: Mode,
+    /// Set once control reaches the exit target.
+    pub loop_exited: bool,
+}
+
+impl<'a> ReplayController<'a> {
+    /// Creates a controller for one permutation of loop `l` in `func_ir`.
+    /// The machine must be restored to `golden.snapshot` (control at the
+    /// loop header) before stepping with this controller.
+    pub fn new(
+        func: FuncId,
+        func_ir: &'a Function,
+        l: &'a Loop,
+        slice: &'a IteratorSlice,
+        golden: &'a GoldenRecord,
+        perm: &'a [usize],
+    ) -> Self {
+        assert_eq!(perm.len(), golden.iters.len(), "permutation length");
+        let var_pos: HashMap<VarId, usize> = golden
+            .rec_vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        ReplayController {
+            func,
+            func_ir,
+            header: l.header,
+            blocks: &l.blocks,
+            slice,
+            golden,
+            perm,
+            var_pos,
+            k: 0,
+            needs_iter_start: false,
+            prepass_arrivals: 0,
+            mode: Mode::PrePass,
+            loop_exited: false,
+        }
+    }
+
+    fn active_at(&self, site: Site, block: BlockId) -> bool {
+        site.func == self.func
+            && site.depth == self.golden.depth
+            && self.blocks.contains(&block)
+    }
+
+    /// Binds the recorded values of the next permuted iteration (or
+    /// switches to exit mode when all iterations have been replayed).
+    fn iter_start(&mut self, vars: &mut [Value]) {
+        self.needs_iter_start = false;
+        if self.k < self.perm.len() {
+            let rec = &self.golden.iters[self.perm[self.k]];
+            for (v, &pos) in &self.var_pos {
+                vars[v.index()] = rec[pos];
+            }
+            self.k += 1;
+        } else {
+            self.mode = Mode::Exiting;
+        }
+    }
+
+    /// Switch from the pre-pass into the payload pass.
+    fn begin_payload(&mut self) {
+        self.mode = Mode::Payload;
+        self.needs_iter_start = true;
+    }
+
+    /// The pre-pass header-arrival cap: generous slack over the recorded
+    /// trip count, for iterators whose condition depended on payload that
+    /// the pre-pass skips.
+    fn prepass_cap(&self) -> usize {
+        self.golden.iters.len().saturating_mul(4).saturating_add(16)
+    }
+}
+
+impl Hooks for ReplayController<'_> {
+    fn on_block(&mut self, site: Site, block: BlockId, _vars: &mut [Value]) {
+        match self.mode {
+            Mode::Done => {}
+            Mode::PrePass => {
+                if site.func == self.func
+                    && site.depth == self.golden.depth
+                    && block == self.header
+                {
+                    self.prepass_arrivals += 1;
+                    if self.prepass_arrivals > self.prepass_cap() {
+                        self.begin_payload();
+                    }
+                }
+            }
+            Mode::Payload | Mode::Exiting => {
+                if site.func == self.func && site.depth == self.golden.depth {
+                    if block == self.header {
+                        self.needs_iter_start = true;
+                    } else if !self.blocks.contains(&block) {
+                        // Control left the loop (after the forced exit
+                        // jump).
+                        self.mode = Mode::Done;
+                        self.loop_exited = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn before_inst(
+        &mut self,
+        site: Site,
+        block: BlockId,
+        idx: usize,
+        vars: &mut [Value],
+    ) -> InstAction {
+        if matches!(self.mode, Mode::Done) || !self.active_at(site, block) {
+            return InstAction::Run;
+        }
+        match self.mode {
+            Mode::PrePass => {
+                // Linearization: iterator instructions only.
+                if self.slice.contains((block, idx)) {
+                    InstAction::Run
+                } else {
+                    InstAction::Skip
+                }
+            }
+            Mode::Payload => {
+                if self.needs_iter_start && block == self.header {
+                    self.iter_start(vars);
+                }
+                if matches!(self.mode, Mode::Exiting) {
+                    return InstAction::Skip;
+                }
+                // Payload instances only; the iterator already ran.
+                if self.slice.contains((block, idx)) {
+                    InstAction::Skip
+                } else {
+                    InstAction::Run
+                }
+            }
+            Mode::Exiting => InstAction::Skip,
+            Mode::Done => InstAction::Run,
+        }
+    }
+
+    fn on_term(
+        &mut self,
+        site: Site,
+        block: BlockId,
+        default_target: Option<BlockId>,
+        vars: &mut [Value],
+    ) -> TermAction {
+        if matches!(self.mode, Mode::Done) || !self.active_at(site, block) {
+            return TermAction::Default;
+        }
+        match self.mode {
+            Mode::PrePass => {
+                // Natural control flow, but the moment it would leave the
+                // loop, the linearization is complete: start the payload
+                // pass back at the header.
+                match default_target {
+                    Some(t) if self.blocks.contains(&t) => TermAction::Default,
+                    _ => {
+                        self.begin_payload();
+                        TermAction::Goto(self.header)
+                    }
+                }
+            }
+            Mode::Payload => {
+                if self.needs_iter_start && block == self.header {
+                    self.iter_start(vars);
+                }
+                if matches!(self.mode, Mode::Exiting) {
+                    for (v, &pos) in &self.var_pos {
+                        vars[v.index()] = self.golden.exit_vals[pos];
+                    }
+                    return TermAction::Goto(self.golden.exit_target);
+                }
+                match default_target {
+                    Some(t) if self.blocks.contains(&t) => TermAction::Default,
+                    _ => TermAction::Goto(in_loop_alternative(
+                        &self.func_ir.block(block).term,
+                        self.blocks,
+                        self.header,
+                    )),
+                }
+            }
+            Mode::Exiting => {
+                for (v, &pos) in &self.var_pos {
+                    vars[v.index()] = self.golden.exit_vals[pos];
+                }
+                TermAction::Goto(self.golden.exit_target)
+            }
+            Mode::Done => TermAction::Default,
+        }
+    }
+}
+
+/// The forced-branch alternative: the terminator's in-loop successor when
+/// the default leaves the loop, or the header (ending the iteration) when
+/// no successor stays inside.
+fn in_loop_alternative(
+    term: &Terminator,
+    blocks: &BTreeSet<BlockId>,
+    header: BlockId,
+) -> BlockId {
+    match term {
+        Terminator::Branch {
+            then_bb, else_bb, ..
+        } => {
+            if blocks.contains(then_bb) {
+                *then_bb
+            } else if blocks.contains(else_bb) {
+                *else_bb
+            } else {
+                header
+            }
+        }
+        _ => header,
+    }
+}
+
+/// Runs one permuted replay to the end of the program (or until the loop
+/// exits, under the loop-exit scope).
+///
+/// The machine must already be restored to `golden.snapshot`.
+pub fn run_replay(
+    machine: &mut Machine<'_>,
+    ctl: &mut ReplayController<'_>,
+    stop_at_loop_exit: bool,
+    max_steps: u64,
+) -> ReplayEnd {
+    let budget = machine.steps().saturating_add(max_steps);
+    loop {
+        if let Some(ret) = machine.result() {
+            return ReplayEnd::Finished(ret);
+        }
+        if stop_at_loop_exit && ctl.loop_exited {
+            return ReplayEnd::LoopExited;
+        }
+        if machine.steps() >= budget {
+            return ReplayEnd::BudgetExhausted;
+        }
+        match machine.step(ctl) {
+            Ok(()) => {}
+            Err(Trap::NotRunning) => {
+                return ReplayEnd::Finished(machine.result().unwrap_or(None))
+            }
+            Err(t) => return ReplayEnd::Trapped(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::record_golden;
+    use dca_ir::FuncView;
+
+    /// Compiles, records loop `tag`, replays it under `perm_of(trip)`, and
+    /// returns (golden outcome, replay outcome, replay output).
+    fn replay_with(
+        src: &str,
+        tag: &str,
+        perm_of: impl Fn(usize) -> Vec<usize>,
+    ) -> (
+        crate::outcome::ProgramOutcome,
+        ReplayEnd,
+        Vec<dca_interp::OutputItem>,
+    ) {
+        let m = dca_ir::compile(src).expect("compile");
+        let main = m.main().expect("main");
+        let (fid, l) = {
+            let mut found = None;
+            for (i, _) in m.funcs.iter().enumerate() {
+                let fid = dca_ir::FuncId(i as u32);
+                let view = FuncView::new(&m, fid);
+                if let Some(l) = view.loops.by_tag(tag) {
+                    found = Some((fid, l.clone()));
+                    break;
+                }
+            }
+            found.expect("tagged loop")
+        };
+        let view = FuncView::new(&m, fid);
+        let slice = IteratorSlice::compute(&view, &l);
+        let mut machine = Machine::new(&m);
+        let golden = record_golden(
+            &mut machine,
+            main,
+            &[],
+            fid,
+            &l,
+            &slice,
+            0,
+            1 << 16,
+            10_000_000,
+        )
+        .expect("golden");
+        let perm = perm_of(golden.iters.len());
+        machine.restore(&golden.snapshot);
+        let mut ctl = ReplayController::new(fid, m.func(fid), &l, &slice, &golden, &perm);
+        let end = run_replay(&mut machine, &mut ctl, false, 10_000_000);
+        (golden.outcome.clone(), end, machine.output().to_vec())
+    }
+
+    #[test]
+    fn identity_replay_reproduces_golden_outcome() {
+        let (golden, end, out) = replay_with(
+            "fn main() -> int { let a: [int; 8]; let s: int = 0; \
+             @l: for (let i: int = 0; i < 8; i = i + 1) { a[i] = i * i; } \
+             for (let i: int = 0; i < 8; i = i + 1) { s = s + a[i]; } \
+             print(s); return s; }",
+            "l",
+            |n| (0..n).collect(),
+        );
+        match end {
+            ReplayEnd::Finished(ret) => {
+                assert_eq!(ret, golden.ret);
+                assert_eq!(out, golden.output);
+            }
+            other => panic!("unexpected end: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reversed_map_loop_matches_golden() {
+        let (golden, end, _) = replay_with(
+            "fn main() -> int { let a: [int; 8]; let s: int = 0; \
+             @l: for (let i: int = 0; i < 8; i = i + 1) { a[i] = i * 3; } \
+             for (let i: int = 0; i < 8; i = i + 1) { s = s + a[i]; } return s; }",
+            "l",
+            |n| (0..n).rev().collect(),
+        );
+        assert_eq!(end, ReplayEnd::Finished(golden.ret));
+    }
+
+    #[test]
+    fn reversed_order_dependent_loop_diverges() {
+        // a[i] = a[i-1] + 1: a genuine recurrence. Reversing iterations
+        // produces a different array, which the outcome exposes.
+        let (golden, end, _) = replay_with(
+            "fn main() -> int { let a: [int; 8]; a[0] = 1; let s: int = 0; \
+             @l: for (let i: int = 1; i < 8; i = i + 1) { a[i] = a[i - 1] + 1; } \
+             for (let i: int = 0; i < 8; i = i + 1) { s = s + a[i] * (i + 1); } return s; }",
+            "l",
+            |n| (0..n).rev().collect(),
+        );
+        match end {
+            ReplayEnd::Finished(ret) => {
+                assert_ne!(ret, golden.ret, "recurrence must produce a different sum");
+            }
+            other => panic!("unexpected end: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reversed_pointer_chase_map_matches_golden() {
+        let (golden, end, _) = replay_with(
+            "struct N { v: int, next: *N }\n\
+             fn main() -> int { let head: *N = null; \
+             for (let i: int = 0; i < 6; i = i + 1) { \
+               let n: *N = new N; n.v = i; n.next = head; head = n; } \
+             let p: *N = head; \
+             @walk: while (p != null) { p.v = p.v * 2; p = p.next; } \
+             let s: int = 0; let q: *N = head; \
+             while (q != null) { s = s * 10 + q.v; q = q.next; } return s; }",
+            "walk",
+            |n| (0..n).rev().collect(),
+        );
+        // Despite the cross-iteration dependence on `p` that defeats
+        // dependence analysis (paper Fig. 1(b)), the reversed execution
+        // produces the same program outcome.
+        assert_eq!(end, ReplayEnd::Finished(golden.ret));
+    }
+
+    #[test]
+    fn reversed_reduction_matches_golden() {
+        let (golden, end, _) = replay_with(
+            "fn main() -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < 10; i = i + 1) { s = s + i * i; } \
+             return s; }",
+            "l",
+            |n| (0..n).rev().collect(),
+        );
+        assert_eq!(end, ReplayEnd::Finished(golden.ret));
+    }
+
+    #[test]
+    fn shuffled_histogram_matches_golden() {
+        let (golden, end, _) = replay_with(
+            "fn main() -> int { let hist: [int; 7]; \
+             @l: for (let i: int = 0; i < 40; i = i + 1) { \
+               let b: int = i * i % 7; hist[b] = hist[b] + 1; } \
+             let s: int = 0; \
+             for (let k: int = 0; k < 7; k = k + 1) { s = s * 100 + hist[k]; } \
+             return s; }",
+            "l",
+            |n| {
+                // A fixed "shuffle": odd indices first, then even.
+                let mut p: Vec<usize> = (0..n).filter(|i| i % 2 == 1).collect();
+                p.extend((0..n).filter(|i| i % 2 == 0));
+                p
+            },
+        );
+        assert_eq!(end, ReplayEnd::Finished(golden.ret));
+    }
+
+    #[test]
+    fn first_match_search_diverges_under_reversal() {
+        // The loop keeps the *first* index whose value exceeds a threshold
+        // (via a guarded write) — order-sensitive, hence not commutative.
+        let (golden, end, _) = replay_with(
+            "fn main() -> int { let a: [int; 8]; let first: int = 0 - 1; \
+             for (let i: int = 0; i < 8; i = i + 1) { a[i] = i * 13 % 8; } \
+             @l: for (let i: int = 0; i < 8; i = i + 1) { \
+               if (a[i] > 4 && first < 0) { first = i; } } \
+             return first; }",
+            "l",
+            |n| (0..n).rev().collect(),
+        );
+        match end {
+            ReplayEnd::Finished(ret) => assert_ne!(ret, golden.ret),
+            other => panic!("unexpected end: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worklist_traversal_replays_under_permutation() {
+        // A worklist-sum in the style of the paper's Fig. 2 / treeadd:
+        // the pop is a destructive iterator whose effects the pre-pass
+        // applies once; the payload sum commutes.
+        let src = "struct Cell { v: int, next: *Cell }\n\
+             struct List { head: *Cell }\n\
+             fn push(l: *List, v: int) { \
+               let c: *Cell = new Cell; c.v = v; c.next = l.head; l.head = c; }\n\
+             fn main() -> int {\n\
+               let wl: *List = new List;\n\
+               for (let i: int = 0; i < 10; i = i + 1) { push(wl, i * i); }\n\
+               let sum: int = 0;\n\
+               @drain: while (wl.head != null) {\n\
+                 let c: *Cell = wl.head;\n\
+                 wl.head = c.next;\n\
+                 sum = sum + c.v;\n\
+               }\n\
+               return sum;\n\
+             }";
+        let (golden, end, _) = replay_with(src, "drain", |n| (0..n).rev().collect());
+        assert_eq!(end, ReplayEnd::Finished(golden.ret));
+        let (golden, end, _) = replay_with(src, "drain", |n| {
+            let mut p: Vec<usize> = (0..n).step_by(2).collect();
+            p.extend((1..n).step_by(2));
+            p
+        });
+        assert_eq!(end, ReplayEnd::Finished(golden.ret));
+    }
+}

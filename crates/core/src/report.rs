@@ -1,0 +1,225 @@
+//! DCA verdicts and the per-module analysis report.
+
+use dca_analysis::ExclusionReason;
+use dca_ir::LoopRef;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a loop failed commutativity testing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A permuted execution produced a different outcome than the golden
+    /// reference.
+    OutcomeMismatch,
+    /// A permuted execution trapped (paper §IV-E: permuted execution of
+    /// non-commutative loops can behave unpredictably; we detect this
+    /// reliably).
+    ReplayTrapped,
+    /// A permuted execution exceeded the step budget (e.g. permutation
+    /// made a convergence loop diverge).
+    ReplayDiverged,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OutcomeMismatch => write!(f, "live-out mismatch"),
+            Violation::ReplayTrapped => write!(f, "permuted execution trapped"),
+            Violation::ReplayDiverged => write!(f, "permuted execution diverged"),
+        }
+    }
+}
+
+/// Why a loop could not be dynamically tested at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkipReason {
+    /// More iterations than the configured trip limit.
+    TripLimit,
+    /// The golden run itself trapped.
+    GoldenTrapped,
+    /// The golden run exceeded the step budget.
+    GoldenBudget,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::TripLimit => write!(f, "trip count above limit"),
+            SkipReason::GoldenTrapped => write!(f, "golden run trapped"),
+            SkipReason::GoldenBudget => write!(f, "golden run exceeded budget"),
+        }
+    }
+}
+
+/// DCA's verdict for one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopVerdict {
+    /// All tested permutations preserved the outcome: the loop is
+    /// (dynamically) commutative, hence potentially parallelizable.
+    Commutative,
+    /// Some permutation changed the outcome.
+    NonCommutative(Violation),
+    /// Statically excluded (I/O, empty payload — paper §IV-E).
+    Excluded(ExclusionReason),
+    /// The input workload never ran this loop with at least two
+    /// iterations, so commutativity could not be observed (paper §V-C1's
+    /// MG discussion).
+    NotExercised,
+    /// Dynamically untestable for a resource reason.
+    Skipped(SkipReason),
+}
+
+impl LoopVerdict {
+    /// True if the verdict reports the loop as parallelizable.
+    pub fn is_commutative(&self) -> bool {
+        matches!(self, LoopVerdict::Commutative)
+    }
+}
+
+impl fmt::Display for LoopVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopVerdict::Commutative => write!(f, "commutative"),
+            LoopVerdict::NonCommutative(v) => write!(f, "non-commutative ({v})"),
+            LoopVerdict::Excluded(r) => write!(f, "excluded ({r})"),
+            LoopVerdict::NotExercised => write!(f, "not exercised"),
+            LoopVerdict::Skipped(r) => write!(f, "skipped ({r})"),
+        }
+    }
+}
+
+/// The full result for one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopResult {
+    /// Which loop.
+    pub lref: LoopRef,
+    /// Its source tag, if any.
+    pub tag: Option<String>,
+    /// The verdict.
+    pub verdict: LoopVerdict,
+    /// Trip count observed during the golden run (0 when never recorded).
+    pub trips: usize,
+    /// How many permutations were executed.
+    pub permutations_tested: usize,
+}
+
+/// The report of one whole-module analysis.
+#[derive(Debug, Clone, Default)]
+pub struct DcaReport {
+    results: Vec<LoopResult>,
+    index: HashMap<LoopRef, usize>,
+}
+
+impl DcaReport {
+    /// Adds one loop's result.
+    pub fn push(&mut self, r: LoopResult) {
+        self.index.insert(r.lref, self.results.len());
+        self.results.push(r);
+    }
+
+    /// All results, in analysis order.
+    pub fn iter(&self) -> impl Iterator<Item = &LoopResult> {
+        self.results.iter()
+    }
+
+    /// Number of loops analyzed (including excluded/skipped).
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when no loops were found.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The result for a specific loop.
+    pub fn get(&self, l: LoopRef) -> Option<&LoopResult> {
+        self.index.get(&l).map(|&i| &self.results[i])
+    }
+
+    /// The result for the loop tagged `tag`.
+    pub fn by_tag(&self, tag: &str) -> Option<&LoopResult> {
+        self.results.iter().find(|r| r.tag.as_deref() == Some(tag))
+    }
+
+    /// Loops found commutative.
+    pub fn commutative_loops(&self) -> impl Iterator<Item = &LoopResult> {
+        self.results.iter().filter(|r| r.verdict.is_commutative())
+    }
+
+    /// Count of commutative loops.
+    pub fn commutative_count(&self) -> usize {
+        self.commutative_loops().count()
+    }
+}
+
+impl fmt::Display for DcaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DCA report: {}/{} loops commutative",
+            self.commutative_count(),
+            self.len()
+        )?;
+        for r in &self.results {
+            let tag = r
+                .tag
+                .as_deref()
+                .map(|t| format!(" @{t}"))
+                .unwrap_or_default();
+            writeln!(
+                f,
+                "  {}{tag}: {} (trips={}, perms={})",
+                r.lref, r.verdict, r.trips, r.permutations_tested
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_ir::{FuncId, LoopId};
+
+    fn lref(f: u32, l: u32) -> LoopRef {
+        LoopRef {
+            func: FuncId(f),
+            loop_id: LoopId(l),
+        }
+    }
+
+    #[test]
+    fn report_lookup_and_counts() {
+        let mut rep = DcaReport::default();
+        rep.push(LoopResult {
+            lref: lref(0, 0),
+            tag: Some("a".into()),
+            verdict: LoopVerdict::Commutative,
+            trips: 8,
+            permutations_tested: 4,
+        });
+        rep.push(LoopResult {
+            lref: lref(0, 1),
+            tag: None,
+            verdict: LoopVerdict::NonCommutative(Violation::OutcomeMismatch),
+            trips: 8,
+            permutations_tested: 1,
+        });
+        assert_eq!(rep.len(), 2);
+        assert_eq!(rep.commutative_count(), 1);
+        assert!(rep.by_tag("a").expect("tag a").verdict.is_commutative());
+        assert!(rep.get(lref(0, 1)).is_some());
+        assert!(rep.get(lref(1, 0)).is_none());
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(LoopVerdict::Commutative.to_string(), "commutative");
+        assert_eq!(
+            LoopVerdict::NonCommutative(Violation::OutcomeMismatch).to_string(),
+            "non-commutative (live-out mismatch)"
+        );
+        assert_eq!(LoopVerdict::NotExercised.to_string(), "not exercised");
+    }
+}

@@ -1,0 +1,1103 @@
+//! The IR interpreter.
+//!
+//! A [`Machine`] executes one program with an explicit frame stack, a
+//! growable object heap, and an output stream. Execution is fully
+//! deterministic and can be:
+//!
+//! * **snapshotted** and restored ([`Machine::snapshot`] /
+//!   [`Machine::restore`]) — how DCA re-runs a loop invocation under
+//!   permuted iteration orders from identical initial state,
+//! * **observed and steered** through [`Hooks`] — how instrumentation
+//!   (iterator recording, dependence profiling, replay control) attaches
+//!   without touching program code,
+//! * **metered** — every instruction and terminator costs one step, giving
+//!   the per-iteration cost profiles the multicore simulator consumes.
+
+use crate::hooks::{Hooks, InstAction, Site, TermAction};
+use crate::value::{Addr, ObjId, Value};
+use dca_ir::{
+    BinOp, BlockId, FuncId, Inst, Intrinsic, MemBase, Module, Operand, PrintOp, Terminator, Ty,
+    UnOp, VarId,
+};
+use std::fmt;
+
+/// A heap object: a vector of value cells (struct fields or array
+/// elements).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obj {
+    /// The cells.
+    pub cells: Vec<Value>,
+}
+
+/// One entry of the program's observable output stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputItem {
+    /// A literal label from a `print` statement.
+    Label(String),
+    /// A printed value.
+    Value(Value),
+}
+
+impl fmt::Display for OutputItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutputItem::Label(s) => write!(f, "{s}"),
+            OutputItem::Value(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A runtime fault. Well-typed programs can still trap (null dereference,
+/// out-of-bounds index, division by zero, runaway recursion or allocation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// Dereferenced a null pointer.
+    NullDeref,
+    /// Indexed outside an object.
+    OutOfBounds {
+        /// Object length in cells.
+        len: usize,
+        /// Attempted index.
+        index: i64,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Call stack exceeded the configured limit.
+    StackOverflow,
+    /// Heap exceeded the configured cell limit.
+    OutOfMemory,
+    /// Stepped a machine with no live frames.
+    NotRunning,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::NullDeref => write!(f, "null pointer dereference"),
+            Trap::OutOfBounds { len, index } => {
+                write!(f, "index {index} out of bounds for object of {len} cells")
+            }
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+            Trap::OutOfMemory => write!(f, "heap limit exceeded"),
+            Trap::NotRunning => write!(f, "machine is not running"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Result of [`Machine::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The entry function returned; its return value, if any.
+    Finished(Option<Value>),
+    /// The step budget was exhausted before completion.
+    Paused,
+}
+
+/// One call frame.
+#[derive(Debug, Clone, PartialEq)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    inst: usize,
+    vars: Vec<Value>,
+    /// Where the caller wants the return value.
+    ret_dst: Option<VarId>,
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Limits {
+    /// Maximum call-stack depth.
+    pub max_depth: usize,
+    /// Maximum total heap cells.
+    pub max_heap_cells: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_depth: 4096,
+            max_heap_cells: 256 << 20,
+        }
+    }
+}
+
+/// A full copy of machine state, restorable with [`Machine::restore`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    heap: Vec<Obj>,
+    frames: Vec<Frame>,
+    output: Vec<OutputItem>,
+    steps: u64,
+    heap_cells: u64,
+    finished: Option<Option<Value>>,
+}
+
+/// Where execution currently stands (used by stepping drivers to decide
+/// when to snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// Current function.
+    pub func: FuncId,
+    /// Current block.
+    pub block: BlockId,
+    /// Next instruction index within the block (`== insts.len()` means the
+    /// terminator is next).
+    pub inst: usize,
+    /// Frame depth (0 = entry frame).
+    pub depth: usize,
+}
+
+/// The interpreter state for one program execution.
+#[derive(Debug, Clone)]
+pub struct Machine<'m> {
+    module: &'m Module,
+    heap: Vec<Obj>,
+    frames: Vec<Frame>,
+    output: Vec<OutputItem>,
+    steps: u64,
+    heap_cells: u64,
+    limits: Limits,
+    finished: Option<Option<Value>>,
+}
+
+impl<'m> Machine<'m> {
+    /// Creates a machine with globals allocated and initialized; no frame
+    /// is live until [`Machine::push_call`].
+    pub fn new(module: &'m Module) -> Self {
+        Self::with_limits(module, Limits::default())
+    }
+
+    /// Creates a machine with explicit execution limits.
+    pub fn with_limits(module: &'m Module, limits: Limits) -> Self {
+        let mut heap = Vec::with_capacity(module.globals.len());
+        let mut heap_cells = 0u64;
+        for g in &module.globals {
+            let cells = match &g.ty {
+                Ty::Array(elem, n) => vec![zero_of(elem); *n],
+                ty => {
+                    let mut v = zero_of(ty);
+                    if let Some(init) = &g.init {
+                        v = const_value(init);
+                    }
+                    vec![v]
+                }
+            };
+            heap_cells += cells.len() as u64;
+            heap.push(Obj { cells });
+        }
+        Machine {
+            module,
+            heap,
+            frames: Vec::new(),
+            output: Vec::new(),
+            steps: 0,
+            heap_cells,
+            limits,
+            finished: None,
+        }
+    }
+
+    /// The module being executed.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Heap objects (globals first).
+    pub fn heap(&self) -> &[Obj] {
+        &self.heap
+    }
+
+    /// The heap object backing global `g`.
+    pub fn global_obj(&self, g: dca_ir::GlobalId) -> ObjId {
+        ObjId(g.0)
+    }
+
+    /// The output stream so far.
+    pub fn output(&self) -> &[OutputItem] {
+        &self.output
+    }
+
+    /// Instructions and terminators executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The entry function's return value, once finished.
+    pub fn result(&self) -> Option<Option<Value>> {
+        self.finished
+    }
+
+    /// Current execution position, `None` when no frame is live.
+    pub fn position(&self) -> Option<Position> {
+        self.frames.last().map(|f| Position {
+            func: f.func,
+            block: f.block,
+            inst: f.inst,
+            depth: self.frames.len() - 1,
+        })
+    }
+
+    /// Reads a variable of the *current* frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is live.
+    pub fn read_var(&self, v: VarId) -> Value {
+        self.frames.last().expect("no live frame").vars[v.index()]
+    }
+
+    /// Overwrites a variable of the *current* frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is live.
+    pub fn write_var(&mut self, v: VarId, value: Value) {
+        self.frames.last_mut().expect("no live frame").vars[v.index()] = value;
+    }
+
+    /// Reads a memory cell directly (no hook events).
+    pub fn read_cell(&self, addr: Addr) -> Value {
+        self.heap[addr.obj.index()].cells[addr.cell as usize]
+    }
+
+    /// Captures a restorable copy of the full machine state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            heap: self.heap.clone(),
+            frames: self.frames.clone(),
+            output: self.output.clone(),
+            steps: self.steps,
+            heap_cells: self.heap_cells,
+            finished: self.finished,
+        }
+    }
+
+    /// Restores a snapshot (on this machine or any machine for the same
+    /// module); the output stream is reset to the snapshot point.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        self.heap = snap.heap.clone();
+        self.frames = snap.frames.clone();
+        self.output = snap.output.clone();
+        self.steps = snap.steps;
+        self.heap_cells = snap.heap_cells;
+        self.finished = snap.finished;
+    }
+
+    /// Pushes a call frame for `func` with the given arguments, making it
+    /// the running frame. `main` is typically pushed exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Traps on stack overflow or if frame-array allocation exhausts the
+    /// heap limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument count does not match the signature.
+    pub fn push_call(&mut self, func: FuncId, args: &[Value]) -> Result<(), Trap> {
+        self.push_frame(func, args, None)
+    }
+
+    fn push_frame(
+        &mut self,
+        func: FuncId,
+        args: &[Value],
+        ret_dst: Option<VarId>,
+    ) -> Result<(), Trap> {
+        if self.frames.len() >= self.limits.max_depth {
+            return Err(Trap::StackOverflow);
+        }
+        let f = self.module.func(func);
+        assert_eq!(
+            args.len(),
+            f.params.len(),
+            "argument count mismatch calling `{}`",
+            f.name
+        );
+        let mut vars = Vec::with_capacity(f.vars.len());
+        for (i, vi) in f.vars.iter().enumerate() {
+            if i < args.len() {
+                vars.push(args[i]);
+            } else if let Ty::Array(elem, n) = &vi.ty {
+                let obj = self.alloc(vec![zero_of(elem); *n])?;
+                vars.push(Value::Ptr(obj));
+            } else {
+                vars.push(zero_of(&vi.ty));
+            }
+        }
+        self.frames.push(Frame {
+            func,
+            block: f.entry(),
+            inst: 0,
+            vars,
+            ret_dst,
+        });
+        self.finished = None;
+        Ok(())
+    }
+
+    fn alloc(&mut self, cells: Vec<Value>) -> Result<ObjId, Trap> {
+        self.heap_cells += cells.len() as u64;
+        if self.heap_cells > self.limits.max_heap_cells {
+            return Err(Trap::OutOfMemory);
+        }
+        let id = ObjId(self.heap.len() as u32);
+        self.heap.push(Obj { cells });
+        Ok(id)
+    }
+
+    /// Runs until the entry frame returns or `max_steps` is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Trap`].
+    pub fn run<H: Hooks>(&mut self, hooks: &mut H, max_steps: u64) -> Result<Outcome, Trap> {
+        let budget_end = self.steps.saturating_add(max_steps);
+        // Fire the block-entry hook for the entry block of a fresh frame.
+        if !self.frames.is_empty() {
+            let depth = self.frames.len() - 1;
+            let steps = self.steps;
+            let fr = self.frames.last_mut().expect("non-empty");
+            if fr.inst == 0 && steps == 0 {
+                let site = Site {
+                    func: fr.func,
+                    depth,
+                    steps,
+                };
+                hooks.on_block(site, fr.block, &mut fr.vars);
+            }
+        }
+        while self.finished.is_none() {
+            if self.steps >= budget_end {
+                return Ok(Outcome::Paused);
+            }
+            self.step(hooks)?;
+        }
+        Ok(Outcome::Finished(
+            self.finished.expect("loop exits only when finished"),
+        ))
+    }
+
+    /// Executes one instruction or terminator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`], including [`Trap::NotRunning`] when no
+    /// frame is live.
+    pub fn step<H: Hooks>(&mut self, hooks: &mut H) -> Result<(), Trap> {
+        let depth = match self.frames.len() {
+            0 => return Err(Trap::NotRunning),
+            n => n - 1,
+        };
+        let fi = depth;
+        let func_id = self.frames[fi].func;
+        let func = self.module.func(func_id);
+        let block = self.frames[fi].block;
+        let idx = self.frames[fi].inst;
+        let site = Site {
+            func: func_id,
+            depth,
+            steps: self.steps,
+        };
+        self.steps += 1;
+        let insts = &func.block(block).insts;
+        if idx < insts.len() {
+            self.frames[fi].inst += 1;
+            let action = hooks.before_inst(site, block, idx, &mut self.frames[fi].vars);
+            if action == InstAction::Run {
+                self.exec_inst(hooks, site, fi, &insts[idx])?;
+            }
+            // The instruction may have pushed a frame (a call); only fire
+            // after_inst once we are back in this frame, which for calls is
+            // handled implicitly because hooks see on_call/on_return.
+            if self.frames.len() == fi + 1 {
+                hooks.after_inst(site, block, idx, &mut self.frames[fi].vars);
+            }
+            // Entering a callee: fire its entry block hook.
+            if self.frames.len() > fi + 1 {
+                let nfi = self.frames.len() - 1;
+                let nsite = Site {
+                    func: self.frames[nfi].func,
+                    depth: nfi,
+                    steps: self.steps,
+                };
+                let nblock = self.frames[nfi].block;
+                hooks.on_block(nsite, nblock, &mut self.frames[nfi].vars);
+            }
+            return Ok(());
+        }
+        // Terminator.
+        let term = &func.block(block).term;
+        let default_target = match term {
+            Terminator::Jump(t) => Some(*t),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = eval(&self.frames[fi].vars, cond).as_bool();
+                Some(if c { *then_bb } else { *else_bb })
+            }
+            Terminator::Return(_) => None,
+        };
+        let action = hooks.on_term(site, block, default_target, &mut self.frames[fi].vars);
+        let target = match action {
+            TermAction::Goto(b) => Some(b),
+            TermAction::Default => default_target,
+        };
+        match target {
+            Some(t) => {
+                self.frames[fi].block = t;
+                self.frames[fi].inst = 0;
+                hooks.on_block(site, t, &mut self.frames[fi].vars);
+            }
+            None => {
+                // Return.
+                let value = match term {
+                    Terminator::Return(Some(op)) => Some(eval(&self.frames[fi].vars, op)),
+                    _ => None,
+                };
+                let frame = self.frames.pop().expect("frame exists");
+                hooks.on_return(
+                    Site {
+                        func: func_id,
+                        depth: self.frames.len(),
+                        steps: self.steps,
+                    },
+                    func_id,
+                );
+                match self.frames.last_mut() {
+                    None => {
+                        self.finished = Some(value);
+                    }
+                    Some(caller) => {
+                        if let Some(dst) = frame.ret_dst {
+                            caller.vars[dst.index()] =
+                                value.expect("checker: non-unit call has a value");
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_inst<H: Hooks>(
+        &mut self,
+        hooks: &mut H,
+        site: Site,
+        fi: usize,
+        inst: &Inst,
+    ) -> Result<(), Trap> {
+        match inst {
+            Inst::Copy { dst, src } => {
+                let v = eval(&self.frames[fi].vars, src);
+                self.frames[fi].vars[dst.index()] = v;
+            }
+            Inst::Un { dst, op, a } => {
+                let av = eval(&self.frames[fi].vars, a);
+                let v = match (op, av) {
+                    (UnOp::Neg, Value::Int(x)) => Value::Int(x.wrapping_neg()),
+                    (UnOp::Neg, Value::Float(x)) => Value::Float(-x),
+                    (UnOp::Not, Value::Bool(x)) => Value::Bool(!x),
+                    (op, v) => unreachable!("ill-typed unary {op:?} on {v:?}"),
+                };
+                self.frames[fi].vars[dst.index()] = v;
+            }
+            Inst::Bin { dst, op, a, b } => {
+                let av = eval(&self.frames[fi].vars, a);
+                let bv = eval(&self.frames[fi].vars, b);
+                let v = eval_bin(*op, av, bv)?;
+                self.frames[fi].vars[dst.index()] = v;
+            }
+            Inst::Intrin { dst, op, args } => {
+                let a0 = eval(&self.frames[fi].vars, &args[0]);
+                let a1 = args.get(1).map(|a| eval(&self.frames[fi].vars, a));
+                self.frames[fi].vars[dst.index()] = eval_intrin(*op, a0, a1);
+            }
+            Inst::LoadIndex { dst, base, index } => {
+                let addr = self.index_addr(fi, base, index)?;
+                hooks.on_read(site, addr);
+                let v = self.heap[addr.obj.index()].cells[addr.cell as usize];
+                self.frames[fi].vars[dst.index()] = v;
+            }
+            Inst::StoreIndex { base, index, value } => {
+                let addr = self.index_addr(fi, base, index)?;
+                let v = eval(&self.frames[fi].vars, value);
+                hooks.on_write(site, addr);
+                self.heap[addr.obj.index()].cells[addr.cell as usize] = v;
+            }
+            Inst::LoadField { dst, obj, field } => {
+                let addr = self.field_addr(fi, obj, *field)?;
+                hooks.on_read(site, addr);
+                let v = self.heap[addr.obj.index()].cells[addr.cell as usize];
+                self.frames[fi].vars[dst.index()] = v;
+            }
+            Inst::StoreField { obj, field, value } => {
+                let addr = self.field_addr(fi, obj, *field)?;
+                let v = eval(&self.frames[fi].vars, value);
+                hooks.on_write(site, addr);
+                self.heap[addr.obj.index()].cells[addr.cell as usize] = v;
+            }
+            Inst::LoadGlobal { dst, global } => {
+                let addr = Addr {
+                    obj: ObjId(global.0),
+                    cell: 0,
+                };
+                hooks.on_read(site, addr);
+                let v = self.heap[addr.obj.index()].cells[0];
+                self.frames[fi].vars[dst.index()] = v;
+            }
+            Inst::StoreGlobal { global, value } => {
+                let addr = Addr {
+                    obj: ObjId(global.0),
+                    cell: 0,
+                };
+                let v = eval(&self.frames[fi].vars, value);
+                hooks.on_write(site, addr);
+                self.heap[addr.obj.index()].cells[0] = v;
+            }
+            Inst::AllocStruct { dst, sid } => {
+                let layout = &self.module.structs[sid.index()];
+                let cells: Vec<Value> = layout.fields.iter().map(|(_, t)| zero_of(t)).collect();
+                let obj = self.alloc(cells)?;
+                self.frames[fi].vars[dst.index()] = Value::Ptr(obj);
+            }
+            Inst::AllocArray { dst, len } => {
+                let n = eval(&self.frames[fi].vars, len).as_int();
+                if n < 0 {
+                    return Err(Trap::OutOfBounds {
+                        len: 0,
+                        index: n,
+                    });
+                }
+                let obj = self.alloc(vec![Value::Int(0); n as usize])?;
+                self.frames[fi].vars[dst.index()] = Value::Ptr(obj);
+            }
+            Inst::Call { dst, func, args } => {
+                let argv: Vec<Value> = args
+                    .iter()
+                    .map(|a| eval(&self.frames[fi].vars, a))
+                    .collect();
+                hooks.on_call(site, *func);
+                self.push_frame(*func, &argv, *dst)?;
+            }
+            Inst::Print { args } => {
+                for a in args {
+                    match a {
+                        PrintOp::Label(s) => self.output.push(OutputItem::Label(s.clone())),
+                        PrintOp::Value(op) => {
+                            let v = eval(&self.frames[fi].vars, op);
+                            self.output.push(OutputItem::Value(v));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_addr(&self, fi: usize, base: &MemBase, index: &Operand) -> Result<Addr, Trap> {
+        let obj = match base {
+            MemBase::Global(g) => ObjId(g.0),
+            MemBase::Var(v) => match self.frames[fi].vars[v.index()] {
+                Value::Ptr(o) => o,
+                Value::Null => return Err(Trap::NullDeref),
+                other => unreachable!("ill-typed index base {other:?}"),
+            },
+        };
+        let i = eval(&self.frames[fi].vars, index).as_int();
+        let len = self.heap[obj.index()].cells.len();
+        if i < 0 || i as usize >= len {
+            return Err(Trap::OutOfBounds { len, index: i });
+        }
+        Ok(Addr {
+            obj,
+            cell: i as u32,
+        })
+    }
+
+    fn field_addr(&self, fi: usize, obj: &Operand, field: u32) -> Result<Addr, Trap> {
+        let o = match eval(&self.frames[fi].vars, obj) {
+            Value::Ptr(o) => o,
+            Value::Null => return Err(Trap::NullDeref),
+            other => unreachable!("ill-typed field base {other:?}"),
+        };
+        debug_assert!((field as usize) < self.heap[o.index()].cells.len());
+        Ok(Addr { obj: o, cell: field })
+    }
+}
+
+fn zero_of(ty: &Ty) -> Value {
+    match ty {
+        Ty::Int => Value::Int(0),
+        Ty::Float => Value::Float(0.0),
+        Ty::Bool => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+fn const_value(op: &Operand) -> Value {
+    match op {
+        Operand::ConstInt(v) => Value::Int(*v),
+        Operand::ConstFloat(v) => Value::Float(*v),
+        Operand::ConstBool(v) => Value::Bool(*v),
+        Operand::Null => Value::Null,
+        Operand::Var(_) => unreachable!("global initializers are constants"),
+    }
+}
+
+#[inline]
+fn eval(vars: &[Value], op: &Operand) -> Value {
+    match op {
+        Operand::Var(v) => vars[v.index()],
+        Operand::ConstInt(v) => Value::Int(*v),
+        Operand::ConstFloat(v) => Value::Float(*v),
+        Operand::ConstBool(v) => Value::Bool(*v),
+        Operand::Null => Value::Null,
+    }
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
+    use BinOp::*;
+    Ok(match (op, a, b) {
+        (Add, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(y)),
+        (Sub, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_sub(y)),
+        (Mul, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_mul(y)),
+        (Div, Value::Int(_), Value::Int(0)) | (Rem, Value::Int(_), Value::Int(0)) => {
+            return Err(Trap::DivByZero)
+        }
+        (Div, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_div(y)),
+        (Rem, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_rem(y)),
+        (Add, Value::Float(x), Value::Float(y)) => Value::Float(x + y),
+        (Sub, Value::Float(x), Value::Float(y)) => Value::Float(x - y),
+        (Mul, Value::Float(x), Value::Float(y)) => Value::Float(x * y),
+        (Div, Value::Float(x), Value::Float(y)) => Value::Float(x / y),
+        (Eq, x, y) => Value::Bool(value_eq(x, y)),
+        (Ne, x, y) => Value::Bool(!value_eq(x, y)),
+        (Lt, Value::Int(x), Value::Int(y)) => Value::Bool(x < y),
+        (Le, Value::Int(x), Value::Int(y)) => Value::Bool(x <= y),
+        (Gt, Value::Int(x), Value::Int(y)) => Value::Bool(x > y),
+        (Ge, Value::Int(x), Value::Int(y)) => Value::Bool(x >= y),
+        (Lt, Value::Float(x), Value::Float(y)) => Value::Bool(x < y),
+        (Le, Value::Float(x), Value::Float(y)) => Value::Bool(x <= y),
+        (Gt, Value::Float(x), Value::Float(y)) => Value::Bool(x > y),
+        (Ge, Value::Float(x), Value::Float(y)) => Value::Bool(x >= y),
+        (BitAnd, Value::Int(x), Value::Int(y)) => Value::Int(x & y),
+        (BitOr, Value::Int(x), Value::Int(y)) => Value::Int(x | y),
+        (BitXor, Value::Int(x), Value::Int(y)) => Value::Int(x ^ y),
+        (Shl, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_shl(y as u32 & 63)),
+        (Shr, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_shr(y as u32 & 63)),
+        (op, a, b) => unreachable!("ill-typed binary {op:?} on {a:?}, {b:?}"),
+    })
+}
+
+fn value_eq(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Ptr(x), Value::Ptr(y)) => x == y,
+        (Value::Null, Value::Null) => true,
+        (Value::Ptr(_), Value::Null) | (Value::Null, Value::Ptr(_)) => false,
+        (a, b) => unreachable!("ill-typed equality on {a:?}, {b:?}"),
+    }
+}
+
+fn eval_intrin(op: Intrinsic, a: Value, b: Option<Value>) -> Value {
+    use Intrinsic::*;
+    match op {
+        Sqrt => Value::Float(a.as_float().sqrt()),
+        Sin => Value::Float(a.as_float().sin()),
+        Cos => Value::Float(a.as_float().cos()),
+        Exp => Value::Float(a.as_float().exp()),
+        Log => Value::Float(a.as_float().ln()),
+        Fabs => Value::Float(a.as_float().abs()),
+        Pow => Value::Float(a.as_float().powf(b.expect("pow has 2 args").as_float())),
+        Fmin => Value::Float(a.as_float().min(b.expect("fmin has 2 args").as_float())),
+        Fmax => Value::Float(a.as_float().max(b.expect("fmax has 2 args").as_float())),
+        Iabs => Value::Int(a.as_int().wrapping_abs()),
+        Imin => Value::Int(a.as_int().min(b.expect("imin has 2 args").as_int())),
+        Imax => Value::Int(a.as_int().max(b.expect("imax has 2 args").as_int())),
+        IntToFloat => Value::Float(a.as_int() as f64),
+        FloatToInt => Value::Int(a.as_float() as i64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHooks;
+    use dca_ir::compile;
+
+    fn run_main(src: &str) -> (Option<Value>, Vec<OutputItem>) {
+        let m = compile(src).expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push main");
+        match machine.run(&mut NoHooks, u64::MAX).expect("run") {
+            Outcome::Finished(v) => (v, machine.output().to_vec()),
+            Outcome::Paused => panic!("unexpected pause"),
+        }
+    }
+
+    fn ret_int(src: &str) -> i64 {
+        run_main(src).0.expect("return value").as_int()
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        assert_eq!(ret_int("fn main() -> int { return 6 * 7; }"), 42);
+        assert_eq!(
+            ret_int(
+                "fn main() -> int { let s: int = 0; \
+                 for (let i: int = 0; i < 10; i = i + 1) { s = s + i; } return s; }"
+            ),
+            45
+        );
+        assert_eq!(
+            ret_int(
+                "fn main() -> int { let x: int = 5; \
+                 if (x > 3 && x < 7) { return 1; } return 0; }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn recursion() {
+        assert_eq!(
+            ret_int(
+                "fn fib(n: int) -> int { if (n < 2) { return n; } \
+                 return fib(n - 1) + fib(n - 2); }\n\
+                 fn main() -> int { return fib(12); }"
+            ),
+            144
+        );
+    }
+
+    #[test]
+    fn heap_structs_and_lists() {
+        assert_eq!(
+            ret_int(
+                "struct Node { val: int, next: *Node }\n\
+                 fn main() -> int {\n\
+                   let head: *Node = null;\n\
+                   for (let i: int = 0; i < 5; i = i + 1) {\n\
+                     let n: *Node = new Node; n.val = i; n.next = head; head = n;\n\
+                   }\n\
+                   let s: int = 0; let p: *Node = head;\n\
+                   while (p != null) { s = s + p.val; p = p.next; }\n\
+                   return s;\n\
+                 }"
+            ),
+            10
+        );
+    }
+
+    #[test]
+    fn fixed_and_heap_arrays() {
+        assert_eq!(
+            ret_int(
+                "fn main() -> int { let a: [int; 8]; let b: *int = new [int; 8];\n\
+                 for (let i: int = 0; i < 8; i = i + 1) { a[i] = i; b[i] = i * 10; }\n\
+                 let s: int = 0;\n\
+                 for (let i: int = 0; i < 8; i = i + 1) { s = s + a[i] + b[i]; }\n\
+                 return s; }"
+            ),
+            28 + 280
+        );
+    }
+
+    #[test]
+    fn globals_shared_across_functions() {
+        assert_eq!(
+            ret_int(
+                "let counter: int = 10;\nlet arr: [int; 4];\n\
+                 fn bump() { counter = counter + 1; arr[0] = arr[0] + 2; }\n\
+                 fn main() -> int { bump(); bump(); return counter + arr[0]; }"
+            ),
+            16
+        );
+    }
+
+    #[test]
+    fn float_math_and_casts() {
+        let (v, _) = run_main(
+            "fn main() -> float { let x: float = sqrt(16.0); \
+             let i: int = 3; return x + i as float + fmax(0.5, 0.25); }",
+        );
+        let f = v.expect("value").as_float();
+        assert!((f - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn print_produces_output() {
+        let (_, out) = run_main(r#"fn main() { print("x", 1 + 1); print(3.5); }"#);
+        assert_eq!(
+            out,
+            vec![
+                OutputItem::Label("x".into()),
+                OutputItem::Value(Value::Int(2)),
+                OutputItem::Value(Value::Float(3.5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn traps() {
+        let m = compile("fn main() -> int { let a: [int; 2]; return a[5]; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        assert_eq!(
+            machine.run(&mut NoHooks, u64::MAX),
+            Err(Trap::OutOfBounds { len: 2, index: 5 })
+        );
+
+        let m = compile(
+            "struct N { v: int } fn main() -> int { let p: *N = null; return p.v; }",
+        )
+        .expect("compile");
+        let mut machine = Machine::new(&m);
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::NullDeref));
+
+        let m = compile("fn main() -> int { let z: int = 0; return 1 / z; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::DivByZero));
+    }
+
+    #[test]
+    fn stack_overflow_trap() {
+        let m = compile(
+            "fn loopy(n: int) -> int { return loopy(n + 1); }\n\
+             fn main() -> int { return loopy(0); }",
+        )
+        .expect("compile");
+        let mut machine = Machine::with_limits(
+            &m,
+            Limits {
+                max_depth: 64,
+                ..Limits::default()
+            },
+        );
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn heap_limit_traps() {
+        let m = compile(
+            "struct N { v: int, next: *N }\n\
+             fn main() { let head: *N = null; \
+             for (let i: int = 0; i < 1000000; i = i + 1) { \
+               let n: *N = new N; n.next = head; head = n; } }",
+        )
+        .expect("compile");
+        let mut machine = Machine::with_limits(
+            &m,
+            Limits {
+                max_heap_cells: 1024,
+                ..Limits::default()
+            },
+        );
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::OutOfMemory));
+    }
+
+    #[test]
+    fn step_budget_pauses() {
+        let m = compile("fn main() { while (true) { } }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        assert_eq!(
+            machine.run(&mut NoHooks, 1000).expect("run"),
+            Outcome::Paused
+        );
+        assert!(machine.steps() >= 1000);
+    }
+
+    #[test]
+    fn snapshot_restore_is_identity() {
+        let m = compile(
+            "fn main() -> int { let s: int = 0; \
+             for (let i: int = 0; i < 100; i = i + 1) { s = s + i; } return s; }",
+        )
+        .expect("compile");
+        let mut machine = Machine::new(&m);
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        // Run partway, snapshot, run to the end, restore, run again.
+        machine.run(&mut NoHooks, 50).expect("run");
+        let snap = machine.snapshot();
+        let r1 = machine.run(&mut NoHooks, u64::MAX).expect("run");
+        let steps1 = machine.steps();
+        machine.restore(&snap);
+        let r2 = machine.run(&mut NoHooks, u64::MAX).expect("run");
+        assert_eq!(r1, r2);
+        assert_eq!(steps1, machine.steps());
+        assert_eq!(r1, Outcome::Finished(Some(Value::Int(4950))));
+    }
+
+    #[test]
+    fn snapshot_truncates_output_on_restore() {
+        let m = compile(
+            r#"fn main() { print(1); print(2); }"#,
+        )
+        .expect("compile");
+        let mut machine = Machine::new(&m);
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        let snap = machine.snapshot();
+        machine.run(&mut NoHooks, u64::MAX).expect("run");
+        assert_eq!(machine.output().len(), 2);
+        machine.restore(&snap);
+        assert!(machine.output().is_empty());
+        machine.run(&mut NoHooks, u64::MAX).expect("run");
+        assert_eq!(machine.output().len(), 2);
+    }
+
+    #[test]
+    fn arguments_passed_to_entry() {
+        let m = compile("fn main(n: int) -> int { return n * 2; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[Value::Int(21)])
+            .expect("push");
+        assert_eq!(
+            machine.run(&mut NoHooks, u64::MAX).expect("run"),
+            Outcome::Finished(Some(Value::Int(42)))
+        );
+    }
+
+    #[test]
+    fn hooks_observe_memory_and_blocks() {
+        #[derive(Default)]
+        struct Counter {
+            reads: usize,
+            writes: usize,
+            blocks: usize,
+            calls: usize,
+        }
+        impl Hooks for Counter {
+            fn on_read(&mut self, _: Site, _: Addr) {
+                self.reads += 1;
+            }
+            fn on_write(&mut self, _: Site, _: Addr) {
+                self.writes += 1;
+            }
+            fn on_block(&mut self, _: Site, _: BlockId, _: &mut [Value]) {
+                self.blocks += 1;
+            }
+            fn on_call(&mut self, _: Site, _: FuncId) {
+                self.calls += 1;
+            }
+        }
+        let m = compile(
+            "fn touch(a: *int) { a[0] = a[0] + 1; }\n\
+             fn main() { let a: *int = new [int; 4]; touch(a); touch(a); }",
+        )
+        .expect("compile");
+        let mut machine = Machine::new(&m);
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        let mut c = Counter::default();
+        machine.run(&mut c, u64::MAX).expect("run");
+        assert_eq!(c.calls, 2);
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 2);
+        assert!(c.blocks >= 1);
+    }
+
+    #[test]
+    fn hooks_can_skip_instructions() {
+        // Skip every instruction.
+        struct Skipper;
+        impl Hooks for Skipper {
+            fn before_inst(
+                &mut self,
+                site: Site,
+                block: BlockId,
+                idx: usize,
+                _: &mut [Value],
+            ) -> InstAction {
+                let _ = (site, block, idx);
+                InstAction::Skip
+            }
+        }
+        let m = compile("fn main() -> int { let x: int = 5; return x; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        let out = machine.run(&mut Skipper, u64::MAX).expect("run");
+        // With the `x = 5` copy skipped, x keeps its zero initialization.
+        assert_eq!(out, Outcome::Finished(Some(Value::Int(0))));
+    }
+
+    #[test]
+    fn hooks_can_redirect_terminators() {
+        struct ForceExit {
+            exit: BlockId,
+            fired: bool,
+        }
+        impl Hooks for ForceExit {
+            fn on_term(
+                &mut self,
+                _: Site,
+                _: BlockId,
+                default_target: Option<BlockId>,
+                _: &mut [Value],
+            ) -> TermAction {
+                if !self.fired && default_target.is_some() {
+                    self.fired = true;
+                    return TermAction::Goto(self.exit);
+                }
+                TermAction::Default
+            }
+        }
+        // Without intervention this loops forever; redirecting the first
+        // jump to the return block terminates immediately.
+        let m = compile("fn main() -> int { while (true) { } return 9; }").expect("compile");
+        let f = &m.funcs[0];
+        let ret_block = f
+            .block_ids()
+            .find(|&b| matches!(f.block(b).term, Terminator::Return(Some(_))))
+            .expect("return block");
+        let mut machine = Machine::new(&m);
+        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        let mut h = ForceExit {
+            exit: ret_block,
+            fired: false,
+        };
+        assert_eq!(
+            machine.run(&mut h, u64::MAX).expect("run"),
+            Outcome::Finished(Some(Value::Int(9)))
+        );
+    }
+
+    #[test]
+    fn hooks_can_rewrite_variables() {
+        struct Override;
+        impl Hooks for Override {
+            fn on_block(&mut self, site: Site, _: BlockId, vars: &mut [Value]) {
+                // Overwrite every int var named by index 0 (parameter) once.
+                if site.depth == 0 && !vars.is_empty() {
+                    if let Value::Int(_) = vars[0] {
+                        vars[0] = Value::Int(100);
+                    }
+                }
+            }
+        }
+        let m = compile("fn main(n: int) -> int { return n; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[Value::Int(1)])
+            .expect("push");
+        assert_eq!(
+            machine.run(&mut Override, u64::MAX).expect("run"),
+            Outcome::Finished(Some(Value::Int(100)))
+        );
+    }
+}

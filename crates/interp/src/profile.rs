@@ -1,0 +1,320 @@
+//! Loop execution profiling: invocation counts, iteration counts and
+//! inclusive step costs per loop.
+//!
+//! The paper reports *sequential coverage* — the fraction of program
+//! execution time spent inside each loop (Tables II and IV) — and its
+//! parallelization stage selects hot loops by coverage. [`LoopProfiler`]
+//! produces exactly that from one instrumented run: attach it as
+//! [`Hooks`], run the program, then call [`LoopProfiler::finish`].
+
+use crate::hooks::{Hooks, Site};
+use crate::value::Value;
+use dca_ir::{BlockId, FuncId, FuncView, LoopId, LoopRef, Module};
+use std::collections::HashMap;
+
+/// Aggregate statistics for one loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Times the loop was entered from outside.
+    pub invocations: u64,
+    /// Header arrivals across all invocations (≈ trip count sum).
+    pub iterations: u64,
+    /// Steps spent inside the loop, *inclusive* of nested loops and calls.
+    pub steps: u64,
+}
+
+/// Profile of a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleProfile {
+    /// Per-loop statistics.
+    pub loops: HashMap<LoopRef, LoopStats>,
+    /// Total steps of the profiled run.
+    pub total_steps: u64,
+}
+
+impl ModuleProfile {
+    /// Fraction of total execution steps spent in `l` (inclusive), in
+    /// `[0, 1]`. Zero for never-executed loops or empty runs.
+    pub fn coverage(&self, l: LoopRef) -> f64 {
+        if self.total_steps == 0 {
+            return 0.0;
+        }
+        self.loops
+            .get(&l)
+            .map(|s| s.steps as f64 / self.total_steps as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Statistics for `l` (zeros if never executed).
+    pub fn stats(&self, l: LoopRef) -> LoopStats {
+        self.loops.get(&l).copied().unwrap_or_default()
+    }
+}
+
+/// Per-function loop lookup tables, precomputed once per module.
+struct FuncTable {
+    /// Innermost loop of each block.
+    innermost: Vec<Option<LoopId>>,
+    /// Parent of each loop.
+    parent: Vec<Option<LoopId>>,
+    /// Header block of each loop.
+    header: Vec<BlockId>,
+}
+
+struct ActiveLoop {
+    /// 0-based frame depth the loop executes at.
+    depth: usize,
+    lref: LoopRef,
+    enter_steps: u64,
+}
+
+/// A [`Hooks`] implementation that measures per-loop costs.
+pub struct LoopProfiler {
+    tables: Vec<FuncTable>,
+    active: Vec<ActiveLoop>,
+    stats: HashMap<LoopRef, LoopStats>,
+    last_steps: u64,
+}
+
+impl LoopProfiler {
+    /// Precomputes loop tables for every function of `module`.
+    pub fn new(module: &Module) -> Self {
+        let mut tables = Vec::with_capacity(module.funcs.len());
+        for i in 0..module.funcs.len() {
+            let view = FuncView::new(module, FuncId(i as u32));
+            let nloops = view.loops.len();
+            let mut innermost = vec![None; view.func.blocks.len()];
+            for b in view.func.block_ids() {
+                innermost[b.index()] = view.loops.innermost(b);
+            }
+            let mut parent = vec![None; nloops];
+            let mut header = vec![BlockId(0); nloops];
+            for l in view.loops.iter() {
+                parent[l.id.index()] = l.parent;
+                header[l.id.index()] = l.header;
+            }
+            tables.push(FuncTable {
+                innermost,
+                parent,
+                header,
+            });
+        }
+        LoopProfiler {
+            tables,
+            active: Vec::new(),
+            stats: HashMap::new(),
+            last_steps: 0,
+        }
+    }
+
+    /// Consumes the profiler after a run, producing the profile.
+    pub fn finish(mut self, total_steps: u64) -> ModuleProfile {
+        // Close any loops still active (e.g. the program trapped).
+        while let Some(top) = self.active.pop() {
+            let entry = self.stats.entry(top.lref).or_default();
+            entry.steps += total_steps.saturating_sub(top.enter_steps);
+        }
+        ModuleProfile {
+            loops: self.stats,
+            total_steps,
+        }
+    }
+
+    /// The loop chain (innermost-first) containing `block` of `func`.
+    fn chain(&self, func: FuncId, block: BlockId) -> Vec<LoopId> {
+        let t = &self.tables[func.index()];
+        let mut out = Vec::new();
+        let mut cur = t.innermost[block.index()];
+        while let Some(l) = cur {
+            out.push(l);
+            cur = t.parent[l.index()];
+        }
+        out
+    }
+
+    fn close_down_to(&mut self, keep: usize, now: u64) {
+        while self.active.len() > keep {
+            let top = self.active.pop().expect("len checked");
+            let entry = self.stats.entry(top.lref).or_default();
+            entry.steps += now.saturating_sub(top.enter_steps);
+        }
+    }
+}
+
+impl Hooks for LoopProfiler {
+    fn on_block(&mut self, site: Site, block: BlockId, _vars: &mut [Value]) {
+        self.last_steps = site.steps;
+        // Loops of this frame that should now be active: the chain of the
+        // new block, outermost-first.
+        let mut chain = self.chain(site.func, block);
+        chain.reverse();
+        // Find how much of the prefix (entries at this depth, same func)
+        // already matches.
+        let base = self
+            .active
+            .iter()
+            .position(|a| a.depth >= site.depth)
+            .unwrap_or(self.active.len());
+        let mut matched = 0;
+        while matched < chain.len() {
+            let idx = base + matched;
+            match self.active.get(idx) {
+                Some(a)
+                    if a.depth == site.depth
+                        && a.lref.func == site.func
+                        && a.lref.loop_id == chain[matched] =>
+                {
+                    matched += 1;
+                }
+                _ => break,
+            }
+        }
+        // Everything above the matched prefix has been exited.
+        self.close_down_to(base + matched, site.steps);
+        // Enter the rest of the chain.
+        for &l in &chain[matched..] {
+            let lref = LoopRef {
+                func: site.func,
+                loop_id: l,
+            };
+            let entry = self.stats.entry(lref).or_default();
+            entry.invocations += 1;
+            entry.iterations += 1;
+            self.active.push(ActiveLoop {
+                depth: site.depth,
+                lref,
+                enter_steps: site.steps,
+            });
+        }
+        // Header re-arrival of the innermost active loop = new iteration.
+        if matched > 0 && matched == chain.len() {
+            let t = &self.tables[site.func.index()];
+            let inner = chain[matched - 1];
+            if t.header[inner.index()] == block {
+                let lref = LoopRef {
+                    func: site.func,
+                    loop_id: inner,
+                };
+                self.stats.entry(lref).or_default().iterations += 1;
+            }
+        }
+    }
+
+    fn on_return(&mut self, site: Site, _func: FuncId) {
+        // Close loops belonging to the returning frame (depth == site.depth)
+        // and anything deeper.
+        let keep = self
+            .active
+            .iter()
+            .position(|a| a.depth >= site.depth)
+            .unwrap_or(self.active.len());
+        self.close_down_to(keep, site.steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use dca_ir::compile;
+
+    fn profile(src: &str) -> (ModuleProfile, dca_ir::Module) {
+        let m = compile(src).expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
+        let mut p = LoopProfiler::new(&m);
+        machine.run(&mut p, u64::MAX).expect("run");
+        (p.finish(machine.steps()), m)
+    }
+
+    fn loop_by_tag(m: &dca_ir::Module, tag: &str) -> LoopRef {
+        for (lref, t) in dca_ir::all_loops(m) {
+            if t.as_deref() == Some(tag) {
+                return lref;
+            }
+        }
+        panic!("no loop tagged @{tag}");
+    }
+
+    #[test]
+    fn single_loop_counts() {
+        let (p, m) = profile(
+            "fn main() { let s: int = 0; \
+             @l: for (let i: int = 0; i < 10; i = i + 1) { s = s + i; } }",
+        );
+        let stats = p.stats(loop_by_tag(&m, "l"));
+        assert_eq!(stats.invocations, 1);
+        // 10 executed iterations + the final failing check.
+        assert_eq!(stats.iterations, 11);
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn nested_loops_inclusive_attribution() {
+        let (p, m) = profile(
+            "fn main() { let s: int = 0; \
+             @outer: for (let i: int = 0; i < 4; i = i + 1) { \
+               @inner: for (let j: int = 0; j < 4; j = j + 1) { s = s + 1; } } }",
+        );
+        let outer = p.stats(loop_by_tag(&m, "outer"));
+        let inner = p.stats(loop_by_tag(&m, "inner"));
+        assert_eq!(outer.invocations, 1);
+        assert_eq!(inner.invocations, 4);
+        assert!(
+            outer.steps > inner.steps,
+            "outer ({}) must include inner ({})",
+            outer.steps,
+            inner.steps
+        );
+    }
+
+    #[test]
+    fn coverage_is_a_fraction_of_total() {
+        let (p, m) = profile(
+            "fn main() { let s: int = 0; \
+             @hot: for (let i: int = 0; i < 200; i = i + 1) { s = s + i; } \
+             s = s * 2; }",
+        );
+        let cov = p.coverage(loop_by_tag(&m, "hot"));
+        assert!(cov > 0.8 && cov <= 1.0, "coverage {cov}");
+    }
+
+    #[test]
+    fn loops_in_called_functions_profiled() {
+        let (p, m) = profile(
+            "fn work(n: int) -> int { let s: int = 0; \
+             @w: for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }\n\
+             fn main() { work(5); work(7); }",
+        );
+        let w = p.stats(loop_by_tag(&m, "w"));
+        assert_eq!(w.invocations, 2);
+        assert_eq!(w.iterations, 5 + 1 + 7 + 1);
+    }
+
+    #[test]
+    fn call_inside_loop_attributes_to_loop() {
+        let (p, m) = profile(
+            "fn heavy() -> int { let s: int = 0; \
+             for (let i: int = 0; i < 50; i = i + 1) { s = s + i; } return s; }\n\
+             fn main() { let t: int = 0; \
+             @caller: for (let k: int = 0; k < 3; k = k + 1) { t = t + heavy(); } }",
+        );
+        let caller = p.stats(loop_by_tag(&m, "caller"));
+        // The callee's ~50-iteration loop runs inside; inclusive cost must
+        // dwarf the caller's own 3 iterations of bookkeeping.
+        assert!(caller.steps > 300, "caller steps = {}", caller.steps);
+    }
+
+    #[test]
+    fn unexecuted_loop_has_zero_stats() {
+        let (p, m) = profile(
+            "fn dead() { @never: while (false) { } }\n\
+             fn main() { }",
+        );
+        let never = p.stats(loop_by_tag(&m, "never"));
+        assert_eq!(never, LoopStats::default());
+        assert_eq!(p.coverage(loop_by_tag(&m, "never")), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Runtime values and memory addresses.
+
+use std::fmt;
+
+/// Identifies a heap object (globals occupy the first object slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// The address of one memory cell: an object plus a cell index within it.
+///
+/// This is the granularity at which dependence profiling and DCA's live-out
+/// capture observe memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    /// The object.
+    pub obj: ObjId,
+    /// Cell within the object (array element or struct field).
+    pub cell: u32,
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.obj, self.cell)
+    }
+}
+
+/// A runtime value. All memory cells and variables hold exactly one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Non-null pointer to a heap object.
+    Ptr(ObjId),
+    /// The null pointer.
+    Null,
+}
+
+impl Value {
+    /// Interprets the value as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `Int`; the type checker makes this
+    /// unreachable for well-typed programs.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+
+    /// Interprets the value as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Float`.
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Float(v) => v,
+            other => panic!("expected float, found {other:?}"),
+        }
+    }
+
+    /// Interprets the value as a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Bool`.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(v) => v,
+            other => panic!("expected bool, found {other:?}"),
+        }
+    }
+
+    /// The pointed-to object, or `None` for `Null` (panics on non-pointers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a pointer or null.
+    pub fn as_ptr(self) -> Option<ObjId> {
+        match self {
+            Value::Ptr(o) => Some(o),
+            Value::Null => None,
+            other => panic!("expected pointer, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:?}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Ptr(o) => write!(f, "&{o}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), 3);
+        assert_eq!(Value::Float(2.5).as_float(), 2.5);
+        assert!(Value::Bool(true).as_bool());
+        assert_eq!(Value::Ptr(ObjId(7)).as_ptr(), Some(ObjId(7)));
+        assert_eq!(Value::Null.as_ptr(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected int")]
+    fn as_int_panics_on_float() {
+        Value::Float(1.0).as_int();
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Addr { obj: ObjId(3), cell: 4 }.to_string(), "obj3[4]");
+    }
+}

@@ -1,0 +1,149 @@
+//! Control-flow graph utilities: predecessors, postorder traversals.
+
+use crate::module::{BlockId, Function};
+
+/// Precomputed CFG edge information for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry.
+    rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG for a function.
+    pub fn new(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            for s in f.block(b).term.successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        // Iterative postorder DFS.
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        state[f.entry().index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Predecessors of a block.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of a block.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in reverse postorder from the entry.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in reverse postorder (`None` if unreachable).
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        let i = self.rpo_index[b.index()];
+        (i != usize::MAX).then_some(i)
+    }
+
+    /// Number of blocks in the underlying function.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True if the function has no blocks (never happens for lowered code).
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn diamond_cfg_edges() {
+        let m = compile(
+            "fn f(c: bool) -> int { let x: int = 0; \
+             if (c) { x = 1; } else { x = 2; } return x; }",
+        )
+        .expect("compile");
+        let f = &m.funcs[0];
+        let cfg = Cfg::new(f);
+        // Entry has two successors, the join has two predecessors.
+        assert_eq!(cfg.succs(f.entry()).len(), 2);
+        let join = f
+            .block_ids()
+            .find(|&b| cfg.preds(b).len() == 2)
+            .expect("join block");
+        assert!(matches!(
+            f.block(join).term,
+            crate::module::Terminator::Return(_)
+        ));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let m = compile(
+            "fn main() { let i: int = 0; while (i < 3) { i = i + 1; } }",
+        )
+        .expect("compile");
+        let f = &m.funcs[0];
+        let cfg = Cfg::new(f);
+        assert_eq!(cfg.reverse_postorder()[0], f.entry());
+        assert_eq!(cfg.reverse_postorder().len(), f.blocks.len());
+        for b in f.block_ids() {
+            assert!(cfg.rpo_index(b).is_some());
+        }
+    }
+
+    #[test]
+    fn rpo_respects_forward_edges_outside_loops() {
+        let m = compile(
+            "fn f(c: bool) -> int { if (c) { return 1; } return 2; }",
+        )
+        .expect("compile");
+        let f = &m.funcs[0];
+        let cfg = Cfg::new(f);
+        for b in f.block_ids() {
+            for s in cfg.succs(b) {
+                // In an acyclic CFG every edge goes forward in RPO.
+                assert!(cfg.rpo_index(b).expect("reach") < cfg.rpo_index(*s).expect("reach"));
+            }
+        }
+    }
+}

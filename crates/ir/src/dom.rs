@@ -1,0 +1,159 @@
+//! Dominator-tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+use crate::module::{BlockId, Function};
+
+/// The dominator tree of a function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`idom[entry] == entry`).
+    idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes dominators for `f` using its CFG.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let entry = f.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+        let rpo = cfg.reverse_postorder();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cfg, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom }
+    }
+
+    /// Immediate dominator of `b`; the entry's idom is itself. `None` for
+    /// unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// True if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(i) if i != cur => cur = i,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
+    let pos = |x: BlockId| cfg.rpo_index(x).expect("reachable block in intersect");
+    while a != b {
+        while pos(a) > pos(b) {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while pos(b) > pos(a) {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn dom_of(src: &str) -> (crate::module::Function, Cfg, DomTree) {
+        let m = compile(src).expect("compile");
+        let f = m.funcs[0].clone();
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        (f, cfg, dt)
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let (f, _, dt) = dom_of(
+            "fn f(c: bool) -> int { let x: int = 0; \
+             if (c) { x = 1; } else { x = 2; } while (x < 5) { x = x + 1; } return x; }",
+        );
+        for b in f.block_ids() {
+            assert!(dt.dominates(f.entry(), b), "{b} not dominated by entry");
+        }
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_join() {
+        let (f, cfg, dt) = dom_of(
+            "fn f(c: bool) -> int { let x: int = 0; \
+             if (c) { x = 1; } else { x = 2; } return x; }",
+        );
+        let join = f
+            .block_ids()
+            .find(|&b| cfg.preds(b).len() == 2)
+            .expect("join");
+        for &arm in cfg.preds(join) {
+            assert!(!dt.dominates(arm, join));
+        }
+        assert_eq!(dt.idom(join), Some(f.entry()));
+    }
+
+    #[test]
+    fn loop_header_dominates_body_and_latch() {
+        let (f, cfg, dt) = dom_of(
+            "fn main() { let i: int = 0; while (i < 3) { i = i + 1; } }",
+        );
+        // The header is the target of a back edge.
+        let mut header = None;
+        for b in f.block_ids() {
+            for &s in cfg.succs(b) {
+                if dt.dominates(s, b) {
+                    header = Some((s, b));
+                }
+            }
+        }
+        let (h, latch) = header.expect("loop with back edge");
+        assert!(dt.dominates(h, latch));
+    }
+
+    #[test]
+    fn dominance_is_a_partial_order() {
+        let (f, _, dt) = dom_of(
+            "fn f(c: bool) -> int { let x: int = 0; if (c) { x = 1; } \
+             while (x < 9) { x = x + 2; if (c) { x = x + 1; } } return x; }",
+        );
+        for a in f.block_ids() {
+            assert!(dt.dominates(a, a), "reflexive");
+            for b in f.block_ids() {
+                if a != b && dt.dominates(a, b) && dt.dominates(b, a) {
+                    panic!("antisymmetry violated for {a} and {b}");
+                }
+                for c in f.block_ids() {
+                    if dt.dominates(a, b) && dt.dominates(b, c) {
+                        assert!(dt.dominates(a, c), "transitivity violated");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Compiler IR for the DCA reproduction.
+//!
+//! This crate plays the role LLVM IR plays in the paper's prototype: a
+//! CFG-based register-machine representation of mini-C programs, plus the
+//! structural analyses every later stage builds on — predecessor/successor
+//! edges ([`cfg::Cfg`]), dominators ([`dom::DomTree`]) and the natural-loop
+//! nesting forest ([`loops::LoopForest`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dca_ir::{compile, FuncView};
+//!
+//! let module = compile(
+//!     "fn main() -> int {
+//!          let s: int = 0;
+//!          @sum: for (let i: int = 0; i < 10; i = i + 1) { s = s + i; }
+//!          return s;
+//!      }",
+//! )?;
+//! let main = module.main().expect("main exists");
+//! let view = FuncView::new(&module, main);
+//! assert_eq!(view.loops.len(), 1);
+//! assert!(view.loops.by_tag("sum").is_some());
+//! # Ok::<(), dca_lang::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dom;
+pub mod loops;
+pub mod lower;
+pub mod module;
+mod print;
+
+pub use cfg::Cfg;
+pub use dca_lang::sema::{StructInfo, Ty};
+pub use dom::DomTree;
+pub use loops::{Loop, LoopForest, LoopId};
+pub use lower::lower;
+pub use module::{
+    BinOp, Block, BlockId, FuncId, Function, GlobalId, GlobalInfo, Inst, Intrinsic, MemBase,
+    Module, Operand, PrintOp, StructId, Terminator, UnOp, VarId, VarInfo,
+};
+
+/// Compiles mini-C source all the way to an IR [`Module`].
+///
+/// # Errors
+///
+/// Returns the first frontend (lex/parse/type) or lowering error.
+pub fn compile(source: &str) -> Result<Module, dca_lang::Error> {
+    let checked = dca_lang::frontend(source)?;
+    lower(&checked)
+}
+
+/// A function together with its derived structural analyses.
+///
+/// Most analyses need the CFG, dominators and loops together; this bundles
+/// one consistent set. The view borrows the module, so it is cheap to build
+/// per function and discard.
+#[derive(Debug)]
+pub struct FuncView<'m> {
+    /// The module the function belongs to.
+    pub module: &'m Module,
+    /// The function's id.
+    pub id: FuncId,
+    /// The function.
+    pub func: &'m Function,
+    /// Control-flow graph edges.
+    pub cfg: Cfg,
+    /// Dominator tree.
+    pub dom: DomTree,
+    /// Natural-loop forest.
+    pub loops: LoopForest,
+}
+
+impl<'m> FuncView<'m> {
+    /// Builds the CFG, dominator tree and loop forest for `id`.
+    pub fn new(module: &'m Module, id: FuncId) -> Self {
+        let func = module.func(id);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(func, &cfg);
+        let loops = LoopForest::new(func, &cfg, &dom);
+        FuncView {
+            module,
+            id,
+            func,
+            cfg,
+            dom,
+            loops,
+        }
+    }
+}
+
+/// Uniquely identifies a loop across a whole module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopRef {
+    /// The containing function.
+    pub func: FuncId,
+    /// The loop within that function's [`LoopForest`].
+    pub loop_id: LoopId,
+}
+
+impl std::fmt::Display for LoopRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.func, self.loop_id)
+    }
+}
+
+/// Enumerates every natural loop in the module as a [`LoopRef`] together
+/// with its optional source tag, in deterministic order.
+pub fn all_loops(module: &Module) -> Vec<(LoopRef, Option<String>)> {
+    let mut out = Vec::new();
+    for (i, _) in module.funcs.iter().enumerate() {
+        let id = FuncId(i as u32);
+        let view = FuncView::new(module, id);
+        for l in view.loops.iter() {
+            out.push((
+                LoopRef {
+                    func: id,
+                    loop_id: l.id,
+                },
+                l.tag.clone(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_end_to_end() {
+        let m = compile("fn main() -> int { return 42; }").expect("compile");
+        assert!(m.main().is_some());
+    }
+
+    #[test]
+    fn compile_propagates_frontend_errors() {
+        assert!(compile("fn main() -> int { return x; }").is_err());
+        assert!(compile("fn main( {").is_err());
+    }
+
+    #[test]
+    fn func_view_bundles_consistent_analyses() {
+        let m = compile(
+            "fn main() { let i: int = 0; while (i < 3) { i = i + 1; } }",
+        )
+        .expect("compile");
+        let v = FuncView::new(&m, m.main().expect("main"));
+        assert_eq!(v.loops.len(), 1);
+        let l = v.loops.iter().next().expect("loop");
+        for &latch in &l.latches {
+            assert!(v.dom.dominates(l.header, latch));
+        }
+    }
+
+    #[test]
+    fn all_loops_spans_functions() {
+        let m = compile(
+            "fn a() { let i: int = 0; while (i < 2) { i = i + 1; } }\n\
+             fn main() { a(); let j: int = 0; @x: while (j < 2) { j = j + 1; } }",
+        )
+        .expect("compile");
+        let loops = all_loops(&m);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[1].1.as_deref(), Some("x"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Human-readable IR printing, for debugging and golden tests.
+
+use crate::module::*;
+use std::fmt;
+
+struct OpFmt<'a>(&'a Operand);
+
+impl fmt::Display for OpFmt<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Operand::Var(v) => write!(f, "{v}"),
+            Operand::ConstInt(v) => write!(f, "{v}"),
+            Operand::ConstFloat(v) => write!(f, "{v:?}"),
+            Operand::ConstBool(v) => write!(f, "{v}"),
+            Operand::Null => write!(f, "null"),
+        }
+    }
+}
+
+struct BaseFmt<'a>(&'a MemBase);
+
+impl fmt::Display for BaseFmt<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            MemBase::Global(g) => write!(f, "{g}"),
+            MemBase::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Copy { dst, src } => write!(f, "{dst} = {}", OpFmt(src)),
+            Inst::Un { dst, op, a } => write!(f, "{dst} = {op} {}", OpFmt(a)),
+            Inst::Bin { dst, op, a, b } => {
+                write!(f, "{dst} = {op} {}, {}", OpFmt(a), OpFmt(b))
+            }
+            Inst::Intrin { dst, op, args } => {
+                write!(f, "{dst} = {op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", OpFmt(a))?;
+                }
+                write!(f, ")")
+            }
+            Inst::LoadIndex { dst, base, index } => {
+                write!(f, "{dst} = load {}[{}]", BaseFmt(base), OpFmt(index))
+            }
+            Inst::StoreIndex { base, index, value } => {
+                write!(
+                    f,
+                    "store {}[{}] = {}",
+                    BaseFmt(base),
+                    OpFmt(index),
+                    OpFmt(value)
+                )
+            }
+            Inst::LoadField { dst, obj, field } => {
+                write!(f, "{dst} = load {}.f{field}", OpFmt(obj))
+            }
+            Inst::StoreField { obj, field, value } => {
+                write!(f, "store {}.f{field} = {}", OpFmt(obj), OpFmt(value))
+            }
+            Inst::LoadGlobal { dst, global } => write!(f, "{dst} = load {global}"),
+            Inst::StoreGlobal { global, value } => {
+                write!(f, "store {global} = {}", OpFmt(value))
+            }
+            Inst::AllocStruct { dst, sid } => write!(f, "{dst} = new {sid}"),
+            Inst::AllocArray { dst, len } => write!(f, "{dst} = new[{}]", OpFmt(len)),
+            Inst::Call { dst, func, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "call {func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", OpFmt(a))?;
+                }
+                write!(f, ")")
+            }
+            Inst::Print { args } => {
+                write!(f, "print(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match a {
+                        PrintOp::Label(s) => write!(f, "{s:?}")?,
+                        PrintOp::Value(o) => write!(f, "{}", OpFmt(o))?,
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jump {b}"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(f, "br {}, {then_bb}, {else_bb}", OpFmt(cond)),
+            Terminator::Return(None) => write!(f, "ret"),
+            Terminator::Return(Some(v)) => write!(f, "ret {}", OpFmt(v)),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}: {}", self.var(*p).ty)?;
+        }
+        writeln!(f, ") -> {} {{", self.ret)?;
+        for b in self.block_ids() {
+            let tag = self
+                .loop_tags
+                .get(&b)
+                .map(|t| format!("  ; @{t}"))
+                .unwrap_or_default();
+            writeln!(f, "{b}:{tag}")?;
+            for inst in &self.block(b).insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", self.block(b).term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.structs.iter().enumerate() {
+            write!(f, "struct s{i} {}", s.name)?;
+            writeln!(
+                f,
+                " {{ {} }}",
+                s.fields
+                    .iter()
+                    .map(|(n, t)| format!("{n}: {t}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
+        for (i, g) in self.globals.iter().enumerate() {
+            write!(f, "global g{i} {}: {}", g.name, g.ty)?;
+            match &g.init {
+                Some(v) => writeln!(f, " = {}", OpFmt(v))?,
+                None => writeln!(f)?,
+            }
+        }
+        for func in &self.funcs {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+
+    #[test]
+    fn function_printing_is_stable() {
+        let m = compile(
+            "fn main() -> int { let x: int = 1; return x + 2; }",
+        )
+        .expect("compile");
+        let text = m.funcs[0].to_string();
+        assert!(text.contains("fn main()"));
+        assert!(text.contains("bb0:"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn module_printing_lists_structs_and_globals() {
+        let m = compile(
+            "struct N { v: int }\nlet g: int = 4;\nfn main() { }",
+        )
+        .expect("compile");
+        let text = m.to_string();
+        assert!(text.contains("struct s0 N"));
+        assert!(text.contains("global g0 g: int = 4"));
+    }
+
+    #[test]
+    fn tagged_loop_headers_annotated() {
+        let m = compile(
+            "fn main() { @hot: while (false) { } }",
+        )
+        .expect("compile");
+        assert!(m.funcs[0].to_string().contains("; @hot"));
+    }
+}

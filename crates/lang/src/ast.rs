@@ -1,0 +1,373 @@
+//! Abstract syntax tree for mini-C.
+//!
+//! Every expression carries a unique [`ExprId`] assigned by the parser; the
+//! type checker publishes a side table mapping ids to resolved types
+//! (see [`crate::sema::TypeMap`]), which the IR lowering consults.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// Unique id of an expression node within one [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprId(pub u32);
+
+/// A syntactic type annotation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TyAst {
+    /// `int` — 64-bit signed integer.
+    Int,
+    /// `float` — 64-bit IEEE float.
+    Float,
+    /// `bool`.
+    Bool,
+    /// `*T` — pointer to a heap object (struct or heap array).
+    Ptr(Box<TyAst>),
+    /// `[T; N]` — fixed-size array (locals and globals only).
+    Array(Box<TyAst>, usize),
+    /// A named struct type. Struct values live on the heap and are always
+    /// manipulated through `*Name` pointers; a bare struct type is only legal
+    /// under `Ptr` or in `new`.
+    Named(String),
+}
+
+impl fmt::Display for TyAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TyAst::Int => write!(f, "int"),
+            TyAst::Float => write!(f, "float"),
+            TyAst::Bool => write!(f, "bool"),
+            TyAst::Ptr(t) => write!(f, "*{t}"),
+            TyAst::Array(t, n) => write!(f, "[{t}; {n}]"),
+            TyAst::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+    /// `&` (integers)
+    BitAnd,
+    /// `|` (integers)
+    BitOr,
+    /// `^` (integers)
+    BitXor,
+    /// `<<` (integers)
+    Shl,
+    /// `>>` (integers, arithmetic)
+    Shr,
+}
+
+impl BinOp {
+    /// True for `==`, `!=`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for the short-circuit logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique id (used by the type side table).
+    pub id: ExprId,
+    /// Source position.
+    pub pos: Pos,
+    /// The expression itself.
+    pub kind: ExprKind,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `true` / `false`.
+    BoolLit(bool),
+    /// `null` pointer literal.
+    NullLit,
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation (including short-circuit `&&`/`||`).
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `base[index]` on a fixed array or heap-array pointer.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field` / `base->field` on a struct pointer.
+    Field(Box<Expr>, String),
+    /// Function call `f(args...)`; may resolve to a builtin intrinsic.
+    Call(String, Vec<Expr>),
+    /// `new Name` — heap-allocate a zeroed struct, yields `*Name`.
+    NewStruct(String),
+    /// `new [T; len]` — heap-allocate a zeroed array of dynamic length,
+    /// yields `*T`.
+    NewArray(TyAst, Box<Expr>),
+    /// `expr as T` numeric cast (int ↔ float).
+    Cast(Box<Expr>, TyAst),
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Source position.
+    pub pos: Pos,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+/// Statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let name: ty = init;` — locals are zero-initialized if `init` is
+    /// absent.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: TyAst,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Target lvalue (variable, index or field expression).
+        target: Expr,
+        /// Value to store.
+        value: Expr,
+    },
+    /// Bare expression statement (must be a call).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition (bool).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`, optionally tagged `@name: while ...`.
+    While {
+        /// Optional loop tag used by expert annotations and reports.
+        tag: Option<String>,
+        /// Condition (bool).
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { .. }`, optionally tagged.
+    For {
+        /// Optional loop tag.
+        tag: Option<String>,
+        /// Init statement (let or assign), runs once.
+        init: Box<Stmt>,
+        /// Condition (bool), checked before each iteration.
+        cond: Expr,
+        /// Step statement (assign or expr), runs after each iteration.
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `break;` out of the innermost loop.
+    Break,
+    /// `continue;` to the innermost loop's step/condition.
+    Continue,
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `print(args...);` — observable output; marks the containing loop as
+    /// having I/O, which excludes it from DCA candidacy (paper §IV-E).
+    /// String-literal arguments label output; other arguments are evaluated.
+    Print(Vec<PrintArg>),
+    /// A nested block `{ .. }` introducing a scope.
+    Block(Vec<Stmt>),
+}
+
+/// One argument of a `print` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrintArg {
+    /// A literal label, not evaluated.
+    Label(String),
+    /// An expression whose value is printed.
+    Value(Expr),
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Field names and types, in declaration order.
+    pub fields: Vec<(String, TyAst)>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A global variable definition. Globals are zero-initialized; scalar
+/// globals may carry a constant initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Global name.
+    pub name: String,
+    /// Declared type (scalar or fixed array).
+    pub ty: TyAst,
+    /// Optional constant initializer (scalars only).
+    pub init: Option<Expr>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, TyAst)>,
+    /// Return type; `None` for unit functions.
+    pub ret: Option<TyAst>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A whole parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Global definitions.
+    pub globals: Vec<GlobalDef>,
+    /// Function definitions.
+    pub functions: Vec<FnDef>,
+    /// Number of expression ids allocated (ids are `0..expr_count`).
+    pub expr_count: u32,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&FnDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a struct definition by name.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_display() {
+        let t = TyAst::Ptr(Box::new(TyAst::Named("Node".into())));
+        assert_eq!(t.to_string(), "*Node");
+        let a = TyAst::Array(Box::new(TyAst::Float), 8);
+        assert_eq!(a.to_string(), "[float; 8]");
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::BitAnd.is_logical());
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut p = Program::default();
+        p.functions.push(FnDef {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            body: vec![],
+            pos: Pos::default(),
+        });
+        assert!(p.function("main").is_some());
+        assert!(p.function("other").is_none());
+        assert!(p.struct_def("Node").is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Frontend error type shared by the lexer, parser and type checker.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// Which frontend stage produced an [`Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Lexical error (bad character, malformed literal, ...).
+    Lex,
+    /// Syntactic error (unexpected token, ...).
+    Parse,
+    /// Semantic error (type mismatch, unknown name, ...).
+    Type,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Lex => write!(f, "lex error"),
+            ErrorKind::Parse => write!(f, "parse error"),
+            ErrorKind::Type => write!(f, "type error"),
+        }
+    }
+}
+
+/// A frontend diagnostic: stage, message and source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    kind: ErrorKind,
+    message: String,
+    pos: Pos,
+}
+
+impl Error {
+    /// Creates an error of the given kind at `pos`.
+    pub fn new(kind: ErrorKind, message: impl Into<String>, pos: Pos) -> Self {
+        Error {
+            kind,
+            message: message.into(),
+            pos,
+        }
+    }
+
+    /// The stage that produced the error.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The human-readable message (lowercase, no trailing punctuation).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source position the error points at.
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.pos, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_position_and_message() {
+        let e = Error::new(ErrorKind::Parse, "expected `;`", Pos::new(4, 2));
+        assert_eq!(e.to_string(), "parse error at 4:2: expected `;`");
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

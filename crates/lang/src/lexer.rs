@@ -1,0 +1,388 @@
+//! Hand-written lexer for mini-C.
+//!
+//! Produces a flat [`Token`] stream terminated by [`TokenKind::Eof`]. Line
+//! comments (`// ...`) and block comments (`/* ... */`, non-nesting) are
+//! skipped.
+
+use crate::error::{Error, ErrorKind};
+use crate::token::{Pos, Token, TokenKind};
+
+/// Lexes `source` into a token stream ending with an `Eof` token.
+///
+/// # Errors
+///
+/// Returns a [`Error`] with [`ErrorKind::Lex`] on the first malformed
+/// character or literal.
+pub fn lex(source: &str) -> Result<Vec<Token>, Error> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    at: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            at: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::new(ErrorKind::Lex, msg, self.pos())
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Error> {
+        while let Some(c) = self.peek() {
+            let pos = self.pos();
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.err("unterminated block comment")),
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                b'0'..=b'9' => self.number(pos)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(pos),
+                b'"' => self.string(pos)?,
+                _ => self.punct(pos)?,
+            }
+        }
+        let pos = self.pos();
+        self.out.push(Token::new(TokenKind::Eof, pos));
+        Ok(self.out)
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<(), Error> {
+        let start = self.at;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // A fractional part: `.` followed by a digit (so `a[0].f` still works
+        // if we ever allowed it; field access needs an identifier anyway).
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        // Exponent: e or E, optional sign, digits.
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut look = self.at + 1;
+            if matches!(self.src.get(look), Some(b'+' | b'-')) {
+                look += 1;
+            }
+            if matches!(self.src.get(look), Some(b'0'..=b'9')) {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.at]).expect("ascii digits");
+        let kind = if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| Error::new(ErrorKind::Lex, "malformed float literal", pos))?;
+            TokenKind::Float(v)
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| Error::new(ErrorKind::Lex, "integer literal out of range", pos))?;
+            TokenKind::Int(v)
+        };
+        self.out.push(Token::new(kind, pos));
+        Ok(())
+    }
+
+    fn ident(&mut self, pos: Pos) {
+        let start = self.at;
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.at]).expect("ascii ident");
+        let kind = match text {
+            "fn" => TokenKind::Fn,
+            "let" => TokenKind::Let,
+            "struct" => TokenKind::Struct,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "return" => TokenKind::Return,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "null" => TokenKind::Null,
+            "new" => TokenKind::New,
+            "print" => TokenKind::Print,
+            "int" => TokenKind::TyInt,
+            "float" => TokenKind::TyFloat,
+            "bool" => TokenKind::TyBool,
+            "as" => TokenKind::As,
+            _ => TokenKind::Ident(text.to_owned()),
+        };
+        self.out.push(Token::new(kind, pos));
+    }
+
+    fn string(&mut self, pos: Pos) -> Result<(), Error> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string literal")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => text.push('\n'),
+                    Some(b't') => text.push('\t'),
+                    Some(b'"') => text.push('"'),
+                    Some(b'\\') => text.push('\\'),
+                    _ => return Err(self.err("unknown escape in string literal")),
+                },
+                Some(c) => text.push(c as char),
+            }
+        }
+        self.out.push(Token::new(TokenKind::Str(text), pos));
+        Ok(())
+    }
+
+    fn punct(&mut self, pos: Pos) -> Result<(), Error> {
+        use TokenKind::*;
+        let c = self.bump().expect("peeked");
+        let two = |l: &mut Self, second: u8, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(second) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b',' => Comma,
+            b';' => Semi,
+            b':' => Colon,
+            b'.' => Dot,
+            b'@' => At,
+            b'+' => Plus,
+            b'*' => Star,
+            b'/' => Slash,
+            b'%' => Percent,
+            b'^' => Caret,
+            b'-' => two(self, b'>', Arrow, Minus),
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    EqEq
+                } else if self.peek() == Some(b'>') {
+                    self.bump();
+                    FatArrow
+                } else {
+                    Assign
+                }
+            }
+            b'!' => two(self, b'=', NotEq, Bang),
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Le
+                } else if self.peek() == Some(b'<') {
+                    self.bump();
+                    Shl
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ge
+                } else if self.peek() == Some(b'>') {
+                    self.bump();
+                    Shr
+                } else {
+                    Gt
+                }
+            }
+            b'&' => two(self, b'&', AndAnd, Amp),
+            b'|' => two(self, b'|', OrOr, Pipe),
+            other => {
+                return Err(Error::new(
+                    ErrorKind::Lex,
+                    format!("unexpected character `{}`", other as char),
+                    pos,
+                ))
+            }
+        };
+        self.out.push(Token::new(kind, pos));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lex failure")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn main while whilex"),
+            vec![Fn, Ident("main".into()), While, Ident("whilex".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("0 42 3.5 1e-8 2E3 7."),
+            vec![Int(0), Int(42), Float(3.5), Float(1e-8), Float(2e3), Int(7), Dot, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("-> <= >= == != && || << >> ="),
+            vec![Arrow, Le, Ge, EqEq, NotEq, AndAnd, OrOr, Shl, Shr, Assign, Eof]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("1 // comment\n 2 /* multi\nline */ 3"),
+            vec![Int(1), Int(2), Int(3), Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions_across_lines() {
+        let toks = lex("a\n  b").expect("lex failure");
+        assert_eq!(toks[0].pos, Pos::new(1, 1));
+        assert_eq!(toks[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb""#),
+            vec![Str("a\nb".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = lex("\"abc").expect_err("should fail");
+        assert_eq!(err.kind(), ErrorKind::Lex);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a ? b").expect_err("should fail");
+        assert_eq!(err.kind(), ErrorKind::Lex);
+        assert!(err.message().contains('?'));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(kinds("a-b a->b"), {
+            vec![
+                Ident("a".into()),
+                Minus,
+                Ident("b".into()),
+                Ident("a".into()),
+                Arrow,
+                Ident("b".into()),
+                Eof,
+            ]
+        });
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

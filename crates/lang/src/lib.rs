@@ -1,0 +1,50 @@
+//! Mini-C frontend for the DCA reproduction.
+//!
+//! The paper's prototype analyzes C programs lowered to LLVM IR. This crate
+//! provides the equivalent substrate: a small, deterministic C-like language
+//! ("mini-C") rich enough to express both the regular array-based NAS kernels
+//! and the irregular pointer-linked data structure (PLDS) programs of the
+//! paper's evaluation — structs, pointers, heap allocation, fixed arrays,
+//! loops with `break`/`continue`, functions, and a `print` statement that
+//! doubles as the observable-I/O marker DCA uses to exclude loops.
+//!
+//! The pipeline is [`lex`] → [`parse`] → [`check`], usually driven through
+//! the one-shot [`frontend`] helper:
+//!
+//! ```
+//! let program = dca_lang::frontend(
+//!     "fn main() -> int { let x: int = 2; return x * 21; }",
+//! )?;
+//! assert_eq!(program.ast.functions.len(), 1);
+//! # Ok::<(), dca_lang::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod token;
+
+pub use ast::Program;
+pub use error::{Error, ErrorKind};
+pub use lexer::lex;
+pub use parser::parse;
+pub use sema::{check, CheckedProgram, TypeMap};
+
+/// Runs the full frontend: lex, parse and type-check `source`.
+///
+/// Returns the checked program (AST plus expression-type table), ready to be
+/// lowered to IR by `dca-ir`.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or type error encountered, with a
+/// line/column position into `source`.
+pub fn frontend(source: &str) -> Result<CheckedProgram, Error> {
+    let tokens = lex(source)?;
+    let ast = parse(&tokens)?;
+    check(ast)
+}

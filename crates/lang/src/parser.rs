@@ -1,0 +1,807 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! Operator precedence follows C (with Rust-style `as` casts binding tighter
+//! than any binary operator). Loops may be tagged `@name:` so that expert
+//! annotations and reports can refer to them stably.
+
+use crate::ast::*;
+use crate::error::{Error, ErrorKind};
+use crate::token::{Pos, Token, TokenKind};
+
+/// Parses a token stream (as produced by [`crate::lex`]) into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`Error`] with [`ErrorKind::Parse`] on the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Program, Error> {
+    Parser {
+        tokens,
+        at: 0,
+        next_expr: 0,
+        depth: 0,
+    }
+    .program()
+}
+
+/// Zero-sized token proving `enter` succeeded (forces paired `leave`).
+struct DepthGuard;
+
+/// Maximum nesting depth of expressions, statements and types. The parser
+/// is recursive-descent; without a bound, adversarial input like ten
+/// thousand `(`s overflows the stack instead of reporting an error. The
+/// bound is conservative because debug-build frames are large: ~13 frames
+/// per nesting level must fit a 2 MiB test-thread stack.
+const MAX_DEPTH: u32 = 96;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    at: usize,
+    next_expr: u32,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.at.min(self.tokens.len() - 1)].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at.min(self.tokens.len() - 1)].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.peek().clone();
+        if self.at < self.tokens.len() - 1 {
+            self.at += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.peek() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: &TokenKind) -> Result<(), Error> {
+        if self.eat(k) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{k}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::new(ErrorKind::Parse, msg, self.pos())
+    }
+
+    fn fresh(&mut self) -> ExprId {
+        let id = ExprId(self.next_expr);
+        self.next_expr += 1;
+        id
+    }
+
+    fn enter(&mut self) -> Result<DepthGuard, Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(DepthGuard)
+    }
+
+    fn leave(&mut self, _guard: DepthGuard) {
+        self.depth -= 1;
+    }
+
+    fn ident(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    // ---- items ----------------------------------------------------------
+
+    fn program(mut self) -> Result<Program, Error> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Struct => prog.structs.push(self.struct_def()?),
+                TokenKind::Let => prog.globals.push(self.global_def()?),
+                TokenKind::Fn => prog.functions.push(self.fn_def()?),
+                other => return Err(self.err(format!("expected item, found `{other}`"))),
+            }
+        }
+        prog.expr_count = self.next_expr;
+        Ok(prog)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, Error> {
+        let pos = self.pos();
+        self.expect(&TokenKind::Struct)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let fname = self.ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let fty = self.ty()?;
+            fields.push((fname, fty));
+            if !self.eat(&TokenKind::Comma) {
+                self.expect(&TokenKind::RBrace)?;
+                break;
+            }
+        }
+        Ok(StructDef { name, fields, pos })
+    }
+
+    fn global_def(&mut self) -> Result<GlobalDef, Error> {
+        let pos = self.pos();
+        self.expect(&TokenKind::Let)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.ty()?;
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(GlobalDef { name, ty, init, pos })
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, Error> {
+        let pos = self.pos();
+        self.expect(&TokenKind::Fn)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        while !self.eat(&TokenKind::RParen) {
+            let pname = self.ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let pty = self.ty()?;
+            params.push((pname, pty));
+            if !self.eat(&TokenKind::Comma) {
+                self.expect(&TokenKind::RParen)?;
+                break;
+            }
+        }
+        let ret = if self.eat(&TokenKind::Arrow) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            params,
+            ret,
+            body,
+            pos,
+        })
+    }
+
+    fn ty(&mut self) -> Result<TyAst, Error> {
+        let g = self.enter()?;
+        let r = self.ty_inner();
+        self.leave(g);
+        r
+    }
+
+    fn ty_inner(&mut self) -> Result<TyAst, Error> {
+        match self.peek().clone() {
+            TokenKind::TyInt => {
+                self.bump();
+                Ok(TyAst::Int)
+            }
+            TokenKind::TyFloat => {
+                self.bump();
+                Ok(TyAst::Float)
+            }
+            TokenKind::TyBool => {
+                self.bump();
+                Ok(TyAst::Bool)
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(TyAst::Ptr(Box::new(self.ty()?)))
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let elem = self.ty()?;
+                self.expect(&TokenKind::Semi)?;
+                let n = match self.bump() {
+                    TokenKind::Int(n) if n >= 0 => n as usize,
+                    other => {
+                        return Err(self.err(format!(
+                            "expected array length, found `{other}`"
+                        )))
+                    }
+                };
+                self.expect(&TokenKind::RBracket)?;
+                Ok(TyAst::Array(Box::new(elem), n))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(TyAst::Named(name))
+            }
+            other => Err(self.err(format!("expected type, found `{other}`"))),
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, Error> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut out = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Error> {
+        let g = self.enter()?;
+        let r = self.stmt_inner();
+        self.leave(g);
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, Error> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            TokenKind::At => {
+                self.bump();
+                let tag = self.ident()?;
+                self.expect(&TokenKind::Colon)?;
+                match self.peek() {
+                    TokenKind::While => self.while_stmt(Some(tag)),
+                    TokenKind::For => self.for_stmt(Some(tag)),
+                    other => Err(self.err(format!(
+                        "loop tag must precede `while` or `for`, found `{other}`"
+                    ))),
+                }
+            }
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.ty()?;
+                let init = if self.eat(&TokenKind::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Let { name, ty, init },
+                })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&TokenKind::Else) {
+                    if *self.peek() == TokenKind::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    },
+                })
+            }
+            TokenKind::While => self.while_stmt(None),
+            TokenKind::For => self.for_stmt(None),
+            TokenKind::Break => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Break,
+                })
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Continue,
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Return(value),
+                })
+            }
+            TokenKind::Print => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mut args = Vec::new();
+                while !self.eat(&TokenKind::RParen) {
+                    if let TokenKind::Str(s) = self.peek().clone() {
+                        self.bump();
+                        args.push(PrintArg::Label(s));
+                    } else {
+                        args.push(PrintArg::Value(self.expr()?));
+                    }
+                    if !self.eat(&TokenKind::Comma) {
+                        self.expect(&TokenKind::RParen)?;
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Print(args),
+                })
+            }
+            TokenKind::LBrace => {
+                let body = self.block()?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Block(body),
+                })
+            }
+            _ => self.assign_or_expr_stmt(),
+        }
+    }
+
+    fn while_stmt(&mut self, tag: Option<String>) -> Result<Stmt, Error> {
+        let pos = self.pos();
+        self.expect(&TokenKind::While)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt {
+            pos,
+            kind: StmtKind::While { tag, cond, body },
+        })
+    }
+
+    fn for_stmt(&mut self, tag: Option<String>) -> Result<Stmt, Error> {
+        let pos = self.pos();
+        self.expect(&TokenKind::For)?;
+        self.expect(&TokenKind::LParen)?;
+        // `init` ends with the `;` consumed by the sub-statement parse.
+        let init = if *self.peek() == TokenKind::Let {
+            Box::new(self.stmt()?)
+        } else {
+            Box::new(self.assign_or_expr_stmt()?)
+        };
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        // `step` has no trailing `;` before the `)`.
+        let step = Box::new(self.assign_no_semi()?);
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt {
+            pos,
+            kind: StmtKind::For {
+                tag,
+                init,
+                cond,
+                step,
+                body,
+            },
+        })
+    }
+
+    fn assign_or_expr_stmt(&mut self) -> Result<Stmt, Error> {
+        let stmt = self.assign_no_semi()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(stmt)
+    }
+
+    fn assign_no_semi(&mut self) -> Result<Stmt, Error> {
+        let pos = self.pos();
+        let first = self.expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let value = self.expr()?;
+            Ok(Stmt {
+                pos,
+                kind: StmtKind::Assign {
+                    target: first,
+                    value,
+                },
+            })
+        } else {
+            Ok(Stmt {
+                pos,
+                kind: StmtKind::Expr(first),
+            })
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Error> {
+        let g = self.enter()?;
+        let r = self.binary(0);
+        self.leave(g);
+        r
+    }
+
+    /// Binary precedence levels, loosest (0) to tightest.
+    fn level_op(&self, level: u8) -> Option<BinOp> {
+        use BinOp::*;
+        use TokenKind as T;
+        let op = match (level, self.peek()) {
+            (0, T::OrOr) => Or,
+            (1, T::AndAnd) => And,
+            (2, T::Pipe) => BitOr,
+            (3, T::Caret) => BitXor,
+            (4, T::Amp) => BitAnd,
+            (5, T::EqEq) => Eq,
+            (5, T::NotEq) => Ne,
+            (6, T::Lt) => Lt,
+            (6, T::Le) => Le,
+            (6, T::Gt) => Gt,
+            (6, T::Ge) => Ge,
+            (7, T::Shl) => Shl,
+            (7, T::Shr) => Shr,
+            (8, T::Plus) => Add,
+            (8, T::Minus) => Sub,
+            (9, T::Star) => Mul,
+            (9, T::Slash) => Div,
+            (9, T::Percent) => Rem,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn binary(&mut self, level: u8) -> Result<Expr, Error> {
+        if level > 9 {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        while let Some(op) = self.level_op(level) {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr {
+                id: self.fresh(),
+                pos,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, Error> {
+        let pos = self.pos();
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr {
+                id: self.fresh(),
+                pos,
+                kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+            });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let e = self.unary()?;
+            return Ok(Expr {
+                id: self.fresh(),
+                pos,
+                kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, Error> {
+        let mut e = self.primary()?;
+        loop {
+            let pos = self.pos();
+            if self.eat(&TokenKind::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                e = Expr {
+                    id: self.fresh(),
+                    pos,
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                };
+            } else if self.eat(&TokenKind::Dot) || self.eat(&TokenKind::Arrow) {
+                let name = self.ident()?;
+                e = Expr {
+                    id: self.fresh(),
+                    pos,
+                    kind: ExprKind::Field(Box::new(e), name),
+                };
+            } else if self.eat(&TokenKind::As) {
+                let ty = self.ty()?;
+                e = Expr {
+                    id: self.fresh(),
+                    pos,
+                    kind: ExprKind::Cast(Box::new(e), ty),
+                };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, Error> {
+        let pos = self.pos();
+        let id = self.fresh();
+        let kind = match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                ExprKind::IntLit(v)
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                ExprKind::FloatLit(v)
+            }
+            TokenKind::True => {
+                self.bump();
+                ExprKind::BoolLit(true)
+            }
+            TokenKind::False => {
+                self.bump();
+                ExprKind::BoolLit(false)
+            }
+            TokenKind::Null => {
+                self.bump();
+                ExprKind::NullLit
+            }
+            TokenKind::New => {
+                self.bump();
+                if self.eat(&TokenKind::LBracket) {
+                    let elem = self.ty()?;
+                    self.expect(&TokenKind::Semi)?;
+                    let len = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    ExprKind::NewArray(elem, Box::new(len))
+                } else {
+                    let name = self.ident()?;
+                    ExprKind::NewStruct(name)
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(inner);
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    while !self.eat(&TokenKind::RParen) {
+                        args.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            self.expect(&TokenKind::RParen)?;
+                            break;
+                        }
+                    }
+                    ExprKind::Call(name, args)
+                } else {
+                    ExprKind::Var(name)
+                }
+            }
+            other => return Err(self.err(format!("expected expression, found `{other}`"))),
+        };
+        Ok(Expr { id, pos, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).expect("lex")).expect("parse")
+    }
+
+    fn parse_expr(src: &str) -> Expr {
+        let prog = parse_src(&format!("fn main() -> int {{ return {src}; }}"));
+        match &prog.functions[0].body[0].kind {
+            StmtKind::Return(Some(e)) => e.clone(),
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+
+    fn shape(e: &Expr) -> String {
+        match &e.kind {
+            ExprKind::IntLit(v) => v.to_string(),
+            ExprKind::FloatLit(v) => v.to_string(),
+            ExprKind::BoolLit(v) => v.to_string(),
+            ExprKind::NullLit => "null".into(),
+            ExprKind::Var(n) => n.clone(),
+            ExprKind::Unary(op, a) => format!("({op}{})", shape(a)),
+            ExprKind::Binary(op, a, b) => format!("({} {op} {})", shape(a), shape(b)),
+            ExprKind::Index(a, i) => format!("{}[{}]", shape(a), shape(i)),
+            ExprKind::Field(a, f) => format!("{}.{f}", shape(a)),
+            ExprKind::Call(f, args) => format!(
+                "{f}({})",
+                args.iter().map(shape).collect::<Vec<_>>().join(",")
+            ),
+            ExprKind::NewStruct(n) => format!("new {n}"),
+            ExprKind::NewArray(t, n) => format!("new[{t};{}]", shape(n)),
+            ExprKind::Cast(a, t) => format!("({} as {t})", shape(a)),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(shape(&parse_expr("1 + 2 * 3")), "(1 + (2 * 3))");
+    }
+
+    #[test]
+    fn precedence_cmp_over_logic() {
+        assert_eq!(
+            shape(&parse_expr("a < b && c >= d || e == f")),
+            "(((a < b) && (c >= d)) || (e == f))"
+        );
+    }
+
+    #[test]
+    fn precedence_shift_between_cmp_and_add() {
+        assert_eq!(shape(&parse_expr("a < b << 1 + c")), "(a < (b << (1 + c)))");
+    }
+
+    #[test]
+    fn postfix_chain() {
+        assert_eq!(shape(&parse_expr("p.next.val")), "p.next.val");
+        assert_eq!(shape(&parse_expr("a[i][j]")), "a[i][j]");
+        assert_eq!(shape(&parse_expr("p->next->val")), "p.next.val");
+    }
+
+    #[test]
+    fn cast_binds_tighter_than_binary() {
+        assert_eq!(
+            shape(&parse_expr("x + i as float")),
+            "(x + (i as float))"
+        );
+    }
+
+    #[test]
+    fn unary_chain() {
+        assert_eq!(shape(&parse_expr("- -x")), "(-(-x))");
+        assert_eq!(shape(&parse_expr("!a && b")), "((!a) && b)");
+    }
+
+    #[test]
+    fn parses_struct_global_fn() {
+        let p = parse_src(
+            "struct Node { val: int, next: *Node }\n\
+             let g: [int; 10];\n\
+             fn id(x: int) -> int { return x; }",
+        );
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn parses_tagged_loops() {
+        let p = parse_src(
+            "fn main() { @hot: for (let i: int = 0; i < 4; i = i + 1) { } \
+             @scan: while (false) { } }",
+        );
+        let body = &p.functions[0].body;
+        match (&body[0].kind, &body[1].kind) {
+            (StmtKind::For { tag: Some(a), .. }, StmtKind::While { tag: Some(b), .. }) => {
+                assert_eq!(a, "hot");
+                assert_eq!(b, "scan");
+            }
+            other => panic!("unexpected statements: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse_src(
+            "fn f(x: int) -> int { if (x < 0) { return 0; } else if (x < 10) { return 1; } \
+             else { return 2; } }",
+        );
+        match &p.functions[0].body[0].kind {
+            StmtKind::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_print_with_labels() {
+        let p = parse_src(r#"fn main() { print("sum", 1 + 2); }"#);
+        match &p.functions[0].body[0].kind {
+            StmtKind::Print(args) => {
+                assert!(matches!(args[0], PrintArg::Label(ref s) if s == "sum"));
+                assert!(matches!(args[1], PrintArg::Value(_)));
+            }
+            other => panic!("expected print, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_new_forms() {
+        assert_eq!(shape(&parse_expr("new Node")), "new Node");
+        assert_eq!(shape(&parse_expr("new [float; n * 2]")), "new[float;(n * 2)]");
+    }
+
+    #[test]
+    fn expr_ids_are_unique() {
+        let p = parse_src("fn main() -> int { return 1 + 2 * 3 - 4; }");
+        assert!(p.expr_count >= 7);
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded_not_fatal() {
+        // Moderate nesting parses; adversarial nesting errors cleanly
+        // instead of overflowing the parser's stack.
+        for (depth, ok) in [(64usize, true), (200, false), (5000, false)] {
+            let expr = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+            let src = format!("fn main() -> int {{ return {expr}; }}");
+            let toks = lex(&src).expect("lex");
+            let result = parse(&toks);
+            assert_eq!(result.is_ok(), ok, "depth {depth}");
+            if !ok {
+                assert!(result
+                    .expect_err("deep nesting must error")
+                    .message()
+                    .contains("nesting too deep"));
+            }
+        }
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let toks = lex("fn main() { let x: int = 1 }").expect("lex");
+        let err = parse(&toks).expect_err("should fail");
+        assert_eq!(err.kind(), ErrorKind::Parse);
+    }
+
+    #[test]
+    fn error_on_tag_without_loop() {
+        let toks = lex("fn main() { @t: if (true) { } }").expect("lex");
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn for_loop_components() {
+        let p = parse_src("fn main() { for (let i: int = 0; i < 8; i = i + 2) { break; } }");
+        match &p.functions[0].body[0].kind {
+            StmtKind::For { init, step, body, .. } => {
+                assert!(matches!(init.kind, StmtKind::Let { .. }));
+                assert!(matches!(step.kind, StmtKind::Assign { .. }));
+                assert!(matches!(body[0].kind, StmtKind::Break));
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Token definitions for the mini-C lexer.
+
+use std::fmt;
+
+/// A source position, 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position from 1-based line and column numbers.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// Integer literal, e.g. `42`.
+    Int(i64),
+    /// Floating point literal, e.g. `3.5` or `1e-8`.
+    Float(f64),
+    /// Identifier, e.g. `frontier`.
+    Ident(String),
+    /// String literal (only used by `print`), e.g. `"dist"`.
+    Str(String),
+
+    // Keywords.
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `struct`
+    Struct,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `new`
+    New,
+    /// `print`
+    Print,
+    /// `int`
+    TyInt,
+    /// `float`
+    TyFloat,
+    /// `bool`
+    TyBool,
+    /// `as`
+    As,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `->` (field access through a pointer; alias for `.`)
+    Arrow,
+    /// `=>` unused, reserved
+    FatArrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `@` (loop tag marker)
+    At,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Int(v) => write!(f, "{v}"),
+            Float(v) => write!(f, "{v}"),
+            Ident(s) => write!(f, "{s}"),
+            Str(s) => write!(f, "{s:?}"),
+            Fn => write!(f, "fn"),
+            Let => write!(f, "let"),
+            Struct => write!(f, "struct"),
+            If => write!(f, "if"),
+            Else => write!(f, "else"),
+            While => write!(f, "while"),
+            For => write!(f, "for"),
+            Break => write!(f, "break"),
+            Continue => write!(f, "continue"),
+            Return => write!(f, "return"),
+            True => write!(f, "true"),
+            False => write!(f, "false"),
+            Null => write!(f, "null"),
+            New => write!(f, "new"),
+            Print => write!(f, "print"),
+            TyInt => write!(f, "int"),
+            TyFloat => write!(f, "float"),
+            TyBool => write!(f, "bool"),
+            As => write!(f, "as"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
+            Comma => write!(f, ","),
+            Semi => write!(f, ";"),
+            Colon => write!(f, ":"),
+            Dot => write!(f, "."),
+            Arrow => write!(f, "->"),
+            FatArrow => write!(f, "=>"),
+            Assign => write!(f, "="),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            Percent => write!(f, "%"),
+            EqEq => write!(f, "=="),
+            NotEq => write!(f, "!="),
+            Lt => write!(f, "<"),
+            Le => write!(f, "<="),
+            Gt => write!(f, ">"),
+            Ge => write!(f, ">="),
+            AndAnd => write!(f, "&&"),
+            OrOr => write!(f, "||"),
+            Bang => write!(f, "!"),
+            Amp => write!(f, "&"),
+            Pipe => write!(f, "|"),
+            Caret => write!(f, "^"),
+            Shl => write!(f, "<<"),
+            Shr => write!(f, ">>"),
+            At => write!(f, "@"),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts in the source.
+    pub pos: Pos,
+}
+
+impl Token {
+    /// Creates a token at a position.
+    pub fn new(kind: TokenKind, pos: Pos) -> Self {
+        Token { kind, pos }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(Pos::new(3, 7).to_string(), "3:7");
+    }
+
+    #[test]
+    fn token_kind_display_round_trip_punctuation() {
+        for (k, s) in [
+            (TokenKind::Arrow, "->"),
+            (TokenKind::Le, "<="),
+            (TokenKind::AndAnd, "&&"),
+            (TokenKind::Shl, "<<"),
+        ] {
+            assert_eq!(k.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn pos_ordering_is_line_major() {
+        assert!(Pos::new(1, 9) < Pos::new(2, 1));
+        assert!(Pos::new(2, 1) < Pos::new(2, 2));
+    }
+}

@@ -1,0 +1,366 @@
+//! Per-iteration cost measurement for selected loops.
+//!
+//! The multicore simulator needs, for every parallelized loop invocation,
+//! the cost of each iteration (inclusive of nested loops and calls). One
+//! instrumented sequential run collects these as interpreter step deltas
+//! between header arrivals.
+
+use dca_interp::{Hooks, Machine, Site, Trap, Value};
+use dca_ir::{BlockId, FuncId, FuncView, LoopRef, Module};
+use std::collections::{BTreeSet, HashMap};
+
+/// The measured iterations of one loop invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvocationCosts {
+    /// Steps per iteration, in original execution order.
+    pub iter_costs: Vec<u64>,
+    /// True when this invocation ran while another *watched* invocation
+    /// was active (any loop, any function). Speedup accounting must skip
+    /// nested invocations: their time already lives inside the enclosing
+    /// invocation's iteration costs.
+    pub nested: bool,
+}
+
+impl InvocationCosts {
+    /// Total sequential steps of the invocation's iterations.
+    pub fn total(&self) -> u64 {
+        self.iter_costs.iter().sum()
+    }
+}
+
+/// Costs for every selected loop, plus the run's total step count.
+#[derive(Debug, Clone, Default)]
+pub struct CostProfile {
+    /// Invocations per loop, in execution order.
+    pub per_loop: HashMap<LoopRef, Vec<InvocationCosts>>,
+    /// Total steps of the sequential run.
+    pub total_steps: u64,
+}
+
+impl CostProfile {
+    /// Sum over all invocations of `l`.
+    pub fn loop_total(&self, l: LoopRef) -> u64 {
+        self.per_loop
+            .get(&l)
+            .map(|invs| invs.iter().map(InvocationCosts::total).sum())
+            .unwrap_or(0)
+    }
+}
+
+struct WatchedLoop {
+    header: BlockId,
+    blocks: BTreeSet<BlockId>,
+}
+
+struct ActiveInvocation {
+    lref: LoopRef,
+    depth: usize,
+    last_header_steps: u64,
+    costs: InvocationCosts,
+}
+
+/// The measuring [`Hooks`] implementation.
+pub struct CostProfiler {
+    /// Watched loops per function.
+    watched: HashMap<FuncId, Vec<(LoopRef, WatchedLoop)>>,
+    active: Vec<ActiveInvocation>,
+    out: CostProfile,
+}
+
+impl CostProfiler {
+    /// Prepares to measure exactly the loops in `selection`.
+    pub fn new(module: &Module, selection: &BTreeSet<LoopRef>) -> Self {
+        let mut watched: HashMap<FuncId, Vec<(LoopRef, WatchedLoop)>> = HashMap::new();
+        for &lref in selection {
+            let view = FuncView::new(module, lref.func);
+            let l = view.loops.get(lref.loop_id);
+            watched.entry(lref.func).or_default().push((
+                lref,
+                WatchedLoop {
+                    header: l.header,
+                    blocks: l.blocks.clone(),
+                },
+            ));
+        }
+        CostProfiler {
+            watched,
+            active: Vec::new(),
+            out: CostProfile::default(),
+        }
+    }
+
+    /// Finishes the measurement.
+    pub fn finish(mut self, total_steps: u64) -> CostProfile {
+        while let Some(a) = self.active.pop() {
+            self.out.per_loop.entry(a.lref).or_default().push(a.costs);
+        }
+        self.out.total_steps = total_steps;
+        self.out
+    }
+
+    fn close(&mut self, idx: usize, now: u64) {
+        let mut a = self.active.remove(idx);
+        // The final partial interval (exit check) attributes to the last
+        // iteration; drop it when no iteration was recorded.
+        let tail = now.saturating_sub(a.last_header_steps);
+        if let Some(last) = a.costs.iter_costs.last_mut() {
+            *last += tail;
+        }
+        self.out.per_loop.entry(a.lref).or_default().push(a.costs);
+    }
+}
+
+impl Hooks for CostProfiler {
+    fn on_block(&mut self, site: Site, block: BlockId, _vars: &mut [Value]) {
+        // Close invocations whose loop we just left (same depth and
+        // function, block outside), or record an iteration boundary at the
+        // header.
+        let mut i = 0;
+        while i < self.active.len() {
+            let (lref, depth) = (self.active[i].lref, self.active[i].depth);
+            if depth == site.depth && lref.func == site.func {
+                let watched = &self.watched[&site.func];
+                let w = &watched
+                    .iter()
+                    .find(|(l, _)| *l == lref)
+                    .expect("active loops are watched")
+                    .1;
+                if block == w.header {
+                    let a = &mut self.active[i];
+                    let delta = site.steps - a.last_header_steps;
+                    a.costs.iter_costs.push(delta);
+                    a.last_header_steps = site.steps;
+                } else if !w.blocks.contains(&block) {
+                    self.close(i, site.steps);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        // Open a new invocation when a watched header is entered and it is
+        // not already active at this depth.
+        if let Some(ws) = self.watched.get(&site.func) {
+            for (lref, w) in ws {
+                if w.header == block
+                    && !self
+                        .active
+                        .iter()
+                        .any(|a| a.lref == *lref && a.depth == site.depth)
+                {
+                    let nested = !self.active.is_empty();
+                    self.active.push(ActiveInvocation {
+                        lref: *lref,
+                        depth: site.depth,
+                        last_header_steps: site.steps,
+                        costs: InvocationCosts {
+                            nested,
+                            ..InvocationCosts::default()
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_return(&mut self, site: Site, _func: FuncId) {
+        let now = site.steps;
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].depth >= site.depth {
+                self.close(i, now);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Measures the fraction of execution steps spent inside *any* loop of
+/// `selection` (union attribution: overlapping activations — e.g. a
+/// selected callee loop running inside a selected caller loop — are not
+/// double-counted). Returns a value in `[0, 1]`.
+///
+/// # Errors
+///
+/// Propagates interpreter traps.
+///
+/// # Panics
+///
+/// Panics if the module has no `main`.
+pub fn covered_fraction(
+    module: &Module,
+    args: &[Value],
+    selection: &BTreeSet<LoopRef>,
+) -> Result<f64, Trap> {
+    struct UnionCoverage {
+        watched: HashMap<FuncId, Vec<(LoopRef, WatchedLoop)>>,
+        /// Stack of (depth, lref) activations.
+        active: Vec<(usize, LoopRef)>,
+        covered: u64,
+        last_steps: u64,
+    }
+    impl UnionCoverage {
+        fn tick(&mut self, now: u64) {
+            if !self.active.is_empty() {
+                self.covered += now.saturating_sub(self.last_steps);
+            }
+            self.last_steps = now;
+        }
+    }
+    impl Hooks for UnionCoverage {
+        fn on_block(&mut self, site: Site, block: BlockId, _vars: &mut [Value]) {
+            self.tick(site.steps);
+            // Close activations we have left.
+            self.active.retain(|&(d, lref)| {
+                if d != site.depth || lref.func != site.func {
+                    // A deeper frame returning is handled in on_return;
+                    // keep anything at other depths.
+                    return d < site.depth;
+                }
+                let w = &self.watched[&site.func]
+                    .iter()
+                    .find(|(l, _)| *l == lref)
+                    .expect("active loops are watched")
+                    .1;
+                w.blocks.contains(&block)
+            });
+            if let Some(ws) = self.watched.get(&site.func) {
+                for (lref, w) in ws {
+                    if w.header == block
+                        && !self
+                            .active
+                            .iter()
+                            .any(|&(d, l)| l == *lref && d == site.depth)
+                    {
+                        self.active.push((site.depth, *lref));
+                    }
+                }
+            }
+        }
+        fn on_return(&mut self, site: Site, _func: FuncId) {
+            self.tick(site.steps);
+            self.active.retain(|&(d, _)| d < site.depth);
+        }
+    }
+    let mut machine = Machine::new(module);
+    machine.push_call(module.main().expect("module has `main`"), args)?;
+    let mut watched: HashMap<FuncId, Vec<(LoopRef, WatchedLoop)>> = HashMap::new();
+    for &lref in selection {
+        let view = FuncView::new(module, lref.func);
+        let l = view.loops.get(lref.loop_id);
+        watched.entry(lref.func).or_default().push((
+            lref,
+            WatchedLoop {
+                header: l.header,
+                blocks: l.blocks.clone(),
+            },
+        ));
+    }
+    let mut cov = UnionCoverage {
+        watched,
+        active: Vec::new(),
+        covered: 0,
+        last_steps: 0,
+    };
+    machine.run(&mut cov, u64::MAX)?;
+    cov.tick(machine.steps());
+    Ok(cov.covered as f64 / machine.steps().max(1) as f64)
+}
+
+/// Measures iteration costs for `selection` in one sequential run of
+/// `main(args)`.
+///
+/// # Errors
+///
+/// Propagates interpreter traps.
+///
+/// # Panics
+///
+/// Panics if the module has no `main`.
+pub fn measure_costs(
+    module: &Module,
+    args: &[Value],
+    selection: &BTreeSet<LoopRef>,
+    max_steps: u64,
+) -> Result<CostProfile, Trap> {
+    let mut machine = Machine::new(module);
+    machine.push_call(module.main().expect("module has `main`"), args)?;
+    let mut profiler = CostProfiler::new(module, selection);
+    machine.run(&mut profiler, max_steps)?;
+    Ok(profiler.finish(machine.steps()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs_of(src: &str, tag: &str) -> (CostProfile, LoopRef) {
+        let m = dca_ir::compile(src).expect("compile");
+        let lref = dca_ir::all_loops(&m)
+            .into_iter()
+            .find(|(_, t)| t.as_deref() == Some(tag))
+            .expect("tagged loop")
+            .0;
+        let profile =
+            measure_costs(&m, &[], &BTreeSet::from([lref]), 100_000_000).expect("measure");
+        (profile, lref)
+    }
+
+    #[test]
+    fn counts_iterations_and_costs() {
+        let (p, l) = costs_of(
+            "fn main() { let s: int = 0; \
+             @l: for (let i: int = 0; i < 10; i = i + 1) { s = s + i; } }",
+            "l",
+        );
+        let invs = &p.per_loop[&l];
+        assert_eq!(invs.len(), 1);
+        assert_eq!(invs[0].iter_costs.len(), 10);
+        // Uniform body => roughly uniform per-iteration costs.
+        let min = invs[0].iter_costs.iter().min().expect("non-empty");
+        let max = invs[0].iter_costs.iter().max().expect("non-empty");
+        assert!(max - min <= 4, "costs {:?}", invs[0].iter_costs);
+        assert!(p.loop_total(l) <= p.total_steps);
+    }
+
+    #[test]
+    fn nested_calls_attribute_to_iteration() {
+        let (p, l) = costs_of(
+            "fn work(n: int) -> int { let s: int = 0; \
+             for (let k: int = 0; k < n; k = k + 1) { s = s + k; } return s; }\n\
+             fn main() { let t: int = 0; \
+             @l: for (let i: int = 0; i < 4; i = i + 1) { t = t + work(i * 20); } }",
+            "l",
+        );
+        let inv = &p.per_loop[&l][0];
+        assert_eq!(inv.iter_costs.len(), 4);
+        // Later iterations call work() with bigger n => strictly growing.
+        for w in inv.iter_costs.windows(2) {
+            assert!(w[1] > w[0], "costs {:?}", inv.iter_costs);
+        }
+    }
+
+    #[test]
+    fn multiple_invocations_recorded() {
+        let (p, l) = costs_of(
+            "fn go(n: int) { let s: int = 0; \
+             @l: for (let i: int = 0; i < n; i = i + 1) { s = s + i; } }\n\
+             fn main() { go(3); go(7); }",
+            "l",
+        );
+        let invs = &p.per_loop[&l];
+        assert_eq!(invs.len(), 2);
+        assert_eq!(invs[0].iter_costs.len(), 3);
+        assert_eq!(invs[1].iter_costs.len(), 7);
+    }
+
+    #[test]
+    fn unexecuted_selection_yields_no_costs() {
+        let (p, l) = costs_of(
+            "fn dead() { @l: while (false) { let x: int = 1; x = x + 1; } }\n\
+             fn main() { }",
+            "l",
+        );
+        assert_eq!(p.loop_total(l), 0);
+    }
+}

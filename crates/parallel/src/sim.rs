@@ -1,0 +1,317 @@
+//! Deterministic multicore execution simulator.
+//!
+//! The paper's speedups come from a 72-core Xeon; this host has one core,
+//! so wall-clock speedups are unobtainable. The figures' *shape*, however,
+//! is a function of loop coverage, the per-iteration cost distribution and
+//! the scheduling policy — all of which this simulator models in virtual
+//! time: iterations are dealt to `cores` workers (static block or dynamic
+//! self-scheduling), each invocation pays a fork/join overhead, and
+//! reductions pay a logarithmic combine. Whole-program speedup follows by
+//! replacing each parallelized invocation's sequential cost with its
+//! simulated parallel cost (Amdahl composition over the measured profile).
+
+use crate::costs::CostProfile;
+use dca_ir::LoopRef;
+use std::collections::BTreeSet;
+
+/// Scheduling policy for distributing iterations over cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// OpenMP `schedule(static)`: contiguous blocks, one per core.
+    #[default]
+    StaticBlock,
+    /// OpenMP `schedule(dynamic, chunk)`: cores pull chunks greedily.
+    Dynamic {
+        /// Iterations per grab.
+        chunk: usize,
+    },
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Worker cores (the paper's host has 72).
+    pub cores: usize,
+    /// Steps to fork and join a parallel region (per invocation).
+    pub fork_join_overhead: u64,
+    /// Extra steps per scheduled chunk (dispatch cost).
+    pub per_chunk_overhead: u64,
+    /// Steps per reduction variable per combine level (log₂ cores levels).
+    pub reduction_combine_cost: u64,
+    /// Scheduling policy.
+    pub schedule: Schedule,
+    /// Number of reduction variables the loop carries (affects combine).
+    pub reduction_vars: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cores: 72,
+            fork_join_overhead: 250,
+            per_chunk_overhead: 6,
+            reduction_combine_cost: 12,
+            schedule: Schedule::StaticBlock,
+            reduction_vars: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's 72-core host.
+    pub fn paper_host() -> Self {
+        SimConfig::default()
+    }
+
+    /// A host with `cores` cores, other parameters default.
+    pub fn with_cores(cores: usize) -> Self {
+        SimConfig {
+            cores,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Result of simulating one loop invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimResult {
+    /// Sequential steps of the iterations.
+    pub seq_steps: u64,
+    /// Simulated parallel steps (critical path + overheads).
+    pub par_steps: u64,
+}
+
+impl SimResult {
+    /// Speedup of this invocation alone.
+    pub fn speedup(&self) -> f64 {
+        if self.par_steps == 0 {
+            return 1.0;
+        }
+        self.seq_steps as f64 / self.par_steps as f64
+    }
+}
+
+/// Simulates one invocation: distributes `iter_costs` over the cores.
+pub fn simulate_invocation(iter_costs: &[u64], cfg: &SimConfig) -> SimResult {
+    let seq: u64 = iter_costs.iter().sum();
+    if iter_costs.is_empty() || cfg.cores <= 1 {
+        return SimResult {
+            seq_steps: seq,
+            par_steps: seq,
+        };
+    }
+    let critical = match cfg.schedule {
+        Schedule::StaticBlock => {
+            // Contiguous blocks of ceil(n/p) iterations.
+            let n = iter_costs.len();
+            let block = n.div_ceil(cfg.cores);
+            iter_costs
+                .chunks(block)
+                .map(|c| c.iter().sum::<u64>() + cfg.per_chunk_overhead)
+                .max()
+                .unwrap_or(0)
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            // Greedy list scheduling: each chunk goes to the earliest-free
+            // core.
+            let mut loads = vec![0u64; cfg.cores];
+            for c in iter_costs.chunks(chunk) {
+                let min = loads
+                    .iter_mut()
+                    .min()
+                    .expect("cores >= 1");
+                *min += c.iter().sum::<u64>() + cfg.per_chunk_overhead;
+            }
+            loads.into_iter().max().unwrap_or(0)
+        }
+    };
+    let combine = (cfg.reduction_vars as u64)
+        * cfg.reduction_combine_cost
+        * (cfg.cores.next_power_of_two().trailing_zeros() as u64);
+    SimResult {
+        seq_steps: seq,
+        par_steps: critical + cfg.fork_join_overhead + combine,
+    }
+}
+
+/// Whole-program speedup when the invocations of `selection` run in
+/// parallel and everything else stays sequential.
+///
+/// Nested selections are handled by the caller (select outermost loops
+/// only); this function assumes the selected loops' invocations do not
+/// overlap.
+pub fn program_speedup(
+    profile: &CostProfile,
+    selection: &BTreeSet<LoopRef>,
+    cfg: &SimConfig,
+) -> f64 {
+    let total = profile.total_steps.max(1);
+    let mut parallel_time = total as f64;
+    for &lref in selection {
+        let Some(invs) = profile.per_loop.get(&lref) else {
+            continue;
+        };
+        for inv in invs {
+            let r = simulate_invocation(&inv.iter_costs, cfg);
+            parallel_time -= r.seq_steps as f64;
+            parallel_time += r.par_steps as f64;
+        }
+    }
+    total as f64 / parallel_time.max(1.0)
+}
+
+/// Removes loops nested inside other selected loops (a parallel region
+/// must not be re-parallelized from within). Keeps outermost only.
+pub fn outermost_only(
+    module: &dca_ir::Module,
+    selection: &BTreeSet<LoopRef>,
+) -> BTreeSet<LoopRef> {
+    use dca_ir::FuncView;
+    let mut out = BTreeSet::new();
+    let mut by_func: std::collections::HashMap<dca_ir::FuncId, Vec<LoopRef>> =
+        std::collections::HashMap::new();
+    for &l in selection {
+        by_func.entry(l.func).or_default().push(l);
+    }
+    for (func, lrefs) in by_func {
+        let view = FuncView::new(module, func);
+        for &lref in &lrefs {
+            let mut cur = view.loops.get(lref.loop_id).parent;
+            let mut nested_in_selected = false;
+            while let Some(p) = cur {
+                if lrefs.iter().any(|o| o.loop_id == p) {
+                    nested_in_selected = true;
+                    break;
+                }
+                cur = view.loops.get(p).parent;
+            }
+            if !nested_in_selected {
+                out.insert(lref);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::InvocationCosts;
+
+    #[test]
+    fn uniform_iterations_scale_almost_linearly() {
+        let costs = vec![100u64; 720];
+        let r = simulate_invocation(&costs, &SimConfig::paper_host());
+        assert_eq!(r.seq_steps, 72_000);
+        let s = r.speedup();
+        assert!(s > 50.0 && s <= 72.0, "speedup {s}");
+    }
+
+    #[test]
+    fn few_iterations_limit_speedup() {
+        let costs = vec![1000u64; 4];
+        let r = simulate_invocation(&costs, &SimConfig::paper_host());
+        assert!(r.speedup() <= 4.0);
+    }
+
+    #[test]
+    fn skewed_costs_bound_by_critical_path() {
+        let mut costs = vec![10u64; 71];
+        costs.push(10_000);
+        let r = simulate_invocation(&costs, &SimConfig::paper_host());
+        assert!(r.par_steps >= 10_000);
+        assert!(r.speedup() < 1.2);
+    }
+
+    #[test]
+    fn dynamic_scheduling_beats_static_on_skew() {
+        // A descending-cost triangle: static blocks give the first core all
+        // the heavy iterations; dynamic balances.
+        let costs: Vec<u64> = (0..720).map(|i| 1000 - i as u64).collect();
+        let static_r = simulate_invocation(&costs, &SimConfig::paper_host());
+        let dyn_r = simulate_invocation(
+            &costs,
+            &SimConfig {
+                schedule: Schedule::Dynamic { chunk: 4 },
+                ..SimConfig::paper_host()
+            },
+        );
+        assert!(dyn_r.par_steps < static_r.par_steps);
+    }
+
+    #[test]
+    fn overheads_make_tiny_loops_unprofitable() {
+        let costs = vec![2u64; 8];
+        let r = simulate_invocation(&costs, &SimConfig::paper_host());
+        assert!(r.speedup() < 1.0, "parallelizing 16 steps of work loses");
+    }
+
+    #[test]
+    fn reduction_combine_costs_scale_with_cores() {
+        let costs = vec![100u64; 7200];
+        let none = simulate_invocation(&costs, &SimConfig::paper_host());
+        let with = simulate_invocation(
+            &costs,
+            &SimConfig {
+                reduction_vars: 4,
+                ..SimConfig::paper_host()
+            },
+        );
+        assert!(with.par_steps > none.par_steps);
+    }
+
+    #[test]
+    fn single_core_is_identity() {
+        let costs = vec![5u64; 100];
+        let r = simulate_invocation(&costs, &SimConfig::with_cores(1));
+        assert_eq!(r.par_steps, r.seq_steps);
+        assert_eq!(r.speedup(), 1.0);
+    }
+
+    #[test]
+    fn program_speedup_follows_amdahl() {
+        use dca_ir::{FuncId, LoopId};
+        let lref = LoopRef {
+            func: FuncId(0),
+            loop_id: LoopId(0),
+        };
+        let mut profile = CostProfile {
+            total_steps: 100_000,
+            ..Default::default()
+        };
+        // The loop covers 90% of execution with plenty of parallelism.
+        profile.per_loop.insert(
+            lref,
+            vec![InvocationCosts {
+                iter_costs: vec![125u64; 720],
+                nested: false,
+            }],
+        );
+        let s = program_speedup(&profile, &BTreeSet::from([lref]), &SimConfig::paper_host());
+        // Amdahl: f = 0.9, p = 72 => bound 1/(0.1 + 0.9/72) ≈ 8.9.
+        assert!(s > 6.0 && s < 8.9, "speedup {s}");
+        // Empty selection: no speedup.
+        let none = program_speedup(&profile, &BTreeSet::new(), &SimConfig::paper_host());
+        assert_eq!(none, 1.0);
+    }
+
+    #[test]
+    fn outermost_only_drops_nested() {
+        let m = dca_ir::compile(
+            "fn main() { let a: [int; 64]; \
+             @o: for (let i: int = 0; i < 8; i = i + 1) { \
+               @n: for (let j: int = 0; j < 8; j = j + 1) { a[i * 8 + j] = 1; } } }",
+        )
+        .expect("compile");
+        let all: BTreeSet<LoopRef> = dca_ir::all_loops(&m).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(all.len(), 2);
+        let outer = outermost_only(&m, &all);
+        assert_eq!(outer.len(), 1);
+        let kept = dca_ir::all_loops(&m)
+            .into_iter()
+            .find(|(l, _)| outer.contains(l))
+            .expect("kept loop");
+        assert_eq!(kept.1.as_deref(), Some("o"));
+    }
+}

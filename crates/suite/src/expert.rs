@@ -1,0 +1,74 @@
+//! Expert annotations: the ground truth and profitability selections the
+//! paper's evaluation leans on.
+//!
+//! * `parallel_tags` encodes the semi-manual expert analysis of §V-D:
+//!   which loops are genuinely order-insensitive (commutative), used to
+//!   count DCA's false positives/negatives in Table IV.
+//! * `profitable_tags` encodes the expert profitability selection of
+//!   §V-C2 (profitability analysis is out of DCA's scope, so the paper
+//!   parallelizes the loops deemed profitable in the expert NPB
+//!   implementation).
+//! * `extra_parallel_fraction` models the *beyond-loop* parallelism a full
+//!   expert parallelization exploits (Fig. 7): whole parallel sections,
+//!   pipelining and restructuring outside single-loop data parallelism.
+//! * `paper` carries the literature metadata of Table II for PLDS
+//!   programs.
+
+/// Literature metadata for a PLDS entry (Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Benchmark origin (suite).
+    pub origin: &'static str,
+    /// The loop-containing function in the original program.
+    pub function: &'static str,
+    /// Sequential coverage reported in the paper (%).
+    pub coverage_pct: f64,
+    /// Potential loop-level speedup reported in the literature, if any.
+    pub loop_speedup: Option<f64>,
+    /// Whole-program speedup reported in the literature, if any.
+    pub overall_speedup: Option<f64>,
+    /// The expert/manual technique that exploited it.
+    pub technique: &'static str,
+}
+
+/// Expert annotations for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpertPlan {
+    /// Tags of loops an expert classifies as order-insensitive
+    /// (the ground truth for false-positive/negative accounting).
+    pub parallel_tags: &'static [&'static str],
+    /// Tags the expert selects for parallel execution (profitable,
+    /// outermost loops).
+    pub profitable_tags: &'static [&'static str],
+    /// Fraction of the *residual* (non-loop-parallel) execution a full
+    /// expert parallelization additionally covers (Fig. 7).
+    pub extra_parallel_fraction: f64,
+    /// Table II metadata (PLDS programs only).
+    pub paper: Option<PaperRow>,
+}
+
+impl ExpertPlan {
+    /// A plan with no annotations.
+    pub const fn empty() -> Self {
+        ExpertPlan {
+            parallel_tags: &[],
+            profitable_tags: &[],
+            extra_parallel_fraction: 0.0,
+            paper: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = ExpertPlan::empty();
+        assert!(p.parallel_tags.is_empty());
+        assert!(p.profitable_tags.is_empty());
+        assert_eq!(p.extra_parallel_fraction, 0.0);
+        assert!(p.paper.is_none());
+    }
+}

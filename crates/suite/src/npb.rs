@@ -1,0 +1,200 @@
+//! The NPB-like programs (see crate docs and DESIGN.md).
+
+use crate::{ExpertPlan, Group, SuiteProgram};
+
+static EP: SuiteProgram = SuiteProgram {
+    name: "ep",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/ep.mc"),
+    default_args: &[144, 60],
+    test_args: &[10, 12],
+    expert: ExpertPlan {
+        parallel_tags: &["zero_q", "blocks", "tally", "norm", "sumq", "resid"],
+        profitable_tags: &["blocks"],
+        extra_parallel_fraction: 0.0,
+        paper: None,
+    },
+};
+
+static CG: SuiteProgram = SuiteProgram {
+    name: "cg",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/cg.mc"),
+    default_args: &[96, 6],
+    test_args: &[24, 3],
+    expert: ExpertPlan {
+        parallel_tags: &[
+            "init_x", "init_cols", "matvec_outer", "matvec_inner", "dot_rr",
+            "dot_rz", "axpy_x", "update_p", "resid_max", "resid_hist",
+        ],
+        profitable_tags: &["matvec_outer", "dot_rr", "dot_rz", "axpy_x", "update_p"],
+        extra_parallel_fraction: 0.5,
+        paper: None,
+    },
+};
+
+static IS: SuiteProgram = SuiteProgram {
+    name: "is",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/is.mc"),
+    default_args: &[160, 20],
+    test_args: &[64, 8],
+    expert: ExpertPlan {
+        parallel_tags: &[
+            "gen_keys", "count", "rank_hist", "scatter", "rank_scan", "verify_sum",
+        ],
+        profitable_tags: &["count", "rank_hist", "gen_keys", "verify_sum"],
+        extra_parallel_fraction: 0.8,
+        paper: None,
+    },
+};
+
+static FT: SuiteProgram = SuiteProgram {
+    name: "ft",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/ft.mc"),
+    default_args: &[256, 8],
+    test_args: &[64, 6],
+    expert: ExpertPlan {
+        parallel_tags: &[
+            "init_u", "copy_w", "bitrev", "revbits", "butterfly", "window", "evolve",
+            "scale", "energy", "checksum_gather", "scatter_re", "scatter_im", "peak_bin",
+        ],
+        profitable_tags: &["butterfly", "init_u", "copy_w"],
+        extra_parallel_fraction: 0.85,
+        paper: None,
+    },
+};
+
+static MG: SuiteProgram = SuiteProgram {
+    name: "mg",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/mg.mc"),
+    default_args: &[256, 6, 0],
+    test_args: &[64, 3, 0],
+    expert: ExpertPlan {
+        parallel_tags: &[
+            "init_v", "init_r", "smooth", "residual", "restrict_g", "prolong",
+            "apply_bc", "norm_sum", "debug_dump",
+        ],
+        profitable_tags: &["smooth", "residual", "restrict_g", "prolong", "norm_sum"],
+        extra_parallel_fraction: 0.3,
+        paper: None,
+    },
+};
+
+static DC: SuiteProgram = SuiteProgram {
+    name: "dc",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/dc.mc"),
+    default_args: &[224, 0],
+    test_args: &[64, 0],
+    expert: ExpertPlan {
+        parallel_tags: &[
+            "gen_tuples", "dim_map", "group_count", "agg_sum", "tuple_scatter",
+            "mask_gather", "spare_dim",
+        ],
+        profitable_tags: &[],
+        extra_parallel_fraction: 0.85,
+        paper: None,
+    },
+};
+
+static BT: SuiteProgram = SuiteProgram {
+    name: "bt",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/bt.mc"),
+    default_args: &[192, 48],
+    test_args: &[48, 16],
+    expert: ExpertPlan {
+        parallel_tags: &[
+            "init_u", "init_exact", "init_rhs", "line_table", "xflux", "yflux",
+            "zflux", "flux_weight", "rhs_update", "dissip_x", "dissip_y", "dissip_z",
+            "xsolve_lines", "ysolve_lines", "yscale", "zsolve_lines", "bc_faces",
+            "interior", "smooth_l", "add_update", "copy_back", "rhs_norm", "u_norm",
+        ],
+        profitable_tags: &[
+            "xflux", "yflux", "zflux", "flux_weight", "rhs_update", "dissip_x",
+            "dissip_y", "dissip_z", "xsolve_lines", "ysolve_lines", "zsolve_lines",
+            "add_update", "copy_back", "rhs_norm", "u_norm", "init_u", "init_exact",
+            "init_rhs",
+        ],
+        extra_parallel_fraction: 0.0,
+        paper: None,
+    },
+};
+
+static SP: SuiteProgram = SuiteProgram {
+    name: "sp",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/sp.mc"),
+    default_args: &[224, 4],
+    test_args: &[48, 2],
+    expert: ExpertPlan {
+        parallel_tags: &[
+            "init_u", "init_rhs", "calc_us", "calc_vs", "calc_ws", "calc_speed",
+            "xrhs", "yrhs", "zrhs", "speed_rhs", "energy_rhs", "xfact", "yfact",
+            "zfact", "xback", "yback", "zback", "add", "txinvr", "tzetar", "pinvr",
+            "ninvr", "smooth_u", "norm", "u_norm",
+        ],
+        profitable_tags: &[
+            "calc_us", "calc_vs", "calc_ws", "calc_speed", "xrhs", "yrhs", "zrhs",
+            "speed_rhs", "energy_rhs", "xfact", "yfact", "zfact", "add", "txinvr",
+            "tzetar", "pinvr", "ninvr", "smooth_u", "norm", "u_norm", "init_u",
+            "init_rhs",
+        ],
+        extra_parallel_fraction: 0.0,
+        paper: None,
+    },
+};
+
+static LU: SuiteProgram = SuiteProgram {
+    name: "lu",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/lu.mc"),
+    default_args: &[160, 12],
+    test_args: &[48, 3],
+    expert: ExpertPlan {
+        parallel_tags: &[
+            "init_u", "init_b", "setbv", "setiv", "erhs1", "erhs2", "flux_x",
+            "flux_y", "flux_z", "dissip", "jacld", "jacu", "ssor_iter", "surface",
+            "pintgr2", "l2norm", "pintgr1", "scale",
+        ],
+        profitable_tags: &["erhs1", "erhs2", "flux_x", "flux_y", "flux_z", "dissip"],
+        extra_parallel_fraction: 0.85,
+        paper: None,
+    },
+};
+
+static UA: SuiteProgram = SuiteProgram {
+    name: "ua",
+    group: Group::Npb,
+    source: include_str!("../programs/npb/ua.mc"),
+    default_args: &[224, 3],
+    test_args: &[64, 2],
+    expert: ExpertPlan {
+        parallel_tags: &[
+            "mk_conn", "mk_back", "init_x", "init_y", "init_z", "mass_map",
+            "res_zero", "tmp_zero", "gather_x", "scatter_m", "diffuse", "laplace",
+            "transfer", "adapt_flag", "coarsen", "bucket_scan", "refine_x",
+            "refine_y", "refine_z", "mortar1", "mortar2", "precond", "smooth1",
+            "smooth2", "project", "interp", "advance", "energy", "peak_res",
+        ],
+        profitable_tags: &[
+            "mk_conn", "mk_back", "init_x", "init_y", "init_z", "res_zero",
+            "tmp_zero", "gather_x", "scatter_m", "diffuse", "laplace", "transfer",
+            "adapt_flag", "refine_x", "refine_y", "refine_z", "mortar1", "mortar2",
+            "precond", "smooth1", "smooth2", "project", "interp", "advance",
+            "energy", "peak_res", "mass_map", "coarsen",
+        ],
+        extra_parallel_fraction: 0.35,
+        paper: None,
+    },
+};
+
+static PROGRAMS: &[&SuiteProgram] = &[&BT, &CG, &DC, &EP, &FT, &IS, &LU, &MG, &SP, &UA];
+
+/// The NPB-like programs in suite order.
+pub fn programs() -> &'static [&'static SuiteProgram] {
+    PROGRAMS
+}

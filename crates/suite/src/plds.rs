@@ -1,0 +1,309 @@
+//! The PLDS programs of Table II (see crate docs and DESIGN.md).
+
+use crate::expert::PaperRow;
+use crate::{ExpertPlan, Group, SuiteProgram};
+
+static MCF: SuiteProgram = SuiteProgram {
+    name: "mcf",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/mcf.mc"),
+    default_args: &[384, 0],
+    test_args: &[48, 0],
+    expert: ExpertPlan {
+        parallel_tags: &["build", "refresh", "checksum"],
+        profitable_tags: &["refresh"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "SPEC CPU2006",
+            function: "refresh_potential",
+            coverage_pct: 30.0,
+            loop_speedup: Some(2.2),
+            overall_speedup: None,
+            technique: "DSWP variant 1",
+        }),
+    },
+};
+
+static TWOLF: SuiteProgram = SuiteProgram {
+    name: "twolf",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/twolf.mc"),
+    default_args: &[48, 12],
+    test_args: &[12, 6],
+    expert: ExpertPlan {
+        parallel_tags: &["build_cells", "build_terms", "dbox_cells", "dbox_terms"],
+        profitable_tags: &["dbox_cells"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "SPEC CPU2000",
+            function: "new_dbox_a",
+            coverage_pct: 30.0,
+            loop_speedup: Some(1.5),
+            overall_speedup: None,
+            technique: "DSWP variant 2",
+        }),
+    },
+};
+
+static KS: SuiteProgram = SuiteProgram {
+    name: "ks",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/ks.mc"),
+    default_args: &[160, 10],
+    test_args: &[32, 4],
+    expert: ExpertPlan {
+        parallel_tags: &["build", "find_max_gp", "swap_pass"],
+        // kl_passes erodes gains: pass order matters (sequential).
+        profitable_tags: &["find_max_gp"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "PtrDist",
+            function: "FindMaxGpAndSwap",
+            coverage_pct: 99.0,
+            loop_speedup: Some(1.5),
+            overall_speedup: None,
+            technique: "DSWP variant 1",
+        }),
+    },
+};
+
+static OTTER: SuiteProgram = SuiteProgram {
+    name: "otter",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/otter.mc"),
+    default_args: &[192, 10],
+    test_args: &[32, 4],
+    expert: ExpertPlan {
+        parallel_tags: &["build", "prove", "find_lightest", "mark"],
+        profitable_tags: &["find_lightest"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "FOSS",
+            function: "find_lightest_geo_child",
+            coverage_pct: 15.0,
+            loop_speedup: Some(2.5),
+            overall_speedup: None,
+            technique: "DSWP variant 2",
+        }),
+    },
+};
+
+static EM3D: SuiteProgram = SuiteProgram {
+    name: "em3d",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/em3d.mc"),
+    default_args: &[192, 8],
+    test_args: &[32, 3],
+    expert: ExpertPlan {
+        parallel_tags: &["wire", "sim", "compute_nodes", "compute_h", "esum"],
+        profitable_tags: &["compute_nodes", "compute_h"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "Olden",
+            function: "compute_nodes",
+            coverage_pct: 100.0,
+            loop_speedup: Some(2.0),
+            overall_speedup: None,
+            technique: "DSWP variant 1",
+        }),
+    },
+};
+
+static MST: SuiteProgram = SuiteProgram {
+    name: "mst",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/mst.mc"),
+    default_args: &[56, 6],
+    test_args: &[16, 4],
+    expert: ExpertPlan {
+        parallel_tags: &["build_e", "grow", "blue_rule", "edge_scan", "admit"],
+        profitable_tags: &["blue_rule"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "Olden",
+            function: "BlueRule",
+            coverage_pct: 100.0,
+            loop_speedup: Some(1.5),
+            overall_speedup: None,
+            technique: "DSWP variant 1",
+        }),
+    },
+};
+
+static TREEADD: SuiteProgram = SuiteProgram {
+    name: "treeadd",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/treeadd.mc"),
+    default_args: &[9, 4],
+    test_args: &[5, 2],
+    expert: ExpertPlan {
+        parallel_tags: &["repeat", "tree_add"],
+        profitable_tags: &["tree_add"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "Olden",
+            function: "TreeAdd",
+            coverage_pct: 100.0,
+            loop_speedup: None,
+            overall_speedup: Some(7.0),
+            technique: "Partitioning",
+        }),
+    },
+};
+
+static BH: SuiteProgram = SuiteProgram {
+    name: "bh",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/bh.mc"),
+    default_args: &[160, 8],
+    test_args: &[24, 5],
+    expert: ExpertPlan {
+        parallel_tags: &["build_bodies", "walksub", "accsum"],
+        profitable_tags: &["walksub"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "Olden",
+            function: "walksub",
+            coverage_pct: 100.0,
+            loop_speedup: Some(2.75),
+            overall_speedup: None,
+            technique: "DSWP variant 1",
+        }),
+    },
+};
+
+static PERIMETER: SuiteProgram = SuiteProgram {
+    name: "perimeter",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/perimeter.mc"),
+    default_args: &[6, 4],
+    test_args: &[4, 2],
+    expert: ExpertPlan {
+        parallel_tags: &["repeat", "perimeter"],
+        profitable_tags: &["perimeter"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "Olden",
+            function: "perimeter",
+            coverage_pct: 100.0,
+            loop_speedup: Some(2.25),
+            overall_speedup: None,
+            technique: "DSWP variant 1",
+        }),
+    },
+};
+
+static HASH: SuiteProgram = SuiteProgram {
+    name: "hash",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/hash.mc"),
+    default_args: &[192, 384],
+    test_args: &[48, 64],
+    expert: ExpertPlan {
+        parallel_tags: &["fill", "probe"],
+        profitable_tags: &["probe"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "Shootout",
+            function: "ht_find",
+            coverage_pct: 50.0,
+            loop_speedup: None,
+            overall_speedup: Some(4.0),
+            technique: "Partitioning",
+        }),
+    },
+};
+
+static BFS: SuiteProgram = SuiteProgram {
+    name: "bfs",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/bfs.mc"),
+    default_args: &[1536, 5],
+    test_args: &[48, 3],
+    expert: ExpertPlan {
+        parallel_tags: &["build_adj", "add_edges", "init_dist", "sources", "reset_dist", "top_down", "neighbors", "dist_sum"],
+        profitable_tags: &["top_down", "build_adj", "reset_dist", "dist_sum"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "Lonestar",
+            function: "BFS",
+            coverage_pct: 99.0,
+            loop_speedup: None,
+            overall_speedup: Some(21.0),
+            technique: "Galois",
+        }),
+    },
+};
+
+static ISING: SuiteProgram = SuiteProgram {
+    name: "ising",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/ising.mc"),
+    default_args: &[256, 6],
+    test_args: &[48, 3],
+    expert: ExpertPlan {
+        parallel_tags: &["sweeps_loop", "half_sweep", "mag_sum"],
+        profitable_tags: &["half_sweep", "mag_sum"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "community",
+            function: "main",
+            coverage_pct: 95.0,
+            loop_speedup: None,
+            overall_speedup: Some(6.0),
+            technique: "ASC",
+        }),
+    },
+};
+
+static SPMATMAT: SuiteProgram = SuiteProgram {
+    name: "spmatmat",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/spmatmat.mc"),
+    default_args: &[96, 144],
+    test_args: &[24, 16],
+    expert: ExpertPlan {
+        parallel_tags: &["build_rows", "build_elems", "init_dense", "spmm_rows", "spmm_cols", "spmm_dot", "check"],
+        profitable_tags: &["spmm_rows"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "SPARK00",
+            function: "main",
+            coverage_pct: 89.0,
+            loop_speedup: None,
+            overall_speedup: Some(4.0),
+            technique: "APOLLO",
+        }),
+    },
+};
+
+static WATER: SuiteProgram = SuiteProgram {
+    name: "water",
+    group: Group::Plds,
+    source: include_str!("../programs/plds/water.mc"),
+    default_args: &[64, 4],
+    test_args: &[16, 2],
+    expert: ExpertPlan {
+parallel_tags: &["timestep", "interf", "pairs", "advance", "relax", "esum"],
+        profitable_tags: &["interf"],
+        extra_parallel_fraction: 0.0,
+        paper: Some(PaperRow {
+            origin: "SPLASH3",
+            function: "INTERF",
+            coverage_pct: 63.0,
+            loop_speedup: None,
+            overall_speedup: Some(2.0),
+            technique: "OPENMP",
+        }),
+    },
+};
+
+static PROGRAMS: &[&SuiteProgram] = &[
+    &MCF, &TWOLF, &KS, &OTTER, &EM3D, &MST, &BH, &PERIMETER, &TREEADD, &HASH,
+    &BFS, &ISING, &SPMATMAT, &WATER,
+];
+
+/// The PLDS programs in Table II order.
+pub fn programs() -> &'static [&'static SuiteProgram] {
+    PROGRAMS
+}

@@ -1,0 +1,37 @@
+//! The 429.mcf case study (paper §V-B2): the one Table II loop known NOT
+//! to be statically commutative. Its cross-iteration dependence through
+//! `node.pred.potential` is simply never exercised by the paper-like
+//! workload, so DCA reports the loop commutative — the profile-dependent
+//! behavior speculative parallelizers bet on. On a workload that chains
+//! predecessors, DCA correctly flags it.
+//!
+//! Run with `cargo run --release --example mcf_inputs`.
+
+use dca::core::{Dca, DcaConfig, LoopVerdict};
+use dca::interp::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = dca::suite::by_name("mcf").expect("mcf is in the suite");
+    let module = program.module();
+    let refresh = program
+        .loop_by_tag(&module, "refresh")
+        .expect("refresh_potential loop");
+    let dca = Dca::new(DcaConfig::default());
+
+    // Workload A: flat basis tree — the dependence is dormant (this is
+    // the paper's test/ref-input situation).
+    let flat = dca.test_loop(&module, refresh, &[Value::Int(256), Value::Int(0)])?;
+    println!("flat tree   (dependence dormant):  {}", flat.verdict);
+    assert_eq!(flat.verdict, LoopVerdict::Commutative);
+
+    // Workload B: chained predecessors — the dependence fires.
+    let deep = dca.test_loop(&module, refresh, &[Value::Int(256), Value::Int(1)])?;
+    println!("chained tree (dependence fires):   {}", deep.verdict);
+    assert!(matches!(deep.verdict, LoopVerdict::NonCommutative(_)));
+
+    println!(
+        "\nSame loop, two inputs, two verdicts: DCA is profile-guided, not\n\
+         sound — which is why the paper keeps the user in the loop (§IV-D)."
+    );
+    Ok(())
+}

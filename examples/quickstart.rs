@@ -1,0 +1,61 @@
+//! Quickstart: compile a mini-C program, run DCA, and print the verdict
+//! for every loop — including the pointer-chasing loop of the paper's
+//! Fig. 1(b) that dependence analysis cannot handle.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use dca::core::{Dca, DcaConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The two loops of the paper's Fig. 1: the same map operation written
+    // over an array and over a linked list.
+    let source = r#"
+        struct Node { val: int, next: *Node }
+        let array: [int; 64];
+
+        fn main() -> int {
+            // Fig. 1(a): the array-based loop.
+            @array_map: for (let i: int = 0; i < 64; i = i + 1) {
+                array[i] = array[i] + 1;
+            }
+
+            // Build a list, then Fig. 1(b): the PLDS-based loop. The
+            // `ptr = ptr.next` update carries a cross-iteration dependence
+            // that defeats dependence analysis -- but not commutativity.
+            let head: *Node = null;
+            for (let i: int = 0; i < 64; i = i + 1) {
+                let n: *Node = new Node;
+                n.val = i;
+                n.next = head;
+                head = n;
+            }
+            let ptr: *Node = head;
+            @plds_map: while (ptr != null) {
+                ptr.val = ptr.val + 1;
+                ptr = ptr.next;
+            }
+
+            // Consume both results so they are live-out.
+            let sum: int = array[5];
+            let q: *Node = head;
+            while (q != null) { sum = sum + q.val; q = q.next; }
+            print("sum", sum);
+            return sum;
+        }
+    "#;
+
+    let module = dca::ir::compile(source)?;
+    let report = Dca::new(DcaConfig::default()).analyze_module(&module)?;
+
+    println!("{report}");
+    for tag in ["array_map", "plds_map"] {
+        let r = report.by_tag(tag).expect("tagged loop");
+        println!(
+            "@{tag}: {} ({} iterations observed, {} permutations verified)",
+            r.verdict, r.trips, r.permutations_tested
+        );
+        assert!(r.verdict.is_commutative());
+    }
+    println!("\nBoth loops are commutative — DCA handles them uniformly.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Facade crate for the DCA workspace: a reproduction of *"Loop
+//! Parallelization using Dynamic Commutativity Analysis"* (Vasiladiotis,
+//! Castañeda Lozano, Cole & Franke, CGO 2021).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * a mini-C frontend ([`lang`]) and a CFG-based compiler IR ([`ir`]),
+//! * an IR interpreter with snapshot/restore and tracing ([`interp`]),
+//! * the static analyses DCA needs ([`analysis`]): liveness, generalized
+//!   iterator recognition, affine dependence tests,
+//! * DCA itself ([`core`]): the static instrumentation stages and the dynamic
+//!   permute-and-verify stage,
+//! * five dependence-based baseline detectors ([`baselines`]),
+//! * a parallelizing transform plus a deterministic multicore simulator used
+//!   to reproduce the paper's speedup figures ([`parallel`]),
+//! * the benchmark suite (NPB-like and PLDS programs) ([`suite`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dca::core::{Dca, DcaConfig};
+//!
+//! let source = r#"
+//!     fn main() -> int {
+//!         let a: [int; 64];
+//!         for (let i: int = 0; i < 64; i = i + 1) { a[i] = i * 2; }
+//!         let sum: int = 0;
+//!         for (let i: int = 0; i < 64; i = i + 1) { sum = sum + a[i]; }
+//!         return sum;
+//!     }
+//! "#;
+//! let module = dca::ir::compile(source).map_err(|e| e.to_string())?;
+//! let report = Dca::new(DcaConfig::fast())
+//!     .analyze_module(&module)
+//!     .map_err(|e| e.to_string())?;
+//! assert_eq!(report.commutative_loops().count(), 2);
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dca_analysis as analysis;
+pub use dca_baselines as baselines;
+pub use dca_core as core;
+pub use dca_interp as interp;
+pub use dca_ir as ir;
+pub use dca_lang as lang;
+pub use dca_parallel as parallel;
+pub use dca_suite as suite;

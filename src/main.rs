@@ -1,0 +1,224 @@
+//! The `dca` command-line tool: the "parallelism advisor" front door.
+//!
+//! ```text
+//! dca analyze <file.mc> [--args a,b,...]          per-loop DCA verdicts
+//! dca advise  <file.mc> [--args ...] [--cores N]  advisor report with pragmas
+//! dca detect  <file.mc> [--args ...]              all six techniques, per loop
+//! dca run     <file.mc> [--args ...]              execute the program
+//! dca ir      <file.mc>                           dump the compiled IR
+//! ```
+
+use dca::baselines::all_detectors;
+use dca::core::{Dca, DcaConfig};
+use dca::interp::Value;
+use dca::parallel::SimConfig;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dca <analyze|advise|detect|run|ir> <file.mc> \
+         [--args a,b,...] [--cores N] [--inputs a,b/c,d]"
+    );
+    ExitCode::FAILURE
+}
+
+struct Opts {
+    command: String,
+    file: String,
+    args: Vec<Value>,
+    inputs: Vec<Vec<Value>>,
+    cores: usize,
+}
+
+fn parse_int_list(s: &str) -> Result<Vec<Value>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| format!("bad integer `{t}`: {e}"))
+        })
+        .collect()
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let file = argv.next().ok_or("missing input file")?;
+    let mut opts = Opts {
+        command,
+        file,
+        args: Vec::new(),
+        inputs: Vec::new(),
+        cores: 72,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--args" => {
+                let v = argv.next().ok_or("--args needs a value")?;
+                opts.args = parse_int_list(&v)?;
+            }
+            "--inputs" => {
+                let v = argv.next().ok_or("--inputs needs a value")?;
+                opts.inputs = v
+                    .split('/')
+                    .map(parse_int_list)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--cores" => {
+                let v = argv.next().ok_or("--cores needs a value")?;
+                opts.cores = v.parse().map_err(|e| format!("bad core count: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match dca::ir::compile(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Validate workloads against main's signature before anything runs.
+    if opts.command != "ir" {
+        let Some(main) = module.main() else {
+            eprintln!("error: {} has no `main` function", opts.file);
+            return ExitCode::FAILURE;
+        };
+        let expected = module.func(main).params.len();
+        // `--inputs` supersedes `--args` for analyze; validate whichever
+        // workloads will actually run.
+        let workloads: Vec<&[Value]> = if opts.inputs.is_empty() {
+            vec![&opts.args]
+        } else {
+            opts.inputs.iter().map(|v| v.as_slice()).collect()
+        };
+        for w in workloads {
+            if w.len() != expected {
+                eprintln!(
+                    "error: `main` takes {expected} argument(s), got {} — pass --args a,b,...",
+                    w.len()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match opts.command.as_str() {
+        "ir" => {
+            print!("{module}");
+            ExitCode::SUCCESS
+        }
+        "run" => match dca::interp::run_program(&module, &opts.args) {
+            Ok(r) => {
+                for item in &r.output {
+                    print!("{item} ");
+                }
+                println!();
+                println!(
+                    "returned {} in {} steps",
+                    r.ret.map(|v| v.to_string()).unwrap_or_default(),
+                    r.steps
+                );
+                ExitCode::SUCCESS
+            }
+            Err(t) => {
+                eprintln!("trap: {t}");
+                ExitCode::FAILURE
+            }
+        },
+        "analyze" => {
+            let dca = Dca::new(DcaConfig::default());
+            let report = if opts.inputs.is_empty() {
+                dca.analyze(&module, &opts.args)
+            } else {
+                dca.analyze_inputs(&module, &opts.inputs)
+            };
+            match report {
+                Ok(r) => {
+                    print!("{r}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "advise" => {
+            let report = match Dca::new(DcaConfig::default()).analyze(&module, &opts.args) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = SimConfig::with_cores(opts.cores);
+            match dca::parallel::advise(&module, &opts.args, &report, &cfg) {
+                Ok(advice) => {
+                    print!("{}", dca::parallel::render(&advice));
+                    let loud: Vec<_> = advice
+                        .iter()
+                        .filter(|a| a.needs_approval)
+                        .filter_map(|a| a.tag.clone())
+                        .collect();
+                    if !loud.is_empty() {
+                        println!(
+                            "\nloops needing explicit approval (unexplained carried state): {}",
+                            loud.join(", ")
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(t) => {
+                    eprintln!("trap during measurement: {t}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "detect" => {
+            let detectors = all_detectors(DcaConfig::default());
+            let reports: Vec<_> = detectors
+                .iter()
+                .map(|d| (d.technique(), d.detect(&module, &opts.args)))
+                .collect();
+            print!("{:<16}", "loop");
+            for (t, _) in &reports {
+                print!(" {t:>9}");
+            }
+            println!();
+            for (lref, tag) in dca::ir::all_loops(&module) {
+                let name = tag.map(|t| format!("@{t}")).unwrap_or_else(|| lref.to_string());
+                print!("{name:<16}");
+                for (_, r) in &reports {
+                    print!(" {:>9}", if r.is_parallel(lref) { "yes" } else { "." });
+                }
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

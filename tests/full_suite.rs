@@ -1,0 +1,78 @@
+//! Soak test: the full evaluation pipeline on the *default* (class-B-like)
+//! workloads — everything the table binaries do, asserted end to end.
+//! Ignored by default because it takes a few minutes in debug builds; run
+//! with `cargo test --release --test full_suite -- --ignored`.
+
+use dca::core::LoopVerdict;
+use std::collections::BTreeSet;
+
+#[test]
+#[ignore = "several seconds in release; run explicitly"]
+fn full_default_workload_sweep() {
+    let mut npb_total = 0usize;
+    let mut npb_dca = 0usize;
+    let mut npb_static = 0usize;
+    for p in dca::suite::all_programs() {
+        let m = p.module();
+        let args = p.args();
+        // The program itself must run clean on the evaluation workload.
+        let r = dca::interp::run_program(&m, &args)
+            .unwrap_or_else(|e| panic!("{} trapped on default args: {e}", p.name));
+        assert!(!r.output.is_empty(), "{}: no verification digest", p.name);
+
+        // DCA with the default configuration.
+        let report = dca::core::Dca::new(dca::core::DcaConfig::default())
+            .analyze(&m, &args)
+            .expect("analyze");
+
+        // Zero false positives / negatives against the expert annotations.
+        let truth: BTreeSet<_> = p
+            .expert
+            .parallel_tags
+            .iter()
+            .filter_map(|t| p.loop_by_tag(&m, t))
+            .collect();
+        for lr in report.iter() {
+            if lr.verdict.is_commutative() {
+                assert!(
+                    truth.contains(&lr.lref),
+                    "{}: false positive {} (@{:?})",
+                    p.name,
+                    lr.lref,
+                    lr.tag
+                );
+            }
+            if matches!(lr.verdict, LoopVerdict::NonCommutative(_)) {
+                assert!(
+                    !truth.contains(&lr.lref),
+                    "{}: false negative {} (@{:?})",
+                    p.name,
+                    lr.lref,
+                    lr.tag
+                );
+            }
+        }
+
+        if matches!(p.group, dca::suite::Group::Npb) {
+            npb_total += report.len();
+            npb_dca += report.commutative_count();
+            npb_static += dca::baselines::combined_static(&m).len();
+        } else {
+            // PLDS: key loop detected by DCA on the evaluation workload.
+            let key = p
+                .loop_by_tag(&m, p.expert.profitable_tags[0])
+                .expect("key loop");
+            assert!(
+                report
+                    .get(key)
+                    .map(|r| r.verdict.is_commutative())
+                    .unwrap_or(false),
+                "{}: key loop not commutative on default workload",
+                p.name
+            );
+        }
+    }
+    // Table III shape on the evaluation workloads.
+    assert!(npb_dca as f64 / npb_total as f64 > 0.75);
+    assert!(npb_dca as f64 / npb_static as f64 > 1.4);
+}

@@ -1,0 +1,70 @@
+//! Golden regression test: per-benchmark detection counts for all six
+//! techniques on the fast workloads. These values pin the shapes of
+//! Tables I and III — any analysis or suite change that shifts them is
+//! either a deliberate re-calibration (refresh with
+//! `cargo run --release -p dca-bench --bin golden_counts`) or a
+//! regression.
+
+/// (name, total, depprof, discopop, idioms, polly, icc, dca)
+const GOLDEN: &[(&str, usize, usize, usize, usize, usize, usize, usize)] = &[
+    ("bt", 25, 23, 23, 4, 7, 11, 23),
+    ("cg", 14, 10, 9, 5, 2, 6, 10),
+    ("dc", 14, 6, 4, 3, 2, 4, 6),
+    ("ep", 9, 6, 4, 2, 3, 4, 6),
+    ("ft", 15, 12, 11, 3, 3, 6, 13),
+    ("is", 9, 6, 5, 4, 0, 3, 6),
+    ("lu", 22, 17, 18, 2, 3, 8, 18),
+    ("mg", 14, 9, 10, 1, 2, 5, 8),
+    ("sp", 27, 25, 25, 2, 3, 11, 25),
+    ("ua", 30, 28, 27, 8, 3, 12, 29),
+    ("mcf", 3, 0, 0, 0, 0, 0, 3),
+    ("twolf", 4, 0, 0, 0, 0, 0, 4),
+    ("ks", 4, 0, 0, 0, 0, 0, 3),
+    ("otter", 4, 0, 0, 0, 0, 0, 4),
+    ("em3d", 7, 0, 0, 0, 0, 0, 5),
+    ("mst", 6, 0, 0, 0, 0, 0, 5),
+    ("bh", 4, 0, 0, 0, 0, 0, 3),
+    ("perimeter", 3, 1, 1, 0, 0, 0, 2),
+    ("treeadd", 2, 1, 1, 0, 0, 0, 2),
+    ("hash", 3, 0, 0, 0, 0, 0, 2),
+    ("bfs", 9, 4, 4, 1, 2, 3, 7),
+    ("ising", 4, 0, 0, 0, 0, 0, 3),
+    ("spmatmat", 7, 3, 3, 1, 1, 2, 7),
+    ("water", 8, 1, 1, 0, 0, 0, 6),
+];
+
+#[test]
+fn detection_counts_match_golden_values() {
+    let mut failures = Vec::new();
+    for &(name, total, depprof, discopop, idioms, polly, icc, dca) in GOLDEN {
+        let p = dca_suite::by_name(name).unwrap_or_else(|| panic!("missing program {name}"));
+        let (_m, r) = dca_bench::detect_all(p, true);
+        let got = (
+            r.total,
+            r.depprof.parallel_count(),
+            r.discopop.parallel_count(),
+            r.idioms.parallel_count(),
+            r.polly.parallel_count(),
+            r.icc.parallel_count(),
+            r.dca.parallel_count(),
+        );
+        let want = (total, depprof, discopop, idioms, polly, icc, dca);
+        if got != want {
+            failures.push(format!("{name}: got {got:?}, want {want:?}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden detection counts drifted:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_covers_every_program() {
+    let names: Vec<&str> = GOLDEN.iter().map(|g| g.0).collect();
+    for p in dca_suite::all_programs() {
+        assert!(names.contains(&p.name), "{} missing from GOLDEN", p.name);
+    }
+    assert_eq!(names.len(), dca_suite::all_programs().len());
+}

@@ -1,0 +1,94 @@
+//! Integration bands for the NPB-side results: the *shape* of Tables I and
+//! III must hold on the test workloads — DCA matches the dynamic
+//! techniques and roughly doubles the combined static baseline.
+
+use dca::baselines::{
+    DcaDetector, DependenceProfiling, Detector, DiscoPopStyle, IccStyle, IdiomsStyle, PollyStyle,
+};
+use dca::core::DcaConfig;
+use dca::ir::LoopRef;
+use std::collections::BTreeSet;
+
+struct Counts {
+    total: usize,
+    depprof: usize,
+    discopop: usize,
+    idioms: usize,
+    polly: usize,
+    icc: usize,
+    combined: usize,
+    dca: usize,
+}
+
+fn count_all() -> Counts {
+    let mut c = Counts {
+        total: 0,
+        depprof: 0,
+        discopop: 0,
+        idioms: 0,
+        polly: 0,
+        icc: 0,
+        combined: 0,
+        dca: 0,
+    };
+    for p in dca::suite::npb::programs() {
+        let m = p.module();
+        let args = p.targs();
+        c.total += dca::ir::all_loops(&m).len();
+        c.depprof += DependenceProfiling.detect(&m, &args).parallel_count();
+        c.discopop += DiscoPopStyle.detect(&m, &args).parallel_count();
+        let idioms: BTreeSet<LoopRef> = IdiomsStyle.detect(&m, &args).parallel_loops().collect();
+        let polly: BTreeSet<LoopRef> = PollyStyle.detect(&m, &args).parallel_loops().collect();
+        let icc: BTreeSet<LoopRef> = IccStyle.detect(&m, &args).parallel_loops().collect();
+        c.idioms += idioms.len();
+        c.polly += polly.len();
+        c.icc += icc.len();
+        let mut comb = idioms;
+        comb.extend(polly);
+        comb.extend(icc);
+        c.combined += comb.len();
+        c.dca += DcaDetector::new(DcaConfig::fast())
+            .detect(&m, &args)
+            .parallel_count();
+    }
+    c
+}
+
+#[test]
+fn detection_shape_matches_the_paper() {
+    let c = count_all();
+    assert!(c.total >= 150, "suite has a realistic loop population");
+
+    // Table I shape: DCA keeps pace with both dynamic techniques.
+    let close = |a: usize, b: usize| (a as f64 - b as f64).abs() / (b as f64) < 0.15;
+    assert!(
+        close(c.dca, c.depprof),
+        "DCA ({}) should match DepProf ({})",
+        c.dca,
+        c.depprof
+    );
+    assert!(
+        close(c.dca, c.discopop) || c.dca > c.discopop,
+        "DCA ({}) should keep pace with DiscoPoP ({})",
+        c.dca,
+        c.discopop
+    );
+
+    // Table III shape: DCA detects far more than the static union; the
+    // paper reports 86% vs 44% — about 2x.
+    let ratio = c.dca as f64 / c.combined as f64;
+    assert!(
+        ratio > 1.4,
+        "DCA ({}) should dwarf combined static ({}) — ratio {ratio:.2}",
+        c.dca,
+        c.combined
+    );
+    // DCA finds most of the suite (paper: 86%).
+    assert!(c.dca as f64 / c.total as f64 > 0.7);
+    // The static tools order as in the paper: ICC strongest.
+    assert!(c.icc > c.polly, "ICC ({}) > Polly ({})", c.icc, c.polly);
+    assert!(c.icc > c.idioms, "ICC ({}) > Idioms ({})", c.icc, c.idioms);
+    // The union is genuinely a union (overlap exists but is not total).
+    assert!(c.combined <= c.idioms + c.polly + c.icc);
+    assert!(c.combined >= c.icc);
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration tests on the paper's own motivating examples:
+//! Fig. 1(a), Fig. 1(b) and the Fig. 2 BFS.
+
+use dca::baselines::{
+    DependenceProfiling, Detector, DiscoPopStyle, IccStyle, IdiomsStyle, PollyStyle,
+};
+use dca::core::{Dca, DcaConfig, LoopVerdict};
+
+const FIG1: &str = r#"
+    struct Node { val: int, next: *Node }
+    let array: [int; 48];
+
+    fn main() -> int {
+        @fig1a: for (let i: int = 0; i < 48; i = i + 1) {
+            array[i] = array[i] + 1;
+        }
+        let head: *Node = null;
+        for (let i: int = 0; i < 48; i = i + 1) {
+            let n: *Node = new Node; n.val = i; n.next = head; head = n;
+        }
+        let ptr: *Node = head;
+        @fig1b: while (ptr != null) {
+            ptr.val = ptr.val + 1;
+            ptr = ptr.next;
+        }
+        let s: int = array[3];
+        let q: *Node = head;
+        while (q != null) { s = s + q.val; q = q.next; }
+        print("s", s);
+        return s;
+    }
+"#;
+
+fn loop_by_tag(m: &dca::ir::Module, tag: &str) -> dca::ir::LoopRef {
+    dca::ir::all_loops(m)
+        .into_iter()
+        .find(|(_, t)| t.as_deref() == Some(tag))
+        .unwrap_or_else(|| panic!("no loop tagged @{tag}"))
+        .0
+}
+
+#[test]
+fn fig1_both_loops_commutative_under_dca() {
+    let m = dca::ir::compile(FIG1).expect("compile");
+    let report = Dca::new(DcaConfig::fast())
+        .analyze_module(&m)
+        .expect("analyze");
+    assert_eq!(
+        report.by_tag("fig1a").expect("fig1a").verdict,
+        LoopVerdict::Commutative
+    );
+    assert_eq!(
+        report.by_tag("fig1b").expect("fig1b").verdict,
+        LoopVerdict::Commutative
+    );
+}
+
+#[test]
+fn fig1b_defeats_every_dependence_technique() {
+    let m = dca::ir::compile(FIG1).expect("compile");
+    let l = loop_by_tag(&m, "fig1b");
+    assert!(!DependenceProfiling.detect(&m, &[]).is_parallel(l));
+    assert!(!DiscoPopStyle.detect(&m, &[]).is_parallel(l));
+    assert!(!IdiomsStyle.detect(&m, &[]).is_parallel(l));
+    assert!(!PollyStyle.detect(&m, &[]).is_parallel(l));
+    assert!(!IccStyle.detect(&m, &[]).is_parallel(l));
+}
+
+#[test]
+fn fig1a_detected_by_static_and_dynamic_tools() {
+    let m = dca::ir::compile(FIG1).expect("compile");
+    let l = loop_by_tag(&m, "fig1a");
+    assert!(DependenceProfiling.detect(&m, &[]).is_parallel(l));
+    assert!(PollyStyle.detect(&m, &[]).is_parallel(l));
+    assert!(IccStyle.detect(&m, &[]).is_parallel(l));
+}
+
+#[test]
+fn fig2_bfs_top_down_step_is_dca_only() {
+    let p = dca::suite::by_name("bfs").expect("bfs in suite");
+    let m = p.module();
+    let args = p.targs();
+    let top_down = p.loop_by_tag(&m, "top_down").expect("top_down");
+    let dca_report = dca::baselines::DcaDetector::new(DcaConfig::fast()).detect(&m, &args);
+    assert!(
+        dca_report.is_parallel(top_down),
+        "DCA must detect the Fig. 2 update loop: {:?}",
+        dca_report.get(top_down)
+    );
+    for det in [
+        &DependenceProfiling as &dyn Detector,
+        &DiscoPopStyle,
+        &IdiomsStyle,
+        &PollyStyle,
+        &IccStyle,
+    ] {
+        assert!(
+            !det.detect(&m, &args).is_parallel(top_down),
+            "{} must reject the worklist loop",
+            det.technique()
+        );
+    }
+}
+
+#[test]
+fn bfs_result_is_a_valid_bfs() {
+    // Sanity-check the suite program itself: distances are consistent with
+    // one level per frontier swap.
+    let p = dca::suite::by_name("bfs").expect("bfs in suite");
+    let m = p.module();
+    let r = dca::interp::run_program(&m, &p.targs()).expect("run");
+    // "reached"/"distsum" pairs are printed per source; all must be
+    // positive and each distsum >= reached - 1 (source contributes 0).
+    let values: Vec<i64> = r
+        .output
+        .iter()
+        .filter_map(|o| match o {
+            dca::interp::OutputItem::Value(dca::interp::Value::Int(v)) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    assert!(values.len() >= 4);
+    for pair in values.chunks(2) {
+        if let [reached, distsum] = pair {
+            assert!(*reached > 0);
+            assert!(*distsum >= reached - 1);
+        }
+    }
+}
