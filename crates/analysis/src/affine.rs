@@ -7,9 +7,7 @@
 //! analysis — and what DCA handles uniformly at run time.
 
 use crate::liveness::Liveness;
-use dca_ir::{
-    BinOp, FuncView, GlobalId, Inst, Loop, MemBase, Operand, Terminator, VarId,
-};
+use dca_ir::{BinOp, FuncView, GlobalId, Inst, Loop, MemBase, Operand, Terminator, VarId};
 use std::collections::{BTreeMap, HashMap};
 
 /// A basic induction variable: `iv = iv + step` once per iteration.
@@ -290,8 +288,7 @@ impl AffineLoopInfo {
         for &b in &l.blocks {
             for inst in &f.block(b).insts {
                 match inst {
-                    Inst::LoadIndex { base, index, .. }
-                    | Inst::StoreIndex { base, index, .. } => {
+                    Inst::LoadIndex { base, index, .. } | Inst::StoreIndex { base, index, .. } => {
                         let is_write = matches!(inst, Inst::StoreIndex { .. });
                         let array = match base {
                             MemBase::Global(g) => Some(ArrayKey::Global(*g)),
@@ -374,9 +371,12 @@ impl AffineLoopInfo {
     /// True if every array access is affine using *constant-only* terms
     /// (the strict SCoP shape a Polly-style tool requires).
     pub fn all_affine_pure(&self) -> bool {
-        self.accesses
-            .iter()
-            .all(|a| a.subscript.as_ref().map(|s| s.is_pure_iv()).unwrap_or(false))
+        self.accesses.iter().all(|a| {
+            a.subscript
+                .as_ref()
+                .map(|s| s.is_pure_iv())
+                .unwrap_or(false)
+        })
     }
 }
 
@@ -509,7 +509,14 @@ mod tests {
         );
         assert!(info.all_affine(), "shifts by constants are affine scaling");
         let store = info.accesses.iter().find(|a| a.is_write).expect("store");
-        assert_eq!(store.subscript.as_ref().expect("affine").iv_coeff(info.ivs[0].var), 4);
+        assert_eq!(
+            store
+                .subscript
+                .as_ref()
+                .expect("affine")
+                .iv_coeff(info.ivs[0].var),
+            4
+        );
     }
 
     #[test]

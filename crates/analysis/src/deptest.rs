@@ -45,7 +45,10 @@ pub fn test_pair(s1: &Affine, s2: &Affine, iv: dca_ir::VarId, trip: Option<i64>)
         r2.iv_terms.remove(&iv);
         // Symbolic/other-iv parts must match exactly for the precise tests;
         // otherwise fall through to GCD/conservative.
-        (r1.iv_terms == r2.iv_terms && r1.sym_terms == r2.sym_terms, r1.konst - r2.konst)
+        (
+            r1.iv_terms == r2.iv_terms && r1.sym_terms == r2.sym_terms,
+            r1.konst - r2.konst,
+        )
     };
     let (same_rest, c_diff) = rest_equal;
 

@@ -117,11 +117,7 @@ impl IteratorSlice {
 
     /// Computes the separation for loop `l`, reusing a precomputed effect
     /// map for the call-closure rule.
-    pub fn compute_with(
-        view: &FuncView<'_>,
-        l: &Loop,
-        effects: &crate::purity::EffectMap,
-    ) -> Self {
+    pub fn compute_with(view: &FuncView<'_>, l: &Loop, effects: &crate::purity::EffectMap) -> Self {
         let f = view.func;
         // Seed: variables used by terminators of blocks with an exit edge,
         // plus the header's terminator (it decides each iteration).
@@ -154,10 +150,7 @@ impl IteratorSlice {
                     if insts.contains(&(b, i)) {
                         continue;
                     }
-                    let by_def = inst
-                        .def()
-                        .map(|d| needed.contains(&d))
-                        .unwrap_or(false);
+                    let by_def = inst.def().map(|d| needed.contains(&d)).unwrap_or(false);
                     let by_mem = writes_root(inst)
                         .map(|r| loaded_bases.contains(&r))
                         .unwrap_or(false)

@@ -158,9 +158,8 @@ mod tests {
 
     #[test]
     fn straight_line_liveness() {
-        let (m, live) = analyze(
-            "fn main() -> int { let a: int = 1; let b: int = 2; return a + b; }",
-        );
+        let (m, live) =
+            analyze("fn main() -> int { let a: int = 1; let b: int = 2; return a + b; }");
         let a = var_named(&m, "a");
         // Everything happens in one block; nothing is live in or out.
         assert!(live.live_in(BlockId(0)).is_empty());
@@ -200,7 +199,10 @@ mod tests {
         let tmp = var_named(&m, "tmp");
         assert!(carried.contains(&s), "s accumulates across iterations");
         assert!(carried.contains(&i), "i is the induction variable");
-        assert!(!carried.contains(&tmp), "tmp is reinitialized every iteration");
+        assert!(
+            !carried.contains(&tmp),
+            "tmp is reinitialized every iteration"
+        );
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! reduction clauses and privatization.
 
 use crate::liveness::Liveness;
-use dca_ir::{
-    BinOp, FuncView, Inst, Intrinsic, Loop, MemBase, Operand, VarId,
-};
+use dca_ir::{BinOp, FuncView, Inst, Intrinsic, Loop, MemBase, Operand, VarId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// How a reduction combines values.
@@ -118,8 +116,18 @@ fn operands_equivalent(
             operands_equivalent(sa, sb, single_def, depth - 1)
         }
         (
-            Inst::Bin { op: oa, a: aa, b: ba, .. },
-            Inst::Bin { op: ob, a: ab, b: bb, .. },
+            Inst::Bin {
+                op: oa,
+                a: aa,
+                b: ba,
+                ..
+            },
+            Inst::Bin {
+                op: ob,
+                a: ab,
+                b: bb,
+                ..
+            },
         ) => {
             oa == ob
                 && operands_equivalent(aa, ab, single_def, depth - 1)
@@ -129,8 +137,12 @@ fn operands_equivalent(
             oa == ob && operands_equivalent(aa, ab, single_def, depth - 1)
         }
         (
-            Inst::Intrin { op: oa, args: aa, .. },
-            Inst::Intrin { op: ob, args: ab, .. },
+            Inst::Intrin {
+                op: oa, args: aa, ..
+            },
+            Inst::Intrin {
+                op: ob, args: ab, ..
+            },
         ) => {
             oa == ob
                 && aa.len() == ab.len()
@@ -140,12 +152,25 @@ fn operands_equivalent(
                     .all(|(x, y)| operands_equivalent(x, y, single_def, depth - 1))
         }
         (
-            Inst::LoadIndex { base: ba, index: ia, .. },
-            Inst::LoadIndex { base: bb, index: ib, .. },
+            Inst::LoadIndex {
+                base: ba,
+                index: ia,
+                ..
+            },
+            Inst::LoadIndex {
+                base: bb,
+                index: ib,
+                ..
+            },
         ) => ba == bb && operands_equivalent(ia, ib, single_def, depth - 1),
-        (Inst::LoadField { obj: oa, field: fa, .. }, Inst::LoadField { obj: ob, field: fb, .. }) => {
-            fa == fb && operands_equivalent(oa, ob, single_def, depth - 1)
-        }
+        (
+            Inst::LoadField {
+                obj: oa, field: fa, ..
+            },
+            Inst::LoadField {
+                obj: ob, field: fb, ..
+            },
+        ) => fa == fb && operands_equivalent(oa, ob, single_def, depth - 1),
         (Inst::LoadGlobal { global: ga, .. }, Inst::LoadGlobal { global: gb, .. }) => ga == gb,
         _ => false,
     }
@@ -155,12 +180,7 @@ impl ReductionInfo {
     /// Classifies loop `l`. `ivs` are the recognized induction variables
     /// (and any other iterator-slice variables) to leave out of the
     /// reduction/unresolved partition.
-    pub fn compute(
-        view: &FuncView<'_>,
-        live: &Liveness,
-        l: &Loop,
-        ivs: &BTreeSet<VarId>,
-    ) -> Self {
+    pub fn compute(view: &FuncView<'_>, live: &Liveness, l: &Loop, ivs: &BTreeSet<VarId>) -> Self {
         let f = view.func;
         let carried: BTreeSet<VarId> = live
             .loop_carried(l)
@@ -258,10 +278,8 @@ impl ReductionInfo {
                 }
             }
         }
-        let mut facts: BTreeMap<VarId, VarFacts> = carried
-            .iter()
-            .map(|&v| (v, VarFacts::default()))
-            .collect();
+        let mut facts: BTreeMap<VarId, VarFacts> =
+            carried.iter().map(|&v| (v, VarFacts::default())).collect();
         let mut var_ops: BTreeMap<VarId, BTreeSet<ReductionOp>> = BTreeMap::new();
         let mut uses = Vec::new();
         for &b in &l.blocks {
@@ -322,8 +340,8 @@ impl ReductionInfo {
         let mut unresolved_carried = BTreeSet::new();
         for (&v, fact) in &facts {
             let ops = var_ops.get(&v).cloned().unwrap_or_default();
-            let compatible = ops.len() == 1
-                || (ops.len() > 1 && ops.iter().all(|o| *o == ReductionOp::Sum));
+            let compatible =
+                ops.len() == 1 || (ops.len() > 1 && ops.iter().all(|o| *o == ReductionOp::Sum));
             if fact.reduction_defs > 0
                 && fact.other_defs == 0
                 && fact.outside_uses == 0
@@ -386,16 +404,8 @@ impl ReductionInfo {
         }
         'arrays: for (key, accs) in &array_accesses {
             // Exactly pairs of load+store in update form.
-            let writes: Vec<usize> = accs
-                .iter()
-                .filter(|(w, _)| *w)
-                .map(|&(_, i)| i)
-                .collect();
-            let reads: Vec<usize> = accs
-                .iter()
-                .filter(|(w, _)| !*w)
-                .map(|&(_, i)| i)
-                .collect();
+            let writes: Vec<usize> = accs.iter().filter(|(w, _)| *w).map(|&(_, i)| i).collect();
+            let reads: Vec<usize> = accs.iter().filter(|(w, _)| !*w).map(|&(_, i)| i).collect();
             if writes.is_empty() || writes.len() != reads.len() {
                 continue;
             }
@@ -421,24 +431,24 @@ impl ReductionInfo {
                     for inst2 in &f.block(b2).insts {
                         // Accept `t = loaded op e` both as a binary op and
                         // as a min/max intrinsic.
-                        let (dst, rop, operands): (VarId, ReductionOp, Vec<&Operand>) =
-                            match inst2 {
-                                Inst::Bin { dst, op, a, b: rhs } => {
-                                    let rop = match bin_reduction_op(*op) {
-                                        Some(r) => r,
-                                        None => continue,
-                                    };
-                                    (*dst, rop, vec![a, rhs])
-                                }
-                                Inst::Intrin { dst, op, args } => {
-                                    let rop = match intrin_reduction_op(*op) {
-                                        Some(r) => r,
-                                        None => continue,
-                                    };
-                                    (*dst, rop, args.iter().collect())
-                                }
-                                _ => continue,
-                            };
+                        let (dst, rop, operands): (VarId, ReductionOp, Vec<&Operand>) = match inst2
+                        {
+                            Inst::Bin { dst, op, a, b: rhs } => {
+                                let rop = match bin_reduction_op(*op) {
+                                    Some(r) => r,
+                                    None => continue,
+                                };
+                                (*dst, rop, vec![a, rhs])
+                            }
+                            Inst::Intrin { dst, op, args } => {
+                                let rop = match intrin_reduction_op(*op) {
+                                    Some(r) => r,
+                                    None => continue,
+                                };
+                                (*dst, rop, args.iter().collect())
+                            }
+                            _ => continue,
+                        };
                         {
                             if dst != tv {
                                 continue;

@@ -30,11 +30,7 @@ impl Detector for DcaDetector {
         match Dca::new(self.config.clone()).analyze(module, args) {
             Ok(dca_report) => {
                 for r in dca_report.iter() {
-                    report.set(
-                        r.lref,
-                        r.verdict.is_commutative(),
-                        r.verdict.to_string(),
-                    );
+                    report.set(r.lref, r.verdict.is_commutative(), r.verdict.to_string());
                 }
             }
             Err(e) => {

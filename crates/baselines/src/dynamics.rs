@@ -59,7 +59,7 @@ fn scalar_facts(module: &Module, per_loop: &mut dyn FnMut(dca_ir::LoopRef, Scala
             let pointer_carried_iterator = live
                 .loop_carried(l)
                 .iter()
-                .any(|&v| matches!(view.func.var(v).ty, Ty::Ptr(_)) );
+                .any(|&v| matches!(view.func.var(v).ty, Ty::Ptr(_)));
             per_loop(
                 dca_ir::LoopRef {
                     func: view.id,
@@ -106,8 +106,7 @@ impl DependenceProfiling {
             } else if facts.pointer_carried_iterator {
                 (
                     false,
-                    "loop-carried pointer (PLDS traversal) defeats dependence analysis"
-                        .to_owned(),
+                    "loop-carried pointer (PLDS traversal) defeats dependence analysis".to_owned(),
                 )
             } else if facts.unresolved {
                 (false, "unresolvable loop-carried scalar".to_owned())
@@ -155,8 +154,7 @@ impl DiscoPopStyle {
             } else if facts.pointer_carried_iterator {
                 (
                     false,
-                    "loop-carried pointer (PLDS traversal) defeats dependence analysis"
-                        .to_owned(),
+                    "loop-carried pointer (PLDS traversal) defeats dependence analysis".to_owned(),
                 )
             } else if facts.unresolved {
                 (false, "unresolvable loop-carried scalar".to_owned())
@@ -188,13 +186,13 @@ impl Detector for DiscoPopStyle {
 
 /// The set of loops two detection reports disagree on (useful in tests and
 /// ablation benches).
-pub fn disagreements(
-    a: &DetectionReport,
-    b: &DetectionReport,
-) -> HashSet<dca_ir::LoopRef> {
+pub fn disagreements(a: &DetectionReport, b: &DetectionReport) -> HashSet<dca_ir::LoopRef> {
     let mut out = HashSet::new();
     for (l, da) in a.iter() {
-        if b.get(l).map(|db| db.parallel != da.parallel).unwrap_or(false) {
+        if b.get(l)
+            .map(|db| db.parallel != da.parallel)
+            .unwrap_or(false)
+        {
             out.insert(l);
         }
     }
@@ -219,8 +217,7 @@ mod tests {
     const MAP: &str = "fn main() { let a: [int; 16]; \
          @l: for (let i: int = 0; i < 16; i = i + 1) { a[i] = i * 2; } }";
 
-    const INDIRECT_DISJOINT: &str =
-        "fn main() { let a: [int; 16]; let idx: [int; 16]; \
+    const INDIRECT_DISJOINT: &str = "fn main() { let a: [int; 16]; let idx: [int; 16]; \
          for (let k: int = 0; k < 16; k = k + 1) { idx[k] = (k * 5) % 16; } \
          @l: for (let i: int = 0; i < 16; i = i + 1) { a[idx[i]] = i; } }";
 

@@ -7,9 +7,7 @@
 //! heuristics off during detection.
 
 use crate::detect::{DetectionReport, Detector, Technique};
-use dca_analysis::{
-    test_loop, AffineLoopInfo, EffectMap, IteratorSlice, Liveness, ReductionInfo,
-};
+use dca_analysis::{test_loop, AffineLoopInfo, EffectMap, IteratorSlice, Liveness, ReductionInfo};
 use dca_interp::Value;
 use dca_ir::{FuncId, FuncView, Inst, LoopRef, Module};
 
@@ -114,7 +112,10 @@ impl Detector for PollyStyle {
             // Affine in-place array updates (`a[i] += e`) are fine: the
             // dependence tests below prove their distance zero.
             if !red.reductions.is_empty() || !red.unresolved_carried.is_empty() {
-                return (false, "loop-carried scalar (reduction or recurrence)".into());
+                return (
+                    false,
+                    "loop-carried scalar (reduction or recurrence)".into(),
+                );
             }
             match test_loop(info) {
                 Some(s) if !s.has_cross_iteration_dep => {
@@ -292,7 +293,10 @@ mod tests {
         assert!(!detect_tag(&PollyStyle, HISTOGRAM, "l"));
         assert!(!detect_tag(&PollyStyle, RECURRENCE, "l"));
         assert!(!detect_tag(&PollyStyle, PLDS, "l"));
-        assert!(!detect_tag(&PollyStyle, PURE_CALL, "l"), "calls break SCoPs");
+        assert!(
+            !detect_tag(&PollyStyle, PURE_CALL, "l"),
+            "calls break SCoPs"
+        );
         assert!(!detect_tag(&PollyStyle, INDIRECT, "l"));
     }
 
@@ -310,7 +314,10 @@ mod tests {
     #[test]
     fn idioms_accepts_reductions_and_histograms_only() {
         assert!(detect_tag(&IdiomsStyle, REDUCTION, "l"));
-        assert!(detect_tag(&IdiomsStyle, HISTOGRAM, "l"), "non-affine subscript OK");
+        assert!(
+            detect_tag(&IdiomsStyle, HISTOGRAM, "l"),
+            "non-affine subscript OK"
+        );
         assert!(!detect_tag(&IdiomsStyle, MAP, "l"), "a map is not an idiom");
         assert!(!detect_tag(&IdiomsStyle, RECURRENCE, "l"));
         assert!(!detect_tag(&IdiomsStyle, PLDS, "l"));

@@ -111,8 +111,7 @@ impl DepTracer {
                 parent[l.id.index()] = l.parent;
                 header[l.id.index()] = l.header;
                 let slice = dca_analysis::IteratorSlice::compute_with(&view, l, &effects);
-                let red =
-                    dca_analysis::ReductionInfo::compute(&view, &live, l, &slice.slice_vars);
+                let red = dca_analysis::ReductionInfo::compute(&view, &live, l, &slice.slice_vars);
                 for h in &red.histograms {
                     match h.array {
                         dca_analysis::ArrayKey::Global(g) => {

@@ -6,7 +6,7 @@
 //!    (§III vs the cheaper, stricter variant);
 //! 3. number of tested invocations (§IV-E context sensitivity).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dca_bench::harness::Harness;
 use dca_core::{Dca, DcaConfig, PermutationSet, VerifyScope};
 use std::hint::black_box;
 
@@ -15,9 +15,8 @@ fn fixture() -> (dca_ir::Module, Vec<dca_interp::Value>) {
     (p.module(), p.targs())
 }
 
-fn bench_permutation_presets(c: &mut Criterion) {
+fn bench_permutation_presets(h: &mut Harness) {
     let (m, args) = fixture();
-    let mut g = c.benchmark_group("ablation/permutations");
     let presets: &[(&str, PermutationSet)] = &[
         ("reverse_only", PermutationSet::ReverseOnly),
         ("shuffles_1", PermutationSet::Presets { shuffles: 1 }),
@@ -32,7 +31,7 @@ fn bench_permutation_presets(c: &mut Criterion) {
         ),
     ];
     for (name, preset) in presets {
-        g.bench_with_input(BenchmarkId::from_parameter(name), preset, |b, preset| {
+        h.bench_function(&format!("ablation/permutations/{name}"), |b| {
             let dca = Dca::new(DcaConfig {
                 permutations: preset.clone(),
                 ..DcaConfig::fast()
@@ -40,17 +39,15 @@ fn bench_permutation_presets(c: &mut Criterion) {
             b.iter(|| black_box(dca.analyze(&m, &args).expect("analyze")))
         });
     }
-    g.finish();
 }
 
-fn bench_verify_scope(c: &mut Criterion) {
+fn bench_verify_scope(h: &mut Harness) {
     let (m, args) = fixture();
-    let mut g = c.benchmark_group("ablation/verify_scope");
     for (name, scope) in [
         ("program_end", VerifyScope::ProgramEnd),
         ("loop_exit", VerifyScope::LoopExit),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &scope, |b, &scope| {
+        h.bench_function(&format!("ablation/verify_scope/{name}"), |b| {
             let dca = Dca::new(DcaConfig {
                 verify_scope: scope,
                 ..DcaConfig::fast()
@@ -58,14 +55,12 @@ fn bench_verify_scope(c: &mut Criterion) {
             b.iter(|| black_box(dca.analyze(&m, &args).expect("analyze")))
         });
     }
-    g.finish();
 }
 
-fn bench_invocations(c: &mut Criterion) {
+fn bench_invocations(h: &mut Harness) {
     let (m, args) = fixture();
-    let mut g = c.benchmark_group("ablation/invocations");
     for k in [1u32, 2, 3] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+        h.bench_function(&format!("ablation/invocations/{k}"), |b| {
             let dca = Dca::new(DcaConfig {
                 invocations: k,
                 ..DcaConfig::fast()
@@ -73,12 +68,12 @@ fn bench_invocations(c: &mut Criterion) {
             b.iter(|| black_box(dca.analyze(&m, &args).expect("analyze")))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_permutation_presets, bench_verify_scope, bench_invocations
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+    bench_permutation_presets(&mut h);
+    bench_verify_scope(&mut h);
+    bench_invocations(&mut h);
+    h.finish();
+}

@@ -1,38 +1,38 @@
-//! Criterion benches comparing the end-to-end cost of every detection
-//! technique on one NPB-like program (EP) and one PLDS program (BFS).
+//! Benches comparing the end-to-end cost of every detection technique on
+//! one NPB-like program (EP) and one PLDS program (BFS).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dca_baselines::all_detectors;
+use dca_bench::harness::Harness;
 use std::hint::black_box;
 
-fn bench_detectors(c: &mut Criterion) {
+fn bench_detectors(h: &mut Harness) {
     for name in ["ep", "bfs"] {
         let p = dca_suite::by_name(name).expect("suite program");
         let m = p.module();
         let args = p.targs();
         for det in all_detectors(dca_core::DcaConfig::fast()) {
-            c.bench_function(&format!("detect/{name}/{}", det.technique()), |b| {
+            h.bench_function(&format!("detect/{name}/{}", det.technique()), |b| {
                 b.iter(|| black_box(det.detect(&m, &args)))
             });
         }
     }
 }
 
-fn bench_trace(c: &mut Criterion) {
+fn bench_trace(h: &mut Harness) {
     let p = dca_suite::by_name("cg").expect("cg exists");
     let m = p.module();
     let args = p.targs();
-    c.bench_function("detect/cg/memory_trace", |b| {
+    h.bench_function("detect/cg/memory_trace", |b| {
         b.iter(|| black_box(dca_baselines::trace_dependences(&m, &args, u64::MAX)))
     });
-    c.bench_function("detect/cg/plain_execution", |b| {
+    h.bench_function("detect/cg/plain_execution", |b| {
         b.iter(|| black_box(dca_interp::run_program(&m, &args).expect("run")))
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_detectors, bench_trace
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new().sample_size(15);
+    bench_detectors(&mut h);
+    bench_trace(&mut h);
+    h.finish();
+}

@@ -1,52 +1,44 @@
-//! Criterion benches for the multicore simulator: scaling with core count
-//! and scheduling policy (the substrate behind Figs. 5-7).
+//! Benches for the multicore simulator: scaling with core count and
+//! scheduling policy (the substrate behind Figs. 5-7).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dca_bench::harness::Harness;
 use dca_parallel::{simulate_invocation, Schedule, SimConfig};
 use std::hint::black_box;
 
-fn bench_core_scaling(c: &mut Criterion) {
+fn bench_core_scaling(h: &mut Harness) {
     let costs: Vec<u64> = (0..7200).map(|i| 50 + (i * 37) % 100).collect();
-    let mut g = c.benchmark_group("sim/core_scaling");
     for cores in [1usize, 4, 16, 72] {
-        g.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
+        h.bench_function(&format!("sim/core_scaling/{cores}"), |b| {
             let cfg = SimConfig::with_cores(cores);
             b.iter(|| black_box(simulate_invocation(&costs, &cfg)))
         });
     }
-    g.finish();
 }
 
-fn bench_schedules(c: &mut Criterion) {
+fn bench_schedules(h: &mut Harness) {
     let costs: Vec<u64> = (0..7200).map(|i| 1000 - (i % 1000) as u64).collect();
-    let mut g = c.benchmark_group("sim/schedule");
-    g.bench_function("static_block", |b| {
+    h.bench_function("sim/schedule/static_block", |b| {
         let cfg = SimConfig::paper_host();
         b.iter(|| black_box(simulate_invocation(&costs, &cfg)))
     });
     for chunk in [1usize, 8, 64] {
-        g.bench_with_input(
-            BenchmarkId::new("dynamic", chunk),
-            &chunk,
-            |b, &chunk| {
-                let cfg = SimConfig {
-                    schedule: Schedule::Dynamic { chunk },
-                    ..SimConfig::paper_host()
-                };
-                b.iter(|| black_box(simulate_invocation(&costs, &cfg)))
-            },
-        );
+        h.bench_function(&format!("sim/schedule/dynamic/{chunk}"), |b| {
+            let cfg = SimConfig {
+                schedule: Schedule::Dynamic { chunk },
+                ..SimConfig::paper_host()
+            };
+            b.iter(|| black_box(simulate_invocation(&costs, &cfg)))
+        });
     }
-    g.finish();
 }
 
-fn bench_whole_program(c: &mut Criterion) {
+fn bench_whole_program(h: &mut Harness) {
     let p = dca_suite::by_name("ep").expect("ep exists");
     let m = p.module();
     let args = p.targs();
     let hot = p.loop_by_tag(&m, "blocks").expect("hot loop");
     let sel = std::collections::BTreeSet::from([hot]);
-    c.bench_function("sim/whole_program_speedup", |b| {
+    h.bench_function("sim/whole_program_speedup", |b| {
         b.iter(|| {
             black_box(
                 dca_parallel::speedup_for_selection(&m, &args, &sel, &SimConfig::paper_host())
@@ -56,9 +48,10 @@ fn bench_whole_program(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_core_scaling, bench_schedules, bench_whole_program
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new().sample_size(20);
+    bench_core_scaling(&mut h);
+    bench_schedules(&mut h);
+    bench_whole_program(&mut h);
+    h.finish();
+}

@@ -1,8 +1,8 @@
-//! Criterion benches for the individual DCA pipeline stages (paper
-//! Fig. 3): static analyses, golden recording, and permuted replay.
+//! Benches for the individual DCA pipeline stages (paper Fig. 3): static
+//! analyses, golden recording, and permuted replay.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dca_analysis::{EffectMap, IteratorSlice, Liveness};
+use dca_bench::harness::Harness;
 use dca_core::{record_golden, run_replay, ReplayController};
 use dca_interp::Machine;
 use dca_ir::FuncView;
@@ -15,32 +15,32 @@ fn fixture() -> (dca_ir::Module, dca_ir::LoopRef, Vec<dca_interp::Value>) {
     (m, l, p.targs())
 }
 
-fn bench_static_stage(c: &mut Criterion) {
+fn bench_static_stage(h: &mut Harness) {
     let (m, lref, _) = fixture();
-    c.bench_function("static/effect_map", |b| {
+    h.bench_function("static/effect_map", |b| {
         b.iter(|| black_box(EffectMap::new(&m)))
     });
-    c.bench_function("static/func_view", |b| {
+    h.bench_function("static/func_view", |b| {
         b.iter(|| black_box(FuncView::new(&m, lref.func)))
     });
     let view = FuncView::new(&m, lref.func);
-    c.bench_function("static/liveness", |b| {
+    h.bench_function("static/liveness", |b| {
         b.iter(|| black_box(Liveness::new(&view)))
     });
     let effects = EffectMap::new(&m);
     let l = view.loops.get(lref.loop_id);
-    c.bench_function("static/iterator_recognition", |b| {
+    h.bench_function("static/iterator_recognition", |b| {
         b.iter(|| black_box(IteratorSlice::compute_with(&view, l, &effects)))
     });
 }
 
-fn bench_dynamic_stage(c: &mut Criterion) {
+fn bench_dynamic_stage(h: &mut Harness) {
     let (m, lref, args) = fixture();
     let view = FuncView::new(&m, lref.func);
     let l = view.loops.get(lref.loop_id);
     let slice = IteratorSlice::compute(&view, l);
     let main = m.main().expect("main");
-    c.bench_function("dynamic/golden_recording", |b| {
+    h.bench_function("dynamic/golden_recording", |b| {
         b.iter(|| {
             let mut machine = Machine::new(&m);
             black_box(
@@ -73,7 +73,7 @@ fn bench_dynamic_stage(c: &mut Criterion) {
     )
     .expect("record");
     let perm: Vec<usize> = (0..golden.iters.len()).rev().collect();
-    c.bench_function("dynamic/permuted_replay", |b| {
+    h.bench_function("dynamic/permuted_replay", |b| {
         b.iter(|| {
             machine.restore(&golden.snapshot);
             let mut ctl =
@@ -81,15 +81,15 @@ fn bench_dynamic_stage(c: &mut Criterion) {
             black_box(run_replay(&mut machine, &mut ctl, false, u64::MAX))
         })
     });
-    c.bench_function("dynamic/full_loop_test", |b| {
+    h.bench_function("dynamic/full_loop_test", |b| {
         let dca = dca_core::Dca::new(dca_core::DcaConfig::fast());
         b.iter(|| black_box(dca.test_loop(&m, lref, &args).expect("test")))
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_static_stage, bench_dynamic_stage
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new().sample_size(20);
+    bench_static_stage(&mut h);
+    bench_dynamic_stage(&mut h);
+    h.finish();
+}

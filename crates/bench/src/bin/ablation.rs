@@ -97,9 +97,7 @@ fn main() {
         let stricter = pe
             .iter()
             .zip(le.iter())
-            .filter(|(a, b)| {
-                a.verdict.is_commutative() && !b.verdict.is_commutative()
-            })
+            .filter(|(a, b)| a.verdict.is_commutative() && !b.verdict.is_commutative())
             .count();
         println!(
             "{:<6} {:>12} {:>10} {:>22}",
@@ -109,4 +107,5 @@ fn main() {
             stricter
         );
     }
+    dca_bench::print_engine_speedup_footer(fast);
 }

@@ -10,7 +10,15 @@ fn main() {
     let fast = dca_bench::fast_mode();
     println!("Fig. 5: DCA parallelization speedup for PLDS loops (simulated 72 cores)");
     println!("{:<12} {:>9}", "Bmk", "Speedup");
-    for name in ["treeadd", "perimeter", "water", "ks", "spmatmat", "bfs", "ising"] {
+    for name in [
+        "treeadd",
+        "perimeter",
+        "water",
+        "ks",
+        "spmatmat",
+        "bfs",
+        "ising",
+    ] {
         let p = dca_suite::by_name(name).expect("suite program");
         let (module, r) = dca_bench::detect_all(p, fast);
         let detected: BTreeSet<LoopRef> = r.dca.parallel_loops().collect();

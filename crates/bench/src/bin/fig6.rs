@@ -54,4 +54,5 @@ fn main() {
         dca_bench::gmean(&cols[2]),
         dca_bench::gmean(&cols[3])
     );
+    dca_bench::print_engine_speedup_footer(fast);
 }

@@ -7,8 +7,18 @@ fn main() {
     let m = p.module();
     let args = p.targs();
     let dets = all_detectors(dca_core::DcaConfig::fast());
-    let reports: Vec<_> = dets.iter().map(|d| (d.technique(), d.detect(&m, &args))).collect();
-    println!("{:<12} {}", "loop", reports.iter().map(|(t, _)| format!("{t:>8}")).collect::<String>());
+    let reports: Vec<_> = dets
+        .iter()
+        .map(|d| (d.technique(), d.detect(&m, &args)))
+        .collect();
+    println!(
+        "{:<12} {}",
+        "loop",
+        reports
+            .iter()
+            .map(|(t, _)| format!("{t:>8}"))
+            .collect::<String>()
+    );
     for (lref, tag) in dca_ir::all_loops(&m) {
         let tag = tag.unwrap_or_else(|| lref.to_string());
         let mut row = format!("{:<12}", tag);

@@ -10,7 +10,16 @@ fn main() {
     println!("Table II: PLDS loops detected as commutative by DCA (baselines detect none)");
     println!(
         "{:<10} {:<14} {:<24} {:>8} {:>8} {:>7} {:>9} {:<16} {:>9} {:>9}",
-        "Bmk", "Origin", "Function", "Cov(%)", "Paper%", "Loop x", "Overall x", "Technique", "DCA", "Baseline"
+        "Bmk",
+        "Origin",
+        "Function",
+        "Cov(%)",
+        "Paper%",
+        "Loop x",
+        "Overall x",
+        "Technique",
+        "DCA",
+        "Baseline"
     );
     for p in dca_suite::plds::programs() {
         let (module, r) = dca_bench::detect_all(p, fast);

@@ -49,4 +49,5 @@ fn main() {
         pct(tot.4, tot.0),
         pct(tot.5, tot.0)
     );
+    dca_bench::print_engine_speedup_footer(fast);
 }

@@ -14,6 +14,9 @@ use dca_ir::{LoopRef, Module};
 use dca_parallel::SimConfig;
 use dca_suite::SuiteProgram;
 use std::collections::BTreeSet;
+use std::time::Duration;
+
+pub mod harness;
 
 /// All six per-technique reports for one program.
 #[derive(Debug, Clone)]
@@ -75,11 +78,7 @@ pub fn detect_all(p: &SuiteProgram, fast: bool) -> (Module, AllReports) {
 }
 
 /// Resolves the expert tags of `p` to loop references in `module`.
-pub fn tags_to_loops(
-    p: &SuiteProgram,
-    module: &Module,
-    tags: &[&str],
-) -> BTreeSet<LoopRef> {
+pub fn tags_to_loops(p: &SuiteProgram, module: &Module, tags: &[&str]) -> BTreeSet<LoopRef> {
     tags.iter()
         .filter_map(|t| p.loop_by_tag(module, t))
         .collect()
@@ -151,6 +150,66 @@ pub fn gmean(values: &[f64]) -> f64 {
 /// True when `--fast` was passed (use the small test workloads).
 pub fn fast_mode() -> bool {
     std::env::args().any(|a| a == "--fast")
+}
+
+/// Sequential-vs-parallel wall time of the DCA engine itself on one
+/// program: runs `analyze` with one worker thread and with `threads`
+/// workers and reports `(sequential, parallel, speedup)`. The verdicts of
+/// the two runs are asserted identical — the engine's determinism
+/// guarantee — so the numbers always compare equal work.
+pub fn engine_speedup(
+    module: &Module,
+    args: &[dca_interp::Value],
+    config: &DcaConfig,
+    threads: usize,
+) -> (Duration, Duration, f64) {
+    let seq_cfg = DcaConfig {
+        threads: 1,
+        ..config.clone()
+    };
+    let par_cfg = DcaConfig {
+        threads,
+        ..config.clone()
+    };
+    let seq = dca_core::Dca::new(seq_cfg)
+        .analyze(module, args)
+        .expect("sequential analysis");
+    let par = dca_core::Dca::new(par_cfg)
+        .analyze(module, args)
+        .expect("parallel analysis");
+    assert_eq!(seq.len(), par.len());
+    for (s, p) in seq.iter().zip(par.iter()) {
+        assert_eq!(s, p, "parallel engine must match sequential verdicts");
+    }
+    let ratio = seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-12);
+    (seq.wall, par.wall, ratio)
+}
+
+/// Prints the engine's sequential-vs-parallel wall time over the whole
+/// NPB suite — the footer every table/figure binary appends so each
+/// regenerated experiment also documents how fast its analyses ran.
+pub fn print_engine_speedup_footer(fast: bool) {
+    let threads = dca_core::effective_threads(0);
+    if threads <= 1 {
+        println!("\n[engine] 1 CPU available: verification ran sequentially");
+        return;
+    }
+    let (mut seq_total, mut par_total) = (Duration::ZERO, Duration::ZERO);
+    for p in dca_suite::npb::programs() {
+        let module = p.module();
+        let args = if fast { p.targs() } else { p.args() };
+        let (seq, par, _) = engine_speedup(&module, &args, &DcaConfig::default(), threads);
+        seq_total += seq;
+        par_total += par;
+    }
+    println!(
+        "\n[engine] verification wall time over NPB: {:.3}s sequential, {:.3}s on {} threads \
+         ({:.2}x speedup)",
+        seq_total.as_secs_f64(),
+        par_total.as_secs_f64(),
+        threads,
+        seq_total.as_secs_f64() / par_total.as_secs_f64().max(1e-12)
+    );
 }
 
 #[cfg(test)]

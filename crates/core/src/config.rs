@@ -67,6 +67,11 @@ pub struct DcaConfig {
     pub max_steps: u64,
     /// Loops with more recorded iterations than this are skipped.
     pub max_trip: usize,
+    /// Worker threads for the verification engine; `0` means one per
+    /// available CPU. Permutation replays of a loop and independent loops
+    /// of a module fan out across this many workers. Verdicts and counters
+    /// are identical for every thread count (see DESIGN.md §Threading).
+    pub threads: usize,
 }
 
 impl Default for DcaConfig {
@@ -79,6 +84,7 @@ impl Default for DcaConfig {
             invocations: 1,
             max_steps: 200_000_000,
             max_trip: 1 << 16,
+            threads: 0,
         }
     }
 }
@@ -104,5 +110,6 @@ mod tests {
         assert_eq!(c.permutations, PermutationSet::Presets { shuffles: 3 });
         assert_eq!(c.verify_scope, VerifyScope::ProgramEnd);
         assert!(c.float_tolerance > 0.0);
+        assert_eq!(c.threads, 0, "auto-detect worker count by default");
     }
 }

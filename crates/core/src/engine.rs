@@ -4,7 +4,8 @@
 
 use crate::config::{DcaConfig, VerifyScope};
 use crate::outcome::{ProgramOutcome, StateDigest};
-use crate::perm::schedules;
+use crate::parallel::{effective_threads, parallel_map, parallel_scan, split_threads, StopIndex};
+use crate::perm::{derive_seed, schedules};
 use crate::record::{record_golden_min_trip, GoldenRecord, RecordError};
 use crate::replay::{run_replay, ReplayController, ReplayEnd};
 use crate::report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};
@@ -12,6 +13,38 @@ use dca_analysis::{exclusion, EffectMap, IteratorSlice, Liveness};
 use dca_interp::{Machine, Value};
 use dca_ir::{FuncId, FuncView, Loop, LoopRef, Module};
 use std::fmt;
+use std::time::Instant;
+
+/// How one loop's permutation verification ended.
+#[derive(Debug, Clone, PartialEq)]
+enum VerifyEnd {
+    /// Every permutation preserved the outcome.
+    Complete,
+    /// Some permutation refuted commutativity.
+    Violated(Violation),
+    /// A replay ran out of step budget before finishing — neither a
+    /// confirmation nor a refutation.
+    Budget,
+}
+
+/// The outcome of verifying one permutation set, with the counters the
+/// report carries. `tested` counts the permutations verified successfully
+/// *before* the first terminal outcome (all of them on
+/// [`VerifyEnd::Complete`]); `replay_steps` sums the interpreter steps of
+/// the reference replay, those permutations, and the terminal one — a sum
+/// that is identical for every worker-thread count.
+#[derive(Debug, Clone, PartialEq)]
+struct VerifySummary {
+    end: VerifyEnd,
+    tested: usize,
+    replay_steps: u64,
+}
+
+/// One permuted replay's result, before the deterministic fold.
+struct PermOutcome {
+    end: VerifyEnd,
+    steps: u64,
+}
 
 /// Errors that prevent analysis from starting at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,22 +117,38 @@ impl Dca {
     ///
     /// Returns [`DcaError::NoMain`] if the module has no entry point.
     pub fn analyze(&self, module: &Module, args: &[Value]) -> Result<DcaReport, DcaError> {
+        let start = Instant::now();
         let main = module.main().ok_or(DcaError::NoMain)?;
         let effects = EffectMap::new(module);
-        let mut report = DcaReport::default();
+        // Collect every loop of the module in deterministic (function,
+        // loop) order; this is both the work list and the report order.
+        let mut items: Vec<LoopRef> = Vec::new();
         for (i, _) in module.funcs.iter().enumerate() {
             let fid = FuncId(i as u32);
             let view = FuncView::new(module, fid);
-            if view.loops.is_empty() {
-                continue;
-            }
-            let live = Liveness::new(&view);
             for l in view.loops.iter() {
-                let result =
-                    self.test_loop_inner(module, main, args, &effects, &view, &live, l);
-                report.push(result);
+                items.push(LoopRef {
+                    func: fid,
+                    loop_id: l.id,
+                });
             }
         }
+        // Split the worker budget: independent loops fan out across
+        // `outer` workers, and each loop's permutation replays across
+        // `inner` — so a module with one hot loop still uses every core.
+        let threads = effective_threads(self.config.threads);
+        let (outer, inner) = split_threads(threads, items.len());
+        let results = parallel_map(outer, &items, |_, lref| {
+            let view = FuncView::new(module, lref.func);
+            let live = Liveness::new(&view);
+            let l = view.loops.get(lref.loop_id);
+            self.test_loop_inner(module, main, args, &effects, &view, &live, l, inner)
+        });
+        let mut report = DcaReport::with_threads(threads);
+        for result in results {
+            report.push(result);
+        }
+        report.wall = start.elapsed();
         Ok(report)
     }
 
@@ -154,7 +203,8 @@ impl Dca {
         let view = FuncView::new(module, lref.func);
         let live = Liveness::new(&view);
         let l = view.loops.get(lref.loop_id);
-        Ok(self.test_loop_inner(module, main, args, &effects, &view, &live, l))
+        let threads = effective_threads(self.config.threads);
+        Ok(self.test_loop_inner(module, main, args, &effects, &view, &live, l, threads))
     }
 
     /// Tests each of the first `k` *eligible* invocations (trip ≥ 2) of
@@ -183,6 +233,7 @@ impl Dca {
         let view = FuncView::new(module, lref.func);
         let live = Liveness::new(&view);
         let l = view.loops.get(lref.loop_id);
+        let threads = effective_threads(self.config.threads);
         let slice = IteratorSlice::compute_with(&view, l, &effects);
         let base = LoopResult {
             lref,
@@ -190,6 +241,8 @@ impl Dca {
             verdict: LoopVerdict::NotExercised,
             trips: 0,
             permutations_tested: 0,
+            replay_steps: 0,
+            wall: std::time::Duration::ZERO,
         };
         if let Some(reason) = exclusion(&view, l, &slice, &effects.io_funcs()) {
             return Ok(vec![LoopResult {
@@ -199,6 +252,7 @@ impl Dca {
         }
         let mut out = Vec::new();
         for invocation in 0..k {
+            let inv_start = Instant::now();
             let mut machine = Machine::new(module);
             let golden = match record_golden_min_trip(
                 &mut machine,
@@ -237,34 +291,29 @@ impl Dca {
                 }
             };
             let trip = golden.iters.len();
-            let seed = self
-                .config
-                .seed
-                .wrapping_add((lref.func.0 as u64) << 32)
-                .wrapping_add(lref.loop_id.0 as u64)
-                .wrapping_add(invocation as u64);
+            let seed = derive_seed(self.config.seed, lref.func.0, lref.loop_id.0, invocation);
             let perms = schedules(&self.config.permutations, trip, seed);
-            let result = match self
-                .verify_permutations(module, &view, &live, l, &slice, &golden, &perms)
-            {
-                Ok(tested) => LoopResult {
-                    verdict: LoopVerdict::Commutative,
-                    trips: trip,
-                    permutations_tested: tested,
-                    ..base.clone()
-                },
-                Err(violation) => LoopResult {
-                    verdict: LoopVerdict::NonCommutative(violation),
-                    trips: trip,
-                    permutations_tested: 0,
-                    ..base.clone()
-                },
+            let summary =
+                self.verify_permutations(module, &view, &live, l, &slice, &golden, &perms, threads);
+            let verdict = match summary.end {
+                VerifyEnd::Complete => LoopVerdict::Commutative,
+                VerifyEnd::Violated(violation) => LoopVerdict::NonCommutative(violation),
+                VerifyEnd::Budget => LoopVerdict::Skipped(SkipReason::ReplayBudget),
             };
-            out.push(result);
+            out.push(LoopResult {
+                verdict,
+                trips: trip,
+                permutations_tested: summary.tested,
+                replay_steps: summary.replay_steps,
+                wall: inv_start.elapsed(),
+                ..base.clone()
+            });
         }
         Ok(out)
     }
 
+    /// Tests one loop with `threads` workers for its permutation replays;
+    /// stamps the wall-clock time spent on the result.
     #[allow(clippy::too_many_arguments)]
     fn test_loop_inner(
         &self,
@@ -275,6 +324,26 @@ impl Dca {
         view: &FuncView<'_>,
         live: &Liveness,
         l: &Loop,
+        threads: usize,
+    ) -> LoopResult {
+        let start = Instant::now();
+        let mut result =
+            self.test_loop_untimed(module, main, args, effects, view, live, l, threads);
+        result.wall = start.elapsed();
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn test_loop_untimed(
+        &self,
+        module: &Module,
+        main: FuncId,
+        args: &[Value],
+        effects: &EffectMap,
+        view: &FuncView<'_>,
+        live: &Liveness,
+        l: &Loop,
+        threads: usize,
     ) -> LoopResult {
         let lref = LoopRef {
             func: view.id,
@@ -286,6 +355,8 @@ impl Dca {
             verdict: LoopVerdict::NotExercised,
             trips: 0,
             permutations_tested: 0,
+            replay_steps: 0,
+            wall: std::time::Duration::ZERO,
         };
         // ---- static stage (paper §IV-A): separation + exclusion.
         let slice = IteratorSlice::compute_with(view, l, effects);
@@ -298,6 +369,7 @@ impl Dca {
         // ---- dynamic stage: aggregate over the tested invocations.
         let mut trips_seen = 0;
         let mut perms_total = 0;
+        let mut steps_total = 0u64;
         let mut exercised = false;
         for invocation in 0..self.config.invocations {
             let mut machine = Machine::new(module);
@@ -341,20 +413,29 @@ impl Dca {
                 continue;
             }
             exercised = true;
-            let seed = self
-                .config
-                .seed
-                .wrapping_add((lref.func.0 as u64) << 32)
-                .wrapping_add(lref.loop_id.0 as u64)
-                .wrapping_add(invocation as u64);
+            let seed = derive_seed(self.config.seed, lref.func.0, lref.loop_id.0, invocation);
             let perms = schedules(&self.config.permutations, trip, seed);
-            match self.verify_permutations(module, view, live, l, &slice, &golden, &perms) {
-                Ok(tested) => perms_total += tested,
-                Err(violation) => {
+            let summary =
+                self.verify_permutations(module, view, live, l, &slice, &golden, &perms, threads);
+            perms_total += summary.tested;
+            steps_total += summary.replay_steps;
+            match summary.end {
+                VerifyEnd::Complete => {}
+                VerifyEnd::Violated(violation) => {
                     return LoopResult {
                         verdict: LoopVerdict::NonCommutative(violation),
                         trips: trip,
                         permutations_tested: perms_total,
+                        replay_steps: steps_total,
+                        ..base
+                    }
+                }
+                VerifyEnd::Budget => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::ReplayBudget),
+                        trips: trip,
+                        permutations_tested: perms_total,
+                        replay_steps: steps_total,
                         ..base
                     }
                 }
@@ -370,12 +451,21 @@ impl Dca {
             verdict: LoopVerdict::Commutative,
             trips: trips_seen,
             permutations_tested: perms_total,
+            replay_steps: steps_total,
             ..base
         }
     }
 
-    /// Runs every permutation and verifies it against the golden
-    /// reference; returns the number of permutations tested.
+    /// Verifies every permutation against the golden reference, fanning
+    /// the replays out across up to `threads` workers.
+    ///
+    /// Each worker owns a private [`Machine`] restored from the shared
+    /// golden snapshot, so replays share no mutable state. Early exit is
+    /// deterministic: a [`StopIndex`] records the *lowest* index with a
+    /// terminal outcome, every index below it is guaranteed processed, and
+    /// the fold below reads exactly the prefix the sequential engine would
+    /// have executed — verdicts and counters are identical for every
+    /// thread count.
     #[allow(clippy::too_many_arguments)]
     fn verify_permutations(
         &self,
@@ -386,61 +476,139 @@ impl Dca {
         slice: &IteratorSlice,
         golden: &GoldenRecord,
         perms: &[Vec<usize>],
-    ) -> Result<usize, Violation> {
-        let mut machine = Machine::new(module);
+        threads: usize,
+    ) -> VerifySummary {
         let stop_at_exit = self.config.verify_scope == VerifyScope::LoopExit;
+        let mut reference_steps = 0u64;
         // Under the loop-exit scope the reference digest comes from an
         // identity replay (identical by construction to the golden run up
         // to the exit point).
         let reference_digest = if stop_at_exit {
             let identity: Vec<usize> = (0..golden.iters.len()).collect();
+            let mut machine = Machine::new(module);
             machine.restore(&golden.snapshot);
-            let mut ctl =
-                ReplayController::new(view.id, view.func, l, slice, golden, &identity);
-            match run_replay(&mut machine, &mut ctl, true, self.config.max_steps) {
+            let before = machine.steps();
+            let mut ctl = ReplayController::new(view.id, view.func, l, slice, golden, &identity);
+            let end = run_replay(&mut machine, &mut ctl, true, self.config.max_steps);
+            reference_steps = machine.steps() - before;
+            match end {
                 ReplayEnd::LoopExited => {}
                 // `Finished` without a loop exit means the frame unwound
                 // before the loop completed: there is no state to digest.
-                ReplayEnd::Finished(_) | ReplayEnd::BudgetExhausted => {
-                    return Err(Violation::ReplayDiverged)
+                ReplayEnd::Finished(_) => {
+                    return VerifySummary {
+                        end: VerifyEnd::Violated(Violation::ReplayDiverged),
+                        tested: 0,
+                        replay_steps: reference_steps,
+                    }
                 }
-                ReplayEnd::Trapped(_) => return Err(Violation::ReplayTrapped),
+                ReplayEnd::BudgetExhausted => {
+                    return VerifySummary {
+                        end: VerifyEnd::Budget,
+                        tested: 0,
+                        replay_steps: reference_steps,
+                    }
+                }
+                ReplayEnd::Trapped(_) => {
+                    return VerifySummary {
+                        end: VerifyEnd::Violated(Violation::ReplayTrapped),
+                        tested: 0,
+                        replay_steps: reference_steps,
+                    }
+                }
             }
             Some(self.capture_digest(&machine, live, l))
         } else {
             None
         };
-        for perm in perms {
+        let check_one = |perm: &Vec<usize>| -> PermOutcome {
+            let mut machine = Machine::new(module);
             machine.restore(&golden.snapshot);
+            let before = machine.steps();
             let mut ctl = ReplayController::new(view.id, view.func, l, slice, golden, perm);
             let end = run_replay(&mut machine, &mut ctl, stop_at_exit, self.config.max_steps);
-            match (&self.config.verify_scope, end) {
+            let steps = machine.steps() - before;
+            let end = match (&self.config.verify_scope, end) {
                 (VerifyScope::ProgramEnd, ReplayEnd::Finished(ret)) => {
                     let outcome = ProgramOutcome::capture(&machine, ret);
-                    if !golden.outcome.matches(&outcome, self.config.float_tolerance) {
-                        return Err(Violation::OutcomeMismatch);
+                    if golden
+                        .outcome
+                        .matches(&outcome, self.config.float_tolerance)
+                    {
+                        VerifyEnd::Complete
+                    } else {
+                        VerifyEnd::Violated(Violation::OutcomeMismatch)
                     }
                 }
                 (VerifyScope::LoopExit, ReplayEnd::LoopExited) => {
                     let digest = self.capture_digest(&machine, live, l);
                     let reference = reference_digest.as_ref().expect("captured above");
-                    if !reference.matches(&digest, self.config.float_tolerance) {
-                        return Err(Violation::OutcomeMismatch);
+                    if reference.matches(&digest, self.config.float_tolerance) {
+                        VerifyEnd::Complete
+                    } else {
+                        VerifyEnd::Violated(Violation::OutcomeMismatch)
                     }
                 }
                 (VerifyScope::LoopExit, ReplayEnd::Finished(_)) => {
                     // The frame unwound before the loop exit was observed:
                     // nothing safe to digest — conservative refutation.
-                    return Err(Violation::ReplayDiverged);
+                    VerifyEnd::Violated(Violation::ReplayDiverged)
                 }
-                (_, ReplayEnd::Trapped(_)) => return Err(Violation::ReplayTrapped),
-                (_, ReplayEnd::BudgetExhausted) => return Err(Violation::ReplayDiverged),
+                (_, ReplayEnd::Trapped(_)) => VerifyEnd::Violated(Violation::ReplayTrapped),
+                // An exhausted replay budget is a resource limit, not
+                // evidence of non-commutativity: the callers map it to
+                // `Skipped(ReplayBudget)`, never to a violation.
+                (_, ReplayEnd::BudgetExhausted) => VerifyEnd::Budget,
                 (VerifyScope::ProgramEnd, ReplayEnd::LoopExited) => {
                     unreachable!("ProgramEnd replays never stop at loop exit")
                 }
+            };
+            PermOutcome { end, steps }
+        };
+        let stop = StopIndex::new();
+        let slots = parallel_scan(threads, perms, &stop, |i, perm| {
+            let out = check_one(perm);
+            if out.end != VerifyEnd::Complete {
+                stop.stop_at(i);
             }
+            out
+        });
+        // Deterministic fold over the sequential prefix. Workers may have
+        // completed slots past the first terminal index before observing
+        // the stop; those are ignored, exactly as sequential execution
+        // would never have run them.
+        let terminal = stop.current();
+        if terminal == usize::MAX {
+            let replay_steps = slots
+                .iter()
+                .map(|s| s.as_ref().expect("no stop: all slots filled").steps)
+                .sum::<u64>()
+                + reference_steps;
+            return VerifySummary {
+                end: VerifyEnd::Complete,
+                tested: perms.len(),
+                replay_steps,
+            };
         }
-        Ok(perms.len())
+        let replay_steps = slots[..=terminal]
+            .iter()
+            .map(|s| s.as_ref().expect("filled up to the final stop").steps)
+            .sum::<u64>()
+            + reference_steps;
+        let end = slots[terminal]
+            .as_ref()
+            .expect("the stop-setter filled its slot")
+            .end
+            .clone();
+        debug_assert!(
+            end != VerifyEnd::Complete,
+            "stop implies a terminal outcome"
+        );
+        VerifySummary {
+            end,
+            tested: terminal,
+            replay_steps,
+        }
     }
 
     /// Captures the loop-exit digest. Roots are *all* variables live at
@@ -464,7 +632,8 @@ impl Dca {
 /// upgrades "not exercised"; exclusions and skips are stable across
 /// inputs.
 fn merge_reports(a: DcaReport, b: DcaReport) -> DcaReport {
-    let mut out = DcaReport::default();
+    let mut out = DcaReport::with_threads(a.threads.max(b.threads));
+    out.wall = a.wall + b.wall;
     for ra in a.iter() {
         let rb = b.get(ra.lref).expect("same module, same loops");
         let verdict = match (&ra.verdict, &rb.verdict) {
@@ -486,6 +655,8 @@ fn merge_reports(a: DcaReport, b: DcaReport) -> DcaReport {
             verdict,
             trips: ra.trips.max(rb.trips),
             permutations_tested: ra.permutations_tested + rb.permutations_tested,
+            replay_steps: ra.replay_steps + rb.replay_steps,
+            wall: ra.wall + rb.wall,
         });
     }
     out
@@ -680,10 +851,7 @@ mod tests {
             .expect("analyze");
         assert_eq!(results.len(), 2, "two invocations exist");
         assert_eq!(results[0].verdict, LoopVerdict::Commutative);
-        assert!(matches!(
-            results[1].verdict,
-            LoopVerdict::NonCommutative(_)
-        ));
+        assert!(matches!(results[1].verdict, LoopVerdict::NonCommutative(_)));
     }
 
     #[test]
@@ -699,9 +867,7 @@ mod tests {
         let m = dca_ir::compile(src).expect("compile");
         let dca = Dca::new(DcaConfig::fast());
         // stride 16: reads a[0..16], writes a[16..32] — disjoint.
-        let benign = dca
-            .analyze(&m, &[Value::Int(16)])
-            .expect("analyze");
+        let benign = dca.analyze(&m, &[Value::Int(16)]).expect("analyze");
         assert_eq!(
             benign.by_tag("upd").expect("upd").verdict,
             LoopVerdict::Commutative
@@ -730,6 +896,119 @@ mod tests {
             combined.by_tag("m").expect("m").verdict,
             LoopVerdict::Commutative
         );
+    }
+
+    #[test]
+    fn replay_budget_reported_as_skip_not_violation() {
+        // The loop dominates the program's cost, so a budget that admits
+        // the golden run (setup + loop + rest) still starves a permuted
+        // replay (iterator pre-pass + payload pass + rest ≈ twice the
+        // loop). This used to be misreported as
+        // `NonCommutative(ReplayDiverged)`.
+        let src = "fn main() -> int { let a: [int; 64]; \
+             @big: for (let i: int = 0; i < 64; i = i + 1) { a[i] = a[i] + i; } \
+             return a[63]; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let generous = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        let r = generous.by_tag("big").expect("big");
+        assert_eq!(r.verdict, LoopVerdict::Commutative);
+        assert!(r.permutations_tested > 0 && r.replay_steps > 0);
+        // Every replay of this loop costs the same number of steps; one
+        // step less than that exhausts the budget mid-replay.
+        let per_replay = r.replay_steps / r.permutations_tested as u64;
+        let tight = DcaConfig {
+            max_steps: per_replay - 1,
+            ..DcaConfig::fast()
+        };
+        let report = Dca::new(tight).analyze_module(&m).expect("analyze");
+        let r = report.by_tag("big").expect("big");
+        assert_eq!(
+            r.verdict,
+            LoopVerdict::Skipped(SkipReason::ReplayBudget),
+            "an exhausted replay budget is a resource limit, not a violation"
+        );
+        assert_eq!(r.permutations_tested, 0, "budget hit on the first replay");
+    }
+
+    #[test]
+    fn violation_preserves_permutation_count() {
+        // `s = s * 2 + v[i]` over a palindromic `v` survives the reverse
+        // permutation (the weight sequence is symmetric) but not a random
+        // shuffle — so the violation lands on a later permutation and the
+        // count of permutations executed before it must be preserved.
+        // `test_invocations` used to zero it.
+        let src = "fn main() -> int { let v: [int; 8]; let s: int = 0; \
+             for (let i: int = 0; i < 8; i = i + 1) { \
+               if (i < 4) { v[i] = i; } else { v[i] = 7 - i; } } \
+             @poly: for (let i: int = 0; i < 8; i = i + 1) { s = s * 2 + v[i]; } \
+             return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let report = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        let r = report.by_tag("poly").expect("poly");
+        assert!(matches!(r.verdict, LoopVerdict::NonCommutative(_)));
+        assert!(
+            r.permutations_tested >= 1,
+            "the reverse permutation passed before a shuffle violated"
+        );
+        let results = Dca::new(DcaConfig::fast())
+            .test_invocations(&m, r.lref, &[], 1)
+            .expect("analyze");
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].verdict, r.verdict);
+        assert_eq!(
+            results[0].permutations_tested, r.permutations_tested,
+            "test_invocations and analyze must count identically"
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // Commutative, non-commutative and multi-function modules must
+        // produce verdict- and counter-identical reports at any width.
+        let srcs = [
+            "fn main() -> int { let a: [int; 32]; let s: int = 0; \
+             @fill: for (let i: int = 0; i < 32; i = i + 1) { a[i] = i * 2; } \
+             @sum: for (let i: int = 0; i < 32; i = i + 1) { s = s + a[i]; } \
+             return s; }",
+            "fn main() -> int { let a: [int; 16]; a[0] = 1; let s: int = 0; \
+             @rec: for (let i: int = 1; i < 16; i = i + 1) { a[i] = a[i - 1] * 2; } \
+             for (let i: int = 0; i < 16; i = i + 1) { s = s + a[i]; } return s; }",
+            "fn kernel(a: *int, n: int) { \
+             @k: for (let i: int = 0; i < n; i = i + 1) { a[i] = a[i] * 2; } }\n\
+             fn main() -> int { let a: *int = new [int; 16]; \
+             for (let i: int = 0; i < 16; i = i + 1) { a[i] = i; } \
+             kernel(a, 16); return a[5]; }",
+        ];
+        for src in srcs {
+            let m = dca_ir::compile(src).expect("compile");
+            let sequential = Dca::new(DcaConfig {
+                threads: 1,
+                ..DcaConfig::fast()
+            })
+            .analyze_module(&m)
+            .expect("analyze");
+            for threads in [2, 4, 8] {
+                let parallel = Dca::new(DcaConfig {
+                    threads,
+                    ..DcaConfig::fast()
+                })
+                .analyze_module(&m)
+                .expect("analyze");
+                assert_eq!(parallel.threads, threads);
+                assert_eq!(sequential.len(), parallel.len());
+                for (s, p) in sequential.iter().zip(parallel.iter()) {
+                    assert_eq!(s, p, "threads={threads}");
+                    assert_eq!(
+                        s.replay_steps, p.replay_steps,
+                        "replay accounting must be deterministic (threads={threads})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

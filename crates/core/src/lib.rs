@@ -51,6 +51,7 @@
 pub mod config;
 pub mod engine;
 pub mod outcome;
+pub mod parallel;
 pub mod perm;
 pub mod record;
 pub mod replay;
@@ -59,6 +60,7 @@ pub mod report;
 pub use config::{DcaConfig, PermutationSet, VerifyScope};
 pub use engine::{Dca, DcaError};
 pub use outcome::{float_close, ProgramOutcome, StateDigest};
+pub use parallel::effective_threads;
 pub use record::{record_golden, GoldenRecord, RecordError};
 pub use replay::{run_replay, ReplayController, ReplayEnd};
 pub use report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};

@@ -102,9 +102,9 @@ impl StateDigest {
         let mut order: Vec<ObjId> = Vec::new();
         let mut queue: Vec<ObjId> = Vec::new();
         let visit = |o: ObjId,
-                         canon: &mut HashMap<ObjId, u32>,
-                         order: &mut Vec<ObjId>,
-                         queue: &mut Vec<ObjId>| {
+                     canon: &mut HashMap<ObjId, u32>,
+                     order: &mut Vec<ObjId>,
+                     queue: &mut Vec<ObjId>| {
             if let std::collections::hash_map::Entry::Vacant(e) = canon.entry(o) {
                 e.insert(order.len() as u32);
                 order.push(o);
@@ -163,9 +163,13 @@ impl StateDigest {
                 .iter()
                 .zip(&other.scalars)
                 .all(|(a, b)| cv_ok(a, b))
-            && self.heap.iter().zip(&other.heap).all(|((ka, ca), (kb, cb))| {
-                ka == kb && ca.len() == cb.len() && ca.iter().zip(cb).all(|(a, b)| cv_ok(a, b))
-            })
+            && self
+                .heap
+                .iter()
+                .zip(&other.heap)
+                .all(|((ka, ca), (kb, cb))| {
+                    ka == kb && ca.len() == cb.len() && ca.iter().zip(cb).all(|(a, b)| cv_ok(a, b))
+                })
     }
 }
 
@@ -256,7 +260,9 @@ mod tests {
         let digest = |src: &str| {
             let m = dca_ir::compile(src).expect("compile");
             let mut machine = dca_interp::Machine::new(&m);
-            machine.push_call(m.main().expect("main"), &[]).expect("push");
+            machine
+                .push_call(m.main().expect("main"), &[])
+                .expect("push");
             machine.run(&mut NoHooks, u64::MAX).expect("run");
             let a = machine
                 .heap()

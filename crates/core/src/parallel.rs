@@ -1,0 +1,309 @@
+//! Work scheduling for the parallel verification engine.
+//!
+//! The dynamic stage of DCA is embarrassingly parallel at two levels:
+//! every permuted replay of one loop starts from the same immutable golden
+//! snapshot, and every loop of a module is verified independently. This
+//! module provides the two scheduling primitives the engine builds on —
+//! both implemented with [`std::thread::scope`], so borrowed inputs (the
+//! module, the snapshot) are shared without cloning or `Arc`.
+//!
+//! # Determinism
+//!
+//! Parallel execution must be *observationally identical* to sequential
+//! execution: same verdicts, same `permutations_tested`, same
+//! `replay_steps`. [`parallel_map`] guarantees this trivially (results are
+//! returned in item order). [`parallel_scan`] reproduces sequential
+//! early-exit semantics with a [`StopIndex`]: workers claim indices in
+//! increasing order from a shared atomic counter, a terminal outcome at
+//! index *t* lowers the stop index to *t* via `fetch_min`, and workers
+//! stop claiming indices beyond the current stop. Because a worker never
+//! abandons an index it has claimed and the stop index only decreases,
+//! every index at or below the *final* stop is guaranteed to be fully
+//! processed — so a post-join fold over the slots sees exactly the prefix
+//! the sequential engine would have executed, and the first terminal
+//! outcome it finds is the same one.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Resolves a [`crate::DcaConfig::threads`] request to a concrete worker
+/// count: `0` means one worker per CPU the process can use, any other
+/// value is taken as-is.
+#[must_use]
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// The lowest index at which a terminal outcome (violation, exhausted
+/// budget) has been observed; [`usize::MAX`] while there is none.
+///
+/// Monotonically decreasing: [`StopIndex::stop_at`] uses `fetch_min`, so
+/// concurrent terminals race benignly and the minimum — the one sequential
+/// execution would have hit first — always wins.
+#[derive(Debug)]
+pub struct StopIndex(AtomicUsize);
+
+impl StopIndex {
+    /// A stop index with no terminal outcome recorded yet.
+    #[must_use]
+    pub fn new() -> Self {
+        StopIndex(AtomicUsize::new(usize::MAX))
+    }
+
+    /// Records a terminal outcome at `index` (keeps the minimum).
+    pub fn stop_at(&self, index: usize) {
+        self.0.fetch_min(index, Ordering::SeqCst);
+    }
+
+    /// The lowest terminal index seen so far, or [`usize::MAX`].
+    #[must_use]
+    pub fn current(&self) -> usize {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for StopIndex {
+    fn default() -> Self {
+        StopIndex::new()
+    }
+}
+
+/// Applies `f` to every item on up to `threads` workers and returns the
+/// results **in item order**. `f(i, &items[i])` must be pure up to its
+/// return value; items are claimed dynamically, so uneven per-item cost
+/// balances itself.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// Applies `f` to a prefix of `items` on up to `threads` workers,
+/// honouring early exit: `f` signals a terminal outcome by calling
+/// [`StopIndex::stop_at`] with its own index, and no index beyond the
+/// current stop is *started* afterwards.
+///
+/// Returns one slot per item; slot `i` is `Some` iff `f(i, _)` ran to
+/// completion. Every slot at or below the final [`StopIndex::current`] is
+/// guaranteed `Some` (see the module docs for why), which is exactly what
+/// a deterministic fold over the sequential prefix needs. Slots past the
+/// stop may or may not be filled — workers that had already claimed them
+/// finish them — and callers must ignore them.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_scan<T, R, F>(threads: usize, items: &[T], stop: &StopIndex, f: F) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, item) in items.iter().enumerate() {
+            if i > stop.current() {
+                break;
+            }
+            slots[i] = Some(f(i, item));
+        }
+        return slots;
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        // `stop.current()` only decreases and claims only
+                        // increase, so once a claim is past the stop every
+                        // later claim is too: breaking is safe, and an
+                        // index below the final stop is never skipped.
+                        if i >= items.len() || i > stop.current() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+}
+
+/// Splits a worker budget between the loop level and the permutation
+/// level: `(outer, inner)` with `outer * inner <= threads` (as close to
+/// equality as integer division allows). `outer` is capped by the number
+/// of loops so no worker budget is stranded on an empty outer slot.
+#[must_use]
+pub fn split_threads(threads: usize, outer_items: usize) -> (usize, usize) {
+    let outer = threads.clamp(1, outer_items.max(1));
+    let inner = (threads / outer).max(1);
+    (outer, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+        assert_eq!(effective_threads(1), 1);
+    }
+
+    #[test]
+    fn map_preserves_order_at_any_width() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 7, 64] {
+            let out = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn scan_fills_every_slot_up_to_the_final_stop() {
+        // Terminal at index 23: everything at or below must be Some.
+        let items: Vec<usize> = (0..200).collect();
+        for threads in [1, 2, 8] {
+            let stop = StopIndex::new();
+            let slots = parallel_scan(threads, &items, &stop, |i, &x| {
+                if x == 23 {
+                    stop.stop_at(i);
+                }
+                x
+            });
+            assert_eq!(stop.current(), 23, "threads={threads}");
+            for (i, s) in slots.iter().enumerate().take(24) {
+                assert_eq!(s, &Some(i), "threads={threads} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_keeps_the_minimum_terminal() {
+        // Terminals at 10 and 40 — the fold must see 10 whichever worker
+        // ran first.
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 4] {
+            let stop = StopIndex::new();
+            parallel_scan(threads, &items, &stop, |i, &x| {
+                if x == 10 || x == 40 {
+                    stop.stop_at(i);
+                }
+            });
+            assert_eq!(stop.current(), 10, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scan_without_terminal_processes_everything() {
+        let items: Vec<u64> = (0..50).collect();
+        let stop = StopIndex::new();
+        let slots = parallel_scan(4, &items, &stop, |_, &x| x + 1);
+        assert_eq!(stop.current(), usize::MAX);
+        assert!(slots.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn sequential_scan_stops_after_terminal() {
+        // With one worker nothing past the terminal index may run.
+        let ran_past = AtomicBool::new(false);
+        let items: Vec<usize> = (0..100).collect();
+        let stop = StopIndex::new();
+        parallel_scan(1, &items, &stop, |i, _| {
+            if i == 5 {
+                stop.stop_at(i);
+            }
+            if i > 5 {
+                ran_past.store(true, Ordering::SeqCst);
+            }
+        });
+        assert!(!ran_past.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn split_threads_never_oversubscribes() {
+        for threads in 1..=16 {
+            for items in 0..=8 {
+                let (outer, inner) = split_threads(threads, items);
+                assert!(outer >= 1 && inner >= 1);
+                assert!(outer * inner <= threads.max(1), "{threads} over {items}");
+                assert!(outer <= items.max(1));
+            }
+        }
+        assert_eq!(split_threads(8, 2), (2, 4));
+        assert_eq!(split_threads(8, 100), (8, 1));
+        assert_eq!(split_threads(1, 4), (1, 1));
+    }
+}

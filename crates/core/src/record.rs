@@ -13,9 +13,7 @@
 
 use crate::outcome::ProgramOutcome;
 use dca_analysis::IteratorSlice;
-use dca_interp::{
-    Hooks, InstAction, Machine, Site, Snapshot, Trap, Value,
-};
+use dca_interp::{Hooks, InstAction, Machine, Site, Snapshot, Trap, Value};
 use dca_ir::{BlockId, FuncId, Loop, VarId};
 use std::collections::BTreeSet;
 
@@ -140,10 +138,7 @@ impl Hooks for Recorder<'_> {
                     // their end-of-iteration values; payload never reads
                     // them during replay.
                     if self.in_iteration {
-                        let tuple = self
-                            .pending
-                            .take()
-                            .unwrap_or_else(|| self.capture(vars));
+                        let tuple = self.pending.take().unwrap_or_else(|| self.capture(vars));
                         self.iters.push(tuple);
                         if self.iters.len() > self.max_trip {
                             self.trip_overflow = true;
@@ -472,8 +467,18 @@ mod tests {
         let l = view.loops.by_tag("w").expect("tag");
         let slice = IteratorSlice::compute(&view, l);
         let mut machine = Machine::new(&m);
-        let g = record_golden(&mut machine, main, &[], fid, l, &slice, 1, 1 << 16, 1_000_000)
-            .expect("record");
+        let g = record_golden(
+            &mut machine,
+            main,
+            &[],
+            fid,
+            l,
+            &slice,
+            1,
+            1 << 16,
+            1_000_000,
+        )
+        .expect("record");
         assert_eq!(g.iters.len(), 5, "second invocation has 5 iterations");
     }
 
@@ -530,10 +535,7 @@ mod tests {
         )
         .expect("record");
         // exit_vals captured the final iterator state (i == 3 among them).
-        assert!(g
-            .exit_vals
-            .iter()
-            .any(|v| matches!(v, Value::Int(3))));
+        assert!(g.exit_vals.iter().any(|v| matches!(v, Value::Int(3))));
         assert_eq!(g.depth, 0);
     }
 }

@@ -117,9 +117,7 @@ impl<'a> ReplayController<'a> {
     }
 
     fn active_at(&self, site: Site, block: BlockId) -> bool {
-        site.func == self.func
-            && site.depth == self.golden.depth
-            && self.blocks.contains(&block)
+        site.func == self.func && site.depth == self.golden.depth && self.blocks.contains(&block)
     }
 
     /// Binds the recorded values of the next permuted iteration (or
@@ -156,9 +154,7 @@ impl Hooks for ReplayController<'_> {
         match self.mode {
             Mode::Done => {}
             Mode::PrePass => {
-                if site.func == self.func
-                    && site.depth == self.golden.depth
-                    && block == self.header
+                if site.func == self.func && site.depth == self.golden.depth && block == self.header
                 {
                     self.prepass_arrivals += 1;
                     if self.prepass_arrivals > self.prepass_cap() {
@@ -275,11 +271,7 @@ impl Hooks for ReplayController<'_> {
 /// The forced-branch alternative: the terminator's in-loop successor when
 /// the default leaves the loop, or the header (ending the iteration) when
 /// no successor stays inside.
-fn in_loop_alternative(
-    term: &Terminator,
-    blocks: &BTreeSet<BlockId>,
-    header: BlockId,
-) -> BlockId {
+fn in_loop_alternative(term: &Terminator, blocks: &BTreeSet<BlockId>, header: BlockId) -> BlockId {
     match term {
         Terminator::Branch {
             then_bb, else_bb, ..
@@ -319,9 +311,7 @@ pub fn run_replay(
         }
         match machine.step(ctl) {
             Ok(()) => {}
-            Err(Trap::NotRunning) => {
-                return ReplayEnd::Finished(machine.result().unwrap_or(None))
-            }
+            Err(Trap::NotRunning) => return ReplayEnd::Finished(machine.result().unwrap_or(None)),
             Err(t) => return ReplayEnd::Trapped(t),
         }
     }

@@ -4,6 +4,7 @@ use dca_analysis::ExclusionReason;
 use dca_ir::LoopRef;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
 
 /// Why a loop failed commutativity testing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +40,10 @@ pub enum SkipReason {
     GoldenTrapped,
     /// The golden run exceeded the step budget.
     GoldenBudget,
+    /// A permuted replay exceeded the step budget. The replay never
+    /// finished, so commutativity was neither confirmed nor refuted — a
+    /// resource limit, not a [`Violation`].
+    ReplayBudget,
 }
 
 impl fmt::Display for SkipReason {
@@ -47,6 +52,7 @@ impl fmt::Display for SkipReason {
             SkipReason::TripLimit => write!(f, "trip count above limit"),
             SkipReason::GoldenTrapped => write!(f, "golden run trapped"),
             SkipReason::GoldenBudget => write!(f, "golden run exceeded budget"),
+            SkipReason::ReplayBudget => write!(f, "permuted replay exceeded budget"),
         }
     }
 }
@@ -89,7 +95,7 @@ impl fmt::Display for LoopVerdict {
 }
 
 /// The full result for one loop.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LoopResult {
     /// Which loop.
     pub lref: LoopRef,
@@ -101,6 +107,29 @@ pub struct LoopResult {
     pub trips: usize,
     /// How many permutations were executed.
     pub permutations_tested: usize,
+    /// Interpreter steps consumed by the verification replays of this
+    /// loop (the reference replay, every completed permutation, and the
+    /// first terminal one). Deterministic for a given config and workload,
+    /// regardless of the worker-thread count.
+    pub replay_steps: u64,
+    /// Wall-clock time spent analyzing this loop (golden recording plus
+    /// replays). Purely informational; varies run to run.
+    pub wall: Duration,
+}
+
+/// Equality compares the analysis outcome — verdict, trips, permutation
+/// count — and deliberately ignores the performance metadata ([`wall`] is
+/// never reproducible; `replay_steps` is, but is not part of the verdict).
+///
+/// [`wall`]: LoopResult::wall
+impl PartialEq for LoopResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.lref == other.lref
+            && self.tag == other.tag
+            && self.verdict == other.verdict
+            && self.trips == other.trips
+            && self.permutations_tested == other.permutations_tested
+    }
 }
 
 /// The report of one whole-module analysis.
@@ -108,9 +137,23 @@ pub struct LoopResult {
 pub struct DcaReport {
     results: Vec<LoopResult>,
     index: HashMap<LoopRef, usize>,
+    /// Wall-clock time of the whole analysis.
+    pub wall: Duration,
+    /// Worker threads the engine actually used (after resolving the
+    /// `threads: 0` auto-detect).
+    pub threads: usize,
 }
 
 impl DcaReport {
+    /// An empty report that will record `threads` worker threads.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        DcaReport {
+            threads,
+            ..DcaReport::default()
+        }
+    }
+
     /// Adds one loop's result.
     pub fn push(&mut self, r: LoopResult) {
         self.index.insert(r.lref, self.results.len());
@@ -150,6 +193,11 @@ impl DcaReport {
     /// Count of commutative loops.
     pub fn commutative_count(&self) -> usize {
         self.commutative_loops().count()
+    }
+
+    /// Total interpreter steps consumed by verification replays.
+    pub fn replay_steps(&self) -> u64 {
+        self.results.iter().map(|r| r.replay_steps).sum()
     }
 }
 
@@ -198,6 +246,8 @@ mod tests {
             verdict: LoopVerdict::Commutative,
             trips: 8,
             permutations_tested: 4,
+            replay_steps: 100,
+            wall: Duration::from_millis(1),
         });
         rep.push(LoopResult {
             lref: lref(0, 1),
@@ -205,9 +255,12 @@ mod tests {
             verdict: LoopVerdict::NonCommutative(Violation::OutcomeMismatch),
             trips: 8,
             permutations_tested: 1,
+            replay_steps: 50,
+            wall: Duration::from_millis(2),
         });
         assert_eq!(rep.len(), 2);
         assert_eq!(rep.commutative_count(), 1);
+        assert_eq!(rep.replay_steps(), 150);
         assert!(rep.by_tag("a").expect("tag a").verdict.is_commutative());
         assert!(rep.get(lref(0, 1)).is_some());
         assert!(rep.get(lref(1, 0)).is_none());
@@ -221,5 +274,33 @@ mod tests {
             "non-commutative (live-out mismatch)"
         );
         assert_eq!(LoopVerdict::NotExercised.to_string(), "not exercised");
+        assert_eq!(
+            LoopVerdict::Skipped(SkipReason::ReplayBudget).to_string(),
+            "skipped (permuted replay exceeded budget)"
+        );
+    }
+
+    #[test]
+    fn equality_ignores_performance_metadata() {
+        let a = LoopResult {
+            lref: lref(0, 0),
+            tag: None,
+            verdict: LoopVerdict::Commutative,
+            trips: 4,
+            permutations_tested: 3,
+            replay_steps: 1_000,
+            wall: Duration::from_millis(7),
+        };
+        let b = LoopResult {
+            replay_steps: 999,
+            wall: Duration::ZERO,
+            ..a.clone()
+        };
+        assert_eq!(a, b, "wall/replay_steps are not part of the outcome");
+        let c = LoopResult {
+            permutations_tested: 4,
+            ..a.clone()
+        };
+        assert_ne!(a, c);
     }
 }

@@ -112,10 +112,7 @@ mod tests {
             depth: 0,
             steps: 0,
         };
-        assert_eq!(
-            h.before_inst(site, BlockId(0), 0, &mut []),
-            InstAction::Run
-        );
+        assert_eq!(h.before_inst(site, BlockId(0), 0, &mut []), InstAction::Run);
         assert_eq!(
             h.on_term(site, BlockId(0), None, &mut []),
             TermAction::Default

@@ -570,10 +570,7 @@ impl<'m> Machine<'m> {
             Inst::AllocArray { dst, len } => {
                 let n = eval(&self.frames[fi].vars, len).as_int();
                 if n < 0 {
-                    return Err(Trap::OutOfBounds {
-                        len: 0,
-                        index: n,
-                    });
+                    return Err(Trap::OutOfBounds { len: 0, index: n });
                 }
                 let obj = self.alloc(vec![Value::Int(0); n as usize])?;
                 self.frames[fi].vars[dst.index()] = Value::Ptr(obj);
@@ -628,7 +625,10 @@ impl<'m> Machine<'m> {
             other => unreachable!("ill-typed field base {other:?}"),
         };
         debug_assert!((field as usize) < self.heap[o.index()].cells.len());
-        Ok(Addr { obj: o, cell: field })
+        Ok(Addr {
+            obj: o,
+            cell: field,
+        })
     }
 }
 
@@ -733,6 +733,22 @@ mod tests {
     use super::*;
     use crate::hooks::NoHooks;
     use dca_ir::compile;
+
+    /// The parallel DCA engine runs one [`Machine`] per worker thread,
+    /// all restored from one shared [`Snapshot`] of a shared [`Module`].
+    /// That requires `Machine: Send` (created inside a worker) and
+    /// `Snapshot`/`Value`/`Module`: `Sync` (borrowed across workers) —
+    /// all automatic today because the interpreter state is plain owned
+    /// data (no `Rc`, `RefCell` or raw pointers). This assertion turns a
+    /// future regression into a compile error at the point of cause.
+    #[test]
+    fn machine_state_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Machine<'_>>();
+        assert_send_sync::<Snapshot>();
+        assert_send_sync::<Value>();
+        assert_send_sync::<dca_ir::Module>();
+    }
 
     fn run_main(src: &str) -> (Option<Value>, Vec<OutputItem>) {
         let m = compile(src).expect("compile");
@@ -853,23 +869,27 @@ mod tests {
     fn traps() {
         let m = compile("fn main() -> int { let a: [int; 2]; return a[5]; }").expect("compile");
         let mut machine = Machine::new(&m);
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         assert_eq!(
             machine.run(&mut NoHooks, u64::MAX),
             Err(Trap::OutOfBounds { len: 2, index: 5 })
         );
 
-        let m = compile(
-            "struct N { v: int } fn main() -> int { let p: *N = null; return p.v; }",
-        )
-        .expect("compile");
+        let m = compile("struct N { v: int } fn main() -> int { let p: *N = null; return p.v; }")
+            .expect("compile");
         let mut machine = Machine::new(&m);
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::NullDeref));
 
         let m = compile("fn main() -> int { let z: int = 0; return 1 / z; }").expect("compile");
         let mut machine = Machine::new(&m);
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::DivByZero));
     }
 
@@ -887,8 +907,13 @@ mod tests {
                 ..Limits::default()
             },
         );
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
-        assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::StackOverflow));
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
+        assert_eq!(
+            machine.run(&mut NoHooks, u64::MAX),
+            Err(Trap::StackOverflow)
+        );
     }
 
     #[test]
@@ -907,7 +932,9 @@ mod tests {
                 ..Limits::default()
             },
         );
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::OutOfMemory));
     }
 
@@ -915,7 +942,9 @@ mod tests {
     fn step_budget_pauses() {
         let m = compile("fn main() { while (true) { } }").expect("compile");
         let mut machine = Machine::new(&m);
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         assert_eq!(
             machine.run(&mut NoHooks, 1000).expect("run"),
             Outcome::Paused
@@ -931,7 +960,9 @@ mod tests {
         )
         .expect("compile");
         let mut machine = Machine::new(&m);
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         // Run partway, snapshot, run to the end, restore, run again.
         machine.run(&mut NoHooks, 50).expect("run");
         let snap = machine.snapshot();
@@ -946,12 +977,11 @@ mod tests {
 
     #[test]
     fn snapshot_truncates_output_on_restore() {
-        let m = compile(
-            r#"fn main() { print(1); print(2); }"#,
-        )
-        .expect("compile");
+        let m = compile(r#"fn main() { print(1); print(2); }"#).expect("compile");
         let mut machine = Machine::new(&m);
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         let snap = machine.snapshot();
         machine.run(&mut NoHooks, u64::MAX).expect("run");
         assert_eq!(machine.output().len(), 2);
@@ -1003,7 +1033,9 @@ mod tests {
         )
         .expect("compile");
         let mut machine = Machine::new(&m);
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         let mut c = Counter::default();
         machine.run(&mut c, u64::MAX).expect("run");
         assert_eq!(c.calls, 2);
@@ -1030,7 +1062,9 @@ mod tests {
         }
         let m = compile("fn main() -> int { let x: int = 5; return x; }").expect("compile");
         let mut machine = Machine::new(&m);
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         let out = machine.run(&mut Skipper, u64::MAX).expect("run");
         // With the `x = 5` copy skipped, x keeps its zero initialization.
         assert_eq!(out, Outcome::Finished(Some(Value::Int(0))));
@@ -1066,7 +1100,9 @@ mod tests {
             .find(|&b| matches!(f.block(b).term, Terminator::Return(Some(_))))
             .expect("return block");
         let mut machine = Machine::new(&m);
-        machine.push_call(m.main().expect("main"), &[]).expect("push");
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
         let mut h = ForceExit {
             exit: ret_block,
             fired: false,

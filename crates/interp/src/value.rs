@@ -164,6 +164,13 @@ mod tests {
     fn display() {
         assert_eq!(Value::Int(-2).to_string(), "-2");
         assert_eq!(Value::Null.to_string(), "null");
-        assert_eq!(Addr { obj: ObjId(3), cell: 4 }.to_string(), "obj3[4]");
+        assert_eq!(
+            Addr {
+                obj: ObjId(3),
+                cell: 4
+            }
+            .to_string(),
+            "obj3[4]"
+        );
     }
 }

@@ -118,10 +118,8 @@ mod tests {
 
     #[test]
     fn rpo_starts_at_entry_and_covers_reachable() {
-        let m = compile(
-            "fn main() { let i: int = 0; while (i < 3) { i = i + 1; } }",
-        )
-        .expect("compile");
+        let m =
+            compile("fn main() { let i: int = 0; while (i < 3) { i = i + 1; } }").expect("compile");
         let f = &m.funcs[0];
         let cfg = Cfg::new(f);
         assert_eq!(cfg.reverse_postorder()[0], f.entry());
@@ -133,10 +131,8 @@ mod tests {
 
     #[test]
     fn rpo_respects_forward_edges_outside_loops() {
-        let m = compile(
-            "fn f(c: bool) -> int { if (c) { return 1; } return 2; }",
-        )
-        .expect("compile");
+        let m =
+            compile("fn f(c: bool) -> int { if (c) { return 1; } return 2; }").expect("compile");
         let f = &m.funcs[0];
         let cfg = Cfg::new(f);
         for b in f.block_ids() {

@@ -120,9 +120,7 @@ mod tests {
 
     #[test]
     fn loop_header_dominates_body_and_latch() {
-        let (f, cfg, dt) = dom_of(
-            "fn main() { let i: int = 0; while (i < 3) { i = i + 1; } }",
-        );
+        let (f, cfg, dt) = dom_of("fn main() { let i: int = 0; while (i < 3) { i = i + 1; } }");
         // The header is the target of a back edge.
         let mut header = None;
         for b in f.block_ids() {

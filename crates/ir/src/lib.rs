@@ -146,10 +146,8 @@ mod tests {
 
     #[test]
     fn func_view_bundles_consistent_analyses() {
-        let m = compile(
-            "fn main() { let i: int = 0; while (i < 3) { i = i + 1; } }",
-        )
-        .expect("compile");
+        let m =
+            compile("fn main() { let i: int = 0; while (i < 3) { i = i + 1; } }").expect("compile");
         let v = FuncView::new(&m, m.main().expect("main"));
         assert_eq!(v.loops.len(), 1);
         let l = v.loops.iter().next().expect("loop");

@@ -142,10 +142,7 @@ impl LoopForest {
                     continue;
                 }
                 let contains = loops[j].blocks.len() > loops[i].blocks.len()
-                    && loops[i]
-                        .blocks
-                        .iter()
-                        .all(|b| loops[j].blocks.contains(b));
+                    && loops[i].blocks.iter().all(|b| loops[j].blocks.contains(b));
                 if contains {
                     best = match best {
                         None => Some(j),

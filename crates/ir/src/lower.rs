@@ -417,10 +417,7 @@ impl<'a> FnLower<'a> {
                     self.emit(Inst::Copy { dst: v, src: value });
                 } else {
                     let g = self.global_ids[name.as_str()];
-                    self.emit(Inst::StoreGlobal {
-                        global: g,
-                        value,
-                    });
+                    self.emit(Inst::StoreGlobal { global: g, value });
                 }
                 Ok(())
             }
@@ -436,11 +433,7 @@ impl<'a> FnLower<'a> {
             }
             ExprKind::Field(base, fname) => {
                 let (obj, field) = self.field_ref(base, fname)?;
-                self.emit(Inst::StoreField {
-                    obj,
-                    field,
-                    value,
-                });
+                self.emit(Inst::StoreField { obj, field, value });
                 Ok(())
             }
             _ => unreachable!("checker verified lvalue shape"),
@@ -582,11 +575,7 @@ impl<'a> FnLower<'a> {
                 let (obj, field) = self.field_ref(base, fname)?;
                 let ty = self.expr_ty(e).clone();
                 let t = self.temp(ty);
-                self.emit(Inst::LoadField {
-                    dst: t,
-                    obj,
-                    field,
-                });
+                self.emit(Inst::LoadField { dst: t, obj, field });
                 Ok(Operand::Var(t))
             }
             ExprKind::Call(name, args) => {
@@ -661,12 +650,7 @@ impl<'a> FnLower<'a> {
         }
     }
 
-    fn short_circuit(
-        &mut self,
-        op: ast::BinOp,
-        a: &Expr,
-        b: &Expr,
-    ) -> Result<Operand, Error> {
+    fn short_circuit(&mut self, op: ast::BinOp, a: &Expr, b: &Expr) -> Result<Operand, Error> {
         let t = self.temp(Ty::Bool);
         let av = self.expr(a)?;
         let rhs_bb = self.new_block();
@@ -796,10 +780,8 @@ mod tests {
 
     #[test]
     fn while_loop_has_back_edge_to_header() {
-        let m = compile(
-            "fn main() { let i: int = 0; while (i < 10) { i = i + 1; } }",
-        )
-        .expect("compile");
+        let m = compile("fn main() { let i: int = 0; while (i < 10) { i = i + 1; } }")
+            .expect("compile");
         let f = &m.funcs[0];
         // Find a block whose terminator jumps backwards.
         let mut found_back_edge = false;
@@ -815,10 +797,8 @@ mod tests {
 
     #[test]
     fn loop_tags_attached_to_headers() {
-        let m = compile(
-            "fn main() { @outer: for (let i: int = 0; i < 4; i = i + 1) { } }",
-        )
-        .expect("compile");
+        let m = compile("fn main() { @outer: for (let i: int = 0; i < 4; i = i + 1) { } }")
+            .expect("compile");
         let f = &m.funcs[0];
         assert_eq!(f.loop_tags.len(), 1);
         let (&header, tag) = f.loop_tags.iter().next().expect("one tag");
@@ -834,19 +814,13 @@ mod tests {
 
     #[test]
     fn short_circuit_creates_control_flow() {
-        let m = compile(
-            "fn f(a: bool, b: bool) -> bool { return a && b; }",
-        )
-        .expect("compile");
+        let m = compile("fn f(a: bool, b: bool) -> bool { return a && b; }").expect("compile");
         assert!(m.funcs[0].blocks.len() >= 3);
     }
 
     #[test]
     fn break_prunes_unreachable_blocks() {
-        let m = compile(
-            "fn main() { while (true) { break; } }",
-        )
-        .expect("compile");
+        let m = compile("fn main() { while (true) { break; } }").expect("compile");
         // No block is unreachable from the entry.
         let f = &m.funcs[0];
         let mut reach = vec![false; f.blocks.len()];
@@ -858,7 +832,10 @@ mod tests {
             reach[b.index()] = true;
             stack.extend(f.block(b).term.successors());
         }
-        assert!(reach.iter().all(|&r| r), "unreachable block survived pruning");
+        assert!(
+            reach.iter().all(|&r| r),
+            "unreachable block survived pruning"
+        );
     }
 
     #[test]
@@ -872,12 +849,14 @@ mod tests {
         assert_eq!(m.globals[0].init, Some(Operand::ConstInt(5)));
         assert_eq!(m.globals[1].init, None);
         let insts = &m.funcs[0].blocks[0].insts;
-        assert!(insts
-            .iter()
-            .any(|i| matches!(i, Inst::StoreIndex { base: MemBase::Global(_), .. })));
-        assert!(insts
-            .iter()
-            .any(|i| matches!(i, Inst::LoadGlobal { .. })));
+        assert!(insts.iter().any(|i| matches!(
+            i,
+            Inst::StoreIndex {
+                base: MemBase::Global(_),
+                ..
+            }
+        )));
+        assert!(insts.iter().any(|i| matches!(i, Inst::LoadGlobal { .. })));
     }
 
     #[test]
@@ -919,8 +898,8 @@ mod tests {
 
     #[test]
     fn casts_lower_to_conversions() {
-        let m = compile("fn main() -> float { let i: int = 3; return i as float; }")
-            .expect("compile");
+        let m =
+            compile("fn main() -> float { let i: int = 3; return i as float; }").expect("compile");
         let insts = &m.funcs[0].blocks[0].insts;
         assert!(insts.iter().any(|i| matches!(
             i,
@@ -940,8 +919,12 @@ mod tests {
         .expect("compile");
         let main = m.func_by_name("main").expect("main exists");
         let insts = &m.func(main).blocks[0].insts;
-        assert!(insts
-            .iter()
-            .any(|i| matches!(i, Inst::Call { func: FuncId(0), .. })));
+        assert!(insts.iter().any(|i| matches!(
+            i,
+            Inst::Call {
+                func: FuncId(0),
+                ..
+            }
+        )));
     }
 }

@@ -135,8 +135,13 @@ impl BinOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::BitAnd
-                | BinOp::BitOr | BinOp::BitXor
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::BitAnd
+                | BinOp::BitOr
+                | BinOp::BitXor
         )
     }
 }

@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn function_printing_is_stable() {
-        let m = compile(
-            "fn main() -> int { let x: int = 1; return x + 2; }",
-        )
-        .expect("compile");
+        let m = compile("fn main() -> int { let x: int = 1; return x + 2; }").expect("compile");
         let text = m.funcs[0].to_string();
         assert!(text.contains("fn main()"));
         assert!(text.contains("bb0:"));
@@ -187,10 +184,7 @@ mod tests {
 
     #[test]
     fn module_printing_lists_structs_and_globals() {
-        let m = compile(
-            "struct N { v: int }\nlet g: int = 4;\nfn main() { }",
-        )
-        .expect("compile");
+        let m = compile("struct N { v: int }\nlet g: int = 4;\nfn main() { }").expect("compile");
         let text = m.to_string();
         assert!(text.contains("struct s0 N"));
         assert!(text.contains("global g0 g: int = 4"));
@@ -198,10 +192,7 @@ mod tests {
 
     #[test]
     fn tagged_loop_headers_annotated() {
-        let m = compile(
-            "fn main() { @hot: while (false) { } }",
-        )
-        .expect("compile");
+        let m = compile("fn main() { @hot: while (false) { } }").expect("compile");
         assert!(m.funcs[0].to_string().contains("; @hot"));
     }
 }

@@ -313,7 +313,16 @@ mod tests {
     fn lexes_numbers() {
         assert_eq!(
             kinds("0 42 3.5 1e-8 2E3 7."),
-            vec![Int(0), Int(42), Float(3.5), Float(1e-8), Float(2e3), Int(7), Dot, Eof]
+            vec![
+                Int(0),
+                Int(42),
+                Float(3.5),
+                Float(1e-8),
+                Float(2e3),
+                Int(7),
+                Dot,
+                Eof
+            ]
         );
     }
 
@@ -342,10 +351,7 @@ mod tests {
 
     #[test]
     fn string_literals_with_escapes() {
-        assert_eq!(
-            kinds(r#""a\nb""#),
-            vec![Str("a\nb".into()), Eof]
-        );
+        assert_eq!(kinds(r#""a\nb""#), vec![Str("a\nb".into()), Eof]);
     }
 
     #[test]

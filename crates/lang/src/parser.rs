@@ -156,7 +156,12 @@ impl<'a> Parser<'a> {
             None
         };
         self.expect(&TokenKind::Semi)?;
-        Ok(GlobalDef { name, ty, init, pos })
+        Ok(GlobalDef {
+            name,
+            ty,
+            init,
+            pos,
+        })
     }
 
     fn fn_def(&mut self) -> Result<FnDef, Error> {
@@ -222,9 +227,7 @@ impl<'a> Parser<'a> {
                 let n = match self.bump() {
                     TokenKind::Int(n) if n >= 0 => n as usize,
                     other => {
-                        return Err(self.err(format!(
-                            "expected array length, found `{other}`"
-                        )))
+                        return Err(self.err(format!("expected array length, found `{other}`")))
                     }
                 };
                 self.expect(&TokenKind::RBracket)?;
@@ -680,10 +683,7 @@ mod tests {
 
     #[test]
     fn cast_binds_tighter_than_binary() {
-        assert_eq!(
-            shape(&parse_expr("x + i as float")),
-            "(x + (i as float))"
-        );
+        assert_eq!(shape(&parse_expr("x + i as float")), "(x + (i as float))");
     }
 
     #[test]
@@ -751,7 +751,10 @@ mod tests {
     #[test]
     fn parses_new_forms() {
         assert_eq!(shape(&parse_expr("new Node")), "new Node");
-        assert_eq!(shape(&parse_expr("new [float; n * 2]")), "new[float;(n * 2)]");
+        assert_eq!(
+            shape(&parse_expr("new [float; n * 2]")),
+            "new[float;(n * 2)]"
+        );
     }
 
     #[test]
@@ -796,7 +799,9 @@ mod tests {
     fn for_loop_components() {
         let p = parse_src("fn main() { for (let i: int = 0; i < 8; i = i + 2) { break; } }");
         match &p.functions[0].body[0].kind {
-            StmtKind::For { init, step, body, .. } => {
+            StmtKind::For {
+                init, step, body, ..
+            } => {
                 assert!(matches!(init.kind, StmtKind::Let { .. }));
                 assert!(matches!(step.kind, StmtKind::Assign { .. }));
                 assert!(matches!(body[0].kind, StmtKind::Break));

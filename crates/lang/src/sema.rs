@@ -47,7 +47,10 @@ impl Ty {
     /// True for `int`, `float`, `bool` and pointers — the types that fit in
     /// one memory cell.
     pub fn is_scalar(&self) -> bool {
-        matches!(self, Ty::Int | Ty::Float | Ty::Bool | Ty::Ptr(_) | Ty::NullPtr)
+        matches!(
+            self,
+            Ty::Int | Ty::Float | Ty::Bool | Ty::Ptr(_) | Ty::NullPtr
+        )
     }
 
     /// True if a value of type `self` can be supplied where `target` is
@@ -445,9 +448,7 @@ impl Checker {
                 self.check_stmt(init)?;
                 self.check_cond(cond)?;
                 self.loop_depth += 1;
-                let r = self
-                    .check_stmt(step)
-                    .and_then(|()| self.check_block(body));
+                let r = self.check_stmt(step).and_then(|()| self.check_block(body));
                 self.loop_depth -= 1;
                 self.scopes.pop();
                 r
@@ -464,9 +465,7 @@ impl Checker {
                     format!("missing return value of type `{other}`"),
                     s.pos,
                 )),
-                (Some(_), Ty::Unit) => {
-                    Err(err("returning a value from a unit function", s.pos))
-                }
+                (Some(_), Ty::Unit) => Err(err("returning a value from a unit function", s.pos)),
                 (Some(e), ret) => {
                     let ret = ret.clone();
                     let t = self.check_expr(e, Some(&ret))?;
@@ -484,10 +483,7 @@ impl Checker {
                     if let PrintArg::Value(e) = a {
                         let t = self.check_expr(e, None)?;
                         if !matches!(t, Ty::Int | Ty::Float | Ty::Bool) {
-                            return Err(err(
-                                format!("cannot print value of type `{t}`"),
-                                s.pos,
-                            ));
+                            return Err(err(format!("cannot print value of type `{t}`"), s.pos));
                         }
                     }
                 }
@@ -590,18 +586,13 @@ impl Checker {
                 match self.structs[sid].fields.iter().find(|(n, _)| n == fname) {
                     Some((_, t)) => Ok(t.clone()),
                     None => Err(err(
-                        format!(
-                            "struct `{}` has no field `{fname}`",
-                            self.structs[sid].name
-                        ),
+                        format!("struct `{}` has no field `{fname}`", self.structs[sid].name),
                         e.pos,
                     )),
                 }
             }
             ExprKind::Call(name, args) => {
-                if let Some((_, ptys, ret)) =
-                    BUILTINS.iter().find(|(n, _, _)| n == name)
-                {
+                if let Some((_, ptys, ret)) = BUILTINS.iter().find(|(n, _, _)| n == name) {
                     if args.len() != ptys.len() {
                         return Err(err(
                             format!("builtin `{name}` expects {} arguments", ptys.len()),
@@ -655,7 +646,10 @@ impl Checker {
                 }
                 let lt = self.check_expr(len, None)?;
                 if lt != Ty::Int {
-                    return Err(err(format!("array length must be `int`, found `{lt}`"), e.pos));
+                    return Err(err(
+                        format!("array length must be `int`, found `{lt}`"),
+                        e.pos,
+                    ));
                 }
                 Ok(Ty::Ptr(Box::new(et)))
             }
@@ -772,11 +766,9 @@ mod tests {
 
     #[test]
     fn struct_and_field_access() {
-        ok(
-            "struct Node { val: int, next: *Node }\n\
+        ok("struct Node { val: int, next: *Node }\n\
              fn main() -> int { let p: *Node = new Node; p.val = 3; \
-             p.next = null; return p.val; }",
-        );
+             p.next = null; return p.val; }");
         let e = fails(
             "struct Node { val: int }\n\
              fn main() -> int { let p: *Node = new Node; return p.bad; }",
@@ -786,12 +778,10 @@ mod tests {
 
     #[test]
     fn null_coerces_to_pointer_contexts() {
-        ok(
-            "struct N { next: *N }\n\
+        ok("struct N { next: *N }\n\
              fn take(p: *N) { }\n\
              fn main() { let p: *N = null; take(null); \
-             if (p == null) { } while (p != null) { p = p.next; } }",
-        );
+             if (p == null) { } while (p != null) { p = p.next; } }");
     }
 
     #[test]
@@ -817,9 +807,7 @@ mod tests {
 
     #[test]
     fn duplicate_loop_tags_rejected() {
-        fails(
-            "fn main() { @a: while (false) { } @a: while (false) { } }",
-        );
+        fails("fn main() { @a: while (false) { } @a: while (false) { } }");
     }
 
     #[test]
@@ -891,9 +879,7 @@ mod tests {
 
     #[test]
     fn heap_array_of_pointers() {
-        ok(
-            "struct N { v: int }\n\
-             fn main() { let a: **N = new [*N; 8]; a[0] = new N; a[0].v = 1; }",
-        );
+        ok("struct N { v: int }\n\
+             fn main() { let a: **N = new [*N; 8]; a[0] = new N; a[0].v = 1; }");
     }
 }

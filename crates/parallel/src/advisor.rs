@@ -209,7 +209,10 @@ mod tests {
             .find(|a| a.tag.as_deref() == Some("map"))
             .expect("map advice");
         let pragma = a.pragma.as_deref().expect("pragma");
-        assert!(pragma.contains("private(") && pragma.contains('t'), "{pragma}");
+        assert!(
+            pragma.contains("private(") && pragma.contains('t'),
+            "{pragma}"
+        );
     }
 
     #[test]

@@ -112,10 +112,9 @@ pub fn speedup_with_extra(
     let residual = (total - selected_seq).max(0.0);
     let t_loop = (residual + selected_par).max(1.0);
     let extra = extra.clamp(0.0, 1.0);
-    let t_full = (residual * (1.0 - extra)
-        + residual * extra / cfg.cores.max(1) as f64
-        + selected_par)
-        .max(1.0);
+    let t_full =
+        (residual * (1.0 - extra) + residual * extra / cfg.cores.max(1) as f64 + selected_par)
+            .max(1.0);
     Ok((total / t_loop, total / t_full))
 }
 
@@ -161,13 +160,8 @@ mod tests {
             .find(|(_, t)| t.as_deref() == Some("hot"))
             .expect("tag")
             .0;
-        let s = speedup_for_selection(
-            &m,
-            &[],
-            &BTreeSet::from([hot]),
-            &SimConfig::paper_host(),
-        )
-        .expect("simulate");
+        let s = speedup_for_selection(&m, &[], &BTreeSet::from([hot]), &SimConfig::paper_host())
+            .expect("simulate");
         assert!(s > 2.0, "speedup {s}");
         // More cores help until Amdahl saturates.
         let s8 = speedup_for_selection(&m, &[], &BTreeSet::from([hot]), &SimConfig::with_cores(8))

@@ -6,9 +6,7 @@
 //! [`ParallelPlan`] captures exactly the clauses such a code generator
 //! would emit for one loop.
 
-use dca_analysis::{
-    EffectMap, Histogram, IteratorSlice, Liveness, ReductionInfo, ScalarReduction,
-};
+use dca_analysis::{EffectMap, Histogram, IteratorSlice, Liveness, ReductionInfo, ScalarReduction};
 use dca_ir::{FuncView, LoopRef, Module, VarId};
 use std::collections::BTreeSet;
 
@@ -52,9 +50,7 @@ impl ParallelPlan {
             .iter()
             .copied()
             .filter(|v| {
-                !carried.contains(v)
-                    && !live_outs.contains(v)
-                    && !slice.slice_vars.contains(v)
+                !carried.contains(v) && !live_outs.contains(v) && !slice.slice_vars.contains(v)
             })
             .collect();
         let reduction_vars: BTreeSet<VarId> = red.reductions.iter().map(|r| r.var).collect();

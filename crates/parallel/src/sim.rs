@@ -117,10 +117,7 @@ pub fn simulate_invocation(iter_costs: &[u64], cfg: &SimConfig) -> SimResult {
             // core.
             let mut loads = vec![0u64; cfg.cores];
             for c in iter_costs.chunks(chunk) {
-                let min = loads
-                    .iter_mut()
-                    .min()
-                    .expect("cores >= 1");
+                let min = loads.iter_mut().min().expect("cores >= 1");
                 *min += c.iter().sum::<u64>() + cfg.per_chunk_overhead;
             }
             loads.into_iter().max().unwrap_or(0)
@@ -163,10 +160,7 @@ pub fn program_speedup(
 
 /// Removes loops nested inside other selected loops (a parallel region
 /// must not be re-parallelized from within). Keeps outermost only.
-pub fn outermost_only(
-    module: &dca_ir::Module,
-    selection: &BTreeSet<LoopRef>,
-) -> BTreeSet<LoopRef> {
+pub fn outermost_only(module: &dca_ir::Module, selection: &BTreeSet<LoopRef>) -> BTreeSet<LoopRef> {
     use dca_ir::FuncView;
     let mut out = BTreeSet::new();
     let mut by_func: std::collections::HashMap<dca_ir::FuncId, Vec<LoopRef>> =

@@ -109,10 +109,7 @@ mod tests {
             let m = p.module();
             let loops = dca_ir::all_loops(&m);
             assert!(!loops.is_empty(), "{} has no loops", p.name);
-            let mut tags: Vec<&str> = loops
-                .iter()
-                .filter_map(|(_, t)| t.as_deref())
-                .collect();
+            let mut tags: Vec<&str> = loops.iter().filter_map(|(_, t)| t.as_deref()).collect();
             let before = tags.len();
             assert_eq!(before, loops.len(), "{}: every loop must be tagged", p.name);
             tags.sort_unstable();

@@ -221,7 +221,16 @@ static BFS: SuiteProgram = SuiteProgram {
     default_args: &[1536, 5],
     test_args: &[48, 3],
     expert: ExpertPlan {
-        parallel_tags: &["build_adj", "add_edges", "init_dist", "sources", "reset_dist", "top_down", "neighbors", "dist_sum"],
+        parallel_tags: &[
+            "build_adj",
+            "add_edges",
+            "init_dist",
+            "sources",
+            "reset_dist",
+            "top_down",
+            "neighbors",
+            "dist_sum",
+        ],
         profitable_tags: &["top_down", "build_adj", "reset_dist", "dist_sum"],
         extra_parallel_fraction: 0.0,
         paper: Some(PaperRow {
@@ -263,7 +272,15 @@ static SPMATMAT: SuiteProgram = SuiteProgram {
     default_args: &[96, 144],
     test_args: &[24, 16],
     expert: ExpertPlan {
-        parallel_tags: &["build_rows", "build_elems", "init_dense", "spmm_rows", "spmm_cols", "spmm_dot", "check"],
+        parallel_tags: &[
+            "build_rows",
+            "build_elems",
+            "init_dense",
+            "spmm_rows",
+            "spmm_cols",
+            "spmm_dot",
+            "check",
+        ],
         profitable_tags: &["spmm_rows"],
         extra_parallel_fraction: 0.0,
         paper: Some(PaperRow {
@@ -284,7 +301,7 @@ static WATER: SuiteProgram = SuiteProgram {
     default_args: &[64, 4],
     test_args: &[16, 2],
     expert: ExpertPlan {
-parallel_tags: &["timestep", "interf", "pairs", "advance", "relax", "esum"],
+        parallel_tags: &["timestep", "interf", "pairs", "advance", "relax", "esum"],
         profitable_tags: &["interf"],
         extra_parallel_fraction: 0.0,
         paper: Some(PaperRow {
@@ -299,8 +316,8 @@ parallel_tags: &["timestep", "interf", "pairs", "advance", "relax", "esum"],
 };
 
 static PROGRAMS: &[&SuiteProgram] = &[
-    &MCF, &TWOLF, &KS, &OTTER, &EM3D, &MST, &BH, &PERIMETER, &TREEADD, &HASH,
-    &BFS, &ISING, &SPMATMAT, &WATER,
+    &MCF, &TWOLF, &KS, &OTTER, &EM3D, &MST, &BH, &PERIMETER, &TREEADD, &HASH, &BFS, &ISING,
+    &SPMATMAT, &WATER,
 ];
 
 /// The PLDS programs in Table II order.

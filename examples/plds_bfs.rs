@@ -32,12 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Parallelize what DCA found and estimate the speedup on the paper's
     // 72-core host (simulated).
     let selection = BTreeSet::from([top_down]);
-    let speedup = dca::parallel::speedup_for_selection(
-        &module,
-        &args,
-        &selection,
-        &SimConfig::paper_host(),
-    )?;
+    let speedup =
+        dca::parallel::speedup_for_selection(&module, &args, &selection, &SimConfig::paper_host())?;
     println!("\nSimulated 72-core speedup from the top-down step alone: {speedup:.2}x");
 
     let plan = dca::parallel::ParallelPlan::build(&module, top_down);

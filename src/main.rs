@@ -63,10 +63,7 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--inputs" => {
                 let v = argv.next().ok_or("--inputs needs a value")?;
-                opts.inputs = v
-                    .split('/')
-                    .map(parse_int_list)
-                    .collect::<Result<_, _>>()?;
+                opts.inputs = v.split('/').map(parse_int_list).collect::<Result<_, _>>()?;
             }
             "--cores" => {
                 let v = argv.next().ok_or("--cores needs a value")?;
@@ -210,7 +207,9 @@ fn main() -> ExitCode {
             }
             println!();
             for (lref, tag) in dca::ir::all_loops(&module) {
-                let name = tag.map(|t| format!("@{t}")).unwrap_or_else(|| lref.to_string());
+                let name = tag
+                    .map(|t| format!("@{t}"))
+                    .unwrap_or_else(|| lref.to_string());
                 print!("{name:<16}");
                 for (_, r) in &reports {
                     print!(" {:>9}", if r.is_parallel(lref) { "yes" } else { "." });

@@ -6,7 +6,17 @@
 //! regression.
 
 /// (name, total, depprof, discopop, idioms, polly, icc, dca)
-const GOLDEN: &[(&str, usize, usize, usize, usize, usize, usize, usize)] = &[
+type GoldenRow = (
+    &'static str,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+);
+const GOLDEN: &[GoldenRow] = &[
     ("bt", 25, 23, 23, 4, 7, 11, 23),
     ("cg", 14, 10, 9, 5, 2, 6, 10),
     ("dc", 14, 6, 4, 3, 2, 4, 6),

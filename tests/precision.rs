@@ -57,7 +57,9 @@ fn presets_agree_with_exhaustive_on_small_trips() {
          for (let i: int = 0; i < 6; i = i + 1) { t = t + a[i] * (i + 1); } \
          return s * 1000 + t; }";
     let m = dca::ir::compile(src).expect("compile");
-    let presets = Dca::new(DcaConfig::fast()).analyze_module(&m).expect("analyze");
+    let presets = Dca::new(DcaConfig::fast())
+        .analyze_module(&m)
+        .expect("analyze");
     let exhaustive = Dca::new(DcaConfig {
         permutations: PermutationSet::Exhaustive {
             max_trip: 6,
@@ -95,7 +97,9 @@ fn verdicts_are_deterministic_across_runs() {
 fn seeds_change_schedules_but_not_verdicts_here() {
     let p = dca::suite::by_name("is").expect("is");
     let m = p.module();
-    let base = Dca::new(DcaConfig::fast()).analyze(&m, &p.targs()).expect("analyze");
+    let base = Dca::new(DcaConfig::fast())
+        .analyze(&m, &p.targs())
+        .expect("analyze");
     let other = Dca::new(DcaConfig {
         seed: 12345,
         ..DcaConfig::fast()

@@ -1,30 +1,35 @@
 //! Property-based tests over the core invariants, using generated
-//! programs and inputs.
+//! programs and inputs. Cases are generated from a fixed-seed [`Rng`], so
+//! every run explores the same space deterministically.
 
 use dca::core::{Dca, DcaConfig, LoopVerdict};
 use dca::interp::Value;
-use proptest::prelude::*;
+use dca_rng::Rng;
 
 /// A small generator of pure arithmetic expressions over `a[i]`, `i` and
 /// constants — every loop of the form `a[i] = <expr>` is a map and must be
 /// commutative.
-fn expr_strategy() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        Just("a[i]".to_string()),
-        Just("i".to_string()),
-        (1i64..9).prop_map(|c| c.to_string()),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        (inner.clone(), prop_oneof![Just("+"), Just("*"), Just("-")], inner)
-            .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
-    })
+fn gen_expr(rng: &mut Rng, depth: usize) -> String {
+    if depth == 0 || rng.below(3) == 0 {
+        match rng.below(3) {
+            0 => "a[i]".to_string(),
+            1 => "i".to_string(),
+            _ => rng.range_i64(1, 9).to_string(),
+        }
+    } else {
+        let l = gen_expr(rng, depth - 1);
+        let r = gen_expr(rng, depth - 1);
+        let op = ["+", "*", "-"][rng.range_usize(0, 3)];
+        format!("({l} {op} {r})")
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generated_map_loops_are_commutative(expr in expr_strategy(), n in 3usize..24) {
+#[test]
+fn generated_map_loops_are_commutative() {
+    let mut rng = Rng::seed_from_u64(1);
+    for case in 0..24 {
+        let expr = gen_expr(&mut rng, 3);
+        let n = rng.range_usize(3, 24);
         let src = format!(
             "fn main() -> int {{ let a: [int; 32]; let s: int = 0; \
              @m: for (let i: int = 0; i < {n}; i = i + 1) {{ a[i] = {expr}; }} \
@@ -32,20 +37,24 @@ proptest! {
              return s; }}"
         );
         let m = dca::ir::compile(&src).expect("compile");
-        let report = Dca::new(DcaConfig::fast()).analyze_module(&m).expect("analyze");
-        prop_assert_eq!(
-            &report.by_tag("m").expect("m").verdict,
-            &LoopVerdict::Commutative
+        let report = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        assert_eq!(
+            report.by_tag("m").expect("m").verdict,
+            LoopVerdict::Commutative,
+            "case {case}: a[i] = {expr} with n={n}"
         );
     }
+}
 
-    #[test]
-    fn generated_reduction_loops_are_commutative(
-        coef in 1i64..7,
-        n in 3usize..32,
-        mul in prop::bool::ANY,
-    ) {
-        let op = if mul { "*" } else { "+" };
+#[test]
+fn generated_reduction_loops_are_commutative() {
+    let mut rng = Rng::seed_from_u64(2);
+    for case in 0..24 {
+        let coef = rng.range_i64(1, 7);
+        let n = rng.range_usize(3, 32);
+        let op = if rng.flip() { "*" } else { "+" };
         let src = format!(
             "fn main() -> int {{ let s: int = 1; \
              @r: for (let i: int = 0; i < {n}; i = i + 1) {{ \
@@ -53,17 +62,25 @@ proptest! {
              return s; }}"
         );
         let m = dca::ir::compile(&src).expect("compile");
-        let report = Dca::new(DcaConfig::fast()).analyze_module(&m).expect("analyze");
-        prop_assert_eq!(
-            &report.by_tag("r").expect("r").verdict,
-            &LoopVerdict::Commutative
+        let report = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        assert_eq!(
+            report.by_tag("r").expect("r").verdict,
+            LoopVerdict::Commutative,
+            "case {case}: s = s {op} (i % 5 + {coef}) with n={n}"
         );
     }
+}
 
-    #[test]
-    fn prefix_recurrences_are_never_commutative(n in 4usize..24, c in 2i64..5) {
-        // a[i] = a[i-1] * c + i: genuinely order-sensitive, consumed by a
-        // position-weighted checksum.
+#[test]
+fn prefix_recurrences_are_never_commutative() {
+    // a[i] = a[i-1] * c + i: genuinely order-sensitive, consumed by a
+    // position-weighted checksum.
+    let mut rng = Rng::seed_from_u64(3);
+    for case in 0..24 {
+        let n = rng.range_usize(4, 24);
+        let c = rng.range_i64(2, 5);
         let src = format!(
             "fn main() -> int {{ let a: [int; 32]; a[0] = 1; let s: int = 0; \
              @rec: for (let i: int = 1; i < {n}; i = i + 1) {{ \
@@ -72,45 +89,65 @@ proptest! {
              return s; }}"
         );
         let m = dca::ir::compile(&src).expect("compile");
-        let report = Dca::new(DcaConfig::fast()).analyze_module(&m).expect("analyze");
-        prop_assert!(matches!(
-            report.by_tag("rec").expect("rec").verdict,
-            LoopVerdict::NonCommutative(_)
-        ));
+        let report = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        assert!(
+            matches!(
+                report.by_tag("rec").expect("rec").verdict,
+                LoopVerdict::NonCommutative(_)
+            ),
+            "case {case}: n={n} c={c}"
+        );
     }
+}
 
-    #[test]
-    fn parser_never_panics(src in "[a-z0-9(){};:=<>+*\\-@ \n]{0,160}") {
-        // Arbitrary near-token soup must produce Ok or Err, never a panic.
+#[test]
+fn parser_never_panics() {
+    // Arbitrary near-token soup must produce Ok or Err, never a panic.
+    const CHARSET: &[u8] = b"abcxyz0123(){};:=<>+*-@ \n";
+    let mut rng = Rng::seed_from_u64(4);
+    for _ in 0..200 {
+        let len = rng.range_usize(0, 160);
+        let src: String = (0..len)
+            .map(|_| CHARSET[rng.range_usize(0, CHARSET.len())] as char)
+            .collect();
         let _ = dca::ir::compile(&src);
     }
+}
 
-    #[test]
-    fn interpreter_is_deterministic(seed in 0i64..1000) {
-        let p = dca::suite::by_name("ep").expect("ep");
-        let m = p.module();
+#[test]
+fn interpreter_is_deterministic() {
+    let p = dca::suite::by_name("ep").expect("ep");
+    let m = p.module();
+    let mut rng = Rng::seed_from_u64(5);
+    for _ in 0..8 {
+        let seed = rng.range_i64(0, 1000);
         let args = [Value::Int(4 + seed % 4), Value::Int(8)];
         let a = dca::interp::run_program(&m, &args).expect("run");
         let b = dca::interp::run_program(&m, &args).expect("run");
-        prop_assert_eq!(a.ret, b.ret);
-        prop_assert_eq!(a.output, b.output);
-        prop_assert_eq!(a.steps, b.steps);
+        assert_eq!(a.ret, b.ret);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.steps, b.steps);
     }
+}
 
-    #[test]
-    fn simulator_speedup_is_bounded_by_cores_and_work(
-        costs in prop::collection::vec(1u64..500, 1..300),
-        cores in 1usize..96,
-    ) {
+#[test]
+fn simulator_speedup_is_bounded_by_cores_and_work() {
+    let mut rng = Rng::seed_from_u64(6);
+    for _ in 0..64 {
+        let len = rng.range_usize(1, 300);
+        let costs: Vec<u64> = (0..len).map(|_| rng.range_u64(1, 500)).collect();
+        let cores = rng.range_usize(1, 96);
         let cfg = dca::parallel::SimConfig::with_cores(cores);
         let r = dca::parallel::simulate_invocation(&costs, &cfg);
         let seq: u64 = costs.iter().sum();
-        prop_assert_eq!(r.seq_steps, seq);
-        prop_assert!(r.speedup() <= cores as f64 + 1e-9);
+        assert_eq!(r.seq_steps, seq);
+        assert!(r.speedup() <= cores as f64 + 1e-9);
         // The critical path can never beat the largest single iteration.
         if cores > 1 {
             let max = *costs.iter().max().expect("non-empty");
-            prop_assert!(r.par_steps >= max);
+            assert!(r.par_steps >= max);
         }
     }
 }
