@@ -118,6 +118,31 @@ impl IteratorSlice {
     /// Computes the separation for loop `l`, reusing a precomputed effect
     /// map for the call-closure rule.
     pub fn compute_with(view: &FuncView<'_>, l: &Loop, effects: &crate::purity::EffectMap) -> Self {
+        Self::compute_with_obs(view, l, effects, &dca_obs::Obs::disabled())
+    }
+
+    /// Like [`IteratorSlice::compute_with`], recording an
+    /// `analysis.iterator_slice` span plus slice-size and fixpoint-pass
+    /// counters into `obs`.
+    pub fn compute_with_obs(
+        view: &FuncView<'_>,
+        l: &Loop,
+        effects: &crate::purity::EffectMap,
+        obs: &dca_obs::Obs,
+    ) -> Self {
+        let t = obs.span_start();
+        let (slice, passes) = Self::separate(view, l, effects);
+        obs.span_end("analysis.iterator_slice", t);
+        obs.count("analysis.slice.runs", 1);
+        obs.count("analysis.slice.passes", passes);
+        obs.count("analysis.slice.insts", slice.insts.len() as u64);
+        obs.count("analysis.slice.payload_insts", slice.payload_insts as u64);
+        slice
+    }
+
+    /// The separation fixpoint; returns the slice and how many passes it
+    /// took to converge.
+    fn separate(view: &FuncView<'_>, l: &Loop, effects: &crate::purity::EffectMap) -> (Self, u64) {
         let f = view.func;
         // Seed: variables used by terminators of blocks with an exit edge,
         // plus the header's terminator (it decides each iteration).
@@ -142,9 +167,11 @@ impl IteratorSlice {
         let mut insts: HashSet<InstRef> = HashSet::new();
         let mut loaded_bases: HashSet<MemRoot> = HashSet::new();
         let mut changed = true;
+        let mut passes = 0u64;
         let mut uses = Vec::new();
         while changed {
             changed = false;
+            passes += 1;
             for &b in &l.blocks {
                 for (i, inst) in f.block(b).insts.iter().enumerate() {
                     if insts.contains(&(b, i)) {
@@ -207,13 +234,16 @@ impl IteratorSlice {
                 }
             }
         }
-        IteratorSlice {
-            insts,
-            slice_vars,
-            iter_vars,
-            payload_insts,
-            effectful_iterator,
-        }
+        (
+            IteratorSlice {
+                insts,
+                slice_vars,
+                iter_vars,
+                payload_insts,
+                effectful_iterator,
+            },
+            passes,
+        )
     }
 
     /// True if `r` is part of the iterator slice.

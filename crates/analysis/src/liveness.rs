@@ -7,6 +7,7 @@
 //! scalars, which the parallelization stage must privatize or reduce.
 
 use dca_ir::{BlockId, FuncView, Loop, VarId};
+use dca_obs::Obs;
 use std::collections::BTreeSet;
 
 /// Per-block live-in/live-out sets for one function.
@@ -21,6 +22,23 @@ pub struct Liveness {
 impl Liveness {
     /// Computes liveness for a function.
     pub fn new(view: &FuncView<'_>) -> Self {
+        Self::new_with_obs(view, &Obs::disabled())
+    }
+
+    /// Like [`Liveness::new`], recording a `analysis.liveness` span and
+    /// fixpoint-pass counters into `obs`.
+    pub fn new_with_obs(view: &FuncView<'_>, obs: &Obs) -> Self {
+        let t = obs.span_start();
+        let (result, passes) = Self::compute(view);
+        obs.span_end("analysis.liveness", t);
+        obs.count("analysis.liveness.runs", 1);
+        obs.count("analysis.liveness.passes", passes);
+        result
+    }
+
+    /// The dataflow computation; returns the result and the number of
+    /// fixpoint passes it took.
+    fn compute(view: &FuncView<'_>) -> (Self, u64) {
         let f = view.func;
         let n = f.blocks.len();
         // Per-block gen (upward-exposed uses) and kill (defs).
@@ -54,8 +72,10 @@ impl Liveness {
         // Iterate to fixpoint, visiting blocks in reverse RPO for speed.
         let order: Vec<BlockId> = view.cfg.reverse_postorder().iter().rev().copied().collect();
         let mut changed = true;
+        let mut passes = 0u64;
         while changed {
             changed = false;
+            passes += 1;
             for &b in &order {
                 let mut out = BTreeSet::new();
                 for &s in view.cfg.succs(b) {
@@ -74,11 +94,14 @@ impl Liveness {
                 }
             }
         }
-        Liveness {
-            live_in,
-            live_out,
-            defs: kill,
-        }
+        (
+            Liveness {
+                live_in,
+                live_out,
+                defs: kill,
+            },
+            passes,
+        )
     }
 
     /// Variables live on entry to `b`.
@@ -270,5 +293,28 @@ mod tests {
             }
             assert_eq!(&out, live.live_out(b), "live_out mismatch at {b}");
         }
+    }
+
+    #[test]
+    fn obs_records_passes_and_matches_uninstrumented_result() {
+        let m = dca_ir::compile(
+            "fn main() -> int { let s: int = 0; \
+             for (let i: int = 0; i < 10; i = i + 1) { s = s + i; } return s; }",
+        )
+        .expect("compile");
+        let view = FuncView::new(&m, m.main().expect("main"));
+        let obs = Obs::enabled();
+        let live = Liveness::new_with_obs(&view, &obs);
+        let plain = Liveness::new(&view);
+        for b in view.func.block_ids() {
+            assert_eq!(live.live_in(b), plain.live_in(b));
+        }
+        let r = obs.rollup().expect("enabled");
+        assert_eq!(r.counter("analysis.liveness.runs"), 1);
+        assert!(
+            r.counter("analysis.liveness.passes") >= 2,
+            "fixpoint takes >= 2 passes"
+        );
+        assert_eq!(r.spans["analysis.liveness"].count, 1);
     }
 }

@@ -7,6 +7,7 @@
 //! paper credits for ICC's robustness (§V-C1).
 
 use dca_ir::{FuncId, Inst, Module};
+use dca_obs::Obs;
 use std::collections::HashSet;
 
 /// The effects one function may have, transitively.
@@ -41,6 +42,24 @@ pub struct EffectMap {
 impl EffectMap {
     /// Computes effects by fixpoint over the call graph.
     pub fn new(module: &Module) -> Self {
+        Self::new_with_obs(module, &Obs::disabled())
+    }
+
+    /// Like [`EffectMap::new`], recording an `analysis.effect_map` span
+    /// and fixpoint-pass counters into `obs`.
+    pub fn new_with_obs(module: &Module, obs: &Obs) -> Self {
+        let t = obs.span_start();
+        let (result, passes) = Self::compute(module);
+        obs.span_end("analysis.effect_map", t);
+        obs.count("analysis.effect_map.runs", 1);
+        obs.count("analysis.effect_map.passes", passes);
+        obs.count("analysis.effect_map.funcs", module.funcs.len() as u64);
+        result
+    }
+
+    /// The fixpoint computation; returns the result and the number of
+    /// propagation passes it took.
+    fn compute(module: &Module) -> (Self, u64) {
         let n = module.funcs.len();
         let mut effects = vec![Effects::default(); n];
         // Local (intra-procedural) facts plus call edges.
@@ -69,8 +88,10 @@ impl EffectMap {
         }
         // Propagate to fixpoint.
         let mut changed = true;
+        let mut passes = 0u64;
         while changed {
             changed = false;
+            passes += 1;
             for i in 0..n {
                 for &c in &calls[i] {
                     let callee = effects[c];
@@ -104,7 +125,7 @@ impl EffectMap {
                 }
             }
         }
-        EffectMap { effects }
+        (EffectMap { effects }, passes)
     }
 
     /// Effects of `f`.

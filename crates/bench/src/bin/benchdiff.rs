@@ -1,0 +1,122 @@
+//! Compares two `dca-bench` JSON reports and gates on regressions.
+//!
+//! ```text
+//! benchdiff <baseline.json> <current.json> [--threshold <pct>]
+//!           [--warn-only] [--inject-slowdown <factor>]
+//!           [--write-baseline <path>]
+//! ```
+//!
+//! A metric regresses when its median is more than `--threshold` percent
+//! (default 10) slower than the baseline. Exit codes: 0 when no metric
+//! regressed (or `--warn-only` was passed), 1 when the gate fails, 2 on
+//! usage or I/O errors. `--inject-slowdown` multiplies the *current*
+//! medians before diffing — CI uses it to prove the gate actually trips.
+//! `--write-baseline` merges the current report into the baseline file
+//! (used to refresh `bench/baseline.json`).
+
+use dca_bench::report::{diff_reports, BenchReport};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    current: String,
+    threshold: f64,
+    warn_only: bool,
+    inject_slowdown: Option<f64>,
+    write_baseline: Option<String>,
+}
+
+const USAGE: &str = "usage: benchdiff <baseline.json> <current.json> \
+    [--threshold <pct>] [--warn-only] [--inject-slowdown <factor>] \
+    [--write-baseline <path>]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut free = Vec::new();
+    let mut threshold = 10.0;
+    let mut warn_only = false;
+    let mut inject_slowdown = None;
+    let mut write_baseline = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threshold needs a number")?;
+            }
+            "--warn-only" => warn_only = true,
+            "--inject-slowdown" => {
+                inject_slowdown = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--inject-slowdown needs a factor")?,
+                );
+            }
+            "--write-baseline" => {
+                write_baseline = Some(it.next().ok_or("--write-baseline needs a path")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"));
+            }
+            other => free.push(other.to_string()),
+        }
+    }
+    if free.len() != 2 {
+        return Err(USAGE.to_string());
+    }
+    let mut free = free.into_iter();
+    Ok(Args {
+        baseline: free.next().expect("checked"),
+        current: free.next().expect("checked"),
+        threshold,
+        warn_only,
+        inject_slowdown,
+        write_baseline,
+    })
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let mut baseline = load(&args.baseline)?;
+    let mut current = load(&args.current)?;
+    if let Some(factor) = args.inject_slowdown {
+        current.inject_slowdown(factor);
+        println!("injected {factor}x slowdown into {}", args.current);
+    }
+    let diff = diff_reports(&baseline, &current, args.threshold);
+    print!("{}", diff.render());
+    if let Some(path) = &args.write_baseline {
+        baseline.merge(&current);
+        std::fs::write(path, baseline.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("baseline updated: {path}");
+    }
+    let failed = diff.regressions() > 0;
+    if failed && args.warn_only {
+        println!(
+            "WARNING: {} metric(s) regressed beyond {}% (warn-only mode)",
+            diff.regressions(),
+            args.threshold
+        );
+        return Ok(true);
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -10,8 +10,11 @@
 //!
 //! Benches run with `cargo bench` (all of them) or
 //! `cargo bench --bench <name> -- <filter>` (substring filter). Passing
-//! `--quick` reduces the sample count for smoke-testing.
+//! `--quick` reduces the sample count for smoke-testing, and
+//! `--json <path>` additionally writes the results as a machine-readable
+//! report (see [`crate::report`]) — the input of the CI benchmark gate.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Target wall time for one calibrated sample.
@@ -53,6 +56,8 @@ pub struct Sample {
 pub struct Harness {
     sample_size: usize,
     filter: Option<String>,
+    json: Option<PathBuf>,
+    bench_name: String,
     results: Vec<Sample>,
 }
 
@@ -64,16 +69,48 @@ impl Default for Harness {
 
 impl Harness {
     /// A harness configured from the command line: the first free argument
-    /// is a substring filter, `--quick` drops the sample count to 3.
+    /// is a substring filter, `--quick` drops the sample count to 3, and
+    /// `--json <path>` writes a machine-readable report on
+    /// [`Harness::finish`].
     #[must_use]
     pub fn new() -> Self {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let quick = args.iter().any(|a| a == "--quick");
-        // Cargo's bench runner passes `--bench`; ignore flags generally.
-        let filter = args.into_iter().find(|a| !a.starts_with('-'));
+        let mut args = std::env::args();
+        // The binary path names the bench in the JSON report
+        // (`.../deps/stages-<hash>` -> `stages`).
+        let bench_name = args
+            .next()
+            .map(|p| {
+                let stem = PathBuf::from(p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                stem.split_once('-')
+                    .map_or(stem.clone(), |(name, _)| name.to_string())
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        let mut quick = false;
+        let mut json = None;
+        let mut filter = None;
+        let mut rest = args.peekable();
+        while let Some(a) = rest.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--json" => json = rest.next().map(PathBuf::from),
+                // Cargo's bench runner passes `--bench`; ignore other
+                // flags generally.
+                f if f.starts_with('-') => {}
+                free => {
+                    if filter.is_none() {
+                        filter = Some(free.to_string());
+                    }
+                }
+            }
+        }
         Harness {
             sample_size: if quick { 3 } else { 10 },
             filter,
+            json,
+            bench_name,
             results: Vec::new(),
         }
     }
@@ -135,9 +172,21 @@ impl Harness {
         &self.results
     }
 
-    /// Prints the closing summary line.
+    /// Prints the closing summary line and, when `--json <path>` was
+    /// passed, writes the machine-readable report there.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the report file cannot be written — a CI bench run
+    /// that silently loses its report would pass the gate vacuously.
     pub fn finish(&self) {
         println!("{} benchmarks run", self.results.len());
+        if let Some(path) = &self.json {
+            let report = crate::report::BenchReport::from_samples(&self.bench_name, &self.results);
+            std::fs::write(path, report.to_json())
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            println!("wrote {} ({} entries)", path.display(), self.results.len());
+        }
     }
 }
 
@@ -173,6 +222,8 @@ mod tests {
         let mut h = Harness {
             sample_size: 2,
             filter: None,
+            json: None,
+            bench_name: "test".into(),
             results: Vec::new(),
         };
         let mut runs = 0u64;
@@ -192,6 +243,8 @@ mod tests {
         let mut h = Harness {
             sample_size: 1,
             filter: Some("wanted".into()),
+            json: None,
+            bench_name: "test".into(),
             results: Vec::new(),
         };
         h.bench_function("other", |b| b.iter(|| 1));

@@ -17,6 +17,7 @@ use std::collections::BTreeSet;
 use std::time::Duration;
 
 pub mod harness;
+pub mod report;
 
 /// All six per-technique reports for one program.
 #[derive(Debug, Clone)]

@@ -1,0 +1,620 @@
+//! Machine-readable benchmark reports and regression diffing.
+//!
+//! `dca-bench` binaries emit a stable JSON report with `--json <path>`
+//! (schema `dca-bench/1`, documented in DESIGN.md §11), and the
+//! `benchdiff` binary compares two reports, exiting non-zero when any
+//! tracked metric regresses beyond a threshold — the CI benchmark gate.
+//! The build environment is offline, so both the writer and the (small,
+//! schema-specific) parser are hand-rolled; [`parse_json`] handles just
+//! the JSON subset the reports use.
+
+use crate::harness::Sample;
+use dca_obs::json_escape;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Report schema identifier; bump when the shape changes.
+pub const SCHEMA: &str = "dca-bench/1";
+
+/// One benchmark's numbers in a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Benchmark name (e.g. `parallel/loops_x8/threads_2`).
+    pub name: String,
+    /// Median time per iteration, nanoseconds — the tracked metric.
+    pub median_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+/// A full benchmark report: what one bench binary measured, or (for a
+/// committed baseline) the merge of several.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchReport {
+    /// Which bench binary produced it (`merged` for baselines).
+    pub bench: String,
+    /// Per-benchmark entries, in execution order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Builds a report from a harness run.
+    #[must_use]
+    pub fn from_samples(bench: &str, samples: &[Sample]) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            entries: samples
+                .iter()
+                .map(|s| BenchEntry {
+                    name: s.name.clone(),
+                    median_ns: s.median.as_nanos() as u64,
+                    min_ns: s.min.as_nanos() as u64,
+                    max_ns: s.max.as_nanos() as u64,
+                    iters: s.iters,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON (schema `dca-bench/1`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(s, "  \"bench\": \"{}\",", json_escape(&self.bench));
+        let _ = writeln!(s, "  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"iters\": {}}}{comma}",
+                json_escape(&e.name),
+                e.median_ns,
+                e.min_ns,
+                e.max_ns,
+                e.iters
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not valid JSON, the schema tag
+    /// is unknown, or a required field is missing or mistyped.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = parse_json(text)?;
+        let obj = v.as_object().ok_or("report root must be an object")?;
+        let schema = obj
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {SCHEMA:?}"
+            ));
+        }
+        let bench = obj
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("missing \"bench\"")?
+            .to_string();
+        let raw = obj
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("missing \"entries\"")?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for e in raw {
+            let o = e.as_object().ok_or("entry must be an object")?;
+            let field = |k: &str| -> Result<u64, String> {
+                o.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("entry missing numeric \"{k}\""))
+            };
+            entries.push(BenchEntry {
+                name: o
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("entry missing \"name\"")?
+                    .to_string(),
+                median_ns: field("median_ns")?,
+                min_ns: field("min_ns")?,
+                max_ns: field("max_ns")?,
+                iters: field("iters")?,
+            });
+        }
+        Ok(BenchReport { bench, entries })
+    }
+
+    /// Merges another report in: entries with the same name are replaced,
+    /// new ones appended. Used to build the committed multi-binary
+    /// baseline.
+    pub fn merge(&mut self, other: &BenchReport) {
+        self.bench = "merged".to_string();
+        for e in &other.entries {
+            if let Some(mine) = self.entries.iter_mut().find(|m| m.name == e.name) {
+                *mine = e.clone();
+            } else {
+                self.entries.push(e.clone());
+            }
+        }
+    }
+
+    /// Multiplies every median by `factor` — used by CI to self-test the
+    /// regression gate with an injected slowdown.
+    pub fn inject_slowdown(&mut self, factor: f64) {
+        for e in &mut self.entries {
+            e.median_ns = (e.median_ns as f64 * factor) as u64;
+            e.min_ns = (e.min_ns as f64 * factor) as u64;
+            e.max_ns = (e.max_ns as f64 * factor) as u64;
+        }
+    }
+}
+
+/// How one metric moved between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffStatus {
+    /// Slower than baseline beyond the threshold.
+    Regressed,
+    /// Within the threshold either way.
+    Ok,
+    /// Only in the current report (informational).
+    New,
+    /// Only in the baseline (informational — a renamed or removed bench).
+    Missing,
+}
+
+/// One line of a report comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median, ns (0 for [`DiffStatus::New`]).
+    pub base_ns: u64,
+    /// Current median, ns (0 for [`DiffStatus::Missing`]).
+    pub cur_ns: u64,
+    /// Relative change in percent (`+` is slower).
+    pub delta_pct: f64,
+    /// Classification under the threshold.
+    pub status: DiffStatus,
+}
+
+/// The outcome of comparing two reports.
+#[derive(Debug, Clone, Default)]
+pub struct BenchDiff {
+    /// Per-benchmark comparisons, baseline order then new entries.
+    pub lines: Vec<DiffLine>,
+}
+
+impl BenchDiff {
+    /// Number of regressed metrics.
+    #[must_use]
+    pub fn regressions(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.status == DiffStatus::Regressed)
+            .count()
+    }
+
+    /// A human-readable table of the comparison.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for l in &self.lines {
+            let tag = match l.status {
+                DiffStatus::Regressed => "REGRESSED",
+                DiffStatus::Ok => "ok",
+                DiffStatus::New => "new",
+                DiffStatus::Missing => "missing",
+            };
+            let _ = writeln!(
+                s,
+                "{:<44} {:>12} -> {:>12}  {:>+8.1}%  {tag}",
+                l.name, l.base_ns, l.cur_ns, l.delta_pct
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{} metrics compared, {} regressed",
+            self.lines.len(),
+            self.regressions()
+        );
+        s
+    }
+}
+
+/// Compares `current` against `baseline`: a metric regresses when its
+/// median is more than `threshold_pct` percent slower than the baseline
+/// median. Entries present on only one side are reported informationally
+/// and never fail the gate (so adding or renaming a bench doesn't need a
+/// lockstep baseline update).
+#[must_use]
+pub fn diff_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold_pct: f64,
+) -> BenchDiff {
+    let mut lines = Vec::new();
+    for b in &baseline.entries {
+        match current.entries.iter().find(|c| c.name == b.name) {
+            Some(c) => {
+                let base = b.median_ns.max(1) as f64;
+                let delta_pct = (c.median_ns as f64 - base) / base * 100.0;
+                let status = if delta_pct > threshold_pct {
+                    DiffStatus::Regressed
+                } else {
+                    DiffStatus::Ok
+                };
+                lines.push(DiffLine {
+                    name: b.name.clone(),
+                    base_ns: b.median_ns,
+                    cur_ns: c.median_ns,
+                    delta_pct,
+                    status,
+                });
+            }
+            None => lines.push(DiffLine {
+                name: b.name.clone(),
+                base_ns: b.median_ns,
+                cur_ns: 0,
+                delta_pct: 0.0,
+                status: DiffStatus::Missing,
+            }),
+        }
+    }
+    for c in &current.entries {
+        if !baseline.entries.iter().any(|b| b.name == c.name) {
+            lines.push(DiffLine {
+                name: c.name.clone(),
+                base_ns: 0,
+                cur_ns: c.median_ns,
+                delta_pct: 0.0,
+                status: DiffStatus::New,
+            });
+        }
+    }
+    BenchDiff { lines }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing — just the subset the reports (and tests) need.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (held as f64; report fields fit losslessly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as an object, if it is one.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("unknown escape at byte {}", *pos - 1)),
+                }
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let ch_len = utf8_len(c);
+                let chunk = b
+                    .get(*pos..*pos + ch_len)
+                    .ok_or("truncated UTF-8 sequence")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8".to_string())?);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut out = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        out.insert(key, val);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample(name: &str, median_ns: u64) -> Sample {
+        Sample {
+            name: name.to_string(),
+            median: Duration::from_nanos(median_ns),
+            min: Duration::from_nanos(median_ns / 2),
+            max: Duration::from_nanos(median_ns * 2),
+            iters: 100,
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = BenchReport::from_samples(
+            "stages",
+            &[
+                sample("static/liveness", 12_345),
+                sample("dynamic/replay \"x\"", 99),
+            ],
+        );
+        let text = report.to_json();
+        assert!(text.contains("\"schema\": \"dca-bench/1\""));
+        let back = BenchReport::from_json(&text).expect("parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_wrong_schema() {
+        assert!(BenchReport::from_json("not json").is_err());
+        assert!(BenchReport::from_json(
+            "{\"schema\": \"other/9\", \"bench\": \"x\", \"entries\": []}"
+        )
+        .is_err());
+        assert!(BenchReport::from_json("{\"bench\": \"x\", \"entries\": []}").is_err());
+    }
+
+    #[test]
+    fn diff_flags_regressions_beyond_threshold_only() {
+        let base = BenchReport::from_samples("b", &[sample("a", 1_000), sample("b", 1_000)]);
+        let mut cur = base.clone();
+        cur.entries[0].median_ns = 1_050; // +5%
+        cur.entries[1].median_ns = 2_000; // +100%
+        let d = diff_reports(&base, &cur, 10.0);
+        assert_eq!(d.regressions(), 1);
+        assert_eq!(d.lines[0].status, DiffStatus::Ok);
+        assert_eq!(d.lines[1].status, DiffStatus::Regressed);
+        assert!((d.lines[1].delta_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_2x_slowdown_trips_a_10pct_gate() {
+        // The acceptance criterion for the CI gate: same report passes at
+        // threshold 10, a 2x-slowed copy fails.
+        let base = BenchReport::from_samples("b", &[sample("a", 10_000), sample("b", 500)]);
+        assert_eq!(diff_reports(&base, &base, 10.0).regressions(), 0);
+        let mut slowed = base.clone();
+        slowed.inject_slowdown(2.0);
+        let d = diff_reports(&base, &slowed, 10.0);
+        assert_eq!(d.regressions(), 2, "every metric doubled");
+        assert!(d.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn new_and_missing_entries_never_fail_the_gate() {
+        let base = BenchReport::from_samples("b", &[sample("kept", 100), sample("gone", 100)]);
+        let cur = BenchReport::from_samples("b", &[sample("kept", 100), sample("added", 100)]);
+        let d = diff_reports(&base, &cur, 10.0);
+        assert_eq!(d.regressions(), 0);
+        assert!(d.lines.iter().any(|l| l.status == DiffStatus::Missing));
+        assert!(d.lines.iter().any(|l| l.status == DiffStatus::New));
+    }
+
+    #[test]
+    fn merge_replaces_same_name_and_appends_new() {
+        let mut a = BenchReport::from_samples("stages", &[sample("x", 100)]);
+        let b = BenchReport::from_samples("parallel_engine", &[sample("x", 200), sample("y", 300)]);
+        a.merge(&b);
+        assert_eq!(a.bench, "merged");
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.entries[0].median_ns, 200);
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v =
+            parse_json(r#"{"a": [1, 2.5, {"b": "q\"\nA"}], "c": null, "d": true}"#).expect("parse");
+        let obj = v.as_object().expect("object");
+        let arr = obj["a"].as_array().expect("array");
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1], Json::Num(2.5));
+        let inner = arr[2].as_object().expect("object");
+        assert_eq!(inner["b"].as_str(), Some("q\"\nA"));
+        assert_eq!(obj["c"], Json::Null);
+        assert_eq!(obj["d"], Json::Bool(true));
+    }
+}

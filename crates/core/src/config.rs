@@ -1,4 +1,34 @@
-//! DCA configuration: permutation presets, verification scope, budgets.
+//! DCA configuration: permutation presets, verification scope, budgets,
+//! observability options.
+
+use std::path::PathBuf;
+
+/// Observability options for the engine (see DESIGN.md §11).
+///
+/// Everything is off by default and adds no measurable overhead while
+/// disabled (the `obs_overhead` bench asserts this). Independently of
+/// this struct, setting the `DCA_TRACE=<path>` environment variable
+/// enables metrics *and* trace-event streaming to `<path>` for any
+/// engine run in the process.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsOptions {
+    /// Accumulate per-stage counters and span timers and surface them as
+    /// [`crate::DcaReport::obs`].
+    pub metrics: bool,
+    /// Stream JSONL trace events to this file (implies `metrics`).
+    pub trace: Option<PathBuf>,
+}
+
+impl ObsOptions {
+    /// Metrics on, no trace file.
+    #[must_use]
+    pub fn metrics() -> Self {
+        ObsOptions {
+            metrics: true,
+            trace: None,
+        }
+    }
+}
 
 /// Which iteration permutations the dynamic stage tests (paper §IV-B2).
 ///
@@ -67,11 +97,14 @@ pub struct DcaConfig {
     pub max_steps: u64,
     /// Loops with more recorded iterations than this are skipped.
     pub max_trip: usize,
-    /// Worker threads for the verification engine; `0` means one per
-    /// available CPU. Permutation replays of a loop and independent loops
-    /// of a module fan out across this many workers. Verdicts and counters
+    /// Worker threads for the verification engine; `0` means the
+    /// `DCA_THREADS` environment variable if set, else one per available
+    /// CPU. Permutation replays of a loop and independent loops of a
+    /// module fan out across this many workers. Verdicts and counters
     /// are identical for every thread count (see DESIGN.md §Threading).
     pub threads: usize,
+    /// Observability: per-stage metrics and trace-event streaming.
+    pub obs: ObsOptions,
 }
 
 impl Default for DcaConfig {
@@ -85,6 +118,7 @@ impl Default for DcaConfig {
             max_steps: 200_000_000,
             max_trip: 1 << 16,
             threads: 0,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -111,5 +145,14 @@ mod tests {
         assert_eq!(c.verify_scope, VerifyScope::ProgramEnd);
         assert!(c.float_tolerance > 0.0);
         assert_eq!(c.threads, 0, "auto-detect worker count by default");
+        assert_eq!(c.obs, ObsOptions::default(), "observability off by default");
+        assert!(!c.obs.metrics);
+    }
+
+    #[test]
+    fn obs_metrics_shorthand() {
+        let o = ObsOptions::metrics();
+        assert!(o.metrics);
+        assert!(o.trace.is_none());
     }
 }

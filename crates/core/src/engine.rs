@@ -10,10 +10,37 @@ use crate::record::{record_golden_min_trip, GoldenRecord, RecordError};
 use crate::replay::{run_replay, ReplayController, ReplayEnd};
 use crate::report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};
 use dca_analysis::{exclusion, EffectMap, IteratorSlice, Liveness};
-use dca_interp::{Machine, Value};
+use dca_interp::{Machine, OpCounts, Value};
 use dca_ir::{FuncId, FuncView, Loop, LoopRef, Module};
+use dca_obs::{Obs, TraceVal};
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Builds the observer for one engine run: the `DCA_TRACE=<path>`
+/// environment variable wins (metrics + trace to that path), then
+/// [`crate::config::ObsOptions::trace`], then
+/// [`crate::config::ObsOptions::metrics`]; otherwise disabled. An
+/// unwritable trace path degrades to metrics-only rather than failing
+/// the analysis.
+fn make_obs(config: &DcaConfig) -> Obs {
+    let env_trace = std::env::var_os("DCA_TRACE").map(std::path::PathBuf::from);
+    if let Some(path) = env_trace.as_deref().or(config.obs.trace.as_deref()) {
+        return Obs::with_trace(path).unwrap_or_else(|_| Obs::enabled());
+    }
+    if config.obs.metrics {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Adds an interpreter's heap-op totals to the `interp.heap.*` counters.
+fn record_machine_ops(obs: &Obs, ops: &OpCounts) {
+    obs.count("interp.heap.allocs", ops.heap_allocs);
+    obs.count("interp.heap.cells_allocated", ops.heap_cells_allocated);
+    obs.count("interp.heap.reads", ops.heap_reads);
+    obs.count("interp.heap.writes", ops.heap_writes);
+}
 
 /// How one loop's permutation verification ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,9 +68,55 @@ struct VerifySummary {
 }
 
 /// One permuted replay's result, before the deterministic fold.
+///
+/// Besides the verdict, it carries everything the fold attributes to obs
+/// — per-replay snapshot-restore, replay and verify durations, and the
+/// interpreter's heap-op deltas. Recording these from the *fold* (over
+/// the sequential prefix) rather than from the workers keeps counter
+/// values and span counts identical at every thread count, and fixes the
+/// restore-time attribution: the time a worker spends rebuilding its
+/// [`Machine`] from the golden snapshot lands in a dedicated
+/// `stage.restore` span instead of silently inflating (sequential) or
+/// vanishing from (parallel) the replay timing.
 struct PermOutcome {
     end: VerifyEnd,
     steps: u64,
+    restore: Duration,
+    replay: Duration,
+    verify: Duration,
+    ops: OpCounts,
+}
+
+/// Obs-relevant totals folded from the sequential prefix of one
+/// permutation verification, plus the reference replay.
+#[derive(Default)]
+struct FoldTotals {
+    replays: u64,
+    steps: u64,
+    restore: Duration,
+    replay: Duration,
+    verify: Duration,
+    ops: OpCounts,
+}
+
+impl FoldTotals {
+    fn add(&mut self, o: &PermOutcome) {
+        self.replays += 1;
+        self.steps += o.steps;
+        self.restore += o.restore;
+        self.replay += o.replay;
+        self.verify += o.verify;
+        self.ops = self.ops.plus(&o.ops);
+    }
+
+    /// Attributes the folded totals to obs spans and counters.
+    fn record(&self, obs: &Obs) {
+        obs.record_span("stage.restore", self.restore, self.replays);
+        obs.record_span("stage.replay", self.replay, self.replays);
+        obs.record_span("stage.verify", self.verify, self.replays);
+        obs.count("engine.replays", self.replays);
+        record_machine_ops(obs, &self.ops);
+    }
 }
 
 /// Errors that prevent analysis from starting at all.
@@ -117,9 +190,11 @@ impl Dca {
     ///
     /// Returns [`DcaError::NoMain`] if the module has no entry point.
     pub fn analyze(&self, module: &Module, args: &[Value]) -> Result<DcaReport, DcaError> {
+        let obs = make_obs(&self.config);
         let start = Instant::now();
+        let whole = obs.span_start();
         let main = module.main().ok_or(DcaError::NoMain)?;
-        let effects = EffectMap::new(module);
+        let effects = EffectMap::new_with_obs(module, &obs);
         // Collect every loop of the module in deterministic (function,
         // loop) order; this is both the work list and the report order.
         let mut items: Vec<LoopRef> = Vec::new();
@@ -138,17 +213,34 @@ impl Dca {
         // `inner` — so a module with one hot loop still uses every core.
         let threads = effective_threads(self.config.threads);
         let (outer, inner) = split_threads(threads, items.len());
-        let results = parallel_map(outer, &items, |_, lref| {
+        let results = parallel_map(outer, &items, &obs, "loops", |_, lref| {
             let view = FuncView::new(module, lref.func);
-            let live = Liveness::new(&view);
+            let live = Liveness::new_with_obs(&view, &obs);
             let l = view.loops.get(lref.loop_id);
-            self.test_loop_inner(module, main, args, &effects, &view, &live, l, inner)
+            self.test_loop_inner(module, main, args, &effects, &view, &live, l, inner, &obs)
         });
+        // Verdict tallies come from the ordered result vector, not the
+        // workers, so they are deterministic like everything else here.
+        obs.count("engine.loops", results.len() as u64);
+        for r in &results {
+            let name = match &r.verdict {
+                LoopVerdict::Commutative => "engine.verdict.commutative",
+                LoopVerdict::NonCommutative(_) => "engine.verdict.non_commutative",
+                LoopVerdict::Excluded(_) => "engine.verdict.excluded",
+                LoopVerdict::NotExercised => "engine.verdict.not_exercised",
+                LoopVerdict::Skipped(_) => "engine.verdict.skipped",
+            };
+            obs.count(name, 1);
+            obs.count("engine.permutations_tested", r.permutations_tested as u64);
+            obs.count("engine.replay_steps", r.replay_steps);
+        }
         let mut report = DcaReport::with_threads(threads);
         for result in results {
             report.push(result);
         }
         report.wall = start.elapsed();
+        obs.span_end("engine.analyze", whole);
+        report.obs = obs.rollup();
         Ok(report)
     }
 
@@ -198,13 +290,17 @@ impl Dca {
         lref: LoopRef,
         args: &[Value],
     ) -> Result<LoopResult, DcaError> {
+        let obs = make_obs(&self.config);
         let main = module.main().ok_or(DcaError::NoMain)?;
-        let effects = EffectMap::new(module);
+        let effects = EffectMap::new_with_obs(module, &obs);
         let view = FuncView::new(module, lref.func);
-        let live = Liveness::new(&view);
+        let live = Liveness::new_with_obs(&view, &obs);
         let l = view.loops.get(lref.loop_id);
         let threads = effective_threads(self.config.threads);
-        Ok(self.test_loop_inner(module, main, args, &effects, &view, &live, l, threads))
+        let result =
+            self.test_loop_inner(module, main, args, &effects, &view, &live, l, threads, &obs);
+        obs.flush();
+        Ok(result)
     }
 
     /// Tests each of the first `k` *eligible* invocations (trip ≥ 2) of
@@ -228,13 +324,14 @@ impl Dca {
         args: &[Value],
         k: u32,
     ) -> Result<Vec<LoopResult>, DcaError> {
+        let obs = make_obs(&self.config);
         let main = module.main().ok_or(DcaError::NoMain)?;
-        let effects = EffectMap::new(module);
+        let effects = EffectMap::new_with_obs(module, &obs);
         let view = FuncView::new(module, lref.func);
-        let live = Liveness::new(&view);
+        let live = Liveness::new_with_obs(&view, &obs);
         let l = view.loops.get(lref.loop_id);
         let threads = effective_threads(self.config.threads);
-        let slice = IteratorSlice::compute_with(&view, l, &effects);
+        let slice = IteratorSlice::compute_with_obs(&view, l, &effects, &obs);
         let base = LoopResult {
             lref,
             tag: l.tag.clone(),
@@ -253,8 +350,9 @@ impl Dca {
         let mut out = Vec::new();
         for invocation in 0..k {
             let inv_start = Instant::now();
+            let rec_t = obs.span_start();
             let mut machine = Machine::new(module);
-            let golden = match record_golden_min_trip(
+            let rec = record_golden_min_trip(
                 &mut machine,
                 main,
                 args,
@@ -265,7 +363,11 @@ impl Dca {
                 self.config.max_trip,
                 self.config.max_steps,
                 2,
-            ) {
+            );
+            obs.span_end("stage.record", rec_t);
+            obs.count("engine.golden_runs", 1);
+            record_machine_ops(&obs, &machine.op_counts());
+            let golden = match rec {
                 Ok(g) => g,
                 Err(RecordError::NotExercised) => break,
                 Err(RecordError::TripLimit) => {
@@ -293,8 +395,9 @@ impl Dca {
             let trip = golden.iters.len();
             let seed = derive_seed(self.config.seed, lref.func.0, lref.loop_id.0, invocation);
             let perms = schedules(&self.config.permutations, trip, seed);
-            let summary =
-                self.verify_permutations(module, &view, &live, l, &slice, &golden, &perms, threads);
+            let summary = self.verify_permutations(
+                module, &view, &live, l, &slice, &golden, &perms, threads, &obs,
+            );
             let verdict = match summary.end {
                 VerifyEnd::Complete => LoopVerdict::Commutative,
                 VerifyEnd::Violated(violation) => LoopVerdict::NonCommutative(violation),
@@ -309,6 +412,7 @@ impl Dca {
                 ..base.clone()
             });
         }
+        obs.flush();
         Ok(out)
     }
 
@@ -325,10 +429,11 @@ impl Dca {
         live: &Liveness,
         l: &Loop,
         threads: usize,
+        obs: &Obs,
     ) -> LoopResult {
         let start = Instant::now();
         let mut result =
-            self.test_loop_untimed(module, main, args, effects, view, live, l, threads);
+            self.test_loop_untimed(module, main, args, effects, view, live, l, threads, obs);
         result.wall = start.elapsed();
         result
     }
@@ -344,6 +449,7 @@ impl Dca {
         live: &Liveness,
         l: &Loop,
         threads: usize,
+        obs: &Obs,
     ) -> LoopResult {
         let lref = LoopRef {
             func: view.id,
@@ -359,8 +465,11 @@ impl Dca {
             wall: std::time::Duration::ZERO,
         };
         // ---- static stage (paper §IV-A): separation + exclusion.
-        let slice = IteratorSlice::compute_with(view, l, effects);
-        if let Some(reason) = exclusion(view, l, &slice, &effects.io_funcs()) {
+        let static_t = obs.span_start();
+        let slice = IteratorSlice::compute_with_obs(view, l, effects, obs);
+        let excluded = exclusion(view, l, &slice, &effects.io_funcs());
+        obs.span_end("stage.static", static_t);
+        if let Some(reason) = excluded {
             return LoopResult {
                 verdict: LoopVerdict::Excluded(reason),
                 ..base
@@ -372,8 +481,9 @@ impl Dca {
         let mut steps_total = 0u64;
         let mut exercised = false;
         for invocation in 0..self.config.invocations {
+            let rec_t = obs.span_start();
             let mut machine = Machine::new(module);
-            let golden = match record_golden_min_trip(
+            let rec = record_golden_min_trip(
                 &mut machine,
                 main,
                 args,
@@ -384,7 +494,11 @@ impl Dca {
                 self.config.max_trip,
                 self.config.max_steps,
                 2,
-            ) {
+            );
+            obs.span_end("stage.record", rec_t);
+            obs.count("engine.golden_runs", 1);
+            record_machine_ops(obs, &machine.op_counts());
+            let golden = match rec {
                 Ok(g) => g,
                 Err(RecordError::NotExercised) => break,
                 Err(RecordError::TripLimit) => {
@@ -415,8 +529,8 @@ impl Dca {
             exercised = true;
             let seed = derive_seed(self.config.seed, lref.func.0, lref.loop_id.0, invocation);
             let perms = schedules(&self.config.permutations, trip, seed);
-            let summary =
-                self.verify_permutations(module, view, live, l, &slice, &golden, &perms, threads);
+            let summary = self
+                .verify_permutations(module, view, live, l, &slice, &golden, &perms, threads, obs);
             perms_total += summary.tested;
             steps_total += summary.replay_steps;
             match summary.end {
@@ -477,7 +591,13 @@ impl Dca {
         golden: &GoldenRecord,
         perms: &[Vec<usize>],
         threads: usize,
+        obs: &Obs,
     ) -> VerifySummary {
+        // Per-replay timing only happens when obs is live; disabled runs
+        // never read the clock here.
+        let timing = obs.is_enabled();
+        let t_start = move || if timing { Some(Instant::now()) } else { None };
+        let t_since = |t: Option<Instant>| t.map_or(Duration::ZERO, |t| t.elapsed());
         let stop_at_exit = self.config.verify_scope == VerifyScope::LoopExit;
         let mut reference_steps = 0u64;
         // Under the loop-exit scope the reference digest comes from an
@@ -485,12 +605,18 @@ impl Dca {
         // to the exit point).
         let reference_digest = if stop_at_exit {
             let identity: Vec<usize> = (0..golden.iters.len()).collect();
+            let t_restore = t_start();
             let mut machine = Machine::new(module);
             machine.restore(&golden.snapshot);
+            obs.record_span("stage.restore", t_since(t_restore), 1);
             let before = machine.steps();
             let mut ctl = ReplayController::new(view.id, view.func, l, slice, golden, &identity);
+            let t_replay = t_start();
             let end = run_replay(&mut machine, &mut ctl, true, self.config.max_steps);
+            obs.record_span("stage.replay", t_since(t_replay), 1);
             reference_steps = machine.steps() - before;
+            obs.count("engine.replays", 1);
+            record_machine_ops(obs, &machine.op_counts());
             match end {
                 ReplayEnd::LoopExited => {}
                 // `Finished` without a loop exit means the frame unwound
@@ -517,17 +643,25 @@ impl Dca {
                     }
                 }
             }
-            Some(self.capture_digest(&machine, live, l))
+            let t_digest = t_start();
+            let digest = self.capture_digest(&machine, live, l);
+            obs.record_span("stage.verify", t_since(t_digest), 1);
+            Some(digest)
         } else {
             None
         };
         let check_one = |perm: &Vec<usize>| -> PermOutcome {
+            let t_restore = t_start();
             let mut machine = Machine::new(module);
             machine.restore(&golden.snapshot);
+            let restore = t_since(t_restore);
             let before = machine.steps();
             let mut ctl = ReplayController::new(view.id, view.func, l, slice, golden, perm);
+            let t_replay = t_start();
             let end = run_replay(&mut machine, &mut ctl, stop_at_exit, self.config.max_steps);
+            let replay = t_since(t_replay);
             let steps = machine.steps() - before;
+            let t_verify = t_start();
             let end = match (&self.config.verify_scope, end) {
                 (VerifyScope::ProgramEnd, ReplayEnd::Finished(ret)) => {
                     let outcome = ProgramOutcome::capture(&machine, ret);
@@ -563,10 +697,18 @@ impl Dca {
                     unreachable!("ProgramEnd replays never stop at loop exit")
                 }
             };
-            PermOutcome { end, steps }
+            let verify = t_since(t_verify);
+            PermOutcome {
+                end,
+                steps,
+                restore,
+                replay,
+                verify,
+                ops: machine.op_counts(),
+            }
         };
         let stop = StopIndex::new();
-        let slots = parallel_scan(threads, perms, &stop, |i, perm| {
+        let slots = parallel_scan(threads, perms, &stop, obs, "perms", |i, perm| {
             let out = check_one(perm);
             if out.end != VerifyEnd::Complete {
                 stop.stop_at(i);
@@ -576,25 +718,41 @@ impl Dca {
         // Deterministic fold over the sequential prefix. Workers may have
         // completed slots past the first terminal index before observing
         // the stop; those are ignored, exactly as sequential execution
-        // would never have run them.
+        // would never have run them. Obs spans and counters are recorded
+        // from that same prefix, so they are as thread-count-invariant as
+        // the verdicts; work past the stop shows up only as a
+        // `wasted_replays` trace event.
         let terminal = stop.current();
+        let prefix_end = if terminal == usize::MAX {
+            perms.len()
+        } else {
+            terminal + 1
+        };
+        let mut totals = FoldTotals::default();
+        for s in slots[..prefix_end].iter() {
+            totals.add(s.as_ref().expect("filled up to the final stop"));
+        }
+        totals.record(obs);
+        if obs.has_trace() && terminal != usize::MAX {
+            let wasted = slots[prefix_end..].iter().flatten().count();
+            if wasted > 0 {
+                obs.trace_event(
+                    "wasted_replays",
+                    &[
+                        ("count", TraceVal::U64(wasted as u64)),
+                        ("stop", TraceVal::U64(terminal as u64)),
+                    ],
+                );
+            }
+        }
+        let replay_steps = totals.steps + reference_steps;
         if terminal == usize::MAX {
-            let replay_steps = slots
-                .iter()
-                .map(|s| s.as_ref().expect("no stop: all slots filled").steps)
-                .sum::<u64>()
-                + reference_steps;
             return VerifySummary {
                 end: VerifyEnd::Complete,
                 tested: perms.len(),
                 replay_steps,
             };
         }
-        let replay_steps = slots[..=terminal]
-            .iter()
-            .map(|s| s.as_ref().expect("filled up to the final stop").steps)
-            .sum::<u64>()
-            + reference_steps;
         let end = slots[terminal]
             .as_ref()
             .expect("the stop-setter filled its slot")
@@ -634,6 +792,13 @@ impl Dca {
 fn merge_reports(a: DcaReport, b: DcaReport) -> DcaReport {
     let mut out = DcaReport::with_threads(a.threads.max(b.threads));
     out.wall = a.wall + b.wall;
+    out.obs = match (a.obs.clone(), &b.obs) {
+        (Some(mut ra), Some(rb)) => {
+            ra.merge(rb);
+            Some(ra)
+        }
+        (ra, rb) => ra.or_else(|| rb.clone()),
+    };
     for ra in a.iter() {
         let rb = b.get(ra.lref).expect("same module, same loops");
         let verdict = match (&ra.verdict, &rb.verdict) {
@@ -1009,6 +1174,130 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn obs_disabled_by_default_and_rollup_populated_when_enabled() {
+        let src = "fn main() -> int { let a: [int; 16]; let s: int = 0; \
+             @fill: for (let i: int = 0; i < 16; i = i + 1) { a[i] = i * 2; } \
+             for (let i: int = 0; i < 16; i = i + 1) { s = s + a[i]; } return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let plain = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        assert!(plain.obs.is_none(), "obs is opt-in");
+        let cfg = DcaConfig {
+            obs: crate::config::ObsOptions::metrics(),
+            ..DcaConfig::fast()
+        };
+        let r = Dca::new(cfg).analyze_module(&m).expect("analyze");
+        let obs = r.obs.as_ref().expect("metrics on");
+        assert_eq!(obs.counter("engine.loops"), 2);
+        assert_eq!(obs.counter("engine.verdict.commutative"), 2);
+        assert_eq!(obs.counter("engine.replay_steps"), r.replay_steps());
+        assert!(obs.counter("engine.replays") > 0);
+        assert!(
+            obs.counter("interp.heap.writes") > 0,
+            "the loops store to the array"
+        );
+        assert!(obs.counter("analysis.liveness.runs") >= 2);
+        assert_eq!(obs.spans["engine.analyze"].count, 1);
+        assert_eq!(
+            obs.spans["stage.static"].count, 2,
+            "one static stage per loop"
+        );
+        assert!(obs.spans["stage.record"].count >= 2);
+        // Per-replay spans line up with the replay counter.
+        let replays = obs.counter("engine.replays");
+        assert_eq!(obs.spans["stage.restore"].count, replays);
+        assert_eq!(obs.spans["stage.replay"].count, replays);
+        assert_eq!(obs.spans["stage.verify"].count, replays);
+    }
+
+    type NamedTotals = Vec<(String, u64)>;
+
+    /// Strips the wall-time component of a rollup, leaving only the
+    /// deterministic part: counters and span counts.
+    fn deterministic_view(r: &DcaReport) -> (NamedTotals, NamedTotals) {
+        let obs = r.obs.as_ref().expect("metrics on");
+        (
+            obs.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            obs.spans
+                .iter()
+                .map(|(k, s)| (k.clone(), s.count))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn obs_rollup_identical_across_thread_counts_when_budget_exhausts_mid_replay() {
+        // The ReplayBudget early-exit path: the budget starves the very
+        // first permuted replay, so workers race to observe the stop
+        // index. The deterministic fold must nonetheless attribute
+        // identical counters and span counts at every width, and the
+        // verdict must stay `Skipped(ReplayBudget)`.
+        let src = "fn main() -> int { let a: [int; 64]; \
+             @big: for (let i: int = 0; i < 64; i = i + 1) { a[i] = a[i] + i; } \
+             return a[63]; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let generous = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        let r = generous.by_tag("big").expect("big");
+        let per_replay = r.replay_steps / r.permutations_tested as u64;
+        let tight = |threads| DcaConfig {
+            max_steps: per_replay - 1,
+            threads,
+            obs: crate::config::ObsOptions::metrics(),
+            ..DcaConfig::fast()
+        };
+        let sequential = Dca::new(tight(1)).analyze_module(&m).expect("analyze");
+        assert_eq!(
+            sequential.by_tag("big").expect("big").verdict,
+            LoopVerdict::Skipped(SkipReason::ReplayBudget)
+        );
+        let reference = deterministic_view(&sequential);
+        for threads in [2, 8] {
+            let parallel = Dca::new(tight(threads))
+                .analyze_module(&m)
+                .expect("analyze");
+            for (s, p) in sequential.iter().zip(parallel.iter()) {
+                assert_eq!(s, p, "threads={threads}");
+            }
+            assert_eq!(
+                deterministic_view(&parallel),
+                reference,
+                "obs counters/span counts must not depend on the worker count (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_reports_merge_obs_rollups() {
+        let src = "fn main(n: int) -> int { let a: [int; 32]; let s: int = 0; \
+             @m: for (let i: int = 0; i < n; i = i + 1) { a[i] = i * 2; } \
+             for (let i: int = 0; i < 32; i = i + 1) { s = s + a[i]; } return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let cfg = DcaConfig {
+            obs: crate::config::ObsOptions::metrics(),
+            ..DcaConfig::fast()
+        };
+        let dca = Dca::new(cfg);
+        let a = dca.analyze(&m, &[Value::Int(8)]).expect("analyze");
+        let b = dca.analyze(&m, &[Value::Int(20)]).expect("analyze");
+        let combined = dca
+            .analyze_inputs(&m, &[vec![Value::Int(8)], vec![Value::Int(20)]])
+            .expect("analyze");
+        let (ra, rb) = (a.obs.expect("obs"), b.obs.expect("obs"));
+        let rc = combined.obs.expect("obs");
+        assert_eq!(
+            rc.counter("engine.replays"),
+            ra.counter("engine.replays") + rb.counter("engine.replays")
+        );
+        assert_eq!(
+            rc.spans["engine.analyze"].count, 2,
+            "one analyze span per workload"
+        );
     }
 
     #[test]

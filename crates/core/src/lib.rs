@@ -57,7 +57,8 @@ pub mod record;
 pub mod replay;
 pub mod report;
 
-pub use config::{DcaConfig, PermutationSet, VerifyScope};
+pub use config::{DcaConfig, ObsOptions, PermutationSet, VerifyScope};
+pub use dca_obs::{Obs, ObsRollup, SpanStat};
 pub use engine::{Dca, DcaError};
 pub use outcome::{float_close, ProgramOutcome, StateDigest};
 pub use parallel::effective_threads;

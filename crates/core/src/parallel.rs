@@ -23,21 +23,83 @@
 //! the sequential engine would have executed, and the first terminal
 //! outcome it finds is the same one.
 
+use dca_obs::{Obs, TraceVal};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Resolves a [`crate::DcaConfig::threads`] request to a concrete worker
-/// count: `0` means one worker per CPU the process can use, any other
-/// value is taken as-is.
+/// count: `0` means the `DCA_THREADS` environment variable if it is set
+/// to a positive integer, else one worker per CPU the process can use;
+/// any other value is taken as-is.
 #[must_use]
 pub fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
-        requested
-    } else {
-        thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+        return requested;
+    }
+    if let Ok(v) = std::env::var("DCA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Per-worker accounting for a `worker` trace event. Only maintained when
+/// the observer has a trace sink; a `None` start means "don't measure".
+struct WorkerStats {
+    started: Option<Instant>,
+    busy: Duration,
+    items: u64,
+}
+
+impl WorkerStats {
+    fn begin(obs: &Obs) -> Self {
+        WorkerStats {
+            started: if obs.has_trace() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+            busy: Duration::ZERO,
+            items: 0,
+        }
+    }
+
+    fn item_start(&self) -> Option<Instant> {
+        self.started.map(|_| Instant::now())
+    }
+
+    fn item_end(&mut self, t: Option<Instant>) {
+        if let Some(t) = t {
+            self.busy += t.elapsed();
+            self.items += 1;
+        }
+    }
+
+    /// Emits the `worker` event: lifetime (`span_us`), time spent inside
+    /// the work closure (`busy_us`), and the difference (`wait_us` — claim
+    /// overhead plus time parked behind the scope join).
+    fn finish(self, obs: &Obs, pool: &str, worker: usize) {
+        let Some(started) = self.started else { return };
+        let span = started.elapsed();
+        let wait = span.saturating_sub(self.busy);
+        obs.trace_event(
+            "worker",
+            &[
+                ("pool", TraceVal::Str(pool)),
+                ("worker", TraceVal::U64(worker as u64)),
+                ("items", TraceVal::U64(self.items)),
+                ("span_us", TraceVal::U64(span.as_micros() as u64)),
+                ("busy_us", TraceVal::U64(self.busy.as_micros() as u64)),
+                ("wait_us", TraceVal::U64(wait.as_micros() as u64)),
+            ],
+        );
     }
 }
 
@@ -80,10 +142,20 @@ impl Default for StopIndex {
 /// return value; items are claimed dynamically, so uneven per-item cost
 /// balances itself.
 ///
+/// When `obs` has a trace sink, each worker of the multi-threaded path
+/// emits one `worker` event tagged with `pool` on exit (see DESIGN.md
+/// §11); with tracing off the workers never read the clock.
+///
 /// # Panics
 ///
 /// Propagates a panic from any worker.
-pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+pub fn parallel_map<T, R, F>(
+    threads: usize,
+    items: &[T],
+    obs: &Obs,
+    pool: &'static str,
+    f: F,
+) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -94,16 +166,21 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
+    let (next, f) = (&next, &f);
     let buckets: Vec<Vec<(usize, R)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                s.spawn(move || {
+                    let mut stats = WorkerStats::begin(obs);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
+                        let t = stats.item_start();
                         local.push((i, f(i, item)));
+                        stats.item_end(t);
                     }
+                    stats.finish(obs, pool, w);
                     local
                 })
             })
@@ -135,10 +212,24 @@ where
 /// stop may or may not be filled — workers that had already claimed them
 /// finish them — and callers must ignore them.
 ///
+/// When `obs` has a trace sink, each worker of the multi-threaded path
+/// emits one `worker` event tagged with `pool` on exit, and a
+/// `stop_observed` event when it abandons a claim because the claim is
+/// past the current stop index — the scheduling-dependent race the
+/// deterministic fold hides. With tracing off the workers never read the
+/// clock.
+///
 /// # Panics
 ///
 /// Propagates a panic from any worker.
-pub fn parallel_scan<T, R, F>(threads: usize, items: &[T], stop: &StopIndex, f: F) -> Vec<Option<R>>
+pub fn parallel_scan<T, R, F>(
+    threads: usize,
+    items: &[T],
+    stop: &StopIndex,
+    obs: &Obs,
+    pool: &'static str,
+    f: F,
+) -> Vec<Option<R>>
 where
     T: Sync,
     R: Send,
@@ -156,10 +247,12 @@ where
         return slots;
     }
     let next = AtomicUsize::new(0);
+    let (next, f) = (&next, &f);
     let buckets: Vec<Vec<(usize, R)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                s.spawn(move || {
+                    let mut stats = WorkerStats::begin(obs);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -167,11 +260,29 @@ where
                         // increase, so once a claim is past the stop every
                         // later claim is too: breaking is safe, and an
                         // index below the final stop is never skipped.
-                        if i >= items.len() || i > stop.current() {
+                        if i >= items.len() {
                             break;
                         }
+                        let cur = stop.current();
+                        if i > cur {
+                            if obs.has_trace() {
+                                obs.trace_event(
+                                    "stop_observed",
+                                    &[
+                                        ("pool", TraceVal::Str(pool)),
+                                        ("worker", TraceVal::U64(w as u64)),
+                                        ("claim", TraceVal::U64(i as u64)),
+                                        ("stop", TraceVal::U64(cur as u64)),
+                                    ],
+                                );
+                            }
+                            break;
+                        }
+                        let t = stats.item_start();
                         local.push((i, f(i, &items[i])));
+                        stats.item_end(t);
                     }
+                    stats.finish(obs, pool, w);
                     local
                 })
             })
@@ -215,7 +326,7 @@ mod tests {
     fn map_preserves_order_at_any_width() {
         let items: Vec<usize> = (0..97).collect();
         for threads in [1, 2, 7, 64] {
-            let out = parallel_map(threads, &items, |i, &x| {
+            let out = parallel_map(threads, &items, &Obs::disabled(), "test", |i, &x| {
                 assert_eq!(i, x);
                 x * x
             });
@@ -227,8 +338,11 @@ mod tests {
     #[test]
     fn map_handles_empty_and_single() {
         let empty: Vec<u32> = Vec::new();
-        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
-        assert_eq!(parallel_map(8, &[5u32], |_, &x| x + 1), vec![6]);
+        assert!(parallel_map(8, &empty, &Obs::disabled(), "test", |_, &x| x).is_empty());
+        assert_eq!(
+            parallel_map(8, &[5u32], &Obs::disabled(), "test", |_, &x| x + 1),
+            vec![6]
+        );
     }
 
     #[test]
@@ -237,7 +351,7 @@ mod tests {
         let items: Vec<usize> = (0..200).collect();
         for threads in [1, 2, 8] {
             let stop = StopIndex::new();
-            let slots = parallel_scan(threads, &items, &stop, |i, &x| {
+            let slots = parallel_scan(threads, &items, &stop, &Obs::disabled(), "test", |i, &x| {
                 if x == 23 {
                     stop.stop_at(i);
                 }
@@ -257,7 +371,7 @@ mod tests {
         let items: Vec<usize> = (0..100).collect();
         for threads in [1, 4] {
             let stop = StopIndex::new();
-            parallel_scan(threads, &items, &stop, |i, &x| {
+            parallel_scan(threads, &items, &stop, &Obs::disabled(), "test", |i, &x| {
                 if x == 10 || x == 40 {
                     stop.stop_at(i);
                 }
@@ -270,7 +384,7 @@ mod tests {
     fn scan_without_terminal_processes_everything() {
         let items: Vec<u64> = (0..50).collect();
         let stop = StopIndex::new();
-        let slots = parallel_scan(4, &items, &stop, |_, &x| x + 1);
+        let slots = parallel_scan(4, &items, &stop, &Obs::disabled(), "test", |_, &x| x + 1);
         assert_eq!(stop.current(), usize::MAX);
         assert!(slots.iter().all(Option::is_some));
     }
@@ -281,7 +395,7 @@ mod tests {
         let ran_past = AtomicBool::new(false);
         let items: Vec<usize> = (0..100).collect();
         let stop = StopIndex::new();
-        parallel_scan(1, &items, &stop, |i, _| {
+        parallel_scan(1, &items, &stop, &Obs::disabled(), "test", |i, _| {
             if i == 5 {
                 stop.stop_at(i);
             }

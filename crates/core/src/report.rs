@@ -2,6 +2,7 @@
 
 use dca_analysis::ExclusionReason;
 use dca_ir::LoopRef;
+use dca_obs::ObsRollup;
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
@@ -142,6 +143,13 @@ pub struct DcaReport {
     /// Worker threads the engine actually used (after resolving the
     /// `threads: 0` auto-detect).
     pub threads: usize,
+    /// Pipeline observability rollup — per-stage span timings and
+    /// counters — when the engine ran with
+    /// [`crate::config::ObsOptions::metrics`] (or `DCA_TRACE`) enabled;
+    /// `None` otherwise. Counter values and span counts are
+    /// deterministic for a given configuration and workload, identical
+    /// at every worker-thread count; span durations are wall time.
+    pub obs: Option<ObsRollup>,
 }
 
 impl DcaReport {

@@ -151,6 +151,48 @@ pub struct Position {
     pub depth: usize,
 }
 
+/// Monotonic operation counters for one machine's lifetime.
+///
+/// Unlike [`Machine::steps`], these are **not** part of machine state:
+/// [`Machine::restore`] does not rewind them, so they keep counting across
+/// snapshot/restore cycles. Observability consumers read deltas around
+/// the region they care about ([`OpCounts::since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Heap objects allocated (frame-local arrays, `new` structs/arrays).
+    pub heap_allocs: u64,
+    /// Heap cells allocated in total.
+    pub heap_cells_allocated: u64,
+    /// Heap cell reads (indexed, field and global loads).
+    pub heap_reads: u64,
+    /// Heap cell writes (indexed, field and global stores).
+    pub heap_writes: u64,
+}
+
+impl OpCounts {
+    /// The counts accumulated since `earlier` was captured.
+    #[must_use]
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            heap_allocs: self.heap_allocs - earlier.heap_allocs,
+            heap_cells_allocated: self.heap_cells_allocated - earlier.heap_cells_allocated,
+            heap_reads: self.heap_reads - earlier.heap_reads,
+            heap_writes: self.heap_writes - earlier.heap_writes,
+        }
+    }
+
+    /// Field-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: &OpCounts) -> OpCounts {
+        OpCounts {
+            heap_allocs: self.heap_allocs + other.heap_allocs,
+            heap_cells_allocated: self.heap_cells_allocated + other.heap_cells_allocated,
+            heap_reads: self.heap_reads + other.heap_reads,
+            heap_writes: self.heap_writes + other.heap_writes,
+        }
+    }
+}
+
 /// The interpreter state for one program execution.
 #[derive(Debug, Clone)]
 pub struct Machine<'m> {
@@ -162,6 +204,7 @@ pub struct Machine<'m> {
     heap_cells: u64,
     limits: Limits,
     finished: Option<Option<Value>>,
+    ops: OpCounts,
 }
 
 impl<'m> Machine<'m> {
@@ -198,6 +241,7 @@ impl<'m> Machine<'m> {
             heap_cells,
             limits,
             finished: None,
+            ops: OpCounts::default(),
         }
     }
 
@@ -224,6 +268,12 @@ impl<'m> Machine<'m> {
     /// Instructions and terminators executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Monotonic heap-operation counters for this machine's lifetime.
+    /// Not rewound by [`Machine::restore`] — see [`OpCounts`].
+    pub fn op_counts(&self) -> OpCounts {
+        self.ops
     }
 
     /// The entry function's return value, once finished.
@@ -341,6 +391,8 @@ impl<'m> Machine<'m> {
     }
 
     fn alloc(&mut self, cells: Vec<Value>) -> Result<ObjId, Trap> {
+        self.ops.heap_allocs += 1;
+        self.ops.heap_cells_allocated += cells.len() as u64;
         self.heap_cells += cells.len() as u64;
         if self.heap_cells > self.limits.max_heap_cells {
             return Err(Trap::OutOfMemory);
@@ -521,6 +573,7 @@ impl<'m> Machine<'m> {
             }
             Inst::LoadIndex { dst, base, index } => {
                 let addr = self.index_addr(fi, base, index)?;
+                self.ops.heap_reads += 1;
                 hooks.on_read(site, addr);
                 let v = self.heap[addr.obj.index()].cells[addr.cell as usize];
                 self.frames[fi].vars[dst.index()] = v;
@@ -528,11 +581,13 @@ impl<'m> Machine<'m> {
             Inst::StoreIndex { base, index, value } => {
                 let addr = self.index_addr(fi, base, index)?;
                 let v = eval(&self.frames[fi].vars, value);
+                self.ops.heap_writes += 1;
                 hooks.on_write(site, addr);
                 self.heap[addr.obj.index()].cells[addr.cell as usize] = v;
             }
             Inst::LoadField { dst, obj, field } => {
                 let addr = self.field_addr(fi, obj, *field)?;
+                self.ops.heap_reads += 1;
                 hooks.on_read(site, addr);
                 let v = self.heap[addr.obj.index()].cells[addr.cell as usize];
                 self.frames[fi].vars[dst.index()] = v;
@@ -540,6 +595,7 @@ impl<'m> Machine<'m> {
             Inst::StoreField { obj, field, value } => {
                 let addr = self.field_addr(fi, obj, *field)?;
                 let v = eval(&self.frames[fi].vars, value);
+                self.ops.heap_writes += 1;
                 hooks.on_write(site, addr);
                 self.heap[addr.obj.index()].cells[addr.cell as usize] = v;
             }
@@ -548,6 +604,7 @@ impl<'m> Machine<'m> {
                     obj: ObjId(global.0),
                     cell: 0,
                 };
+                self.ops.heap_reads += 1;
                 hooks.on_read(site, addr);
                 let v = self.heap[addr.obj.index()].cells[0];
                 self.frames[fi].vars[dst.index()] = v;
@@ -558,6 +615,7 @@ impl<'m> Machine<'m> {
                     cell: 0,
                 };
                 let v = eval(&self.frames[fi].vars, value);
+                self.ops.heap_writes += 1;
                 hooks.on_write(site, addr);
                 self.heap[addr.obj.index()].cells[0] = v;
             }
@@ -973,6 +1031,37 @@ mod tests {
         assert_eq!(r1, r2);
         assert_eq!(steps1, machine.steps());
         assert_eq!(r1, Outcome::Finished(Some(Value::Int(4950))));
+    }
+
+    #[test]
+    fn op_counts_track_heap_ops_and_survive_restore() {
+        let m = compile(
+            "fn main() -> int { let a: [int; 8]; let s: int = 0; \
+             for (let i: int = 0; i < 8; i = i + 1) { a[i] = i; } \
+             for (let i: int = 0; i < 8; i = i + 1) { s = s + a[i]; } return s; }",
+        )
+        .expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
+        // The frame-local array allocation is one heap alloc of 8 cells.
+        assert_eq!(machine.op_counts().heap_allocs, 1);
+        assert_eq!(machine.op_counts().heap_cells_allocated, 8);
+        let snap = machine.snapshot();
+        machine.run(&mut NoHooks, u64::MAX).expect("run");
+        let after_first = machine.op_counts();
+        assert_eq!(after_first.heap_writes, 8);
+        assert_eq!(after_first.heap_reads, 8);
+        // Restore rewinds steps but NOT the monotonic op counters; a
+        // second run adds the same deltas on top.
+        machine.restore(&snap);
+        assert_eq!(machine.op_counts(), after_first);
+        machine.run(&mut NoHooks, u64::MAX).expect("run");
+        let delta = machine.op_counts().since(&after_first);
+        assert_eq!(delta.heap_writes, 8);
+        assert_eq!(delta.heap_reads, 8);
+        assert_eq!(delta.heap_allocs, 0);
     }
 
     #[test]

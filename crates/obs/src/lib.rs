@@ -1,0 +1,306 @@
+//! Zero-dependency structured observability for the DCA pipeline.
+//!
+//! Three primitives, all off by default and all cheap enough to leave
+//! compiled into every build:
+//!
+//! * **Counters** — named monotonic `u64` totals ([`Obs::count`]). The
+//!   engine only records counters from data carried through its
+//!   deterministic fold, so for a given configuration and workload the
+//!   final counter map is identical for every worker-thread count.
+//! * **Spans** — named wall-time accumulators ([`Obs::span_start`] /
+//!   [`Obs::span_end`], or [`Obs::record_span`] for durations measured
+//!   elsewhere). A span's *count* is deterministic like a counter; its
+//!   *duration* is wall time and varies run to run.
+//! * **Trace events** — a JSONL sink ([`Obs::trace_event`]) for
+//!   diagnostics that are inherently scheduling-dependent (per-worker
+//!   queue waits, stop-index races). One JSON object per line; the schema
+//!   is documented in DESIGN.md §11.
+//!
+//! A disabled [`Obs`] ([`Obs::disabled`]) reduces every call to a branch
+//! on an `Option` — no clock reads, no allocation, no locking — so
+//! instrumentation sites can call unconditionally. The
+//! `obs_overhead` bench asserts this stays immeasurable.
+//!
+//! # Example
+//!
+//! ```
+//! use dca_obs::Obs;
+//!
+//! let obs = Obs::enabled();
+//! let t = obs.span_start();
+//! obs.count("work.items", 3);
+//! obs.span_end("work", t);
+//! let rollup = obs.rollup().expect("enabled");
+//! assert_eq!(rollup.counter("work.items"), 3);
+//! assert_eq!(rollup.spans["work"].count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod rollup;
+pub mod trace;
+
+pub use rollup::{ObsRollup, SpanStat};
+pub use trace::{json_escape, TraceSink, TraceVal};
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Accumulated metrics behind the mutex. Counter and span maps are keyed
+/// by `&'static str` so recording never allocates.
+#[derive(Debug, Default)]
+struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    spans: BTreeMap<&'static str, SpanStat>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    metrics: Mutex<Metrics>,
+    trace: Option<Mutex<TraceSink>>,
+}
+
+/// A handle to one observability session (typically one engine run).
+///
+/// Shared by reference across worker threads; all methods take `&self`.
+#[derive(Debug)]
+pub struct Obs {
+    inner: Option<Inner>,
+}
+
+impl Obs {
+    /// An observer that records nothing. Every method call is a cheap
+    /// early return.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// An observer that accumulates counters and spans (no trace file).
+    #[must_use]
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Inner {
+                epoch: Instant::now(),
+                metrics: Mutex::new(Metrics::default()),
+                trace: None,
+            }),
+        }
+    }
+
+    /// An observer that accumulates counters and spans *and* streams
+    /// trace events to a JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn with_trace(path: &Path) -> io::Result<Self> {
+        let sink = TraceSink::create(path)?;
+        Ok(Obs {
+            inner: Some(Inner {
+                epoch: Instant::now(),
+                metrics: Mutex::new(Metrics::default()),
+                trace: Some(Mutex::new(sink)),
+            }),
+        })
+    }
+
+    /// True when this observer records anything at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True when trace events are being written to a sink. Lets callers
+    /// skip building event payloads that would go nowhere.
+    #[must_use]
+    pub fn has_trace(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace.is_some())
+    }
+
+    /// Adds `delta` to the named counter.
+    #[inline]
+    pub fn count(&self, name: &'static str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        if delta == 0 {
+            return;
+        }
+        let mut m = inner.metrics.lock().expect("obs metrics poisoned");
+        *m.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Starts a span timer. Returns `None` (without reading the clock)
+    /// when disabled; pass the result to [`Obs::span_end`].
+    #[inline]
+    #[must_use]
+    pub fn span_start(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    /// Ends a span started with [`Obs::span_start`], accumulating its
+    /// wall time under `name` and emitting a `span` trace event.
+    #[inline]
+    pub fn span_end(&self, name: &'static str, start: Option<Instant>) {
+        let (Some(inner), Some(start)) = (&self.inner, start) else {
+            return;
+        };
+        let dur = start.elapsed();
+        {
+            let mut m = inner.metrics.lock().expect("obs metrics poisoned");
+            m.spans.entry(name).or_default().add(dur, 1);
+        }
+        self.emit(
+            "span",
+            &[
+                ("name", TraceVal::Str(name)),
+                ("dur_us", TraceVal::U64(dur.as_micros() as u64)),
+            ],
+        );
+    }
+
+    /// Accumulates an externally measured duration under `name`,
+    /// counting `count` occurrences. This is how the engine attributes
+    /// durations carried through its deterministic fold (per-permutation
+    /// restore/replay/verify times), keeping span *counts* identical for
+    /// every worker-thread count.
+    #[inline]
+    pub fn record_span(&self, name: &'static str, dur: Duration, count: u64) {
+        let Some(inner) = &self.inner else { return };
+        if count == 0 && dur.is_zero() {
+            return;
+        }
+        let mut m = inner.metrics.lock().expect("obs metrics poisoned");
+        m.spans.entry(name).or_default().add(dur, count);
+    }
+
+    /// Emits a structured trace event (JSONL). A no-op unless this
+    /// observer was created with [`Obs::with_trace`].
+    #[inline]
+    pub fn trace_event(&self, kind: &str, fields: &[(&str, TraceVal<'_>)]) {
+        self.emit(kind, fields);
+    }
+
+    fn emit(&self, kind: &str, fields: &[(&str, TraceVal<'_>)]) {
+        let Some(inner) = &self.inner else { return };
+        let Some(trace) = &inner.trace else { return };
+        let ts_us = inner.epoch.elapsed().as_micros() as u64;
+        let mut sink = trace.lock().expect("obs trace poisoned");
+        sink.write_event(ts_us, kind, fields);
+    }
+
+    /// Flushes the trace sink, if any.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(trace) = &inner.trace {
+                trace.lock().expect("obs trace poisoned").flush();
+            }
+        }
+    }
+
+    /// A snapshot of everything accumulated so far, or `None` when
+    /// disabled. Also flushes the trace sink so the file is complete up
+    /// to this point.
+    #[must_use]
+    pub fn rollup(&self) -> Option<ObsRollup> {
+        let inner = self.inner.as_ref()?;
+        self.flush();
+        let m = inner.metrics.lock().expect("obs metrics poisoned");
+        Some(ObsRollup {
+            counters: m
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            spans: m
+                .spans
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.count("x", 5);
+        let t = obs.span_start();
+        assert!(t.is_none());
+        obs.span_end("s", t);
+        obs.record_span("r", Duration::from_millis(1), 1);
+        obs.trace_event("e", &[("k", TraceVal::U64(1))]);
+        assert!(obs.rollup().is_none());
+    }
+
+    #[test]
+    fn counters_and_spans_accumulate() {
+        let obs = Obs::enabled();
+        obs.count("a", 2);
+        obs.count("a", 3);
+        obs.count("b", 1);
+        obs.count("zero", 0); // no entry for zero deltas
+        let t = obs.span_start();
+        obs.span_end("io", t);
+        obs.record_span("io", Duration::from_micros(50), 4);
+        let r = obs.rollup().expect("enabled");
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        assert_eq!(r.counter("missing"), 0);
+        assert!(!r.counters.contains_key("zero"));
+        assert_eq!(r.spans["io"].count, 5);
+        assert!(r.spans["io"].total >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn concurrent_counts_sum_exactly() {
+        let obs = Obs::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        obs.count("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.rollup().expect("enabled").counter("hits"), 4000);
+    }
+
+    #[test]
+    fn trace_file_gets_one_json_object_per_line() {
+        let dir = std::env::temp_dir().join(format!("dca-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("trace.jsonl");
+        let obs = Obs::with_trace(&path).expect("create trace");
+        obs.trace_event(
+            "worker",
+            &[
+                ("pool", TraceVal::Str("replay")),
+                ("worker", TraceVal::U64(2)),
+                ("note", TraceVal::Str("a \"quoted\" label\n")),
+            ],
+        );
+        let t = obs.span_start();
+        obs.span_end("stage.replay", t);
+        obs.flush();
+        let text = std::fs::read_to_string(&path).expect("read trace");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ts_us\":"));
+        assert!(lines[0].contains("\"kind\":\"worker\""));
+        assert!(lines[0].contains("\"pool\":\"replay\""));
+        assert!(lines[0].contains("\\\"quoted\\\""));
+        assert!(lines[1].contains("\"kind\":\"span\""));
+        assert!(lines[1].contains("\"name\":\"stage.replay\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,144 @@
+//! The aggregated result of one observability session.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Accumulated wall time for one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many times the span was recorded.
+    pub count: u64,
+    /// Total wall time across all recordings.
+    pub total: Duration,
+}
+
+impl SpanStat {
+    /// Folds one more recording in.
+    pub fn add(&mut self, dur: Duration, count: u64) {
+        self.count += count;
+        self.total += dur;
+    }
+
+    /// Mean duration per recording (zero when never recorded).
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.count).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// Final counter and span totals of one observability session.
+///
+/// Counter values (and span *counts*) are deterministic for a given
+/// engine configuration and workload — identical for every worker-thread
+/// count; span *durations* are wall time and vary run to run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsRollup {
+    /// Monotonic counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Span statistics by name.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl ObsRollup {
+    /// A counter's value (0 when never recorded).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another rollup in (counters and span stats add).
+    pub fn merge(&mut self, other: &ObsRollup) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.spans {
+            self.spans
+                .entry(k.clone())
+                .or_default()
+                .add(v.total, v.count);
+        }
+    }
+}
+
+impl fmt::Display for ObsRollup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "observability rollup:")?;
+        for (name, stat) in &self.spans {
+            writeln!(
+                f,
+                "  span    {name:<28} {:>8}x  total {:>12.3?}  mean {:>12.3?}",
+                stat.count,
+                stat.total,
+                stat.mean()
+            )?;
+        }
+        for (name, value) in &self.counters {
+            writeln!(f, "  counter {name:<28} {value:>10}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters_and_spans() {
+        let mut a = ObsRollup::default();
+        a.counters.insert("x".into(), 2);
+        a.spans.insert(
+            "s".into(),
+            SpanStat {
+                count: 1,
+                total: Duration::from_micros(10),
+            },
+        );
+        let mut b = ObsRollup::default();
+        b.counters.insert("x".into(), 3);
+        b.counters.insert("y".into(), 1);
+        b.spans.insert(
+            "s".into(),
+            SpanStat {
+                count: 2,
+                total: Duration::from_micros(5),
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.spans["s"].count, 3);
+        assert_eq!(a.spans["s"].total, Duration::from_micros(15));
+    }
+
+    #[test]
+    fn span_mean() {
+        let s = SpanStat {
+            count: 4,
+            total: Duration::from_micros(100),
+        };
+        assert_eq!(s.mean(), Duration::from_micros(25));
+        assert_eq!(SpanStat::default().mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let mut r = ObsRollup::default();
+        r.counters.insert("engine.replays".into(), 7);
+        r.spans.insert(
+            "stage.replay".into(),
+            SpanStat {
+                count: 7,
+                total: Duration::from_millis(2),
+            },
+        );
+        let text = r.to_string();
+        assert!(text.contains("engine.replays"));
+        assert!(text.contains("stage.replay"));
+    }
+}

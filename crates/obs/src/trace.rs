@@ -1,0 +1,152 @@
+//! The JSONL trace-event sink.
+//!
+//! One JSON object per line, written through a buffered writer and
+//! flushed on drop. The line shape is
+//! `{"ts_us":<u64>,"kind":"<kind>",<fields...>}` where `ts_us` is
+//! microseconds since the observer was created. Field values are written
+//! with a hand-rolled serializer (the workspace builds offline, without
+//! serde); strings are escaped per JSON.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A trace-event field value.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceVal<'a> {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (written with enough digits to round-trip).
+    F64(f64),
+    /// A string (JSON-escaped on write).
+    Str(&'a str),
+}
+
+/// Escapes `s` for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A buffered JSONL writer for trace events.
+#[derive(Debug)]
+pub struct TraceSink {
+    w: BufWriter<File>,
+}
+
+impl TraceSink {
+    /// Creates (truncates) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(TraceSink {
+            w: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Appends one event line. Write errors are deliberately swallowed:
+    /// tracing must never fail the analysis it observes.
+    pub fn write_event(&mut self, ts_us: u64, kind: &str, fields: &[(&str, TraceVal<'_>)]) {
+        let mut line = String::with_capacity(64);
+        let _ = write!(
+            line,
+            "{{\"ts_us\":{ts_us},\"kind\":\"{}\"",
+            json_escape(kind)
+        );
+        for (name, val) in fields {
+            let _ = write!(line, ",\"{}\":", json_escape(name));
+            match val {
+                TraceVal::U64(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                TraceVal::I64(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                TraceVal::F64(v) => {
+                    if v.is_finite() {
+                        let _ = write!(line, "{v}");
+                    } else {
+                        let _ = write!(line, "null");
+                    }
+                }
+                TraceVal::Str(v) => {
+                    let _ = write!(line, "\"{}\"", json_escape(v));
+                }
+            }
+        }
+        line.push('}');
+        line.push('\n');
+        let _ = self.w.write_all(line.as_bytes());
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn events_serialize_every_value_kind() {
+        let dir = std::env::temp_dir().join(format!("dca-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("t.jsonl");
+        {
+            let mut sink = TraceSink::create(&path).expect("create");
+            sink.write_event(
+                7,
+                "k",
+                &[
+                    ("u", TraceVal::U64(1)),
+                    ("i", TraceVal::I64(-2)),
+                    ("f", TraceVal::F64(1.5)),
+                    ("nan", TraceVal::F64(f64::NAN)),
+                    ("s", TraceVal::Str("v")),
+                ],
+            );
+        }
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(
+            text,
+            "{\"ts_us\":7,\"kind\":\"k\",\"u\":1,\"i\":-2,\"f\":1.5,\"nan\":null,\"s\":\"v\"}\n"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

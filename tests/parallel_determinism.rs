@@ -118,3 +118,73 @@ fn parallel_matches_sequential_under_loop_exit_scope() {
     };
     check_all_widths(&m, &cfg, "loop-exit scope");
 }
+
+#[test]
+fn auto_thread_count_honours_dca_threads_env() {
+    // CI runs this whole file in a matrix with DCA_THREADS forced to 1,
+    // 2 and 8; `threads: 0` must resolve to exactly that width, and the
+    // report must still be identical to the sequential one.
+    let m = mixed_module(18, 4);
+    let auto = Dca::new(DcaConfig {
+        threads: 0,
+        ..DcaConfig::fast()
+    })
+    .analyze_module(&m)
+    .expect("auto-width analysis");
+    if let Ok(forced) = std::env::var("DCA_THREADS") {
+        let expected: usize = forced.parse().expect("DCA_THREADS is an integer");
+        assert_eq!(
+            auto.threads, expected,
+            "DCA_THREADS must win over auto-detect"
+        );
+    }
+    let seq = Dca::new(DcaConfig {
+        threads: 1,
+        ..DcaConfig::fast()
+    })
+    .analyze_module(&m)
+    .expect("sequential analysis");
+    assert_reports_identical(&seq, &auto, "auto width");
+}
+
+#[test]
+fn obs_counters_identical_across_widths() {
+    // The observability rollup rides the same deterministic fold as the
+    // verdicts: counter values and span *counts* must not depend on the
+    // worker count (durations legitimately do).
+    let m = mixed_module(22, 3);
+    let deterministic_view = |r: &DcaReport| {
+        let obs = r.obs.clone().expect("metrics enabled");
+        let spans: Vec<(String, u64)> = obs
+            .spans
+            .iter()
+            .map(|(k, s)| (k.clone(), s.count))
+            .collect();
+        (obs.counters, spans)
+    };
+    let base = DcaConfig {
+        obs: dca::core::ObsOptions::metrics(),
+        ..DcaConfig::fast()
+    };
+    let seq = Dca::new(DcaConfig {
+        threads: 1,
+        ..base.clone()
+    })
+    .analyze_module(&m)
+    .expect("sequential analysis");
+    let reference = deterministic_view(&seq);
+    for threads in [2, 4, 7] {
+        let par = Dca::new(DcaConfig {
+            threads,
+            ..base.clone()
+        })
+        .analyze_module(&m)
+        .expect("parallel analysis");
+        assert_reports_identical(&seq, &par, &format!("obs threads={threads}"));
+        assert_eq!(
+            deterministic_view(&par),
+            reference,
+            "obs counters/span counts differ at threads={threads}"
+        );
+    }
+}
