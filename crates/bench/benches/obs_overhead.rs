@@ -1,15 +1,21 @@
-//! Asserts that observability is free when disabled.
+//! Asserts that observability and the robustness layer are free when
+//! disabled.
 //!
-//! Two measurements: the raw cost of calling the [`dca_core::Obs`]
+//! Measurements: the raw cost of calling the [`dca_core::Obs`]
 //! primitives on a disabled handle (must be branch-on-`Option` cheap,
-//! with no clock reads), and a whole `analyze` run with obs disabled vs
-//! metrics enabled. The process exits non-zero when either assertion
-//! fails, so a `cargo bench --bench obs_overhead` in CI guards the
-//! "disabled adds no measurable overhead" claim.
+//! with no clock reads); a whole `analyze` run with obs disabled vs
+//! metrics enabled; and the same run with the wall-clock governor armed
+//! (a generous deadline, so its cooperative checks run but never fire)
+//! and with a fault plan armed that targets a loop that does not exist
+//! (the full targeting machinery runs, nothing is injected). The process
+//! exits non-zero when any assertion fails, so a
+//! `cargo bench --bench obs_overhead` in CI guards the "disabled — or
+//! armed-but-idle — adds no measurable overhead" claims.
 
 use dca_bench::harness::Harness;
-use dca_core::{Dca, DcaConfig, Obs, ObsOptions};
+use dca_core::{Dca, DcaConfig, FaultPlan, Obs, ObsOptions, WallLimits};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn fixture() -> dca_ir::Module {
     dca_ir::compile(
@@ -59,6 +65,29 @@ fn main() {
         b.iter(|| black_box(on.analyze_module(&m).expect("analyze")))
     });
 
+    // Governor armed with a deadline far beyond the run: every
+    // cooperative check executes, none fires.
+    let governed = Dca::new(DcaConfig {
+        max_wall: WallLimits {
+            replay: Some(Duration::from_secs(3600)),
+            analysis: Some(Duration::from_secs(3600)),
+        },
+        ..DcaConfig::fast()
+    });
+    h.bench_function("robust/analyze_governed", |b| {
+        b.iter(|| black_box(governed.analyze_module(&m).expect("analyze")))
+    });
+
+    // Fault plan armed at a loop ordinal that does not exist: positional
+    // targeting is evaluated for every replay, nothing injects.
+    let armed = Dca::new(DcaConfig {
+        fault: Some(FaultPlan::parse("panic@replay:0,loop:99").expect("valid spec")),
+        ..DcaConfig::fast()
+    });
+    h.bench_function("robust/analyze_fault_armed_idle", |b| {
+        b.iter(|| black_box(armed.analyze_module(&m).expect("analyze")))
+    });
+
     h.finish();
 
     // Gate 1: a disabled primitive call must cost nanoseconds, not
@@ -80,7 +109,25 @@ fn main() {
         off_t.as_secs_f64() <= on_t.as_secs_f64() * 1.25,
         "obs-disabled analyze ({off_t:?}) slower than metrics-enabled ({on_t:?})"
     );
+    // Gate 3: cooperative deadline checks (one clock read per ~1 Ki
+    // steps plus a per-replay governor branch) must stay in the noise of
+    // a full analysis.
+    let governed_t = median_of(&h, "robust/analyze_governed");
+    assert!(
+        governed_t.as_secs_f64() <= off_t.as_secs_f64() * 1.25,
+        "governed analyze ({governed_t:?}) measurably slower than ungoverned ({off_t:?})"
+    );
+
+    // Gate 4: an armed-but-idle fault plan (positional targeting checked
+    // per replay, never matching) must cost nothing measurable.
+    let armed_t = median_of(&h, "robust/analyze_fault_armed_idle");
+    assert!(
+        armed_t.as_secs_f64() <= off_t.as_secs_f64() * 1.25,
+        "fault-armed analyze ({armed_t:?}) measurably slower than fault-free ({off_t:?})"
+    );
+
     println!(
-        "obs overhead gates passed: disabled calls {calls:?}/1000, analyze {off_t:?} (off) vs {on_t:?} (metrics)"
+        "obs overhead gates passed: disabled calls {calls:?}/1000, analyze {off_t:?} (off) vs \
+         {on_t:?} (metrics), {governed_t:?} (governed), {armed_t:?} (fault armed, idle)"
     );
 }

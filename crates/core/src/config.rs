@@ -1,7 +1,9 @@
 //! DCA configuration: permutation presets, verification scope, budgets,
-//! observability options.
+//! wall-clock deadlines, fault injection, observability options.
 
+use crate::fault::FaultPlan;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Observability options for the engine (see DESIGN.md §11).
 ///
@@ -44,6 +46,14 @@ pub enum PermutationSet {
     },
     /// Reverse order only.
     ReverseOnly,
+    /// `shuffles` uniformly random shuffles only — no reverse. Useful for
+    /// isolating what random permutations alone catch in precision
+    /// studies. `shuffles: 0` is an empty preset and is rejected by
+    /// [`crate::Dca::analyze`] with [`crate::DcaError::EmptyPermutationSet`].
+    Shuffles {
+        /// Number of random shuffles.
+        shuffles: u32,
+    },
     /// All `trip!` permutations, for loops with at most `max_trip`
     /// iterations; loops with longer trips fall back to the presets with
     /// `fallback_shuffles` shuffles. Used by the §V-D precision study.
@@ -77,6 +87,36 @@ pub enum VerifyScope {
     LoopExit,
 }
 
+/// Wall-clock deadlines for the verification engine. Both are off by
+/// default; when set they are checked cooperatively every ~1 Ki
+/// interpreter steps, so an expired deadline surfaces within one check
+/// granule, not instantly.
+///
+/// Deadline verdicts ([`crate::SkipReason::Deadline`]) depend on host
+/// speed and are the one deliberate exception to the engine's
+/// bit-for-bit determinism guarantee — enable them for serving-style
+/// latency bounds, not for reproducible studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WallLimits {
+    /// Deadline for a single program run (golden recording or one
+    /// permuted replay). Expiry skips that loop with
+    /// [`crate::SkipReason::Deadline`].
+    pub replay: Option<Duration>,
+    /// Deadline for the whole [`crate::Dca::analyze`] call. Once expired,
+    /// every not-yet-finished loop is reported as skipped with
+    /// [`crate::SkipReason::Deadline`].
+    pub analysis: Option<Duration>,
+}
+
+impl WallLimits {
+    /// True when no deadline is configured (the hot path skips all
+    /// clock reads).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.replay.is_none() && self.analysis.is_none()
+    }
+}
+
 /// Configuration for a [`crate::Dca`] engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DcaConfig {
@@ -103,6 +143,14 @@ pub struct DcaConfig {
     /// module fan out across this many workers. Verdicts and counters
     /// are identical for every thread count (see DESIGN.md §Threading).
     pub threads: usize,
+    /// Wall-clock deadlines (per replay and whole analysis); unlimited by
+    /// default.
+    pub max_wall: WallLimits,
+    /// Deterministic fault injection for chaos testing; `None` (the
+    /// default) falls back to the `DCA_FAULT=<spec>` environment
+    /// variable, and disabled entirely when that is unset too. See
+    /// [`FaultPlan`].
+    pub fault: Option<FaultPlan>,
     /// Observability: per-stage metrics and trace-event streaming.
     pub obs: ObsOptions,
 }
@@ -118,6 +166,8 @@ impl Default for DcaConfig {
             max_steps: 200_000_000,
             max_trip: 1 << 16,
             threads: 0,
+            max_wall: WallLimits::default(),
+            fault: None,
             obs: ObsOptions::default(),
         }
     }
@@ -147,6 +197,8 @@ mod tests {
         assert_eq!(c.threads, 0, "auto-detect worker count by default");
         assert_eq!(c.obs, ObsOptions::default(), "observability off by default");
         assert!(!c.obs.metrics);
+        assert!(c.max_wall.is_unlimited(), "no deadlines by default");
+        assert!(c.fault.is_none(), "no fault injection by default");
     }
 
     #[test]

@@ -2,16 +2,17 @@
 //! permuted replay and live-out verification for every loop of a module
 //! (paper Fig. 3).
 
-use crate::config::{DcaConfig, VerifyScope};
+use crate::config::{DcaConfig, PermutationSet, VerifyScope};
+use crate::fault::{catch_contained, FaultKind, FaultPlan, STALL_DURATION};
 use crate::outcome::{ProgramOutcome, StateDigest};
 use crate::parallel::{effective_threads, parallel_map, parallel_scan, split_threads, StopIndex};
 use crate::perm::{derive_seed, schedules};
-use crate::record::{record_golden_min_trip, GoldenRecord, RecordError};
-use crate::replay::{run_replay, ReplayController, ReplayEnd};
+use crate::record::{record_golden_governed, GoldenRecord, RecordError};
+use crate::replay::{run_replay_governed, ReplayController, ReplayEnd, ReplayGovernor};
 use crate::report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};
 use dca_analysis::{exclusion, EffectMap, IteratorSlice, Liveness};
 use dca_interp::{Machine, OpCounts, Value};
-use dca_ir::{FuncId, FuncView, Loop, LoopRef, Module};
+use dca_ir::{FuncId, FuncView, Loop, LoopRef, Module, Ty};
 use dca_obs::{Obs, TraceVal};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -52,6 +53,12 @@ enum VerifyEnd {
     /// A replay ran out of step budget before finishing — neither a
     /// confirmation nor a refutation.
     Budget,
+    /// A wall-clock deadline expired mid-replay — a resource limit like
+    /// [`VerifyEnd::Budget`], never a violation.
+    Deadline,
+    /// A replay worker panicked; the panic was contained and carries its
+    /// message. Conclusion-free like a budget limit.
+    Fault(String),
 }
 
 /// The outcome of verifying one permutation set, with the counters the
@@ -85,6 +92,20 @@ struct PermOutcome {
     replay: Duration,
     verify: Duration,
     ops: OpCounts,
+    /// The fault injected into this replay, if any (fault-injection
+    /// harness). Counted from the fold so `engine.faults.*` is as
+    /// thread-count-invariant as everything else.
+    injected: Option<FaultKind>,
+}
+
+/// The obs counter charged for one injected fault kind.
+fn fault_counter(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Panic => "engine.faults.panic",
+        FaultKind::Stall => "engine.faults.stall",
+        FaultKind::Trap { .. } => "engine.faults.trap",
+        FaultKind::AllocFail { .. } => "engine.faults.oom",
+    }
 }
 
 /// Obs-relevant totals folded from the sequential prefix of one
@@ -97,25 +118,43 @@ struct FoldTotals {
     replay: Duration,
     verify: Duration,
     ops: OpCounts,
+    /// `(counter, slot)` per injected fault in the folded prefix.
+    faults: Vec<(&'static str, usize)>,
 }
 
 impl FoldTotals {
-    fn add(&mut self, o: &PermOutcome) {
+    fn add(&mut self, slot: usize, o: &PermOutcome) {
         self.replays += 1;
         self.steps += o.steps;
         self.restore += o.restore;
         self.replay += o.replay;
         self.verify += o.verify;
         self.ops = self.ops.plus(&o.ops);
+        if let Some(kind) = o.injected {
+            self.faults.push((fault_counter(kind), slot));
+        }
     }
 
     /// Attributes the folded totals to obs spans and counters.
-    fn record(&self, obs: &Obs) {
+    fn record(&self, obs: &Obs, ordinal: usize) {
         obs.record_span("stage.restore", self.restore, self.replays);
         obs.record_span("stage.replay", self.replay, self.replays);
         obs.record_span("stage.verify", self.verify, self.replays);
         obs.count("engine.replays", self.replays);
         record_machine_ops(obs, &self.ops);
+        for &(counter, slot) in &self.faults {
+            obs.count(counter, 1);
+            if obs.has_trace() {
+                obs.trace_event(
+                    "fault",
+                    &[
+                        ("counter", TraceVal::Str(counter)),
+                        ("loop", TraceVal::U64(ordinal as u64)),
+                        ("replay", TraceVal::U64(slot as u64)),
+                    ],
+                );
+            }
+        }
     }
 }
 
@@ -124,17 +163,95 @@ impl FoldTotals {
 pub enum DcaError {
     /// The module has no `main` function to execute.
     NoMain,
+    /// The workload supplies the wrong number of entry arguments for
+    /// `main`.
+    EntryArity {
+        /// Parameters `main` declares.
+        expected: usize,
+        /// Arguments the workload supplied.
+        given: usize,
+    },
+    /// An entry argument's value does not fit the corresponding `main`
+    /// parameter's declared type.
+    EntryArgType {
+        /// Zero-based argument position.
+        index: usize,
+        /// The parameter's source name.
+        param: String,
+        /// The declared type, rendered.
+        expected: String,
+        /// The supplied value's type, rendered.
+        given: String,
+    },
+    /// The configured permutation preset generates no permutations at all
+    /// (e.g. [`PermutationSet::Shuffles`] with zero shuffles), so no loop
+    /// could ever be tested — almost certainly a configuration mistake.
+    EmptyPermutationSet,
 }
 
 impl fmt::Display for DcaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DcaError::NoMain => write!(f, "module has no `main` function"),
+            DcaError::EntryArity { expected, given } => write!(
+                f,
+                "`main` expects {expected} argument(s), the workload supplies {given}"
+            ),
+            DcaError::EntryArgType {
+                index,
+                param,
+                expected,
+                given,
+            } => write!(
+                f,
+                "entry argument {index} (`{param}`) has type {given}, expected {expected}"
+            ),
+            DcaError::EmptyPermutationSet => {
+                write!(f, "permutation preset generates no permutations")
+            }
         }
     }
 }
 
 impl std::error::Error for DcaError {}
+
+/// Renders a [`Ty`] the way source code spells it.
+fn ty_name(ty: &Ty) -> String {
+    match ty {
+        Ty::Int => "int".into(),
+        Ty::Float => "float".into(),
+        Ty::Bool => "bool".into(),
+        Ty::Unit => "unit".into(),
+        Ty::Ptr(inner) => format!("*{}", ty_name(inner)),
+        Ty::Array(inner, n) => format!("[{}; {n}]", ty_name(inner)),
+        Ty::Struct(i) => format!("struct#{i}"),
+        Ty::NullPtr => "null".into(),
+    }
+}
+
+/// The rendered type of a workload value.
+fn value_ty_name(v: &Value) -> &'static str {
+    match v {
+        Value::Int(_) => "int",
+        Value::Float(_) => "float",
+        Value::Bool(_) => "bool",
+        Value::Ptr(_) => "pointer",
+        Value::Null => "null",
+    }
+}
+
+/// True when a workload value can initialize a parameter of type `ty`
+/// (`null` fits any pointer).
+fn value_fits(v: &Value, ty: &Ty) -> bool {
+    matches!(
+        (v, ty),
+        (Value::Int(_), Ty::Int)
+            | (Value::Float(_), Ty::Float)
+            | (Value::Bool(_), Ty::Bool)
+            | (Value::Ptr(_), Ty::Ptr(_))
+            | (Value::Null, Ty::Ptr(_))
+    )
+}
 
 /// The Dynamic Commutativity Analysis engine.
 ///
@@ -162,6 +279,19 @@ pub struct Dca {
     config: DcaConfig,
 }
 
+/// Per-loop context threaded from the public entry points into the loop
+/// tester: the loop's ordinal in analysis order (fault targeting), the
+/// resolved fault plan, and the whole-analysis deadline.
+#[derive(Clone, Copy)]
+struct LoopCtx<'p> {
+    /// The loop's position in analysis order (deterministic).
+    ordinal: usize,
+    /// The resolved fault-injection plan, if any.
+    fault: Option<&'p FaultPlan>,
+    /// Absolute deadline for the whole analysis call.
+    analysis_deadline: Option<Instant>,
+}
+
 impl Dca {
     /// Creates an engine with the given configuration.
     pub fn new(config: DcaConfig) -> Self {
@@ -171,6 +301,57 @@ impl Dca {
     /// The engine's configuration.
     pub fn config(&self) -> &DcaConfig {
         &self.config
+    }
+
+    /// Validates the entry point, the workload arguments against `main`'s
+    /// signature, and the permutation preset. Every public entry point
+    /// runs this before any execution.
+    fn validate_entry(&self, module: &Module, args: &[Value]) -> Result<FuncId, DcaError> {
+        let main = module.main().ok_or(DcaError::NoMain)?;
+        if let PermutationSet::Shuffles { shuffles: 0 } = self.config.permutations {
+            return Err(DcaError::EmptyPermutationSet);
+        }
+        let f = module.func(main);
+        if args.len() != f.params.len() {
+            return Err(DcaError::EntryArity {
+                expected: f.params.len(),
+                given: args.len(),
+            });
+        }
+        for (index, (&p, v)) in f.params.iter().zip(args).enumerate() {
+            let ty = &f.var(p).ty;
+            if !value_fits(v, ty) {
+                return Err(DcaError::EntryArgType {
+                    index,
+                    param: f.var(p).name.clone(),
+                    expected: ty_name(ty),
+                    given: value_ty_name(v).to_string(),
+                });
+            }
+        }
+        Ok(main)
+    }
+
+    /// The fault plan in effect: explicit configuration first, the
+    /// `DCA_FAULT` environment variable as the fallback.
+    fn resolve_fault(&self) -> Option<FaultPlan> {
+        self.config.fault.clone().or_else(FaultPlan::from_env)
+    }
+
+    /// The whole-analysis deadline for a call starting now.
+    fn analysis_deadline(&self) -> Option<Instant> {
+        self.config.max_wall.analysis.map(|d| Instant::now() + d)
+    }
+
+    /// The deadline for one program run starting now: the per-replay limit
+    /// combined with the analysis deadline (whichever is sooner). Reads
+    /// the clock only when a per-replay limit is configured.
+    fn run_deadline(&self, analysis: Option<Instant>) -> Option<Instant> {
+        let per_run = self.config.max_wall.replay.map(|d| Instant::now() + d);
+        match (per_run, analysis) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Analyzes every loop of `module`, running `main()` with no
@@ -193,7 +374,9 @@ impl Dca {
         let obs = make_obs(&self.config);
         let start = Instant::now();
         let whole = obs.span_start();
-        let main = module.main().ok_or(DcaError::NoMain)?;
+        let main = self.validate_entry(module, args)?;
+        let fault = self.resolve_fault();
+        let analysis_deadline = self.analysis_deadline();
         let effects = EffectMap::new_with_obs(module, &obs);
         // Collect every loop of the module in deterministic (function,
         // loop) order; this is both the work list and the report order.
@@ -213,11 +396,25 @@ impl Dca {
         // `inner` — so a module with one hot loop still uses every core.
         let threads = effective_threads(self.config.threads);
         let (outer, inner) = split_threads(threads, items.len());
-        let results = parallel_map(outer, &items, &obs, "loops", |_, lref| {
-            let view = FuncView::new(module, lref.func);
-            let live = Liveness::new_with_obs(&view, &obs);
-            let l = view.loops.get(lref.loop_id);
-            self.test_loop_inner(module, main, args, &effects, &view, &live, l, inner, &obs)
+        let results = parallel_map(outer, &items, &obs, "loops", |i, lref| {
+            let ctx = LoopCtx {
+                ordinal: i,
+                fault: fault.as_ref(),
+                analysis_deadline,
+            };
+            // Contain per-loop engine faults: a panic anywhere in this
+            // loop's analysis becomes a classified `EngineFault` skip and
+            // the remaining loops keep analyzing, instead of the panic
+            // poisoning the worker scope and aborting the whole report.
+            catch_contained(|| {
+                let view = FuncView::new(module, lref.func);
+                let live = Liveness::new_with_obs(&view, &obs);
+                let l = view.loops.get(lref.loop_id);
+                self.test_loop_inner(
+                    module, main, args, &effects, &view, &live, l, inner, &obs, ctx,
+                )
+            })
+            .unwrap_or_else(|msg| engine_fault_result(*lref, msg))
         });
         // Verdict tallies come from the ordered result vector, not the
         // workers, so they are deterministic like everything else here.
@@ -291,14 +488,24 @@ impl Dca {
         args: &[Value],
     ) -> Result<LoopResult, DcaError> {
         let obs = make_obs(&self.config);
-        let main = module.main().ok_or(DcaError::NoMain)?;
+        let main = self.validate_entry(module, args)?;
+        let fault = self.resolve_fault();
+        let ctx = LoopCtx {
+            ordinal: 0,
+            fault: fault.as_ref(),
+            analysis_deadline: self.analysis_deadline(),
+        };
         let effects = EffectMap::new_with_obs(module, &obs);
         let view = FuncView::new(module, lref.func);
         let live = Liveness::new_with_obs(&view, &obs);
         let l = view.loops.get(lref.loop_id);
         let threads = effective_threads(self.config.threads);
-        let result =
-            self.test_loop_inner(module, main, args, &effects, &view, &live, l, threads, &obs);
+        let result = catch_contained(|| {
+            self.test_loop_inner(
+                module, main, args, &effects, &view, &live, l, threads, &obs, ctx,
+            )
+        })
+        .unwrap_or_else(|msg| engine_fault_result(lref, msg));
         obs.flush();
         Ok(result)
     }
@@ -325,7 +532,13 @@ impl Dca {
         k: u32,
     ) -> Result<Vec<LoopResult>, DcaError> {
         let obs = make_obs(&self.config);
-        let main = module.main().ok_or(DcaError::NoMain)?;
+        let main = self.validate_entry(module, args)?;
+        let fault = self.resolve_fault();
+        let ctx = LoopCtx {
+            ordinal: 0,
+            fault: fault.as_ref(),
+            analysis_deadline: self.analysis_deadline(),
+        };
         let effects = EffectMap::new_with_obs(module, &obs);
         let view = FuncView::new(module, lref.func);
         let live = Liveness::new_with_obs(&view, &obs);
@@ -352,7 +565,7 @@ impl Dca {
             let inv_start = Instant::now();
             let rec_t = obs.span_start();
             let mut machine = Machine::new(module);
-            let rec = record_golden_min_trip(
+            let rec = record_golden_governed(
                 &mut machine,
                 main,
                 args,
@@ -363,6 +576,7 @@ impl Dca {
                 self.config.max_trip,
                 self.config.max_steps,
                 2,
+                self.run_deadline(ctx.analysis_deadline),
             );
             obs.span_end("stage.record", rec_t);
             obs.count("engine.golden_runs", 1);
@@ -377,9 +591,9 @@ impl Dca {
                     });
                     break;
                 }
-                Err(RecordError::Trapped(_)) => {
+                Err(RecordError::Trapped(t)) => {
                     out.push(LoopResult {
-                        verdict: LoopVerdict::Skipped(SkipReason::GoldenTrapped),
+                        verdict: LoopVerdict::Skipped(SkipReason::GoldenTrapped(t)),
                         ..base.clone()
                     });
                     break;
@@ -391,17 +605,26 @@ impl Dca {
                     });
                     break;
                 }
+                Err(RecordError::DeadlineExpired) => {
+                    out.push(LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::Deadline),
+                        ..base.clone()
+                    });
+                    break;
+                }
             };
             let trip = golden.iters.len();
             let seed = derive_seed(self.config.seed, lref.func.0, lref.loop_id.0, invocation);
             let perms = schedules(&self.config.permutations, trip, seed);
             let summary = self.verify_permutations(
-                module, &view, &live, l, &slice, &golden, &perms, threads, &obs,
+                module, &view, &live, l, &slice, &golden, &perms, threads, &obs, ctx,
             );
             let verdict = match summary.end {
                 VerifyEnd::Complete => LoopVerdict::Commutative,
                 VerifyEnd::Violated(violation) => LoopVerdict::NonCommutative(violation),
                 VerifyEnd::Budget => LoopVerdict::Skipped(SkipReason::ReplayBudget),
+                VerifyEnd::Deadline => LoopVerdict::Skipped(SkipReason::Deadline),
+                VerifyEnd::Fault(msg) => LoopVerdict::Skipped(SkipReason::EngineFault(msg)),
             };
             out.push(LoopResult {
                 verdict,
@@ -430,10 +653,12 @@ impl Dca {
         l: &Loop,
         threads: usize,
         obs: &Obs,
+        ctx: LoopCtx<'_>,
     ) -> LoopResult {
         let start = Instant::now();
-        let mut result =
-            self.test_loop_untimed(module, main, args, effects, view, live, l, threads, obs);
+        let mut result = self.test_loop_untimed(
+            module, main, args, effects, view, live, l, threads, obs, ctx,
+        );
         result.wall = start.elapsed();
         result
     }
@@ -450,6 +675,7 @@ impl Dca {
         l: &Loop,
         threads: usize,
         obs: &Obs,
+        ctx: LoopCtx<'_>,
     ) -> LoopResult {
         let lref = LoopRef {
             func: view.id,
@@ -464,6 +690,17 @@ impl Dca {
             replay_steps: 0,
             wall: std::time::Duration::ZERO,
         };
+        // An analysis deadline that has already expired skips the loop up
+        // front — the report stays complete, each remaining loop just
+        // costs one clock read.
+        if let Some(d) = ctx.analysis_deadline {
+            if Instant::now() >= d {
+                return LoopResult {
+                    verdict: LoopVerdict::Skipped(SkipReason::Deadline),
+                    ..base
+                };
+            }
+        }
         // ---- static stage (paper §IV-A): separation + exclusion.
         let static_t = obs.span_start();
         let slice = IteratorSlice::compute_with_obs(view, l, effects, obs);
@@ -483,7 +720,7 @@ impl Dca {
         for invocation in 0..self.config.invocations {
             let rec_t = obs.span_start();
             let mut machine = Machine::new(module);
-            let rec = record_golden_min_trip(
+            let rec = record_golden_governed(
                 &mut machine,
                 main,
                 args,
@@ -494,6 +731,7 @@ impl Dca {
                 self.config.max_trip,
                 self.config.max_steps,
                 2,
+                self.run_deadline(ctx.analysis_deadline),
             );
             obs.span_end("stage.record", rec_t);
             obs.count("engine.golden_runs", 1);
@@ -507,15 +745,21 @@ impl Dca {
                         ..base
                     }
                 }
-                Err(RecordError::Trapped(_)) => {
+                Err(RecordError::Trapped(t)) => {
                     return LoopResult {
-                        verdict: LoopVerdict::Skipped(SkipReason::GoldenTrapped),
+                        verdict: LoopVerdict::Skipped(SkipReason::GoldenTrapped(t)),
                         ..base
                     }
                 }
                 Err(RecordError::BudgetExhausted) => {
                     return LoopResult {
                         verdict: LoopVerdict::Skipped(SkipReason::GoldenBudget),
+                        ..base
+                    }
+                }
+                Err(RecordError::DeadlineExpired) => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::Deadline),
                         ..base
                     }
                 }
@@ -529,8 +773,9 @@ impl Dca {
             exercised = true;
             let seed = derive_seed(self.config.seed, lref.func.0, lref.loop_id.0, invocation);
             let perms = schedules(&self.config.permutations, trip, seed);
-            let summary = self
-                .verify_permutations(module, view, live, l, &slice, &golden, &perms, threads, obs);
+            let summary = self.verify_permutations(
+                module, view, live, l, &slice, &golden, &perms, threads, obs, ctx,
+            );
             perms_total += summary.tested;
             steps_total += summary.replay_steps;
             match summary.end {
@@ -547,6 +792,24 @@ impl Dca {
                 VerifyEnd::Budget => {
                     return LoopResult {
                         verdict: LoopVerdict::Skipped(SkipReason::ReplayBudget),
+                        trips: trip,
+                        permutations_tested: perms_total,
+                        replay_steps: steps_total,
+                        ..base
+                    }
+                }
+                VerifyEnd::Deadline => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::Deadline),
+                        trips: trip,
+                        permutations_tested: perms_total,
+                        replay_steps: steps_total,
+                        ..base
+                    }
+                }
+                VerifyEnd::Fault(msg) => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::EngineFault(msg)),
                         trips: trip,
                         permutations_tested: perms_total,
                         replay_steps: steps_total,
@@ -592,6 +855,7 @@ impl Dca {
         perms: &[Vec<usize>],
         threads: usize,
         obs: &Obs,
+        ctx: LoopCtx<'_>,
     ) -> VerifySummary {
         // Per-replay timing only happens when obs is live; disabled runs
         // never read the clock here.
@@ -599,6 +863,7 @@ impl Dca {
         let t_start = move || if timing { Some(Instant::now()) } else { None };
         let t_since = |t: Option<Instant>| t.map_or(Duration::ZERO, |t| t.elapsed());
         let stop_at_exit = self.config.verify_scope == VerifyScope::LoopExit;
+        let governed = !self.config.max_wall.is_unlimited();
         let mut reference_steps = 0u64;
         // Under the loop-exit scope the reference digest comes from an
         // identity replay (identical by construction to the golden run up
@@ -612,7 +877,15 @@ impl Dca {
             let before = machine.steps();
             let mut ctl = ReplayController::new(view.id, view.func, l, slice, golden, &identity);
             let t_replay = t_start();
-            let end = run_replay(&mut machine, &mut ctl, true, self.config.max_steps);
+            let gov = ReplayGovernor {
+                deadline: if governed {
+                    self.run_deadline(ctx.analysis_deadline)
+                } else {
+                    None
+                },
+                trap_at_step: None,
+            };
+            let end = run_replay_governed(&mut machine, &mut ctl, true, self.config.max_steps, gov);
             obs.record_span("stage.replay", t_since(t_replay), 1);
             reference_steps = machine.steps() - before;
             obs.count("engine.replays", 1);
@@ -635,9 +908,16 @@ impl Dca {
                         replay_steps: reference_steps,
                     }
                 }
-                ReplayEnd::Trapped(_) => {
+                ReplayEnd::Trapped(t) => {
                     return VerifySummary {
-                        end: VerifyEnd::Violated(Violation::ReplayTrapped),
+                        end: VerifyEnd::Violated(Violation::ReplayTrapped(t)),
+                        tested: 0,
+                        replay_steps: reference_steps,
+                    }
+                }
+                ReplayEnd::DeadlineExpired => {
+                    return VerifySummary {
+                        end: VerifyEnd::Deadline,
                         tested: 0,
                         replay_steps: reference_steps,
                     }
@@ -650,15 +930,48 @@ impl Dca {
         } else {
             None
         };
-        let check_one = |perm: &Vec<usize>| -> PermOutcome {
+        let check_one = |slot: usize, perm: &Vec<usize>| -> PermOutcome {
+            // Deterministic fault targeting: the (loop ordinal, slot)
+            // pair is position-based, so the same replay is hit at every
+            // thread count.
+            let injected = ctx.fault.and_then(|p| p.for_replay(ctx.ordinal, slot));
+            if matches!(injected, Some(FaultKind::Stall)) {
+                std::thread::sleep(STALL_DURATION);
+            }
             let t_restore = t_start();
             let mut machine = Machine::new(module);
             machine.restore(&golden.snapshot);
+            if let Some(FaultKind::AllocFail { allocs }) = injected {
+                machine.fail_alloc_after(allocs);
+            }
             let restore = t_since(t_restore);
             let before = machine.steps();
             let mut ctl = ReplayController::new(view.id, view.func, l, slice, golden, perm);
             let t_replay = t_start();
-            let end = run_replay(&mut machine, &mut ctl, stop_at_exit, self.config.max_steps);
+            if matches!(injected, Some(FaultKind::Panic)) {
+                // The surrounding catch converts this into a classified
+                // `EngineFault` skip — exactly what a real engine bug in a
+                // replay worker would produce.
+                panic!("injected fault: panic in replay slot {slot}");
+            }
+            let gov = ReplayGovernor {
+                deadline: if governed {
+                    self.run_deadline(ctx.analysis_deadline)
+                } else {
+                    None
+                },
+                trap_at_step: match injected {
+                    Some(FaultKind::Trap { at_step }) => Some(at_step),
+                    _ => None,
+                },
+            };
+            let end = run_replay_governed(
+                &mut machine,
+                &mut ctl,
+                stop_at_exit,
+                self.config.max_steps,
+                gov,
+            );
             let replay = t_since(t_replay);
             let steps = machine.steps() - before;
             let t_verify = t_start();
@@ -688,11 +1001,12 @@ impl Dca {
                     // nothing safe to digest — conservative refutation.
                     VerifyEnd::Violated(Violation::ReplayDiverged)
                 }
-                (_, ReplayEnd::Trapped(_)) => VerifyEnd::Violated(Violation::ReplayTrapped),
+                (_, ReplayEnd::Trapped(t)) => VerifyEnd::Violated(Violation::ReplayTrapped(t)),
                 // An exhausted replay budget is a resource limit, not
                 // evidence of non-commutativity: the callers map it to
                 // `Skipped(ReplayBudget)`, never to a violation.
                 (_, ReplayEnd::BudgetExhausted) => VerifyEnd::Budget,
+                (_, ReplayEnd::DeadlineExpired) => VerifyEnd::Deadline,
                 (VerifyScope::ProgramEnd, ReplayEnd::LoopExited) => {
                     unreachable!("ProgramEnd replays never stop at loop exit")
                 }
@@ -705,11 +1019,24 @@ impl Dca {
                 replay,
                 verify,
                 ops: machine.op_counts(),
+                injected,
             }
         };
         let stop = StopIndex::new();
         let slots = parallel_scan(threads, perms, &stop, obs, "perms", |i, perm| {
-            let out = check_one(perm);
+            // Contain per-replay faults: a panicking replay — injected or
+            // a genuine engine bug — yields a classified outcome for its
+            // slot; the deterministic fold below decides what the prefix
+            // means, and no other replay is disturbed.
+            let out = catch_contained(|| check_one(i, perm)).unwrap_or_else(|msg| PermOutcome {
+                end: VerifyEnd::Fault(msg),
+                steps: 0,
+                restore: Duration::ZERO,
+                replay: Duration::ZERO,
+                verify: Duration::ZERO,
+                ops: OpCounts::default(),
+                injected: ctx.fault.and_then(|p| p.for_replay(ctx.ordinal, i)),
+            });
             if out.end != VerifyEnd::Complete {
                 stop.stop_at(i);
             }
@@ -729,10 +1056,10 @@ impl Dca {
             terminal + 1
         };
         let mut totals = FoldTotals::default();
-        for s in slots[..prefix_end].iter() {
-            totals.add(s.as_ref().expect("filled up to the final stop"));
+        for (i, s) in slots[..prefix_end].iter().enumerate() {
+            totals.add(i, s.as_ref().expect("filled up to the final stop"));
         }
-        totals.record(obs);
+        totals.record(obs, ctx.ordinal);
         if obs.has_trace() && terminal != usize::MAX {
             let wasted = slots[prefix_end..].iter().flatten().count();
             if wasted > 0 {
@@ -782,6 +1109,22 @@ impl Dca {
         }
         let roots: Vec<Value> = vars.iter().map(|&v| machine.read_var(v)).collect();
         StateDigest::capture(machine, &roots)
+    }
+}
+
+/// The placeholder result for a loop whose analysis panicked: the panic
+/// was contained, its message classified, and the rest of the module's
+/// report is unaffected. The tag is left empty — resolving it would
+/// re-enter the code that just faulted.
+fn engine_fault_result(lref: LoopRef, msg: String) -> LoopResult {
+    LoopResult {
+        lref,
+        tag: None,
+        verdict: LoopVerdict::Skipped(SkipReason::EngineFault(msg)),
+        trips: 0,
+        permutations_tested: 0,
+        replay_steps: 0,
+        wall: Duration::ZERO,
     }
 }
 
@@ -1310,5 +1653,100 @@ mod tests {
              kernel(a, 16); return a[5]; }",
         );
         assert_eq!(verdict(&r, "k"), LoopVerdict::Commutative);
+    }
+
+    #[test]
+    fn entry_arity_mismatch_is_rejected_up_front() {
+        let m = dca_ir::compile(
+            "fn main(n: int) -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+        )
+        .expect("compile");
+        let dca = Dca::new(DcaConfig::fast());
+        assert_eq!(
+            dca.analyze(&m, &[]).expect_err("no args for main(n)"),
+            DcaError::EntryArity {
+                expected: 1,
+                given: 0
+            }
+        );
+        let err = dca
+            .analyze(&m, &[Value::Int(4), Value::Int(5)])
+            .expect_err("too many args");
+        assert_eq!(
+            err.to_string(),
+            "`main` expects 1 argument(s), the workload supplies 2"
+        );
+        assert!(dca.analyze(&m, &[Value::Int(8)]).is_ok());
+    }
+
+    #[test]
+    fn entry_argument_type_mismatch_names_the_parameter() {
+        let m = dca_ir::compile(
+            "fn main(n: int, scale: float) -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+        )
+        .expect("compile");
+        let dca = Dca::new(DcaConfig::fast());
+        let err = dca
+            .analyze(&m, &[Value::Int(4), Value::Bool(true)])
+            .expect_err("bool is not a float");
+        assert_eq!(
+            err,
+            DcaError::EntryArgType {
+                index: 1,
+                param: "scale".into(),
+                expected: "float".into(),
+                given: "bool".into(),
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "entry argument 1 (`scale`) has type bool, expected float"
+        );
+        assert!(dca.analyze(&m, &[Value::Int(4), Value::Float(1.5)]).is_ok());
+    }
+
+    #[test]
+    fn null_fits_any_pointer_entry_parameter() {
+        let m = dca_ir::compile(
+            "struct Node { val: int, next: *Node }\n\
+             fn main(head: *Node) -> int { let s: int = 0; let p: *Node = head;\n\
+             @l: while (p != null) { s = s + p.val; p = p.next; } return s; }",
+        )
+        .expect("compile");
+        let dca = Dca::new(DcaConfig::fast());
+        assert!(dca.analyze(&m, &[Value::Null]).is_ok());
+        let err = dca
+            .analyze(&m, &[Value::Int(0)])
+            .expect_err("int is not a pointer");
+        assert!(matches!(err, DcaError::EntryArgType { index: 0, .. }));
+    }
+
+    #[test]
+    fn empty_permutation_preset_is_rejected() {
+        let m = dca_ir::compile(
+            "fn main() -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < 8; i = i + 1) { s = s + i; } return s; }",
+        )
+        .expect("compile");
+        let zero = Dca::new(DcaConfig {
+            permutations: PermutationSet::Shuffles { shuffles: 0 },
+            ..DcaConfig::fast()
+        });
+        let err = zero
+            .analyze_module(&m)
+            .expect_err("zero shuffles and no reverse tests nothing");
+        assert_eq!(err, DcaError::EmptyPermutationSet);
+        assert_eq!(
+            err.to_string(),
+            "permutation preset generates no permutations"
+        );
+        // One shuffle is a legitimate (if weak) preset.
+        let one = Dca::new(DcaConfig {
+            permutations: PermutationSet::Shuffles { shuffles: 1 },
+            ..DcaConfig::fast()
+        });
+        assert!(one.analyze_module(&m).is_ok());
     }
 }

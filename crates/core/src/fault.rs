@@ -1,0 +1,395 @@
+//! Deterministic fault injection and panic containment.
+//!
+//! DCA runs *arbitrary* loop payloads under permuted iteration orders, so
+//! the engine must survive whatever those payloads — or its own passes —
+//! do: trap, hang, exhaust memory, or trip an internal invariant. This
+//! module provides the two halves of that robustness layer:
+//!
+//! * [`catch_contained`] — a `catch_unwind` wrapper plus a process-wide
+//!   panic hook that suppresses the default stderr backtrace while a
+//!   contained region is running. A worker panic becomes a classified
+//!   verdict ([`crate::SkipReason::EngineFault`]) instead of tearing down
+//!   the `thread::scope` and aborting the analysis.
+//! * [`FaultPlan`] — a deterministic fault-injection spec (forced panic,
+//!   worker stall, synthetic trap at step *k*, allocation failure after
+//!   *j* allocs) targeted at one (loop, replay) pair, enabled via
+//!   [`crate::DcaConfig::fault`] or the `DCA_FAULT=<spec>` environment
+//!   variable. The chaos suite sweeps these sites and asserts the engine
+//!   always returns a complete report with un-faulted loops bit-identical
+//!   to the fault-free run.
+//!
+//! # Unwind safety
+//!
+//! [`catch_contained`] uses `AssertUnwindSafe`. The assertion is real,
+//! not hopeful: every per-replay worker builds its interpreter
+//! [`Machine`](dca_interp::Machine) locally and restores it from the
+//! immutable golden snapshot, so no state observable after a caught
+//! panic was mutated by the panicking region. The shared structures a
+//! worker touches (`StopIndex`, obs counters) are lock-free atomics or
+//! poison-tolerant locks.
+//!
+//! # `DCA_FAULT` spec grammar
+//!
+//! ```text
+//! spec     := kind '@' trigger (',' modifier)*
+//! kind     := 'panic' | 'stall' | 'trap' | 'oom'
+//! trigger  := 'replay:' index          (panic, stall)
+//!           | 'step:' number           (trap: synthetic trap after that
+//!                                       many replay steps)
+//!           | 'alloc:' number          (oom: that many allocations
+//!                                       succeed, the next one fails)
+//! modifier := 'loop:' number           (loop ordinal; default 0)
+//!           | 'replay:' index          (permutation slot; default 0)
+//! index    := number | 'rand:' seed    (seed resolved with dca-rng)
+//! ```
+//!
+//! Examples: `panic@replay:1`, `trap@step:64,replay:1`,
+//! `oom@alloc:2,loop:1`, `stall@replay:rand:7`.
+
+use dca_rng::Rng;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+use std::time::Duration;
+
+/// How long an injected worker stall sleeps. Long enough to perturb
+/// worker scheduling, short enough to keep chaos suites fast.
+pub const STALL_DURATION: Duration = Duration::from_millis(25);
+
+/// Replay indices drawn by `rand:<seed>` are taken below this bound, so a
+/// random spec always lands on a slot that exists under the default
+/// presets (reverse + 3 shuffles).
+const RAND_REPLAY_BOUND: u64 = 4;
+
+/// What an injected fault does when its targeted replay runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the replay closure (exercises panic containment).
+    Panic,
+    /// Sleep [`STALL_DURATION`] before the replay (exercises worker
+    /// scheduling around a stalled slot).
+    Stall,
+    /// Synthetic [`dca_interp::Trap::Injected`] after this many replay
+    /// steps (exercises the trap classification path).
+    Trap {
+        /// Replay steps to execute before trapping.
+        at_step: u64,
+    },
+    /// This many heap allocations succeed, the next traps with
+    /// [`dca_interp::Trap::OutOfMemory`] (exercises the genuine OOM
+    /// path).
+    AllocFail {
+        /// Allocations that succeed before the failure.
+        allocs: u64,
+    },
+}
+
+impl FaultKind {
+    /// Short label for obs counters: `engine.faults.<label>`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall => "stall",
+            FaultKind::Trap { .. } => "trap",
+            FaultKind::AllocFail { .. } => "oom",
+        }
+    }
+}
+
+/// A deterministic fault-injection plan: one [`FaultKind`] armed for one
+/// (loop ordinal, permutation slot) pair.
+///
+/// Targeting is by *position* — the loop's ordinal in analysis order and
+/// the permutation slot index — both of which are deterministic for a
+/// given configuration and workload regardless of thread count, so a
+/// faulted run perturbs exactly one replay and nothing else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Which loop (ordinal in analysis order) is targeted.
+    pub loop_ordinal: usize,
+    /// Which permutation slot of that loop is targeted.
+    pub replay: usize,
+}
+
+/// A `DCA_FAULT` / [`FaultPlan::parse`] spec error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn parse_index(s: &str) -> Result<usize, FaultSpecError> {
+    if let Some(seed) = s.strip_prefix("rand:") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| FaultSpecError(format!("bad rand seed `{seed}`")))?;
+        Ok(Rng::seed_from_u64(seed).below(RAND_REPLAY_BOUND) as usize)
+    } else {
+        s.parse()
+            .map_err(|_| FaultSpecError(format!("bad index `{s}`")))
+    }
+}
+
+fn parse_number(s: &str) -> Result<u64, FaultSpecError> {
+    s.parse()
+        .map_err(|_| FaultSpecError(format!("bad number `{s}`")))
+}
+
+impl FaultPlan {
+    /// Parses a spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] when the spec does not match the
+    /// grammar.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let (kind_str, rest) = spec
+            .split_once('@')
+            .ok_or_else(|| FaultSpecError(format!("missing `@` in `{spec}`")))?;
+        let mut parts = rest.split(',');
+        // invariant: split always yields at least one element.
+        let trigger = parts.next().expect("split yields at least one part");
+        let (tkey, tval) = trigger
+            .split_once(':')
+            .ok_or_else(|| FaultSpecError(format!("missing `:` in trigger `{trigger}`")))?;
+        let mut replay: Option<usize> = None;
+        let kind = match (kind_str, tkey) {
+            ("panic", "replay") => {
+                replay = Some(parse_index(tval)?);
+                FaultKind::Panic
+            }
+            ("stall", "replay") => {
+                replay = Some(parse_index(tval)?);
+                FaultKind::Stall
+            }
+            ("trap", "step") => FaultKind::Trap {
+                at_step: parse_number(tval)?,
+            },
+            ("oom", "alloc") => FaultKind::AllocFail {
+                allocs: parse_number(tval)?,
+            },
+            _ => {
+                return Err(FaultSpecError(format!(
+                    "unknown kind/trigger `{kind_str}@{tkey}`"
+                )))
+            }
+        };
+        let mut loop_ordinal = 0usize;
+        for m in parts {
+            let (key, val) = m
+                .split_once(':')
+                .ok_or_else(|| FaultSpecError(format!("missing `:` in modifier `{m}`")))?;
+            match key {
+                "loop" => loop_ordinal = parse_index(val)?,
+                "replay" => replay = Some(parse_index(val)?),
+                _ => return Err(FaultSpecError(format!("unknown modifier `{key}`"))),
+            }
+        }
+        Ok(FaultPlan {
+            kind,
+            loop_ordinal,
+            replay: replay.unwrap_or(0),
+        })
+    }
+
+    /// The plan from the `DCA_FAULT` environment variable, if set and
+    /// valid. An invalid spec is reported to stderr and ignored — a
+    /// typo'd chaos variable must not change analysis behavior.
+    #[must_use]
+    pub fn from_env() -> Option<FaultPlan> {
+        let spec = std::env::var("DCA_FAULT").ok()?;
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("warning: ignoring DCA_FAULT=`{spec}`: {e}");
+                None
+            }
+        }
+    }
+
+    /// The fault to inject into permutation slot `replay` of the loop
+    /// with analysis ordinal `loop_ordinal`, if this plan targets it.
+    #[must_use]
+    pub fn for_replay(&self, loop_ordinal: usize, replay: usize) -> Option<FaultKind> {
+        (self.loop_ordinal == loop_ordinal && self.replay == replay).then_some(self.kind)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::Panic => write!(f, "panic@replay:{}", self.replay)?,
+            FaultKind::Stall => write!(f, "stall@replay:{}", self.replay)?,
+            FaultKind::Trap { at_step } => write!(f, "trap@step:{at_step},replay:{}", self.replay)?,
+            FaultKind::AllocFail { allocs } => {
+                write!(f, "oom@alloc:{allocs},replay:{}", self.replay)?
+            }
+        }
+        if self.loop_ordinal != 0 {
+            write!(f, ",loop:{}", self.loop_ordinal)?;
+        }
+        Ok(())
+    }
+}
+
+/// Number of contained regions currently executing, across all threads.
+/// While non-zero, the process panic hook stays silent (the panic is
+/// about to be caught and classified; the default backtrace would spam
+/// stderr once per injected fault).
+static CONTAINED_DEPTH: AtomicUsize = AtomicUsize::new(0);
+static HOOK_INSTALL: Once = Once::new();
+
+fn install_contained_hook() {
+    HOOK_INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if CONTAINED_DEPTH.load(Ordering::Relaxed) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting a panic into `Err(message)` instead of
+/// unwinding, with the default stderr backtrace suppressed for the
+/// duration. See the module docs for why `AssertUnwindSafe` holds here.
+pub fn catch_contained<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_contained_hook();
+    CONTAINED_DEPTH.fetch_add(1, Ordering::Relaxed);
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CONTAINED_DEPTH.fetch_sub(1, Ordering::Relaxed);
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        assert_eq!(
+            FaultPlan::parse("panic@replay:1").expect("parse"),
+            FaultPlan {
+                kind: FaultKind::Panic,
+                loop_ordinal: 0,
+                replay: 1
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("stall@replay:0,loop:2").expect("parse"),
+            FaultPlan {
+                kind: FaultKind::Stall,
+                loop_ordinal: 2,
+                replay: 0
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("trap@step:64,replay:1").expect("parse"),
+            FaultPlan {
+                kind: FaultKind::Trap { at_step: 64 },
+                loop_ordinal: 0,
+                replay: 1
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("oom@alloc:2,loop:1,replay:3").expect("parse"),
+            FaultPlan {
+                kind: FaultKind::AllocFail { allocs: 2 },
+                loop_ordinal: 1,
+                replay: 3
+            }
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for spec in [
+            "panic@replay:1",
+            "stall@replay:0",
+            "trap@step:64,replay:1",
+            "oom@alloc:2,replay:3,loop:1",
+        ] {
+            let plan = FaultPlan::parse(spec).expect("parse");
+            let round = FaultPlan::parse(&plan.to_string()).expect("reparse");
+            assert_eq!(plan, round, "{spec} must round-trip through Display");
+        }
+    }
+
+    #[test]
+    fn random_indices_are_deterministic_and_bounded() {
+        let a = FaultPlan::parse("panic@replay:rand:7").expect("parse");
+        let b = FaultPlan::parse("panic@replay:rand:7").expect("parse");
+        assert_eq!(a, b, "same seed, same slot");
+        assert!((a.replay as u64) < RAND_REPLAY_BOUND);
+        // Different seeds eventually pick different slots.
+        let picks: std::collections::BTreeSet<usize> = (0..32)
+            .map(|s| {
+                FaultPlan::parse(&format!("panic@replay:rand:{s}"))
+                    .expect("parse")
+                    .replay
+            })
+            .collect();
+        assert!(picks.len() > 1, "rand must actually vary with the seed");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "panic",
+            "panic@",
+            "panic@step:1",
+            "trap@replay:0",
+            "oom@alloc:x",
+            "panic@replay:1,bogus:2",
+            "explode@replay:1",
+            "panic@replay:rand:notanumber",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn targeting_is_positional() {
+        let plan = FaultPlan::parse("trap@step:5,replay:2,loop:1").expect("parse");
+        assert_eq!(plan.for_replay(1, 2), Some(FaultKind::Trap { at_step: 5 }));
+        assert_eq!(plan.for_replay(1, 3), None);
+        assert_eq!(plan.for_replay(0, 2), None);
+    }
+
+    #[test]
+    fn catch_contained_classifies_panics() {
+        assert_eq!(catch_contained(|| 41 + 1), Ok(42));
+        assert_eq!(
+            catch_contained(|| -> i32 { panic!("boom") }),
+            Err("boom".to_string())
+        );
+        assert_eq!(
+            catch_contained(|| -> i32 { panic!("ordinal {}", 3) }),
+            Err("ordinal 3".to_string())
+        );
+        // Nested containment unwinds depth correctly.
+        let outer = catch_contained(|| {
+            let inner = catch_contained(|| -> i32 { panic!("inner") });
+            assert_eq!(inner, Err("inner".to_string()));
+            7
+        });
+        assert_eq!(outer, Ok(7));
+    }
+}

@@ -50,6 +50,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod outcome;
 pub mod parallel;
 pub mod perm;
@@ -57,11 +58,12 @@ pub mod record;
 pub mod replay;
 pub mod report;
 
-pub use config::{DcaConfig, ObsOptions, PermutationSet, VerifyScope};
+pub use config::{DcaConfig, ObsOptions, PermutationSet, VerifyScope, WallLimits};
 pub use dca_obs::{Obs, ObsRollup, SpanStat};
 pub use engine::{Dca, DcaError};
+pub use fault::{catch_contained, FaultKind, FaultPlan, FaultSpecError};
 pub use outcome::{float_close, ProgramOutcome, StateDigest};
 pub use parallel::effective_threads;
-pub use record::{record_golden, GoldenRecord, RecordError};
-pub use replay::{run_replay, ReplayController, ReplayEnd};
+pub use record::{record_golden, record_golden_governed, GoldenRecord, RecordError};
+pub use replay::{run_replay, run_replay_governed, ReplayController, ReplayEnd, ReplayGovernor};
 pub use report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};

@@ -22,6 +22,18 @@
 //! processed — so a post-join fold over the slots sees exactly the prefix
 //! the sequential engine would have executed, and the first terminal
 //! outcome it finds is the same one.
+//!
+//! # Fault containment contract
+//!
+//! Both primitives *propagate* worker panics (`resume_unwind` after the
+//! join): if `f` unwinds, the whole call unwinds, and with multiple
+//! in-flight workers the unpredictable teardown order can abort the
+//! process. The engine therefore never passes a closure that can panic:
+//! every per-loop analysis and every per-replay check is wrapped in
+//! [`crate::fault::catch_contained`] *inside* `f`, converting a panic
+//! into a classified result ([`crate::SkipReason::EngineFault`]) before
+//! this module ever sees it. The `resume_unwind` here is the backstop
+//! for bugs in the scheduling code itself, not a supported path.
 
 use dca_obs::{Obs, TraceVal};
 use std::num::NonZeroUsize;

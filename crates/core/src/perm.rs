@@ -49,6 +49,14 @@ pub fn schedules(set: &PermutationSet, trip: usize, seed: u64) -> Vec<Vec<usize>
                 push(p, &mut out);
             }
         }
+        PermutationSet::Shuffles { shuffles } => {
+            let mut rng = Rng::seed_from_u64(seed);
+            for _ in 0..*shuffles {
+                let mut p = identity.clone();
+                rng.shuffle(&mut p);
+                push(p, &mut out);
+            }
+        }
         PermutationSet::Exhaustive {
             max_trip,
             fallback_shuffles,
@@ -115,6 +123,21 @@ mod tests {
             assert!(is_permutation(p));
             assert_ne!(p, &(0..10).collect::<Vec<_>>(), "identity excluded");
         }
+    }
+
+    #[test]
+    fn shuffles_only_excludes_reverse_and_matches_preset_rng() {
+        let s = schedules(&PermutationSet::Shuffles { shuffles: 3 }, 10, 42);
+        for p in &s {
+            assert!(is_permutation(p));
+            assert_ne!(p, &(0..10).collect::<Vec<_>>(), "identity excluded");
+        }
+        // Same seed, same RNG stream as the Presets shuffles — only the
+        // leading reverse differs.
+        let presets = schedules(&PermutationSet::Presets { shuffles: 3 }, 10, 42);
+        assert_eq!(s, presets[1..].to_vec());
+        // Zero shuffles is a genuinely empty schedule set.
+        assert!(schedules(&PermutationSet::Shuffles { shuffles: 0 }, 10, 42).is_empty());
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //!    permuted execution is verified against (§IV-B3).
 
 use crate::outcome::ProgramOutcome;
+use crate::replay::GOVERN_GRANULE;
 use dca_analysis::IteratorSlice;
 use dca_interp::{Hooks, InstAction, Machine, Site, Snapshot, Trap, Value};
 use dca_ir::{BlockId, FuncId, Loop, VarId};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Everything recorded about one tested loop invocation.
 #[derive(Debug, Clone)]
@@ -51,6 +53,9 @@ pub enum RecordError {
     BudgetExhausted,
     /// The loop iterated more times than the configured trip limit.
     TripLimit,
+    /// A wall-clock deadline ([`crate::config::WallLimits`]) expired
+    /// during the golden run.
+    DeadlineExpired,
 }
 
 enum Phase {
@@ -270,6 +275,42 @@ pub fn record_golden_min_trip(
     max_steps: u64,
     min_trip: usize,
 ) -> Result<GoldenRecord, RecordError> {
+    record_golden_governed(
+        machine,
+        main,
+        args,
+        func,
+        l,
+        slice,
+        skip_invocations,
+        max_trip,
+        max_steps,
+        min_trip,
+        None,
+    )
+}
+
+/// Like [`record_golden_min_trip`], with an optional wall-clock deadline
+/// checked cooperatively every [`GOVERN_GRANULE`] steps. `None` keeps the
+/// recording loop free of clock reads.
+///
+/// # Errors
+///
+/// See [`RecordError`]; expiry yields [`RecordError::DeadlineExpired`].
+#[allow(clippy::too_many_arguments)]
+pub fn record_golden_governed(
+    machine: &mut Machine<'_>,
+    main: FuncId,
+    args: &[Value],
+    func: FuncId,
+    l: &Loop,
+    slice: &IteratorSlice,
+    skip_invocations: u32,
+    max_trip: usize,
+    max_steps: u64,
+    min_trip: usize,
+    deadline: Option<Instant>,
+) -> Result<GoldenRecord, RecordError> {
     let rec_vars: Vec<VarId> = slice.slice_vars.iter().copied().collect();
     machine
         .push_call(main, args)
@@ -297,12 +338,21 @@ pub fn record_golden_min_trip(
     // Step manually so the snapshot lands exactly at the header arrival.
     let budget = machine.steps().saturating_add(max_steps);
     let mut snapshot: Option<Snapshot> = None;
+    let mut n: u64 = 0;
     let ret = loop {
         if machine.result().is_some() {
             break machine.result().expect("checked");
         }
         if machine.steps() >= budget {
             return Err(RecordError::BudgetExhausted);
+        }
+        // Cooperative deadline, one clock read per granule (checked at
+        // n == 0 too, so a zero deadline expires deterministically).
+        if let Some(d) = deadline {
+            if n.is_multiple_of(GOVERN_GRANULE) && Instant::now() >= d {
+                return Err(RecordError::DeadlineExpired);
+            }
+            n += 1;
         }
         match machine.step(&mut rec) {
             Ok(()) => {}

@@ -30,6 +30,7 @@ use dca_analysis::IteratorSlice;
 use dca_interp::{Hooks, InstAction, Machine, Site, TermAction, Trap, Value};
 use dca_ir::{BlockId, FuncId, Function, Loop, Terminator, VarId};
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 /// What a replay produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +46,36 @@ pub enum ReplayEnd {
     Trapped(Trap),
     /// The step budget ran out.
     BudgetExhausted,
+    /// A wall-clock deadline ([`crate::config::WallLimits`]) expired
+    /// mid-replay.
+    DeadlineExpired,
+}
+
+/// Cooperative governance for one program run: an optional wall-clock
+/// deadline and an optional injected synthetic trap, both resolved by the
+/// stepping driver rather than the interpreter. The deadline is checked
+/// once every [`GOVERN_GRANULE`] steps so an enabled deadline costs one
+/// branch per step and one clock read per granule; a default (inactive)
+/// governor routes through the ungoverned tight loop and costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayGovernor {
+    /// Absolute deadline; expiry ends the run with
+    /// [`ReplayEnd::DeadlineExpired`].
+    pub deadline: Option<Instant>,
+    /// Inject [`Trap::Injected`] after this many steps of this run
+    /// (fault-injection harness, see [`crate::fault`]).
+    pub trap_at_step: Option<u64>,
+}
+
+/// How many interpreter steps pass between wall-clock deadline checks.
+pub const GOVERN_GRANULE: u64 = 1024;
+
+impl ReplayGovernor {
+    /// True when neither a deadline nor an injected trap is armed.
+    #[must_use]
+    pub fn is_inactive(&self) -> bool {
+        self.deadline.is_none() && self.trap_at_step.is_none()
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -309,6 +340,55 @@ pub fn run_replay(
         if machine.steps() >= budget {
             return ReplayEnd::BudgetExhausted;
         }
+        match machine.step(ctl) {
+            Ok(()) => {}
+            Err(Trap::NotRunning) => return ReplayEnd::Finished(machine.result().unwrap_or(None)),
+            Err(t) => return ReplayEnd::Trapped(t),
+        }
+    }
+}
+
+/// [`run_replay`] under a [`ReplayGovernor`]. An inactive governor
+/// delegates to the ungoverned tight loop, keeping the replay hot path
+/// free of clock reads and extra branches (the `obs_overhead` bench
+/// asserts this).
+pub fn run_replay_governed(
+    machine: &mut Machine<'_>,
+    ctl: &mut ReplayController<'_>,
+    stop_at_loop_exit: bool,
+    max_steps: u64,
+    gov: ReplayGovernor,
+) -> ReplayEnd {
+    if gov.is_inactive() {
+        return run_replay(machine, ctl, stop_at_loop_exit, max_steps);
+    }
+    let budget = machine.steps().saturating_add(max_steps);
+    let mut n: u64 = 0;
+    loop {
+        if let Some(ret) = machine.result() {
+            return ReplayEnd::Finished(ret);
+        }
+        if stop_at_loop_exit && ctl.loop_exited {
+            return ReplayEnd::LoopExited;
+        }
+        if machine.steps() >= budget {
+            return ReplayEnd::BudgetExhausted;
+        }
+        if let Some(at) = gov.trap_at_step {
+            if n >= at {
+                return ReplayEnd::Trapped(Trap::Injected);
+            }
+        }
+        // Checked at n == 0 too, so a zero deadline expires
+        // deterministically before the first step.
+        if n.is_multiple_of(GOVERN_GRANULE) {
+            if let Some(d) = gov.deadline {
+                if Instant::now() >= d {
+                    return ReplayEnd::DeadlineExpired;
+                }
+            }
+        }
+        n += 1;
         match machine.step(ctl) {
             Ok(()) => {}
             Err(Trap::NotRunning) => return ReplayEnd::Finished(machine.result().unwrap_or(None)),

@@ -1,6 +1,7 @@
 //! DCA verdicts and the per-module analysis report.
 
 use dca_analysis::ExclusionReason;
+use dca_interp::Trap;
 use dca_ir::LoopRef;
 use dca_obs::ObsRollup;
 use std::collections::HashMap;
@@ -15,8 +16,9 @@ pub enum Violation {
     OutcomeMismatch,
     /// A permuted execution trapped (paper §IV-E: permuted execution of
     /// non-commutative loops can behave unpredictably; we detect this
-    /// reliably).
-    ReplayTrapped,
+    /// reliably). Carries the concrete fault so reports can say *which*
+    /// (out-of-bounds index, division by zero, OOM, …).
+    ReplayTrapped(Trap),
     /// A permuted execution exceeded the step budget (e.g. permutation
     /// made a convergence loop diverge).
     ReplayDiverged,
@@ -26,7 +28,7 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::OutcomeMismatch => write!(f, "live-out mismatch"),
-            Violation::ReplayTrapped => write!(f, "permuted execution trapped"),
+            Violation::ReplayTrapped(t) => write!(f, "permuted execution trapped: {t}"),
             Violation::ReplayDiverged => write!(f, "permuted execution diverged"),
         }
     }
@@ -37,23 +39,34 @@ impl fmt::Display for Violation {
 pub enum SkipReason {
     /// More iterations than the configured trip limit.
     TripLimit,
-    /// The golden run itself trapped.
-    GoldenTrapped,
+    /// The golden run itself trapped; carries the concrete fault.
+    GoldenTrapped(Trap),
     /// The golden run exceeded the step budget.
     GoldenBudget,
     /// A permuted replay exceeded the step budget. The replay never
     /// finished, so commutativity was neither confirmed nor refuted — a
     /// resource limit, not a [`Violation`].
     ReplayBudget,
+    /// A wall-clock deadline ([`crate::config::WallLimits`]) expired
+    /// before this loop's verification could finish. Like
+    /// [`SkipReason::ReplayBudget`], a resource limit, not a violation.
+    Deadline,
+    /// The engine itself faulted (a contained panic) while analyzing this
+    /// loop; carries the captured panic message. The rest of the analysis
+    /// is unaffected — engine faults are contained, classified and
+    /// reported, never a crash.
+    EngineFault(String),
 }
 
 impl fmt::Display for SkipReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SkipReason::TripLimit => write!(f, "trip count above limit"),
-            SkipReason::GoldenTrapped => write!(f, "golden run trapped"),
+            SkipReason::GoldenTrapped(t) => write!(f, "golden run trapped: {t}"),
             SkipReason::GoldenBudget => write!(f, "golden run exceeded budget"),
             SkipReason::ReplayBudget => write!(f, "permuted replay exceeded budget"),
+            SkipReason::Deadline => write!(f, "wall-clock deadline expired"),
+            SkipReason::EngineFault(msg) => write!(f, "engine fault contained: {msg}"),
         }
     }
 }
@@ -285,6 +298,32 @@ mod tests {
         assert_eq!(
             LoopVerdict::Skipped(SkipReason::ReplayBudget).to_string(),
             "skipped (permuted replay exceeded budget)"
+        );
+    }
+
+    #[test]
+    fn verdicts_carry_concrete_faults() {
+        // Reports name the concrete trap, not just "trapped".
+        assert_eq!(
+            LoopVerdict::NonCommutative(Violation::ReplayTrapped(Trap::OutOfBounds {
+                len: 8,
+                index: -1
+            }))
+            .to_string(),
+            "non-commutative (permuted execution trapped: \
+             index -1 out of bounds for object of 8 cells)"
+        );
+        assert_eq!(
+            LoopVerdict::Skipped(SkipReason::GoldenTrapped(Trap::DivByZero)).to_string(),
+            "skipped (golden run trapped: division by zero)"
+        );
+        assert_eq!(
+            LoopVerdict::Skipped(SkipReason::Deadline).to_string(),
+            "skipped (wall-clock deadline expired)"
+        );
+        assert_eq!(
+            LoopVerdict::Skipped(SkipReason::EngineFault("boom".into())).to_string(),
+            "skipped (engine fault contained: boom)"
         );
     }
 

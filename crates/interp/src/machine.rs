@@ -48,8 +48,10 @@ impl fmt::Display for OutputItem {
 }
 
 /// A runtime fault. Well-typed programs can still trap (null dereference,
-/// out-of-bounds index, division by zero, runaway recursion or allocation).
-#[derive(Debug, Clone, PartialEq)]
+/// out-of-bounds index, division by zero, runaway recursion or allocation);
+/// ill-typed entry arguments surface as [`Trap::IllTyped`] or
+/// [`Trap::ArityMismatch`] rather than aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Trap {
     /// Dereferenced a null pointer.
     NullDeref,
@@ -68,6 +70,20 @@ pub enum Trap {
     OutOfMemory,
     /// Stepped a machine with no live frames.
     NotRunning,
+    /// A call was made with the wrong number of arguments.
+    ArityMismatch {
+        /// Parameters the callee declares.
+        expected: usize,
+        /// Arguments actually supplied.
+        given: usize,
+    },
+    /// An operation received a value of the wrong kind. Only reachable
+    /// when entry arguments bypass the checker (IR produced by `compile`
+    /// is type-correct internally); the payload names the operation.
+    IllTyped(&'static str),
+    /// A synthetic fault injected by a test harness (never produced by
+    /// program execution itself).
+    Injected,
 }
 
 impl fmt::Display for Trap {
@@ -81,6 +97,11 @@ impl fmt::Display for Trap {
             Trap::StackOverflow => write!(f, "call stack overflow"),
             Trap::OutOfMemory => write!(f, "heap limit exceeded"),
             Trap::NotRunning => write!(f, "machine is not running"),
+            Trap::ArityMismatch { expected, given } => {
+                write!(f, "call expected {expected} argument(s), got {given}")
+            }
+            Trap::IllTyped(what) => write!(f, "ill-typed value in {what}"),
+            Trap::Injected => write!(f, "injected synthetic fault"),
         }
     }
 }
@@ -205,6 +226,10 @@ pub struct Machine<'m> {
     limits: Limits,
     finished: Option<Option<Value>>,
     ops: OpCounts,
+    /// Fault injection: allocations remaining before the next [`Machine::alloc`]
+    /// traps with [`Trap::OutOfMemory`]. Like [`OpCounts`], this is harness
+    /// state, not program state: [`Machine::restore`] does not reset it.
+    alloc_fault: Option<u64>,
 }
 
 impl<'m> Machine<'m> {
@@ -242,7 +267,15 @@ impl<'m> Machine<'m> {
             limits,
             finished: None,
             ops: OpCounts::default(),
+            alloc_fault: None,
         }
+    }
+
+    /// Arms deterministic allocation-failure injection: the next `n` heap
+    /// allocations succeed, the one after traps with [`Trap::OutOfMemory`].
+    /// Exercises the genuine out-of-memory path without a huge heap.
+    pub fn fail_alloc_after(&mut self, n: u64) {
+        self.alloc_fault = Some(n);
     }
 
     /// The module being executed.
@@ -297,6 +330,9 @@ impl<'m> Machine<'m> {
     ///
     /// Panics if no frame is live.
     pub fn read_var(&self, v: VarId) -> Value {
+        // invariant: documented API contract — callers only inspect
+        // variables while a frame is live (never reachable from program
+        // input, only from caller misuse).
         self.frames.last().expect("no live frame").vars[v.index()]
     }
 
@@ -306,6 +342,7 @@ impl<'m> Machine<'m> {
     ///
     /// Panics if no frame is live.
     pub fn write_var(&mut self, v: VarId, value: Value) {
+        // invariant: documented API contract, as for `read_var`.
         self.frames.last_mut().expect("no live frame").vars[v.index()] = value;
     }
 
@@ -342,12 +379,9 @@ impl<'m> Machine<'m> {
     ///
     /// # Errors
     ///
-    /// Traps on stack overflow or if frame-array allocation exhausts the
-    /// heap limit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the argument count does not match the signature.
+    /// Traps on stack overflow, if frame-array allocation exhausts the
+    /// heap limit, or with [`Trap::ArityMismatch`] when the argument count
+    /// does not match the signature.
     pub fn push_call(&mut self, func: FuncId, args: &[Value]) -> Result<(), Trap> {
         self.push_frame(func, args, None)
     }
@@ -362,12 +396,12 @@ impl<'m> Machine<'m> {
             return Err(Trap::StackOverflow);
         }
         let f = self.module.func(func);
-        assert_eq!(
-            args.len(),
-            f.params.len(),
-            "argument count mismatch calling `{}`",
-            f.name
-        );
+        if args.len() != f.params.len() {
+            return Err(Trap::ArityMismatch {
+                expected: f.params.len(),
+                given: args.len(),
+            });
+        }
         let mut vars = Vec::with_capacity(f.vars.len());
         for (i, vi) in f.vars.iter().enumerate() {
             if i < args.len() {
@@ -391,6 +425,12 @@ impl<'m> Machine<'m> {
     }
 
     fn alloc(&mut self, cells: Vec<Value>) -> Result<ObjId, Trap> {
+        if let Some(left) = &mut self.alloc_fault {
+            if *left == 0 {
+                return Err(Trap::OutOfMemory);
+            }
+            *left -= 1;
+        }
         self.ops.heap_allocs += 1;
         self.ops.heap_cells_allocated += cells.len() as u64;
         self.heap_cells += cells.len() as u64;
@@ -413,6 +453,7 @@ impl<'m> Machine<'m> {
         if !self.frames.is_empty() {
             let depth = self.frames.len() - 1;
             let steps = self.steps;
+            // invariant: guarded by the `is_empty` check above.
             let fr = self.frames.last_mut().expect("non-empty");
             if fr.inst == 0 && steps == 0 {
                 let site = Site {
@@ -429,6 +470,7 @@ impl<'m> Machine<'m> {
             }
             self.step(hooks)?;
         }
+        // invariant: the while condition above only exits on `Some`.
         Ok(Outcome::Finished(
             self.finished.expect("loop exits only when finished"),
         ))
@@ -491,7 +533,12 @@ impl<'m> Machine<'m> {
                 then_bb,
                 else_bb,
             } => {
-                let c = eval(&self.frames[fi].vars, cond).as_bool();
+                // Reachable with a non-bool value when an entry argument
+                // of the wrong type flows into the condition.
+                let c = match eval(&self.frames[fi].vars, cond) {
+                    Value::Bool(c) => c,
+                    _ => return Err(Trap::IllTyped("branch condition")),
+                };
                 Some(if c { *then_bb } else { *else_bb })
             }
             Terminator::Return(_) => None,
@@ -513,6 +560,8 @@ impl<'m> Machine<'m> {
                     Terminator::Return(Some(op)) => Some(eval(&self.frames[fi].vars, op)),
                     _ => None,
                 };
+                // invariant: `depth` was computed from a non-empty stack
+                // at the top of `step`, and nothing popped since.
                 let frame = self.frames.pop().expect("frame exists");
                 hooks.on_return(
                     Site {
@@ -528,6 +577,9 @@ impl<'m> Machine<'m> {
                     }
                     Some(caller) => {
                         if let Some(dst) = frame.ret_dst {
+                            // invariant: the IR checker rejects binding the
+                            // result of a unit-returning call, so a frame
+                            // with `ret_dst` always returns a value.
                             caller.vars[dst.index()] =
                                 value.expect("checker: non-unit call has a value");
                         }
@@ -556,7 +608,7 @@ impl<'m> Machine<'m> {
                     (UnOp::Neg, Value::Int(x)) => Value::Int(x.wrapping_neg()),
                     (UnOp::Neg, Value::Float(x)) => Value::Float(-x),
                     (UnOp::Not, Value::Bool(x)) => Value::Bool(!x),
-                    (op, v) => unreachable!("ill-typed unary {op:?} on {v:?}"),
+                    _ => return Err(Trap::IllTyped("unary operation")),
                 };
                 self.frames[fi].vars[dst.index()] = v;
             }
@@ -569,7 +621,7 @@ impl<'m> Machine<'m> {
             Inst::Intrin { dst, op, args } => {
                 let a0 = eval(&self.frames[fi].vars, &args[0]);
                 let a1 = args.get(1).map(|a| eval(&self.frames[fi].vars, a));
-                self.frames[fi].vars[dst.index()] = eval_intrin(*op, a0, a1);
+                self.frames[fi].vars[dst.index()] = eval_intrin(*op, a0, a1)?;
             }
             Inst::LoadIndex { dst, base, index } => {
                 let addr = self.index_addr(fi, base, index)?;
@@ -626,7 +678,10 @@ impl<'m> Machine<'m> {
                 self.frames[fi].vars[dst.index()] = Value::Ptr(obj);
             }
             Inst::AllocArray { dst, len } => {
-                let n = eval(&self.frames[fi].vars, len).as_int();
+                let n = match eval(&self.frames[fi].vars, len) {
+                    Value::Int(n) => n,
+                    _ => return Err(Trap::IllTyped("array length")),
+                };
                 if n < 0 {
                     return Err(Trap::OutOfBounds { len: 0, index: n });
                 }
@@ -662,10 +717,13 @@ impl<'m> Machine<'m> {
             MemBase::Var(v) => match self.frames[fi].vars[v.index()] {
                 Value::Ptr(o) => o,
                 Value::Null => return Err(Trap::NullDeref),
-                other => unreachable!("ill-typed index base {other:?}"),
+                _ => return Err(Trap::IllTyped("index base")),
             },
         };
-        let i = eval(&self.frames[fi].vars, index).as_int();
+        let i = match eval(&self.frames[fi].vars, index) {
+            Value::Int(i) => i,
+            _ => return Err(Trap::IllTyped("index operand")),
+        };
         let len = self.heap[obj.index()].cells.len();
         if i < 0 || i as usize >= len {
             return Err(Trap::OutOfBounds { len, index: i });
@@ -680,8 +738,10 @@ impl<'m> Machine<'m> {
         let o = match eval(&self.frames[fi].vars, obj) {
             Value::Ptr(o) => o,
             Value::Null => return Err(Trap::NullDeref),
-            other => unreachable!("ill-typed field base {other:?}"),
+            _ => return Err(Trap::IllTyped("field base")),
         };
+        // invariant: the checker bounds field indices by the struct layout,
+        // and every pointer to a struct of that type has that many cells.
         debug_assert!((field as usize) < self.heap[o.index()].cells.len());
         Ok(Addr {
             obj: o,
@@ -705,6 +765,7 @@ fn const_value(op: &Operand) -> Value {
         Operand::ConstFloat(v) => Value::Float(*v),
         Operand::ConstBool(v) => Value::Bool(*v),
         Operand::Null => Value::Null,
+        // invariant: the parser only accepts constant global initializers.
         Operand::Var(_) => unreachable!("global initializers are constants"),
     }
 }
@@ -735,8 +796,8 @@ fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
         (Sub, Value::Float(x), Value::Float(y)) => Value::Float(x - y),
         (Mul, Value::Float(x), Value::Float(y)) => Value::Float(x * y),
         (Div, Value::Float(x), Value::Float(y)) => Value::Float(x / y),
-        (Eq, x, y) => Value::Bool(value_eq(x, y)),
-        (Ne, x, y) => Value::Bool(!value_eq(x, y)),
+        (Eq, x, y) => Value::Bool(value_eq(x, y)?),
+        (Ne, x, y) => Value::Bool(!value_eq(x, y)?),
         (Lt, Value::Int(x), Value::Int(y)) => Value::Bool(x < y),
         (Le, Value::Int(x), Value::Int(y)) => Value::Bool(x <= y),
         (Gt, Value::Int(x), Value::Int(y)) => Value::Bool(x > y),
@@ -750,40 +811,56 @@ fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
         (BitXor, Value::Int(x), Value::Int(y)) => Value::Int(x ^ y),
         (Shl, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_shl(y as u32 & 63)),
         (Shr, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_shr(y as u32 & 63)),
-        (op, a, b) => unreachable!("ill-typed binary {op:?} on {a:?}, {b:?}"),
+        _ => return Err(Trap::IllTyped("binary operation")),
     })
 }
 
-fn value_eq(a: Value, b: Value) -> bool {
-    match (a, b) {
+fn value_eq(a: Value, b: Value) -> Result<bool, Trap> {
+    Ok(match (a, b) {
         (Value::Int(x), Value::Int(y)) => x == y,
         (Value::Float(x), Value::Float(y)) => x == y,
         (Value::Bool(x), Value::Bool(y)) => x == y,
         (Value::Ptr(x), Value::Ptr(y)) => x == y,
         (Value::Null, Value::Null) => true,
         (Value::Ptr(_), Value::Null) | (Value::Null, Value::Ptr(_)) => false,
-        (a, b) => unreachable!("ill-typed equality on {a:?}, {b:?}"),
-    }
+        _ => return Err(Trap::IllTyped("equality comparison")),
+    })
 }
 
-fn eval_intrin(op: Intrinsic, a: Value, b: Option<Value>) -> Value {
+fn eval_intrin(op: Intrinsic, a: Value, b: Option<Value>) -> Result<Value, Trap> {
     use Intrinsic::*;
-    match op {
-        Sqrt => Value::Float(a.as_float().sqrt()),
-        Sin => Value::Float(a.as_float().sin()),
-        Cos => Value::Float(a.as_float().cos()),
-        Exp => Value::Float(a.as_float().exp()),
-        Log => Value::Float(a.as_float().ln()),
-        Fabs => Value::Float(a.as_float().abs()),
-        Pow => Value::Float(a.as_float().powf(b.expect("pow has 2 args").as_float())),
-        Fmin => Value::Float(a.as_float().min(b.expect("fmin has 2 args").as_float())),
-        Fmax => Value::Float(a.as_float().max(b.expect("fmax has 2 args").as_float())),
-        Iabs => Value::Int(a.as_int().wrapping_abs()),
-        Imin => Value::Int(a.as_int().min(b.expect("imin has 2 args").as_int())),
-        Imax => Value::Int(a.as_int().max(b.expect("imax has 2 args").as_int())),
-        IntToFloat => Value::Float(a.as_int() as f64),
-        FloatToInt => Value::Int(a.as_float() as i64),
+    fn flt(v: Value) -> Result<f64, Trap> {
+        match v {
+            Value::Float(x) => Ok(x),
+            _ => Err(Trap::IllTyped("float intrinsic operand")),
+        }
     }
+    fn int(v: Value) -> Result<i64, Trap> {
+        match v {
+            Value::Int(x) => Ok(x),
+            _ => Err(Trap::IllTyped("int intrinsic operand")),
+        }
+    }
+    // invariant: the checker fixes intrinsic arity, so two-argument
+    // intrinsics always arrive with `b` present; only the value *kinds*
+    // can be wrong (via ill-typed entry arguments).
+    let b2 = |b: Option<Value>| b.expect("checker: two-argument intrinsic");
+    Ok(match op {
+        Sqrt => Value::Float(flt(a)?.sqrt()),
+        Sin => Value::Float(flt(a)?.sin()),
+        Cos => Value::Float(flt(a)?.cos()),
+        Exp => Value::Float(flt(a)?.exp()),
+        Log => Value::Float(flt(a)?.ln()),
+        Fabs => Value::Float(flt(a)?.abs()),
+        Pow => Value::Float(flt(a)?.powf(flt(b2(b))?)),
+        Fmin => Value::Float(flt(a)?.min(flt(b2(b))?)),
+        Fmax => Value::Float(flt(a)?.max(flt(b2(b))?)),
+        Iabs => Value::Int(int(a)?.wrapping_abs()),
+        Imin => Value::Int(int(a)?.min(int(b2(b))?)),
+        Imax => Value::Int(int(a)?.max(int(b2(b))?)),
+        IntToFloat => Value::Float(int(a)? as f64),
+        FloatToInt => Value::Int(flt(a)? as i64),
+    })
 }
 
 #[cfg(test)]
@@ -949,6 +1026,80 @@ mod tests {
             .push_call(m.main().expect("main"), &[])
             .expect("push");
         assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::DivByZero));
+    }
+
+    #[test]
+    fn arity_mismatch_traps_instead_of_panicking() {
+        let m = compile("fn main(n: int) -> int { return n; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        assert_eq!(
+            machine.push_call(m.main().expect("main"), &[]),
+            Err(Trap::ArityMismatch {
+                expected: 1,
+                given: 0
+            })
+        );
+        assert_eq!(
+            machine.push_call(m.main().expect("main"), &[Value::Int(1), Value::Int(2)]),
+            Err(Trap::ArityMismatch {
+                expected: 1,
+                given: 2
+            })
+        );
+    }
+
+    #[test]
+    fn ill_typed_entry_arguments_trap_instead_of_panicking() {
+        // A bool where an int is expected flows into `n + 1`.
+        let m = compile("fn main(n: int) -> int { return n + 1; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[Value::Bool(true)])
+            .expect("push");
+        assert_eq!(
+            machine.run(&mut NoHooks, u64::MAX),
+            Err(Trap::IllTyped("binary operation"))
+        );
+
+        // An int where a bool is expected flows into a branch condition.
+        let m =
+            compile("fn main(f: bool) -> int { if (f) { return 1; } return 0; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[Value::Int(7)])
+            .expect("push");
+        assert_eq!(
+            machine.run(&mut NoHooks, u64::MAX),
+            Err(Trap::IllTyped("branch condition"))
+        );
+
+        // An int where a pointer is expected flows into an indexed load.
+        let m = compile("fn main(p: *int) -> int { return p[0]; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[Value::Int(3)])
+            .expect("push");
+        assert_eq!(
+            machine.run(&mut NoHooks, u64::MAX),
+            Err(Trap::IllTyped("index base"))
+        );
+    }
+
+    #[test]
+    fn alloc_fault_injection_fails_the_nth_alloc() {
+        let m = compile(
+            "fn main() -> int { let a: *int = new [int; 4]; let b: *int = new [int; 4]; \
+             let c: *int = new [int; 4]; return a[0] + b[0] + c[0]; }",
+        )
+        .expect("compile");
+        let mut machine = Machine::new(&m);
+        machine.fail_alloc_after(2);
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
+        assert_eq!(machine.run(&mut NoHooks, u64::MAX), Err(Trap::OutOfMemory));
+        // Exactly two allocations succeeded before the injected failure.
+        assert_eq!(machine.op_counts().heap_allocs, 2);
     }
 
     #[test]

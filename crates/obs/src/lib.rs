@@ -46,7 +46,12 @@ pub use trace::{json_escape, TraceSink, TraceVal};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
-use std::sync::Mutex;
+// Locks recover from poisoning instead of panicking: a panic in one
+// engine worker is contained and classified (see `dca-core`'s fault
+// module), and must not cascade into every later metrics record on the
+// surviving workers. The guarded data stays consistent under poisoning —
+// each critical section is a single insert/add.
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Accumulated metrics behind the mutex. Counter and span maps are keyed
@@ -129,7 +134,7 @@ impl Obs {
         if delta == 0 {
             return;
         }
-        let mut m = inner.metrics.lock().expect("obs metrics poisoned");
+        let mut m = inner.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         *m.counters.entry(name).or_insert(0) += delta;
     }
 
@@ -150,7 +155,7 @@ impl Obs {
         };
         let dur = start.elapsed();
         {
-            let mut m = inner.metrics.lock().expect("obs metrics poisoned");
+            let mut m = inner.metrics.lock().unwrap_or_else(PoisonError::into_inner);
             m.spans.entry(name).or_default().add(dur, 1);
         }
         self.emit(
@@ -173,7 +178,7 @@ impl Obs {
         if count == 0 && dur.is_zero() {
             return;
         }
-        let mut m = inner.metrics.lock().expect("obs metrics poisoned");
+        let mut m = inner.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         m.spans.entry(name).or_default().add(dur, count);
     }
 
@@ -188,7 +193,7 @@ impl Obs {
         let Some(inner) = &self.inner else { return };
         let Some(trace) = &inner.trace else { return };
         let ts_us = inner.epoch.elapsed().as_micros() as u64;
-        let mut sink = trace.lock().expect("obs trace poisoned");
+        let mut sink = trace.lock().unwrap_or_else(PoisonError::into_inner);
         sink.write_event(ts_us, kind, fields);
     }
 
@@ -196,7 +201,7 @@ impl Obs {
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
             if let Some(trace) = &inner.trace {
-                trace.lock().expect("obs trace poisoned").flush();
+                trace.lock().unwrap_or_else(PoisonError::into_inner).flush();
             }
         }
     }
@@ -208,7 +213,7 @@ impl Obs {
     pub fn rollup(&self) -> Option<ObsRollup> {
         let inner = self.inner.as_ref()?;
         self.flush();
-        let m = inner.metrics.lock().expect("obs metrics poisoned");
+        let m = inner.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         Some(ObsRollup {
             counters: m
                 .counters

@@ -1,0 +1,370 @@
+//! Chaos suite for the verification engine's fault-containment layer.
+//!
+//! Sweeps deterministic fault injections ([`dca::core::FaultPlan`]) over
+//! a mixed-verdict module at several worker-thread widths and asserts the
+//! containment contract: the engine always returns a *complete*
+//! [`DcaReport`], loops the fault did not target are bit-identical to the
+//! fault-free run, and the obs rollup records every injected fault.
+//! Wall-clock deadline handling is exercised with zero deadlines, which
+//! expire deterministically on every host.
+
+use dca::core::{
+    Dca, DcaConfig, DcaReport, FaultPlan, LoopVerdict, ObsOptions, SkipReason, Violation,
+    WallLimits,
+};
+use dca::interp::Trap;
+use std::time::Duration;
+
+/// A module with known verdicts at every ordinal: two commutative array
+/// loops, a commutative allocating reduction (so OOM injection has an
+/// allocation to fail), and a genuine recurrence (so the sweep also
+/// covers a loop whose fault-free verdict is non-commutative).
+const CHAOS_SRC: &str = "struct Node { val: int, next: *Node }\n\
+     fn main() -> int {\n\
+       let a: [int; 16]; let s: int = 0; let t: int = 0;\n\
+       @fill: for (let i: int = 0; i < 12; i = i + 1) { a[i] = i * 5 % 13; }\n\
+       @sum: for (let i: int = 0; i < 12; i = i + 1) { s = s + a[i]; }\n\
+       @grow: for (let i: int = 0; i < 10; i = i + 1) {\n\
+         let n: *Node = new Node; n.val = i * 2; t = t + n.val; }\n\
+       @rec: for (let i: int = 1; i < 12; i = i + 1) { a[i] = a[i - 1] + 1; }\n\
+       return s + t + a[11];\n\
+     }";
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn compile() -> dca::ir::Module {
+    dca::ir::compile(CHAOS_SRC).expect("chaos module compiles")
+}
+
+fn config(threads: usize) -> DcaConfig {
+    DcaConfig {
+        threads,
+        obs: ObsOptions::metrics(),
+        ..DcaConfig::fast()
+    }
+}
+
+fn analyze(m: &dca::ir::Module, cfg: DcaConfig) -> DcaReport {
+    Dca::new(cfg).analyze_module(m).expect("analysis runs")
+}
+
+/// The analysis ordinal of the loop tagged `tag` (reports are in analysis
+/// order, so the report position *is* the ordinal faults target).
+fn ordinal_of(report: &DcaReport, tag: &str) -> usize {
+    report
+        .iter()
+        .position(|r| r.tag.as_deref() == Some(tag))
+        .expect("tagged loop in report")
+}
+
+fn faults_counter(report: &DcaReport, kind: &str) -> u64 {
+    report
+        .obs
+        .as_ref()
+        .expect("metrics on")
+        .counter(match kind {
+            "panic" => "engine.faults.panic",
+            "stall" => "engine.faults.stall",
+            "trap" => "engine.faults.trap",
+            "oom" => "engine.faults.oom",
+            other => panic!("unknown fault kind {other}"),
+        })
+}
+
+/// Asserts every loop except `faulted_ordinal` is bit-identical to the
+/// fault-free baseline — verdict, trips, permutation count, and the
+/// deterministic replay-step accounting.
+fn assert_unfaulted_identical(
+    baseline: &DcaReport,
+    faulted: &DcaReport,
+    faulted_ordinal: usize,
+    context: &str,
+) {
+    assert_eq!(
+        baseline.len(),
+        faulted.len(),
+        "{context}: report incomplete"
+    );
+    for (i, (b, f)) in baseline.iter().zip(faulted.iter()).enumerate() {
+        if i == faulted_ordinal {
+            continue;
+        }
+        assert_eq!(b, f, "{context}: un-faulted loop {i} diverged");
+        assert_eq!(
+            b.replay_steps, f.replay_steps,
+            "{context}: un-faulted loop {i} replay accounting diverged"
+        );
+    }
+}
+
+/// The core sweep: every fault kind, injected at its site, at every
+/// worker width. Each case asserts (a) a complete report, (b) un-faulted
+/// loops bit-identical to the fault-free run, (c) the faulted loop's
+/// verdict classifies the fault, (d) the obs rollup counts the fault.
+#[test]
+fn fault_sweep_contains_every_kind_at_every_width() {
+    let m = compile();
+    let baseline = analyze(&m, config(1));
+    let fill = ordinal_of(&baseline, "fill");
+    let sum = ordinal_of(&baseline, "sum");
+    let grow = ordinal_of(&baseline, "grow");
+    assert!(
+        baseline
+            .iter()
+            .nth(fill)
+            .expect("fill")
+            .verdict
+            .is_commutative()
+            && baseline
+                .iter()
+                .nth(sum)
+                .expect("sum")
+                .verdict
+                .is_commutative()
+            && baseline
+                .iter()
+                .nth(grow)
+                .expect("grow")
+                .verdict
+                .is_commutative(),
+        "sweep targets must be commutative fault-free"
+    );
+    // (spec, target ordinal, expected verdict check)
+    type Check = fn(&LoopVerdict) -> bool;
+    let panic_check: Check = |v| matches!(v, LoopVerdict::Skipped(SkipReason::EngineFault(_)));
+    let stall_check: Check = LoopVerdict::is_commutative;
+    let trap_check: Check = |v| {
+        matches!(
+            v,
+            LoopVerdict::NonCommutative(Violation::ReplayTrapped(Trap::Injected))
+        )
+    };
+    let oom_check: Check = |v| {
+        matches!(
+            v,
+            LoopVerdict::NonCommutative(Violation::ReplayTrapped(Trap::OutOfMemory))
+        )
+    };
+    let cases: Vec<(String, usize, &str, Check)> = vec![
+        (
+            format!("panic@replay:0,loop:{fill}"),
+            fill,
+            "panic",
+            panic_check,
+        ),
+        (
+            format!("panic@replay:1,loop:{sum}"),
+            sum,
+            "panic",
+            panic_check,
+        ),
+        (
+            format!("stall@replay:0,loop:{sum}"),
+            sum,
+            "stall",
+            stall_check,
+        ),
+        (
+            format!("stall@replay:2,loop:{fill}"),
+            fill,
+            "stall",
+            stall_check,
+        ),
+        (
+            format!("trap@step:5,replay:1,loop:{fill}"),
+            fill,
+            "trap",
+            trap_check,
+        ),
+        (
+            format!("trap@step:5,replay:0,loop:{sum}"),
+            sum,
+            "trap",
+            trap_check,
+        ),
+        (format!("oom@alloc:0,loop:{grow}"), grow, "oom", oom_check),
+        (format!("oom@alloc:3,loop:{grow}"), grow, "oom", oom_check),
+    ];
+    for (spec, target, kind, check) in &cases {
+        let plan = FaultPlan::parse(spec).expect("sweep specs are valid");
+        let mut per_width: Vec<DcaReport> = Vec::new();
+        for width in WIDTHS {
+            let cfg = DcaConfig {
+                fault: Some(plan.clone()),
+                ..config(width)
+            };
+            let report = analyze(&m, cfg);
+            let context = format!("spec `{spec}` width {width}");
+            assert_unfaulted_identical(&baseline, &report, *target, &context);
+            let faulted = report.iter().nth(*target).expect("faulted loop present");
+            assert!(
+                check(&faulted.verdict),
+                "{context}: unexpected verdict {:?}",
+                faulted.verdict
+            );
+            assert_eq!(
+                faults_counter(&report, kind),
+                1,
+                "{context}: rollup must count the injected fault"
+            );
+            per_width.push(report);
+        }
+        // The faulted run itself is deterministic across widths.
+        for (w, report) in WIDTHS.iter().zip(&per_width).skip(1) {
+            for (a, b) in per_width[0].iter().zip(report.iter()) {
+                assert_eq!(a, b, "spec `{spec}`: width {w} diverged from width 1");
+                assert_eq!(
+                    a.replay_steps, b.replay_steps,
+                    "spec `{spec}`: width {w} replay accounting diverged"
+                );
+            }
+        }
+    }
+}
+
+/// A fault aimed past every loop (or past every replay slot) must not
+/// perturb anything: the report is bit-identical to the fault-free run
+/// and no fault is counted.
+#[test]
+fn fault_aimed_nowhere_changes_nothing() {
+    let m = compile();
+    let baseline = analyze(&m, config(1));
+    for spec in ["panic@replay:0,loop:99", "trap@step:1,replay:77"] {
+        let cfg = DcaConfig {
+            fault: Some(FaultPlan::parse(spec).expect("valid")),
+            ..config(2)
+        };
+        let report = analyze(&m, cfg);
+        assert_unfaulted_identical(&baseline, &report, usize::MAX, spec);
+        for kind in ["panic", "stall", "trap", "oom"] {
+            assert_eq!(faults_counter(&report, kind), 0, "{spec}: no fault fired");
+        }
+    }
+}
+
+/// Injected faults are surfaced as `fault` trace events when a trace sink
+/// is attached.
+#[test]
+fn injected_faults_emit_trace_events() {
+    let m = compile();
+    let path = std::env::temp_dir().join(format!("dca-chaos-trace-{}.jsonl", std::process::id()));
+    let cfg = DcaConfig {
+        fault: Some(FaultPlan::parse("panic@replay:1").expect("valid")),
+        obs: ObsOptions {
+            metrics: true,
+            trace: Some(path.clone()),
+        },
+        threads: 2,
+        ..DcaConfig::fast()
+    };
+    let report = analyze(&m, cfg);
+    assert_eq!(faults_counter(&report, "panic"), 1);
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    let fault_lines: Vec<&str> = trace
+        .lines()
+        .filter(|l| l.contains("\"fault\"") && l.contains("engine.faults.panic"))
+        .collect();
+    assert_eq!(fault_lines.len(), 1, "exactly one fault event:\n{trace}");
+    assert!(
+        fault_lines[0].contains("\"replay\":1"),
+        "event names the targeted slot: {}",
+        fault_lines[0]
+    );
+}
+
+/// An expired whole-analysis deadline still yields a complete report:
+/// every loop present, every one skipped with the deadline reason. A zero
+/// deadline expires before any work on every host, so this is
+/// deterministic despite deadlines being wall-clock-dependent.
+#[test]
+fn zero_analysis_deadline_skips_every_loop_deterministically() {
+    let m = compile();
+    for width in WIDTHS {
+        let cfg = DcaConfig {
+            max_wall: WallLimits {
+                analysis: Some(Duration::ZERO),
+                replay: None,
+            },
+            ..config(width)
+        };
+        let report = analyze(&m, cfg);
+        assert_eq!(report.len(), 4, "width {width}: report complete");
+        for r in report.iter() {
+            assert_eq!(
+                r.verdict,
+                LoopVerdict::Skipped(SkipReason::Deadline),
+                "width {width}: loop {} must be deadline-skipped",
+                r.lref
+            );
+        }
+    }
+}
+
+/// A zero per-run deadline expires during golden recording; loops that
+/// would have been excluded statically are still excluded (the static
+/// stage runs before any governed execution).
+#[test]
+fn zero_replay_deadline_skips_recorded_loops() {
+    let src = "fn main() -> int { let a: [int; 8]; let s: int = 0;\n\
+         @io: for (let i: int = 0; i < 4; i = i + 1) { print(i); }\n\
+         @map: for (let i: int = 0; i < 8; i = i + 1) { a[i] = i; }\n\
+         for (let i: int = 0; i < 8; i = i + 1) { s = s + a[i]; } return s; }";
+    let m = dca::ir::compile(src).expect("compiles");
+    for width in WIDTHS {
+        let cfg = DcaConfig {
+            max_wall: WallLimits {
+                analysis: None,
+                replay: Some(Duration::ZERO),
+            },
+            ..config(width)
+        };
+        let report = analyze(&m, cfg);
+        assert!(
+            matches!(
+                report.by_tag("io").expect("io").verdict,
+                LoopVerdict::Excluded(_)
+            ),
+            "width {width}: static exclusion still wins"
+        );
+        assert_eq!(
+            report.by_tag("map").expect("map").verdict,
+            LoopVerdict::Skipped(SkipReason::Deadline),
+            "width {width}: recording hits the zero deadline"
+        );
+    }
+}
+
+/// The paper's §IV-E observation, now carried into the verdict: a loop
+/// whose golden order is safe but whose *reversed* order reads a cell
+/// that has not been written yet refutes commutativity with the concrete
+/// out-of-bounds trap — at every worker width.
+#[test]
+fn permutation_induced_oob_is_a_concrete_violation_at_every_width() {
+    // idx[i] is written by iteration i-1 (idx[0] is seeded), so the
+    // golden order always reads a valid index; a reversed replay reads
+    // the unwritten sentinel -1 and indexes a[-1].
+    let src = "fn main() -> int {\n\
+         let idx: [int; 8]; let a: [int; 8]; let s: int = 0;\n\
+         for (let i: int = 0; i < 8; i = i + 1) { idx[i] = 0 - 1; }\n\
+         idx[0] = 0;\n\
+         @chain: for (let i: int = 0; i < 8; i = i + 1) {\n\
+           a[idx[i]] = i * 3;\n\
+           if (i < 7) { idx[i + 1] = i + 1; }\n\
+         }\n\
+         for (let i: int = 0; i < 8; i = i + 1) { s = s + a[i]; }\n\
+         return s; }";
+    let m = dca::ir::compile(src).expect("compiles");
+    for width in WIDTHS {
+        let report = analyze(&m, config(width));
+        let r = report.by_tag("chain").expect("chain");
+        assert_eq!(
+            r.verdict,
+            LoopVerdict::NonCommutative(Violation::ReplayTrapped(Trap::OutOfBounds {
+                len: 8,
+                index: -1
+            })),
+            "width {width}: reversed order must trap on the unwritten index"
+        );
+    }
+}

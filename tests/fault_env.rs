@@ -1,0 +1,82 @@
+//! `DCA_FAULT` environment-variable plumbing for the fault-injection
+//! harness. Environment mutation is process-global, so this file holds a
+//! single test function (its own test binary) and performs the checks
+//! sequentially — no other test in this process races on the variable.
+
+use dca::core::{Dca, DcaConfig, DcaReport, FaultPlan, LoopVerdict, SkipReason};
+
+const SRC: &str = "fn main() -> int { let a: [int; 16]; let s: int = 0;\n\
+     @fill: for (let i: int = 0; i < 12; i = i + 1) { a[i] = i * 5 % 13; }\n\
+     @sum: for (let i: int = 0; i < 12; i = i + 1) { s = s + a[i]; }\n\
+     return s; }";
+
+fn analyze(m: &dca::ir::Module, cfg: DcaConfig) -> DcaReport {
+    Dca::new(cfg).analyze_module(m).expect("analysis runs")
+}
+
+fn verdict_of(report: &DcaReport, tag: &str) -> LoopVerdict {
+    report.by_tag(tag).expect("tagged loop").verdict.clone()
+}
+
+#[test]
+fn dca_fault_env_spec_is_honored_ignored_and_overridden() {
+    let m = dca::ir::compile(SRC).expect("compiles");
+    let cfg = DcaConfig {
+        threads: 2,
+        ..DcaConfig::fast()
+    };
+    let baseline = analyze(&m, cfg.clone());
+    assert!(verdict_of(&baseline, "fill").is_commutative());
+    assert!(verdict_of(&baseline, "sum").is_commutative());
+
+    // A valid spec in the environment arms the fault with no config
+    // change at all — the chaos entry point for release binaries.
+    std::env::set_var("DCA_FAULT", "panic@replay:1,loop:0");
+    let env_faulted = analyze(&m, cfg.clone());
+    assert!(
+        matches!(
+            verdict_of(&env_faulted, "fill"),
+            LoopVerdict::Skipped(SkipReason::EngineFault(_))
+        ),
+        "env-armed fault must be injected: {:?}",
+        verdict_of(&env_faulted, "fill")
+    );
+    assert_eq!(
+        verdict_of(&env_faulted, "sum"),
+        LoopVerdict::Commutative,
+        "the un-targeted loop is untouched"
+    );
+
+    // An explicit `DcaConfig::fault` wins over the environment.
+    let explicit = DcaConfig {
+        fault: Some(FaultPlan::parse("panic@replay:0,loop:1").expect("valid")),
+        ..cfg.clone()
+    };
+    let config_faulted = analyze(&m, explicit);
+    assert_eq!(
+        verdict_of(&config_faulted, "fill"),
+        LoopVerdict::Commutative,
+        "config plan replaces the env plan, so loop 0 is clean"
+    );
+    assert!(
+        matches!(
+            verdict_of(&config_faulted, "sum"),
+            LoopVerdict::Skipped(SkipReason::EngineFault(_))
+        ),
+        "config plan targets loop 1"
+    );
+
+    // A typo'd spec is reported and ignored — it must not change
+    // analysis behavior (and must not panic).
+    std::env::set_var("DCA_FAULT", "explode@never:1");
+    let ignored = analyze(&m, cfg.clone());
+    for (b, r) in baseline.iter().zip(ignored.iter()) {
+        assert_eq!(b, r, "invalid spec must leave the analysis untouched");
+    }
+
+    std::env::remove_var("DCA_FAULT");
+    let clean = analyze(&m, cfg);
+    for (b, r) in baseline.iter().zip(clean.iter()) {
+        assert_eq!(b, r, "unset variable restores fault-free behavior");
+    }
+}
