@@ -14,8 +14,13 @@
 
 use dca_bench::harness::Harness;
 use dca_core::{Dca, DcaConfig, FaultPlan, Obs, ObsOptions, WallLimits};
+use dca_interp::{Machine, NoHooks};
 use std::hint::black_box;
 use std::time::Duration;
+
+/// Heap writes in the journal fixture's loop; the per-write gate divides
+/// by this.
+const JOURNAL_WRITES: usize = 4096;
 
 fn fixture() -> dca_ir::Module {
     dca_ir::compile(
@@ -88,6 +93,37 @@ fn main() {
         b.iter(|| black_box(armed.analyze_module(&m).expect("analyze")))
     });
 
+    // Write journal (DESIGN.md §13): a write-heavy replay with the
+    // journal disarmed (the recording path, and any machine outside a
+    // permuted replay) vs the same replay armed. The disarmed store hook
+    // must reduce to a branch on `Option`.
+    let jm = dca_ir::compile(&format!(
+        "let g: [int; {JOURNAL_WRITES}];\n\
+         fn main() {{\n\
+           for (let i: int = 0; i < {JOURNAL_WRITES}; i = i + 1) {{ g[i] = g[i] + i; }}\n\
+         }}"
+    ))
+    .expect("journal fixture compiles");
+    let mut machine = Machine::new(&jm);
+    machine
+        .push_call(jm.main().expect("main"), &[])
+        .expect("push");
+    let snap = machine.snapshot();
+    h.bench_function("journal/replay_disarmed", |b| {
+        b.iter(|| {
+            machine.run(&mut NoHooks, u64::MAX).expect("replay");
+            machine.restore(&snap);
+        })
+    });
+    machine.restore(&snap);
+    h.bench_function("journal/replay_armed", |b| {
+        b.iter(|| {
+            machine.begin_journal();
+            machine.run(&mut NoHooks, u64::MAX).expect("replay");
+            machine.rollback();
+        })
+    });
+
     h.finish();
 
     // Gate 1: a disabled primitive call must cost nanoseconds, not
@@ -126,8 +162,29 @@ fn main() {
         "fault-armed analyze ({armed_t:?}) measurably slower than fault-free ({off_t:?})"
     );
 
+    // Gate 5: the disarmed journal's store hook must be free. The
+    // disarmed replay rewinds by full restore and the armed one by
+    // rollback, so at this write footprint (every heap cell dirtied)
+    // their rewind work is comparable and the ratio isolates the
+    // per-store branch; 1.25x headroom as above, plus a generous
+    // absolute per-write ceiling far above a plain interpreter store.
+    let disarmed = median_of(&h, "journal/replay_disarmed");
+    let journal_armed = median_of(&h, "journal/replay_armed");
+    assert!(
+        disarmed.as_secs_f64() <= journal_armed.as_secs_f64() * 1.25,
+        "disarmed-journal replay ({disarmed:?}) measurably slower than an armed one \
+         ({journal_armed:?}) — the disarmed store hook is no longer branch-cheap"
+    );
+    let per_write = disarmed.as_secs_f64() / JOURNAL_WRITES as f64;
+    assert!(
+        per_write < 1e-6,
+        "disarmed replay costs {:.0} ns per heap write — store hook overhead",
+        per_write * 1e9
+    );
+
     println!(
         "obs overhead gates passed: disabled calls {calls:?}/1000, analyze {off_t:?} (off) vs \
-         {on_t:?} (metrics), {governed_t:?} (governed), {armed_t:?} (fault armed, idle)"
+         {on_t:?} (metrics), {governed_t:?} (governed), {armed_t:?} (fault armed, idle), \
+         replay {disarmed:?} (journal disarmed) vs {journal_armed:?} (armed)"
     );
 }

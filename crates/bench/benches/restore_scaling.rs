@@ -1,0 +1,115 @@
+//! Measures how replay rewind cost scales with heap size, and gates the
+//! tentpole claim of the incremental-restore work: a journaled
+//! [`dca_interp::Machine::rollback`] costs O(writes), so at a fixed write
+//! footprint it must stay flat as the program's heap grows, while the
+//! full-clone [`dca_interp::Machine::restore`] path grows linearly with
+//! the heap it copies back.
+//!
+//! Each benchmark executes the same replay body (a loop writing `W` cells
+//! of an `H`-cell global array) and then rewinds it, so the full-vs-
+//! journal difference isolates the rewind itself. The process exits
+//! non-zero when the scaling claims fail, so `cargo bench --bench
+//! restore_scaling` doubles as a CI gate (DESIGN.md §13).
+
+use dca_bench::harness::Harness;
+use dca_interp::{Machine, NoHooks};
+use std::time::Duration;
+
+/// Heap sizes swept (cells in the global array). The largest point is
+/// where full-clone restore pays for ~128 Ki cells per rewind.
+const HEAPS: &[usize] = &[1 << 10, 1 << 14, 1 << 17];
+
+/// Write footprints swept (cells the replay body actually dirties).
+const WRITES: &[usize] = &[16, 256];
+
+fn fixture(heap: usize, writes: usize) -> dca_ir::Module {
+    dca_ir::compile(&format!(
+        "let g: [int; {heap}];\n\
+         fn main() -> int {{\n\
+           let s: int = 0;\n\
+           for (let i: int = 0; i < {writes}; i = i + 1) {{\n\
+             g[i] = g[i] + i; s = s + g[i];\n\
+           }}\n\
+           return s;\n\
+         }}"
+    ))
+    .expect("fixture compiles")
+}
+
+fn median_of(h: &Harness, name: &str) -> Duration {
+    h.results()
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("bench {name} did not run"))
+        .median
+}
+
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+
+    for &writes in WRITES {
+        for &heap in HEAPS {
+            let m = fixture(heap, writes);
+            let main_fn = m.main().expect("main");
+            let mut machine = Machine::new(&m);
+            machine.push_call(main_fn, &[]).expect("push");
+            let snap = machine.snapshot();
+
+            // Baseline: replay to completion, then rewind by restoring
+            // the full snapshot (clones all `heap` cells back).
+            h.bench_function(&format!("restore/full/h{heap}_w{writes}"), |b| {
+                b.iter(|| {
+                    machine.run(&mut NoHooks, u64::MAX).expect("replay");
+                    machine.restore(&snap);
+                })
+            });
+
+            // Tentpole: the same replay under an armed journal, rewound
+            // by rolling back only the `writes` dirtied cells.
+            machine.restore(&snap);
+            h.bench_function(&format!("restore/journal/h{heap}_w{writes}"), |b| {
+                b.iter(|| {
+                    machine.begin_journal();
+                    machine.run(&mut NoHooks, u64::MAX).expect("replay");
+                    machine.rollback();
+                })
+            });
+        }
+    }
+
+    h.finish();
+
+    let h_min = HEAPS[0];
+    let h_max = *HEAPS.last().expect("non-empty sweep");
+    for &writes in WRITES {
+        let j_min = median_of(&h, &format!("restore/journal/h{h_min}_w{writes}"));
+        let j_max = median_of(&h, &format!("restore/journal/h{h_max}_w{writes}"));
+        // Gate 1: journaled rewind is flat in heap size — the same write
+        // footprint must cost the same whether the heap holds 1 Ki or
+        // 128 Ki cells (2x headroom for scheduler noise; the full-clone
+        // path grows ~128x over the same sweep).
+        assert!(
+            j_max.as_secs_f64() <= j_min.as_secs_f64() * 2.0,
+            "journaled rewind not flat in heap size at w={writes}: \
+             {j_min:?} at {h_min} cells vs {j_max:?} at {h_max} cells"
+        );
+    }
+
+    // Gate 2: at the largest heap point the journaled path must beat the
+    // full-clone path by at least 5x (the ISSUE's headline number, taken
+    // at the smaller write footprint where rewind dominates the replay).
+    let w = WRITES[0];
+    let full = median_of(&h, &format!("restore/full/h{h_max}_w{w}"));
+    let journal = median_of(&h, &format!("restore/journal/h{h_max}_w{w}"));
+    assert!(
+        journal.as_secs_f64() * 5.0 <= full.as_secs_f64(),
+        "journaled rewind ({journal:?}) is not >=5x faster than full-clone \
+         restore ({full:?}) at {h_max} heap cells, w={w}"
+    );
+
+    println!(
+        "restore scaling gates passed: at {h_max} cells / {w} writes, \
+         full {full:?} vs journal {journal:?} ({:.1}x)",
+        full.as_secs_f64() / journal.as_secs_f64()
+    );
+}

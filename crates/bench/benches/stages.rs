@@ -3,7 +3,7 @@
 
 use dca_analysis::{EffectMap, IteratorSlice, Liveness};
 use dca_bench::harness::Harness;
-use dca_core::{record_golden, run_replay, ReplayController};
+use dca_core::{record_golden, run_replay, DcaConfig, ReplayController};
 use dca_interp::Machine;
 use dca_ir::FuncView;
 use std::hint::black_box;
@@ -52,7 +52,7 @@ fn bench_dynamic_stage(h: &mut Harness) {
                     l,
                     &slice,
                     0,
-                    1 << 16,
+                    DcaConfig::DEFAULT_MAX_TRIP,
                     u64::MAX,
                 )
                 .expect("record"),
@@ -68,7 +68,7 @@ fn bench_dynamic_stage(h: &mut Harness) {
         l,
         &slice,
         0,
-        1 << 16,
+        DcaConfig::DEFAULT_MAX_TRIP,
         u64::MAX,
     )
     .expect("record");
@@ -82,7 +82,7 @@ fn bench_dynamic_stage(h: &mut Harness) {
         })
     });
     h.bench_function("dynamic/full_loop_test", |b| {
-        let dca = dca_core::Dca::new(dca_core::DcaConfig::fast());
+        let dca = dca_core::Dca::new(DcaConfig::fast());
         b.iter(|| black_box(dca.test_loop(&m, lref, &args).expect("test")))
     });
 }

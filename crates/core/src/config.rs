@@ -163,8 +163,8 @@ impl Default for DcaConfig {
             verify_scope: VerifyScope::ProgramEnd,
             float_tolerance: 1e-8,
             invocations: 1,
-            max_steps: 200_000_000,
-            max_trip: 1 << 16,
+            max_steps: Self::DEFAULT_MAX_STEPS,
+            max_trip: Self::DEFAULT_MAX_TRIP,
             threads: 0,
             max_wall: WallLimits::default(),
             fault: None,
@@ -174,11 +174,25 @@ impl Default for DcaConfig {
 }
 
 impl DcaConfig {
+    /// Default step budget per program run ([`DcaConfig::max_steps`]).
+    pub const DEFAULT_MAX_STEPS: u64 = 200_000_000;
+    /// Default trip limit per loop invocation ([`DcaConfig::max_trip`]).
+    /// Unit tests and bench harnesses that drive `record`/`replay`
+    /// directly use this same constant, so a future limit change cannot
+    /// silently diverge between test and production paths.
+    pub const DEFAULT_MAX_TRIP: usize = 1 << 16;
+    /// Step budget used by [`DcaConfig::fast`].
+    pub const FAST_MAX_STEPS: u64 = 20_000_000;
+    /// Step budget for single-loop replays in unit tests and bench
+    /// harnesses — large enough for any fixture in the repo, small enough
+    /// to fail fast on an accidental infinite loop.
+    pub const TEST_STEP_BUDGET: u64 = 10_000_000;
+
     /// A configuration for quick tests: reverse + 2 shuffles, small budgets.
     pub fn fast() -> Self {
         DcaConfig {
             permutations: PermutationSet::Presets { shuffles: 2 },
-            max_steps: 20_000_000,
+            max_steps: Self::FAST_MAX_STEPS,
             ..Default::default()
         }
     }

@@ -5,13 +5,15 @@
 use crate::config::{DcaConfig, PermutationSet, VerifyScope};
 use crate::fault::{catch_contained, FaultKind, FaultPlan, STALL_DURATION};
 use crate::outcome::{ProgramOutcome, StateDigest};
-use crate::parallel::{effective_threads, parallel_map, parallel_scan, split_threads, StopIndex};
+use crate::parallel::{
+    effective_threads, parallel_map, parallel_scan_with, split_threads, StopIndex,
+};
 use crate::perm::{derive_seed, schedules};
 use crate::record::{record_golden_governed, GoldenRecord, RecordError};
 use crate::replay::{run_replay_governed, ReplayController, ReplayEnd, ReplayGovernor};
 use crate::report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};
 use dca_analysis::{exclusion, EffectMap, IteratorSlice, Liveness};
-use dca_interp::{Machine, OpCounts, Value};
+use dca_interp::{JournalStats, Machine, OpCounts, Value};
 use dca_ir::{FuncId, FuncView, Loop, LoopRef, Module, Ty};
 use dca_obs::{Obs, TraceVal};
 use std::fmt;
@@ -92,10 +94,26 @@ struct PermOutcome {
     replay: Duration,
     verify: Duration,
     ops: OpCounts,
+    /// Journal-rollback deltas for this replay (`journal.*` counters).
+    /// Per-slot deltas are a function of the replay alone — every replay
+    /// starts from the same snapshot state — so they ride the fold as
+    /// thread-count-invariantly as the heap-op deltas.
+    journal: JournalStats,
     /// The fault injected into this replay, if any (fault-injection
     /// harness). Counted from the fold so `engine.faults.*` is as
     /// thread-count-invariant as everything else.
     injected: Option<FaultKind>,
+}
+
+/// Per-worker state for the permutation scan: one interpreter machine
+/// serves every replay the worker claims, restored from the shared
+/// golden snapshot once and rewound by journal rollback between replays.
+struct ReplayWorker<'m> {
+    machine: Machine<'m>,
+    /// True iff `machine` sits exactly at the golden snapshot with no
+    /// journal armed — the steady state between replays. False on first
+    /// use and after a contained panic left the machine dirty.
+    clean: bool,
 }
 
 /// The obs counter charged for one injected fault kind.
@@ -118,6 +136,7 @@ struct FoldTotals {
     replay: Duration,
     verify: Duration,
     ops: OpCounts,
+    journal: JournalStats,
     /// `(counter, slot)` per injected fault in the folded prefix.
     faults: Vec<(&'static str, usize)>,
 }
@@ -130,6 +149,7 @@ impl FoldTotals {
         self.replay += o.replay;
         self.verify += o.verify;
         self.ops = self.ops.plus(&o.ops);
+        self.journal = self.journal.plus(&o.journal);
         if let Some(kind) = o.injected {
             self.faults.push((fault_counter(kind), slot));
         }
@@ -141,6 +161,9 @@ impl FoldTotals {
         obs.record_span("stage.replay", self.replay, self.replays);
         obs.record_span("stage.verify", self.verify, self.replays);
         obs.count("engine.replays", self.replays);
+        obs.count("journal.rollbacks", self.journal.rollbacks);
+        obs.count("journal.cells_undone", self.journal.cells_undone);
+        obs.count("journal.objs_discarded", self.journal.objs_discarded);
         record_machine_ops(obs, &self.ops);
         for &(counter, slot) in &self.faults {
             obs.count(counter, 1);
@@ -930,7 +953,7 @@ impl Dca {
         } else {
             None
         };
-        let check_one = |slot: usize, perm: &Vec<usize>| -> PermOutcome {
+        let check_one = |w: &mut ReplayWorker<'_>, slot: usize, perm: &Vec<usize>| -> PermOutcome {
             // Deterministic fault targeting: the (loop ordinal, slot)
             // pair is position-based, so the same replay is hit at every
             // thread count.
@@ -938,20 +961,39 @@ impl Dca {
             if matches!(injected, Some(FaultKind::Stall)) {
                 std::thread::sleep(STALL_DURATION);
             }
+            // Rewind the worker's machine to the golden snapshot. The
+            // normal steady state is `clean` (the previous replay rolled
+            // its journal back), so this costs nothing; the exceptions
+            // are first use (full restore from the shared snapshot) and
+            // recovery after a contained panic (roll back the armed
+            // journal the panicking replay left behind, or full-restore
+            // if it died before arming / mid-rewind).
             let t_restore = t_start();
-            let mut machine = Machine::new(module);
-            machine.restore(&golden.snapshot);
-            if let Some(FaultKind::AllocFail { allocs }) = injected {
-                machine.fail_alloc_after(allocs);
+            if !w.clean {
+                if w.machine.journal_armed() {
+                    w.machine.rollback();
+                } else {
+                    w.machine.restore(&golden.snapshot);
+                }
             }
-            let restore = t_since(t_restore);
-            let before = machine.steps();
+            w.clean = false;
+            w.machine.clear_alloc_fault();
+            w.machine.begin_journal();
+            if let Some(FaultKind::AllocFail { allocs }) = injected {
+                w.machine.fail_alloc_after(allocs);
+            }
+            let restore_prep = t_since(t_restore);
+            let ops_before = w.machine.op_counts();
+            let journal_before = w.machine.journal_stats();
+            let before = w.machine.steps();
             let mut ctl = ReplayController::new(view.id, view.func, l, slice, golden, perm);
             let t_replay = t_start();
             if matches!(injected, Some(FaultKind::Panic)) {
                 // The surrounding catch converts this into a classified
                 // `EngineFault` skip — exactly what a real engine bug in a
-                // replay worker would produce.
+                // replay worker would produce. Firing after
+                // `begin_journal` also exercises the armed-journal
+                // recovery path above.
                 panic!("injected fault: panic in replay slot {slot}");
             }
             let gov = ReplayGovernor {
@@ -966,18 +1008,18 @@ impl Dca {
                 },
             };
             let end = run_replay_governed(
-                &mut machine,
+                &mut w.machine,
                 &mut ctl,
                 stop_at_exit,
                 self.config.max_steps,
                 gov,
             );
             let replay = t_since(t_replay);
-            let steps = machine.steps() - before;
+            let steps = w.machine.steps() - before;
             let t_verify = t_start();
             let end = match (&self.config.verify_scope, end) {
                 (VerifyScope::ProgramEnd, ReplayEnd::Finished(ret)) => {
-                    let outcome = ProgramOutcome::capture(&machine, ret);
+                    let outcome = ProgramOutcome::capture(&w.machine, ret);
                     if golden
                         .outcome
                         .matches(&outcome, self.config.float_tolerance)
@@ -988,7 +1030,7 @@ impl Dca {
                     }
                 }
                 (VerifyScope::LoopExit, ReplayEnd::LoopExited) => {
-                    let digest = self.capture_digest(&machine, live, l);
+                    let digest = self.capture_digest(&w.machine, live, l);
                     let reference = reference_digest.as_ref().expect("captured above");
                     if reference.matches(&digest, self.config.float_tolerance) {
                         VerifyEnd::Complete
@@ -1012,36 +1054,62 @@ impl Dca {
                 }
             };
             let verify = t_since(t_verify);
+            // Undo this replay's writes so the machine is snapshot-clean
+            // for the worker's next claim. Rollback is restore work, so
+            // its time lands in the `stage.restore` span.
+            let t_rollback = t_start();
+            w.machine.rollback();
+            w.clean = true;
+            let restore = restore_prep + t_since(t_rollback);
             PermOutcome {
                 end,
                 steps,
                 restore,
                 replay,
                 verify,
-                ops: machine.op_counts(),
+                ops: w.machine.op_counts().since(&ops_before),
+                journal: w.machine.journal_stats().since(&journal_before),
                 injected,
             }
         };
         let stop = StopIndex::new();
-        let slots = parallel_scan(threads, perms, &stop, obs, "perms", |i, perm| {
-            // Contain per-replay faults: a panicking replay — injected or
-            // a genuine engine bug — yields a classified outcome for its
-            // slot; the deterministic fold below decides what the prefix
-            // means, and no other replay is disturbed.
-            let out = catch_contained(|| check_one(i, perm)).unwrap_or_else(|msg| PermOutcome {
-                end: VerifyEnd::Fault(msg),
-                steps: 0,
-                restore: Duration::ZERO,
-                replay: Duration::ZERO,
-                verify: Duration::ZERO,
-                ops: OpCounts::default(),
-                injected: ctx.fault.and_then(|p| p.for_replay(ctx.ordinal, i)),
-            });
-            if out.end != VerifyEnd::Complete {
-                stop.stop_at(i);
-            }
-            out
-        });
+        let slots = parallel_scan_with(
+            threads,
+            perms,
+            &stop,
+            obs,
+            "perms",
+            // One interpreter per worker for the whole scan: restored
+            // from the shared snapshot once, then rewound by journal
+            // rollback between replays (O(writes), not O(heap)).
+            || ReplayWorker {
+                machine: Machine::new(module),
+                clean: false,
+            },
+            |w, i, perm| {
+                // Contain per-replay faults: a panicking replay — injected
+                // or a genuine engine bug — yields a classified outcome for
+                // its slot; the deterministic fold below decides what the
+                // prefix means, and no other replay is disturbed. The
+                // worker machine survives the panic in a dirty state and
+                // is rewound before its next use (see `check_one`).
+                let out =
+                    catch_contained(|| check_one(w, i, perm)).unwrap_or_else(|msg| PermOutcome {
+                        end: VerifyEnd::Fault(msg),
+                        steps: 0,
+                        restore: Duration::ZERO,
+                        replay: Duration::ZERO,
+                        verify: Duration::ZERO,
+                        ops: OpCounts::default(),
+                        journal: JournalStats::default(),
+                        injected: ctx.fault.and_then(|p| p.for_replay(ctx.ordinal, i)),
+                    });
+                if out.end != VerifyEnd::Complete {
+                    stop.stop_at(i);
+                }
+                out
+            },
+        );
         // Deterministic fold over the sequential prefix. Workers may have
         // completed slots past the first terminal index before observing
         // the stop; those are ignored, exactly as sequential execution

@@ -21,12 +21,14 @@
 //! # Unwind safety
 //!
 //! [`catch_contained`] uses `AssertUnwindSafe`. The assertion is real,
-//! not hopeful: every per-replay worker builds its interpreter
-//! [`Machine`](dca_interp::Machine) locally and restores it from the
-//! immutable golden snapshot, so no state observable after a caught
-//! panic was mutated by the panicking region. The shared structures a
-//! worker touches (`StopIndex`, obs counters) are lock-free atomics or
-//! poison-tolerant locks.
+//! not hopeful: the one structure that outlives a caught per-replay
+//! panic — the worker's reused interpreter
+//! [`Machine`](dca_interp::Machine) — is explicitly rewound before its
+//! next use (the armed write journal the panicking replay left behind
+//! is rolled back, or the machine is fully restored from the immutable
+//! golden snapshot if the panic struck before arming; see DESIGN.md
+//! §13). The shared structures a worker touches (`StopIndex`, obs
+//! counters) are lock-free atomics or poison-tolerant locks.
 //!
 //! # `DCA_FAULT` spec grammar
 //!

@@ -247,24 +247,61 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_scan_with(threads, items, stop, obs, pool, || (), |(), i, t| f(i, t))
+}
+
+/// [`parallel_scan`] with **worker-local state**: `init()` runs once per
+/// worker (once total on the sequential path) and the resulting value is
+/// threaded mutably through every item that worker processes. This is how
+/// the engine amortizes expensive per-worker setup — one interpreter
+/// `Machine` restored from the golden snapshot serves all of a worker's
+/// replays, each rewound by journal rollback instead of rebuilt.
+///
+/// Determinism caveat for callers: *which* items share a worker's state
+/// depends on scheduling, so `f`'s **result for item `i` must not depend
+/// on the state's history** — only on `i`, `items[i]`, and state that `f`
+/// itself re-establishes (e.g. a machine rewound to the snapshot point
+/// before use).
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+#[allow(clippy::many_single_char_names)]
+pub fn parallel_scan_with<S, T, R, I, F>(
+    threads: usize,
+    items: &[T],
+    stop: &StopIndex,
+    obs: &Obs,
+    pool: &'static str,
+    init: I,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let workers = threads.clamp(1, items.len().max(1));
     if workers <= 1 {
+        let mut state = init();
         let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
         for (i, item) in items.iter().enumerate() {
             if i > stop.current() {
                 break;
             }
-            slots[i] = Some(f(i, item));
+            slots[i] = Some(f(&mut state, i, item));
         }
         return slots;
     }
     let next = AtomicUsize::new(0);
-    let (next, f) = (&next, &f);
+    let (next, init, f) = (&next, &init, &f);
     let buckets: Vec<Vec<(usize, R)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 s.spawn(move || {
                     let mut stats = WorkerStats::begin(obs);
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -291,7 +328,7 @@ where
                             break;
                         }
                         let t = stats.item_start();
-                        local.push((i, f(i, &items[i])));
+                        local.push((i, f(&mut state, i, &items[i])));
                         stats.item_end(t);
                     }
                     stats.finish(obs, pool, w);
@@ -416,6 +453,46 @@ mod tests {
             }
         });
         assert!(!ran_past.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn stateful_scan_inits_once_per_worker_and_reuses_state() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let inits = AtomicUsize::new(0);
+            let stop = StopIndex::new();
+            let slots = parallel_scan_with(
+                threads,
+                &items,
+                &stop,
+                &Obs::disabled(),
+                "test",
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    0usize // items this worker has processed so far
+                },
+                |seen, i, &x| {
+                    *seen += 1;
+                    (i, x * 2, *seen)
+                },
+            );
+            // Workers are capped by item count, so at most `threads`
+            // states were built (exactly one sequentially).
+            let built = inits.load(Ordering::SeqCst);
+            assert!((1..=threads).contains(&built), "threads={threads}");
+            // Results are per-item correct regardless of which worker's
+            // state they rode on, and state genuinely accumulated: the
+            // per-worker counters across all items sum to 1+2+..k per
+            // worker, so their max is at least ceil(items/workers).
+            let mut max_seen = 0;
+            for (i, s) in slots.iter().enumerate() {
+                let (si, sx, seen) = s.expect("no terminal: all slots filled");
+                assert_eq!((si, sx), (i, i * 2));
+                max_seen = max_seen.max(seen);
+            }
+            assert!(max_seen >= items.len().div_ceil(built));
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::config::PermutationSet;
 use dca_rng::{mix64, Rng};
+use std::collections::HashSet;
 
 /// Derives the shuffle seed for one `(function, loop, invocation)` test
 /// from the engine's base seed.
@@ -31,8 +32,11 @@ pub fn derive_seed(base: u64, func: u32, loop_id: u32, invocation: u32) -> u64 {
 pub fn schedules(set: &PermutationSet, trip: usize, seed: u64) -> Vec<Vec<usize>> {
     let identity: Vec<usize> = (0..trip).collect();
     let mut out: Vec<Vec<usize>> = Vec::new();
-    let push = |p: Vec<usize>, out: &mut Vec<Vec<usize>>| {
-        if p != identity && !out.contains(&p) {
+    // First-occurrence order with O(1) membership: the naive
+    // `out.contains(&p)` scan is O(k²·trip) once `shuffles` grows large.
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    let mut push = |p: Vec<usize>, out: &mut Vec<Vec<usize>>| {
+        if p != identity && seen.insert(p.clone()) {
             out.push(p);
         }
     };
@@ -62,11 +66,13 @@ pub fn schedules(set: &PermutationSet, trip: usize, seed: u64) -> Vec<Vec<usize>
             fallback_shuffles,
         } => {
             if trip <= *max_trip {
+                // Routed through the same dedup as every other arm:
+                // Heap's algorithm happens to visit each permutation
+                // once, but the "duplicates are removed" contract must
+                // not depend on that implementation detail.
                 let mut p = identity.clone();
                 heaps(&mut p, trip, &mut |perm| {
-                    if perm != identity.as_slice() {
-                        out.push(perm.to_vec());
-                    }
+                    push(perm.to_vec(), &mut out);
                 });
             } else {
                 return schedules(
@@ -205,6 +211,32 @@ mod tests {
         }
         // And the base seed itself matters.
         assert_ne!(derive_seed(1, 2, 3, 4), derive_seed(2, 2, 3, 4));
+    }
+
+    #[test]
+    fn large_shuffle_counts_dedup_quickly_and_correctly() {
+        // Trip 3 has only 5 non-identity permutations, so 5000 shuffles
+        // are almost all duplicates: with the old O(k²·trip) `contains`
+        // scan this regression test is where it would crawl; with hashed
+        // dedup it is instant and the result is exactly the distinct set.
+        let s = schedules(&PermutationSet::Presets { shuffles: 5000 }, 3, 42);
+        assert!(s.len() <= 5);
+        let mut sorted = s.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), s.len(), "no duplicates survive");
+        assert_eq!(s[0], vec![2, 1, 0], "reverse still leads");
+        // Dedup preserves first-occurrence order: a small shuffle count
+        // must be a prefix of a larger one under the same seed.
+        let small = schedules(&PermutationSet::Presets { shuffles: 40 }, 3, 42);
+        assert_eq!(&s[..small.len()], &small[..]);
+        // A large trip count keeps every shuffle distinct (no collisions
+        // in practice) and the hashed path preserves them all.
+        let big = schedules(&PermutationSet::Shuffles { shuffles: 200 }, 32, 7);
+        assert_eq!(big.len(), 200);
+        for p in &big {
+            assert!(is_permutation(p));
+        }
     }
 
     #[test]

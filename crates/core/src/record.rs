@@ -17,13 +17,17 @@ use dca_analysis::IteratorSlice;
 use dca_interp::{Hooks, InstAction, Machine, Site, Snapshot, Trap, Value};
 use dca_ir::{BlockId, FuncId, Loop, VarId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything recorded about one tested loop invocation.
 #[derive(Debug, Clone)]
 pub struct GoldenRecord {
-    /// Machine state at the invocation's first header arrival.
-    pub snapshot: Snapshot,
+    /// Machine state at the invocation's first header arrival. Shared
+    /// behind an [`Arc`]: every parallel verification worker restores
+    /// from (and the engine clones records around) this one immutable
+    /// snapshot instead of deep-copying the heap per consumer.
+    pub snapshot: Arc<Snapshot>,
     /// Committed per-iteration values of the recorded variables, in
     /// original order.
     pub iters: Vec<Vec<Value>>,
@@ -375,7 +379,7 @@ pub fn record_golden_governed(
     let exit_target = rec.exit_target.ok_or(RecordError::NotExercised)?;
     let (iters, exit_vals, depth) = (rec.iters, rec.exit_vals, rec.depth);
     Ok(GoldenRecord {
-        snapshot,
+        snapshot: Arc::new(snapshot),
         iters,
         rec_vars,
         exit_vals,
@@ -389,6 +393,7 @@ pub fn record_golden_governed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DcaConfig;
     use dca_analysis::IteratorSlice;
     use dca_ir::FuncView;
 
@@ -410,8 +415,8 @@ mod tests {
                     l,
                     &slice,
                     0,
-                    1 << 16,
-                    100_000_000,
+                    DcaConfig::DEFAULT_MAX_TRIP,
+                    DcaConfig::TEST_STEP_BUDGET,
                 );
             }
         }
@@ -525,8 +530,8 @@ mod tests {
             l,
             &slice,
             1,
-            1 << 16,
-            1_000_000,
+            DcaConfig::DEFAULT_MAX_TRIP,
+            DcaConfig::TEST_STEP_BUDGET,
         )
         .expect("record");
         assert_eq!(g.iters.len(), 5, "second invocation has 5 iterations");
@@ -554,8 +559,8 @@ mod tests {
                 l,
                 &slice,
                 skip,
-                1 << 16,
-                1_000_000,
+                DcaConfig::DEFAULT_MAX_TRIP,
+                DcaConfig::TEST_STEP_BUDGET,
                 2,
             )
             .map(|g| g.iters.len())

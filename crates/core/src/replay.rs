@@ -400,6 +400,7 @@ pub fn run_replay_governed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DcaConfig;
     use crate::record::record_golden;
     use dca_ir::FuncView;
 
@@ -439,14 +440,14 @@ mod tests {
             &l,
             &slice,
             0,
-            1 << 16,
-            10_000_000,
+            DcaConfig::DEFAULT_MAX_TRIP,
+            DcaConfig::TEST_STEP_BUDGET,
         )
         .expect("golden");
         let perm = perm_of(golden.iters.len());
         machine.restore(&golden.snapshot);
         let mut ctl = ReplayController::new(fid, m.func(fid), &l, &slice, &golden, &perm);
-        let end = run_replay(&mut machine, &mut ctl, false, 10_000_000);
+        let end = run_replay(&mut machine, &mut ctl, false, DcaConfig::TEST_STEP_BUDGET);
         (golden.outcome.clone(), end, machine.output().to_vec())
     }
 

@@ -32,7 +32,9 @@ pub mod profile;
 pub mod value;
 
 pub use hooks::{Hooks, InstAction, NoHooks, Site, TermAction};
-pub use machine::{Limits, Machine, Obj, OpCounts, Outcome, OutputItem, Position, Snapshot, Trap};
+pub use machine::{
+    JournalStats, Limits, Machine, Obj, OpCounts, Outcome, OutputItem, Position, Snapshot, Trap,
+};
 pub use profile::{LoopProfiler, LoopStats, ModuleProfile};
 pub use value::{Addr, ObjId, Value};
 

@@ -147,7 +147,11 @@ impl Default for Limits {
 }
 
 /// A full copy of machine state, restorable with [`Machine::restore`].
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares full state field-wise (floats by IEEE equality),
+/// which differential tests use to assert two restore paths converge on
+/// identical machines.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     heap: Vec<Obj>,
     frames: Vec<Frame>,
@@ -214,6 +218,75 @@ impl OpCounts {
     }
 }
 
+/// Undo record for one journaled heap-cell overwrite.
+#[derive(Debug, Clone, Copy)]
+struct CellUndo {
+    obj: ObjId,
+    cell: u32,
+    old: Value,
+}
+
+/// An armed write journal: everything needed to rewind the machine to
+/// the state it had at [`Machine::begin_journal`] in time proportional
+/// to the work performed since, not to total machine state.
+///
+/// Heap-cell overwrites are logged individually (old value per cell);
+/// objects allocated after arming need no per-cell log because the heap
+/// is append-only during execution, so truncating back to the armed
+/// length discards them wholesale. Frames are captured by clone at
+/// arming time: [`Hooks`] implementations receive `&mut [Value]` views
+/// of frame variables and may rewrite them without the machine seeing
+/// the store, so per-write frame journaling is impossible — but frames
+/// are small next to the heap, so the O(writes) bound still holds where
+/// it matters. Output is append-only and rewound by watermark.
+#[derive(Debug, Clone)]
+struct Journal {
+    base_heap_len: usize,
+    base_heap_cells: u64,
+    base_output_len: usize,
+    base_steps: u64,
+    base_finished: Option<Option<Value>>,
+    base_frames: Vec<Frame>,
+    cells: Vec<CellUndo>,
+}
+
+/// Monotonic journal counters for one machine's lifetime.
+///
+/// Like [`OpCounts`], these are harness state, not program state:
+/// neither [`Machine::restore`] nor [`Machine::rollback`] rewinds them,
+/// and observability consumers read deltas ([`JournalStats::since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Completed [`Machine::rollback`] calls.
+    pub rollbacks: u64,
+    /// Heap-cell undo records replayed by rollbacks.
+    pub cells_undone: u64,
+    /// Post-arming heap objects discarded by rollback truncation.
+    pub objs_discarded: u64,
+}
+
+impl JournalStats {
+    /// The counts accumulated since `earlier` was captured.
+    #[must_use]
+    pub fn since(&self, earlier: &JournalStats) -> JournalStats {
+        JournalStats {
+            rollbacks: self.rollbacks - earlier.rollbacks,
+            cells_undone: self.cells_undone - earlier.cells_undone,
+            objs_discarded: self.objs_discarded - earlier.objs_discarded,
+        }
+    }
+
+    /// Field-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: &JournalStats) -> JournalStats {
+        JournalStats {
+            rollbacks: self.rollbacks + other.rollbacks,
+            cells_undone: self.cells_undone + other.cells_undone,
+            objs_discarded: self.objs_discarded + other.objs_discarded,
+        }
+    }
+}
+
 /// The interpreter state for one program execution.
 #[derive(Debug, Clone)]
 pub struct Machine<'m> {
@@ -230,6 +303,10 @@ pub struct Machine<'m> {
     /// traps with [`Trap::OutOfMemory`]. Like [`OpCounts`], this is harness
     /// state, not program state: [`Machine::restore`] does not reset it.
     alloc_fault: Option<u64>,
+    /// Armed write journal, if any. `None` (the common case) costs one
+    /// branch per heap store.
+    journal: Option<Journal>,
+    journal_stats: JournalStats,
 }
 
 impl<'m> Machine<'m> {
@@ -268,6 +345,8 @@ impl<'m> Machine<'m> {
             finished: None,
             ops: OpCounts::default(),
             alloc_fault: None,
+            journal: None,
+            journal_stats: JournalStats::default(),
         }
     }
 
@@ -276,6 +355,13 @@ impl<'m> Machine<'m> {
     /// Exercises the genuine out-of-memory path without a huge heap.
     pub fn fail_alloc_after(&mut self, n: u64) {
         self.alloc_fault = Some(n);
+    }
+
+    /// Disarms allocation-failure injection. Harnesses that reuse one
+    /// machine across replays call this between replays, since neither
+    /// [`Machine::restore`] nor [`Machine::rollback`] resets it.
+    pub fn clear_alloc_fault(&mut self) {
+        self.alloc_fault = None;
     }
 
     /// The module being executed.
@@ -364,14 +450,115 @@ impl<'m> Machine<'m> {
     }
 
     /// Restores a snapshot (on this machine or any machine for the same
-    /// module); the output stream is reset to the snapshot point.
+    /// module); the output stream is reset to the snapshot point. An
+    /// armed journal is discarded: the snapshot wins.
+    ///
+    /// The output stream is append-only during execution, so a machine
+    /// whose stream has reached or passed the snapshot watermark still
+    /// holds the snapshot's prefix unchanged — truncating to the
+    /// watermark is then equivalent to the old full clone without
+    /// re-allocating every label. A shorter stream (e.g. a freshly
+    /// constructed worker machine) genuinely lacks the prefix and takes
+    /// the clone path. Restoring onto a machine whose output history
+    /// diverged from the snapshot's (only possible by interleaving
+    /// restores from unrelated snapshots) is unsupported and
+    /// debug-checked.
     pub fn restore(&mut self, snap: &Snapshot) {
+        self.journal = None;
         self.heap = snap.heap.clone();
         self.frames = snap.frames.clone();
-        self.output = snap.output.clone();
+        if self.output.len() >= snap.output.len() {
+            debug_assert!(
+                output_prefix_eq(&self.output, &snap.output),
+                "restore target's output diverged from the snapshot prefix"
+            );
+            self.output.truncate(snap.output.len());
+        } else {
+            self.output = snap.output.clone();
+        }
         self.steps = snap.steps;
         self.heap_cells = snap.heap_cells;
         self.finished = snap.finished;
+    }
+
+    /// Arms the write journal: until [`Machine::rollback`], every heap
+    /// store logs the cell's prior value (for pre-existing objects) and
+    /// the heap/output high-water marks are remembered, so the machine
+    /// can be rewound to this exact state in O(writes performed) instead
+    /// of O(total state). Frame variables are captured by clone here —
+    /// hooks may rewrite them through `&mut [Value]` without the machine
+    /// observing the store, so they cannot be journaled per write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a journal is already armed; regions never nest.
+    pub fn begin_journal(&mut self) {
+        assert!(self.journal.is_none(), "journal already armed");
+        self.journal = Some(Journal {
+            base_heap_len: self.heap.len(),
+            base_heap_cells: self.heap_cells,
+            base_output_len: self.output.len(),
+            base_steps: self.steps,
+            base_finished: self.finished,
+            base_frames: self.frames.clone(),
+            cells: Vec::new(),
+        });
+    }
+
+    /// Whether a journal is currently armed.
+    pub fn journal_armed(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Monotonic journal counters for this machine's lifetime. Not
+    /// rewound by [`Machine::restore`] or [`Machine::rollback`] — see
+    /// [`JournalStats`].
+    pub fn journal_stats(&self) -> JournalStats {
+        self.journal_stats
+    }
+
+    /// Rewinds the machine to the state it had at [`Machine::begin_journal`]
+    /// and disarms the journal. Undo records are replayed newest-first,
+    /// so a cell overwritten several times ends on its original value;
+    /// objects allocated since arming are discarded by truncating the
+    /// (append-only) heap. Safe after any exit from the journaled region
+    /// — clean finish, trap mid-write, budget pause, or a panic caught
+    /// by the engine's containment layer, in which case the *next* user
+    /// of the machine rolls the armed journal back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no journal is armed.
+    pub fn rollback(&mut self) {
+        let j = self.journal.take().expect("rollback without armed journal");
+        for u in j.cells.iter().rev() {
+            self.heap[u.obj.index()].cells[u.cell as usize] = u.old;
+        }
+        self.journal_stats.cells_undone += j.cells.len() as u64;
+        self.journal_stats.objs_discarded += (self.heap.len() - j.base_heap_len) as u64;
+        self.heap.truncate(j.base_heap_len);
+        self.output.truncate(j.base_output_len);
+        self.frames = j.base_frames;
+        self.steps = j.base_steps;
+        self.heap_cells = j.base_heap_cells;
+        self.finished = j.base_finished;
+        self.journal_stats.rollbacks += 1;
+    }
+
+    /// Logs the prior value of a heap cell about to be overwritten, when
+    /// a journal is armed and the object predates it (younger objects
+    /// are discarded wholesale by rollback truncation).
+    #[inline]
+    fn journal_cell(&mut self, obj: ObjId, cell: u32) {
+        if let Some(j) = &mut self.journal {
+            if obj.index() < j.base_heap_len {
+                j.cells.push(CellUndo {
+                    obj,
+                    cell,
+                    old: self.heap[obj.index()].cells[cell as usize],
+                });
+            }
+        }
     }
 
     /// Pushes a call frame for `func` with the given arguments, making it
@@ -635,6 +822,7 @@ impl<'m> Machine<'m> {
                 let v = eval(&self.frames[fi].vars, value);
                 self.ops.heap_writes += 1;
                 hooks.on_write(site, addr);
+                self.journal_cell(addr.obj, addr.cell);
                 self.heap[addr.obj.index()].cells[addr.cell as usize] = v;
             }
             Inst::LoadField { dst, obj, field } => {
@@ -649,6 +837,7 @@ impl<'m> Machine<'m> {
                 let v = eval(&self.frames[fi].vars, value);
                 self.ops.heap_writes += 1;
                 hooks.on_write(site, addr);
+                self.journal_cell(addr.obj, addr.cell);
                 self.heap[addr.obj.index()].cells[addr.cell as usize] = v;
             }
             Inst::LoadGlobal { dst, global } => {
@@ -669,6 +858,7 @@ impl<'m> Machine<'m> {
                 let v = eval(&self.frames[fi].vars, value);
                 self.ops.heap_writes += 1;
                 hooks.on_write(site, addr);
+                self.journal_cell(addr.obj, addr.cell);
                 self.heap[addr.obj.index()].cells[0] = v;
             }
             Inst::AllocStruct { dst, sid } => {
@@ -748,6 +938,25 @@ impl<'m> Machine<'m> {
             cell: field,
         })
     }
+}
+
+/// Debug check for [`Machine::restore`]'s truncate fast path: the target
+/// machine's output must begin with the snapshot's stream. Floats compare
+/// by bit pattern so a NaN printed before the snapshot point does not
+/// fail the check against its own copy. (Compiled in release too —
+/// `debug_assert!` type-checks its condition in every profile — but only
+/// evaluated under `debug_assertions`.)
+fn output_prefix_eq(long: &[OutputItem], prefix: &[OutputItem]) -> bool {
+    long.len() >= prefix.len()
+        && long[..prefix.len()]
+            .iter()
+            .zip(prefix)
+            .all(|(a, b)| match (a, b) {
+                (OutputItem::Value(Value::Float(x)), OutputItem::Value(Value::Float(y))) => {
+                    x.to_bits() == y.to_bits()
+                }
+                _ => a == b,
+            })
 }
 
 fn zero_of(ty: &Ty) -> Value {
@@ -1229,6 +1438,121 @@ mod tests {
         assert!(machine.output().is_empty());
         machine.run(&mut NoHooks, u64::MAX).expect("run");
         assert_eq!(machine.output().len(), 2);
+
+        // Watermark path: a snapshot taken after the first print has a
+        // non-empty output prefix. A machine that ran past it rewinds by
+        // truncation; a fresh machine (shorter stream) takes the clone
+        // path. Both end bit-identical to the snapshot.
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
+        while machine.output().is_empty() {
+            machine.step(&mut NoHooks).expect("step");
+        }
+        let mid = machine.snapshot();
+        machine.run(&mut NoHooks, u64::MAX).expect("run");
+        assert_eq!(machine.output().len(), 2);
+        machine.restore(&mid);
+        assert_eq!(machine.output(), &[OutputItem::Value(Value::Int(1))]);
+        machine.run(&mut NoHooks, u64::MAX).expect("run");
+        assert_eq!(machine.output().len(), 2);
+
+        let mut fresh = Machine::new(&m);
+        assert!(fresh.output().is_empty());
+        fresh.restore(&mid);
+        assert_eq!(fresh.output(), &[OutputItem::Value(Value::Int(1))]);
+        assert_eq!(fresh.snapshot(), mid);
+    }
+
+    #[test]
+    fn journal_rollback_matches_full_restore() {
+        // Touch every journaled dimension: pre-existing heap (the global
+        // array), fresh allocations, frame vars, output, steps.
+        let m = compile(
+            "let acc: [int; 4];\n\
+             fn main() -> int {\n\
+               for (let i: int = 0; i < 4; i = i + 1) { acc[i] = acc[i] + i; }\n\
+               let n: *int = new [int; 2];\n\
+               n[0] = 7; print(acc[3]);\n\
+               return acc[0] + acc[3] + n[0];\n\
+             }",
+        )
+        .expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
+        machine.run(&mut NoHooks, 2).expect("run partway");
+        let snap = machine.snapshot();
+        machine.begin_journal();
+        assert!(machine.journal_armed());
+        let r1 = machine.run(&mut NoHooks, u64::MAX).expect("run");
+        machine.rollback();
+        assert!(!machine.journal_armed());
+        // Rolled-back state is bit-identical to a full restore target.
+        assert_eq!(machine.snapshot(), snap);
+        let stats = machine.journal_stats();
+        assert_eq!(stats.rollbacks, 1);
+        assert!(stats.cells_undone >= 4, "global writes must be logged");
+        assert!(stats.objs_discarded >= 1, "new [int; 2] must be discarded");
+        // And re-running from the rolled-back state reproduces the run.
+        let r2 = machine.run(&mut NoHooks, u64::MAX).expect("rerun");
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn journal_rollback_is_safe_after_trap_mid_write() {
+        // The second store traps out of bounds after the first landed;
+        // rollback must still rewind the completed write.
+        let m = compile(
+            "let g: [int; 2];\n\
+             fn main(i: int) { g[0] = 1; g[i] = 2; }",
+        )
+        .expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[Value::Int(9)])
+            .expect("push");
+        let snap = machine.snapshot();
+        machine.begin_journal();
+        assert_eq!(
+            machine.run(&mut NoHooks, u64::MAX),
+            Err(Trap::OutOfBounds { len: 2, index: 9 })
+        );
+        assert_eq!(
+            machine.read_cell(Addr {
+                obj: ObjId(0),
+                cell: 0
+            }),
+            Value::Int(1)
+        );
+        machine.rollback();
+        assert_eq!(machine.snapshot(), snap);
+        assert_eq!(
+            machine.read_cell(Addr {
+                obj: ObjId(0),
+                cell: 0
+            }),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn restore_disarms_an_armed_journal() {
+        let m = compile("let g: int = 3; fn main() { g = g + 1; }").expect("compile");
+        let mut machine = Machine::new(&m);
+        machine
+            .push_call(m.main().expect("main"), &[])
+            .expect("push");
+        let snap = machine.snapshot();
+        machine.begin_journal();
+        machine.run(&mut NoHooks, u64::MAX).expect("run");
+        machine.restore(&snap);
+        assert!(!machine.journal_armed());
+        assert_eq!(machine.snapshot(), snap);
+        // The discarded journal contributed no rollback stats.
+        assert_eq!(machine.journal_stats().rollbacks, 0);
     }
 
     #[test]

@@ -132,6 +132,127 @@ fn interpreter_is_deterministic() {
     }
 }
 
+/// Generates a program that touches every journaled dimension: a global
+/// array mutated in place, frame variables, fresh heap allocations and
+/// the output stream. The `oob` bound, when below `heap`, makes the
+/// second loop trap mid-write after a few stores have already landed.
+fn gen_journal_program(rng: &mut Rng, heap: usize, oob: Option<usize>) -> String {
+    let trip = rng.range_usize(2, heap + 1);
+    let expr = gen_expr(rng, 2).replace("a[i]", "g[i]");
+    let limit = oob.map_or(trip, |bound| bound + 1);
+    format!(
+        "let g: [int; {heap}];\n\
+         fn main() -> int {{\n\
+           let s: int = 0;\n\
+           for (let i: int = 0; i < {heap}; i = i + 1) {{ g[i] = i * 3; }}\n\
+           for (let i: int = 0; i < {limit}; i = i + 1) {{\n\
+             g[i] = {expr}; s = s + g[i];\n\
+           }}\n\
+           let n: *int = new [int; {trip}];\n\
+           n[0] = s; print(s);\n\
+           return s + n[0] + g[{trip} - 1];\n\
+         }}"
+    )
+}
+
+/// Differential oracle for the tentpole: for generated programs, snapshot
+/// points and trap shapes, a journaled [`Machine::rollback`] must leave
+/// the machine bit-identical to the snapshot it was armed at — the same
+/// state a full [`Machine::restore`] reconstructs — and a rerun from the
+/// rolled-back machine must replay identically to one from a fresh
+/// restore.
+#[test]
+fn journal_rollback_equals_full_restore() {
+    use dca::interp::{Machine, NoHooks, Trap};
+
+    let mut rng = Rng::seed_from_u64(7);
+    for case in 0..32 {
+        // One third of the cases trap out-of-bounds mid-loop, after some
+        // journaled writes have already landed; the rest run clean.
+        let heap = rng.range_usize(4, 16);
+        let oob = (case % 3 == 0).then_some(heap);
+        let src = gen_journal_program(&mut rng, heap, oob);
+        let m = dca::ir::compile(&src).expect("generated program compiles");
+        let main = m.main().expect("main");
+
+        let mut machine = Machine::new(&m);
+        machine.push_call(main, &[]).expect("push");
+        // Random snapshot point, then arm the journal exactly there. A
+        // warmup that already hit the trap leaves nothing to journal.
+        let warmup = rng.range_u64(1, 40);
+        let Ok(warm) = machine.run(&mut NoHooks, warmup) else {
+            continue;
+        };
+        let snap = machine.snapshot();
+        machine.begin_journal();
+        let first = machine.run(&mut NoHooks, 100_000);
+        if oob.is_some() && warm == dca::interp::Outcome::Paused {
+            assert!(
+                matches!(first, Err(Trap::OutOfBounds { .. })),
+                "case {case}: expected a trap inside the journaled region"
+            );
+        }
+        machine.rollback();
+        assert_eq!(
+            machine.snapshot(),
+            snap,
+            "case {case}: rollback diverged from the armed snapshot\n{src}"
+        );
+
+        // A fresh machine through the full-restore path is the oracle.
+        let mut oracle = Machine::new(&m);
+        oracle.restore(&snap);
+        assert_eq!(oracle.snapshot(), snap, "case {case}: full restore");
+
+        // Replays from both paths stay in lockstep.
+        let a = machine.run(&mut NoHooks, 100_000);
+        let b = oracle.run(&mut NoHooks, 100_000);
+        assert_eq!(a, b, "case {case}: rerun outcomes diverge");
+        assert_eq!(machine.output(), oracle.output(), "case {case}: output");
+        assert_eq!(machine.steps(), oracle.steps(), "case {case}: steps");
+    }
+}
+
+/// An injected allocation fault firing *inside* a journaled region (the
+/// engine's `FaultKind::AllocFail` shape) must also roll back cleanly:
+/// the machine rewinds to the snapshot and, with the fault cleared,
+/// replays to the same result as a machine that never faulted.
+#[test]
+fn journal_rollback_survives_injected_alloc_fault() {
+    use dca::interp::{Machine, NoHooks, Trap};
+
+    let mut rng = Rng::seed_from_u64(8);
+    for case in 0..16 {
+        let heap = rng.range_usize(4, 12);
+        let src = gen_journal_program(&mut rng, heap, None);
+        let m = dca::ir::compile(&src).expect("generated program compiles");
+        let main = m.main().expect("main");
+
+        let mut machine = Machine::new(&m);
+        machine.push_call(main, &[]).expect("push");
+        machine.run(&mut NoHooks, 5).expect("warmup");
+        let snap = machine.snapshot();
+        machine.begin_journal();
+        // The generated program allocates once after its loops; fail it.
+        machine.fail_alloc_after(0);
+        assert_eq!(
+            machine.run(&mut NoHooks, 100_000),
+            Err(Trap::OutOfMemory),
+            "case {case}: injected fault must fire inside the journal"
+        );
+        machine.rollback();
+        machine.clear_alloc_fault();
+        assert_eq!(machine.snapshot(), snap, "case {case}: rollback");
+
+        let mut clean = Machine::new(&m);
+        clean.restore(&snap);
+        let a = machine.run(&mut NoHooks, 100_000);
+        let b = clean.run(&mut NoHooks, 100_000);
+        assert_eq!(a, b, "case {case}: post-fault rerun diverges");
+        assert_eq!(machine.output(), clean.output(), "case {case}: output");
+    }
+}
+
 #[test]
 fn simulator_speedup_is_bounded_by_cores_and_work() {
     let mut rng = Rng::seed_from_u64(6);
