@@ -1,0 +1,184 @@
+//! Measures how loop-exit live-out verification scales with reachable
+//! heap size, and gates the streaming-verification claims (DESIGN.md
+//! §14): the hashed tier — [`dca_core::hash_live_state`] streaming the
+//! canonical traversal into a 128-bit fingerprint — must beat the
+//! materialized-digest path by at least 5x at 128 Ki-cell heaps, and must
+//! be allocation-free in steady state (per-worker scratch reused across
+//! replays, nothing else).
+//!
+//! Three variants are swept over heap size × live-out root count:
+//!
+//! * `digest/fresh`  — [`dca_core::StateDigest::capture`] plus a
+//!   structural `matches`, allocating the digest anew per verify: the
+//!   per-replay cost every permuted replay paid before the hashed tier.
+//! * `digest/scratch` — `capture_with` reusing per-worker traversal
+//!   scratch plus `matches`: today's tier-2 (tolerance > 0) path.
+//! * `hash`          — `hash_live_state` with the same scratch, compared
+//!   against a 16-byte reference: today's tier-1 path.
+//!
+//! The process exits non-zero when a gate fails, so `cargo bench --bench
+//! digest_scaling` doubles as a CI gate like `restore_scaling`.
+
+use dca_bench::harness::Harness;
+use dca_core::{hash_live_state, DigestScratch, StateDigest};
+use dca_interp::{Machine, NoHooks, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counts every allocator call so the steady-state gate can prove the
+/// hashed tier performs none. Deallocation is uncounted: the gate is
+/// about acquiring memory in the hot path.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap sizes swept (cells in the global array). The largest point is
+/// the ISSUE's 128 Ki-cell headline.
+const HEAPS: &[usize] = &[1 << 10, 1 << 14, 1 << 17];
+
+/// Live-out root counts swept (scalar roots handed to the traversal).
+const ROOTS: &[usize] = &[1, 16];
+
+fn fixture(heap: usize) -> dca_ir::Module {
+    // The loop seeds the global with varied values so the digest walk
+    // reads real data, including a float whose bits exercise the
+    // canonicalization path.
+    dca_ir::compile(&format!(
+        "let g: [int; {heap}];\n\
+         let f: [float; 8];\n\
+         fn main() -> int {{\n\
+           for (let i: int = 0; i < {heap}; i = i + 1) {{ g[i] = i * 7 + 3; }}\n\
+           for (let i: int = 0; i < 8; i = i + 1) {{\n\
+             f[i] = (i as float) / 3.0;\n\
+           }}\n\
+           return g[1];\n\
+         }}"
+    ))
+    .expect("fixture compiles")
+}
+
+fn min_of(h: &Harness, name: &str) -> Duration {
+    h.results()
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("bench {name} did not run"))
+        .min
+}
+
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+
+    for &roots_n in ROOTS {
+        for &heap in HEAPS {
+            let m = fixture(heap);
+            let main_fn = m.main().expect("main");
+            let mut machine = Machine::new(&m);
+            machine.push_call(main_fn, &[]).expect("push");
+            machine.run(&mut NoHooks, u64::MAX).expect("seed globals");
+            let machine = machine; // digesting needs it immutable only
+            let roots: Vec<Value> = (0..roots_n as i64).map(Value::Int).collect();
+
+            // References captured once, as the engine does per loop.
+            let reference = StateDigest::capture(&machine, &roots);
+            let mut scratch = DigestScratch::new();
+            let (ref_hash, _) = hash_live_state(&machine, &roots, &mut scratch);
+
+            h.bench_function(&format!("digest/fresh/h{heap}_r{roots_n}"), |b| {
+                b.iter(|| {
+                    let d = StateDigest::capture(&machine, &roots);
+                    assert!(reference.matches(&d, 0.0));
+                })
+            });
+
+            h.bench_function(&format!("digest/scratch/h{heap}_r{roots_n}"), |b| {
+                b.iter(|| {
+                    let d = StateDigest::capture_with(&machine, &roots, &mut scratch);
+                    assert!(reference.matches(&d, 0.0));
+                })
+            });
+
+            h.bench_function(&format!("hash/h{heap}_r{roots_n}"), |b| {
+                b.iter(|| {
+                    let (got, _) = hash_live_state(&machine, &roots, &mut scratch);
+                    assert!(got == ref_hash);
+                })
+            });
+        }
+    }
+
+    h.finish();
+
+    // Gate 1: at the 128 Ki-cell point the hashed tier beats per-replay
+    // digest materialization by at least 5x, for every root count.
+    // Compared on per-variant minima: for CPU-bound loops the fastest
+    // sample is the least-noise estimator, while medians swing with
+    // machine load and would make the gate flaky in CI.
+    let h_max = *HEAPS.last().expect("non-empty sweep");
+    for &roots_n in ROOTS {
+        let fresh = min_of(&h, &format!("digest/fresh/h{h_max}_r{roots_n}"));
+        let hashed = min_of(&h, &format!("hash/h{h_max}_r{roots_n}"));
+        assert!(
+            hashed.as_secs_f64() * 5.0 <= fresh.as_secs_f64(),
+            "hashed verify ({hashed:?}) is not >=5x faster than materialized \
+             digest verify ({fresh:?}) at {h_max} heap cells, r={roots_n}"
+        );
+    }
+
+    // Gate 2: steady-state hashed verification is allocation-free. The
+    // scratch is warm from the sweep above; from here on the hot path
+    // must never touch the allocator.
+    {
+        let m = fixture(h_max);
+        let main_fn = m.main().expect("main");
+        let mut machine = Machine::new(&m);
+        machine.push_call(main_fn, &[]).expect("push");
+        machine.run(&mut NoHooks, u64::MAX).expect("seed globals");
+        let roots: Vec<Value> = (0..4).map(Value::Int).collect();
+        let mut scratch = DigestScratch::new();
+        let (warm, _) = hash_live_state(&machine, &roots, &mut scratch); // warm the scratch
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        for _ in 0..64 {
+            let (got, _) = hash_live_state(&machine, &roots, &mut scratch);
+            assert!(got == warm);
+        }
+        let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+        assert!(
+            allocs == 0,
+            "steady-state hashed verification allocated {allocs} time(s) \
+             across 64 captures"
+        );
+    }
+
+    let fresh = min_of(&h, &format!("digest/fresh/h{h_max}_r{}", ROOTS[0]));
+    let hashed = min_of(&h, &format!("hash/h{h_max}_r{}", ROOTS[0]));
+    println!(
+        "digest scaling gates passed: at {h_max} cells, materialized {fresh:?} \
+         vs hashed {hashed:?} ({:.1}x), steady state allocation-free",
+        fresh.as_secs_f64() / hashed.as_secs_f64()
+    );
+}

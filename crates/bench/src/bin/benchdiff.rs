@@ -3,7 +3,7 @@
 //! ```text
 //! benchdiff <baseline.json> <current.json> [--threshold <pct>]
 //!           [--warn-only] [--inject-slowdown <factor>]
-//!           [--write-baseline <path>]
+//!           [--write-baseline <path>] [--json <path>]
 //! ```
 //!
 //! A metric regresses when its median is more than `--threshold` percent
@@ -12,7 +12,8 @@
 //! usage or I/O errors. `--inject-slowdown` multiplies the *current*
 //! medians before diffing — CI uses it to prove the gate actually trips.
 //! `--write-baseline` merges the current report into the baseline file
-//! (used to refresh `bench/baseline.json`).
+//! (used to refresh `bench/baseline.json`). `--json` additionally writes
+//! the comparison as machine-readable JSON (schema `dca-benchdiff/1`).
 
 use dca_bench::report::{diff_reports, BenchReport};
 use std::process::ExitCode;
@@ -24,11 +25,12 @@ struct Args {
     warn_only: bool,
     inject_slowdown: Option<f64>,
     write_baseline: Option<String>,
+    json_out: Option<String>,
 }
 
 const USAGE: &str = "usage: benchdiff <baseline.json> <current.json> \
     [--threshold <pct>] [--warn-only] [--inject-slowdown <factor>] \
-    [--write-baseline <path>]";
+    [--write-baseline <path>] [--json <path>]";
 
 fn parse_args() -> Result<Args, String> {
     let mut free = Vec::new();
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
     let mut warn_only = false;
     let mut inject_slowdown = None;
     let mut write_baseline = None;
+    let mut json_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -56,6 +59,9 @@ fn parse_args() -> Result<Args, String> {
             "--write-baseline" => {
                 write_baseline = Some(it.next().ok_or("--write-baseline needs a path")?);
             }
+            "--json" => {
+                json_out = Some(it.next().ok_or("--json needs a path")?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}\n{USAGE}"));
@@ -74,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         warn_only,
         inject_slowdown,
         write_baseline,
+        json_out,
     })
 }
 
@@ -92,6 +99,9 @@ fn run() -> Result<bool, String> {
     }
     let diff = diff_reports(&baseline, &current, args.threshold);
     print!("{}", diff.render());
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, diff.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
     if let Some(path) = &args.write_baseline {
         baseline.merge(&current);
         std::fs::write(path, baseline.to_json())

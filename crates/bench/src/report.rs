@@ -11,7 +11,7 @@
 use crate::harness::Sample;
 use dca_obs::json_escape;
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 
 /// Report schema identifier; bump when the shape changes.
 pub const SCHEMA: &str = "dca-bench/1";
@@ -231,6 +231,44 @@ impl BenchDiff {
         );
         s
     }
+
+    /// Renders the diff as JSON (schema `dca-benchdiff/1`) for downstream
+    /// tooling. Written through the guarded [`Json`] writer, so a
+    /// non-finite `delta_pct` degrades to `null` instead of corrupting
+    /// the document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let lines = self
+            .lines
+            .iter()
+            .map(|l| {
+                let status = match l.status {
+                    DiffStatus::Regressed => "regressed",
+                    DiffStatus::Ok => "ok",
+                    DiffStatus::New => "new",
+                    DiffStatus::Missing => "missing",
+                };
+                let mut o = BTreeMap::new();
+                o.insert("name".to_string(), Json::Str(l.name.clone()));
+                o.insert("base_ns".to_string(), Json::Num(l.base_ns as f64));
+                o.insert("cur_ns".to_string(), Json::Num(l.cur_ns as f64));
+                o.insert("delta_pct".to_string(), Json::Num(l.delta_pct));
+                o.insert("status".to_string(), Json::Str(status.to_string()));
+                Json::Obj(o)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert(
+            "schema".to_string(),
+            Json::Str("dca-benchdiff/1".to_string()),
+        );
+        root.insert(
+            "regressions".to_string(),
+            Json::Num(self.regressions() as f64),
+        );
+        root.insert("lines".to_string(), Json::Arr(lines));
+        format!("{}\n", Json::Obj(root))
+    }
 }
 
 /// Compares `current` against `baseline`: a metric regresses when its
@@ -345,6 +383,42 @@ impl Json {
     }
 }
 
+/// Serializes the value as valid JSON. JSON has no representation for
+/// non-finite numbers — emitting them raw (`inf`, `NaN`) would corrupt
+/// the document — so they degrade to `null`, the same convention the
+/// trace-event writer uses.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) if !n.is_finite() => f.write_str("null"),
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => write!(f, "\"{}\"", json_escape(s)),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "\"{}\": {v}", json_escape(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
 /// Parses one JSON document.
 ///
 /// # Errors
@@ -408,6 +482,9 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     std::str::from_utf8(&b[start..*pos])
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
+        // An overflowing literal like `1e999` parses to infinity; accepting
+        // it would smuggle a non-finite value past the writer's guard.
+        .filter(|n| n.is_finite())
         .map(Json::Num)
         .ok_or_else(|| format!("invalid number at byte {start}"))
 }
@@ -602,6 +679,60 @@ mod tests {
         assert_eq!(a.bench, "merged");
         assert_eq!(a.entries.len(), 2);
         assert_eq!(a.entries[0].median_ns, 200);
+    }
+
+    #[test]
+    fn json_writer_guards_non_finite_numbers() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+        // A document holding non-finite numbers still serializes to
+        // valid, parseable JSON.
+        let doc = Json::Arr(vec![
+            Json::Num(f64::NAN),
+            Json::Num(1.0),
+            Json::Str("q\"x".to_string()),
+        ]);
+        let back = parse_json(&doc.to_string()).expect("writer output must parse");
+        assert_eq!(
+            back,
+            Json::Arr(vec![Json::Null, Json::Num(1.0), Json::Str("q\"x".to_string())])
+        );
+        // And the parser refuses to manufacture one from an overflowing
+        // literal.
+        assert!(parse_json("1e999").is_err());
+    }
+
+    #[test]
+    fn json_writer_round_trips_structures() {
+        let text = r#"{"a": [1, 2.5, {"b": "q\"\nA"}], "c": null, "d": true}"#;
+        let v = parse_json(text).expect("parse");
+        let again = parse_json(&v.to_string()).expect("reparse");
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn diff_json_survives_non_finite_delta() {
+        let mut d = diff_reports(
+            &BenchReport::from_samples("b", &[sample("a", 1_000)]),
+            &BenchReport::from_samples("b", &[sample("a", 1_200)]),
+            10.0,
+        );
+        // Force the failure mode the guard exists for: a delta computed
+        // over a pathological baseline.
+        d.lines[0].delta_pct = f64::INFINITY;
+        let text = d.to_json();
+        let v = parse_json(&text).expect("diff JSON must stay valid");
+        let obj = v.as_object().expect("object");
+        assert_eq!(obj["schema"].as_str(), Some("dca-benchdiff/1"));
+        assert_eq!(obj["regressions"].as_u64(), Some(1));
+        let line = obj["lines"].as_array().expect("lines")[0]
+            .as_object()
+            .expect("line");
+        assert_eq!(line["delta_pct"], Json::Null);
+        assert_eq!(line["status"].as_str(), Some("regressed"));
+        assert_eq!(line["base_ns"].as_u64(), Some(1_000));
     }
 
     #[test]

@@ -117,6 +117,28 @@ impl WallLimits {
     }
 }
 
+/// How loop-exit live-out states are compared (DESIGN.md §14).
+///
+/// Only meaningful under [`VerifyScope::LoopExit`]; program-end
+/// verification always compares the concrete outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DigestMode {
+    /// Pick the cheapest sound comparator automatically: when
+    /// [`DcaConfig::float_tolerance`] is exactly `0`, stream the canonical
+    /// heap traversal into a 128-bit fingerprint (tier 1 — no digest
+    /// materialization, no per-replay allocation) and keep only a 16-byte
+    /// reference hash; otherwise materialize the structural
+    /// [`crate::StateDigest`] (tier 2), since a tolerance comparison needs
+    /// the actual values. The default.
+    #[default]
+    Auto,
+    /// Always materialize the structural digest, even at zero tolerance.
+    /// This exists as the differential oracle for the hashed tier: the
+    /// `hash_digest_equals_structural_digest` property test runs both
+    /// modes and asserts bit-identical reports.
+    Structural,
+}
+
 /// Configuration for a [`crate::Dca`] engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DcaConfig {
@@ -128,8 +150,14 @@ pub struct DcaConfig {
     pub verify_scope: VerifyScope,
     /// Relative tolerance when comparing floats (floating-point reductions
     /// are not associative; the NPB verification routines use relative
-    /// error thresholds for the same reason).
+    /// error thresholds for the same reason). Bitwise-identical floats —
+    /// including NaNs — always match regardless of tolerance; setting
+    /// this to `0.0` demands exactly that (canonical-bit equality, where
+    /// `-0.0 == +0.0` and all NaNs are one value) and unlocks the hashed
+    /// verification tier under [`VerifyScope::LoopExit`].
     pub float_tolerance: f64,
+    /// Loop-exit state comparator selection; see [`DigestMode`].
+    pub digest: DigestMode,
     /// Which invocation of each loop to test (0 = first), and how many
     /// consecutive invocations starting there.
     pub invocations: u32,
@@ -162,6 +190,7 @@ impl Default for DcaConfig {
             seed: 42,
             verify_scope: VerifyScope::ProgramEnd,
             float_tolerance: 1e-8,
+            digest: DigestMode::Auto,
             invocations: 1,
             max_steps: Self::DEFAULT_MAX_STEPS,
             max_trip: Self::DEFAULT_MAX_TRIP,
@@ -196,6 +225,17 @@ impl DcaConfig {
             ..Default::default()
         }
     }
+
+    /// [`DcaConfig::fast`] with loop-exit scope and bit-exact float
+    /// comparison — the configuration the hashed verification tier
+    /// targets.
+    pub fn exact() -> Self {
+        DcaConfig {
+            verify_scope: VerifyScope::LoopExit,
+            float_tolerance: 0.0,
+            ..Self::fast()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +248,10 @@ mod tests {
         assert_eq!(c.permutations, PermutationSet::Presets { shuffles: 3 });
         assert_eq!(c.verify_scope, VerifyScope::ProgramEnd);
         assert!(c.float_tolerance > 0.0);
+        assert_eq!(c.digest, DigestMode::Auto);
+        let e = DcaConfig::exact();
+        assert_eq!(e.verify_scope, VerifyScope::LoopExit);
+        assert_eq!(e.float_tolerance, 0.0);
         assert_eq!(c.threads, 0, "auto-detect worker count by default");
         assert_eq!(c.obs, ObsOptions::default(), "observability off by default");
         assert!(!c.obs.metrics);

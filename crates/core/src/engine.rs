@@ -2,9 +2,9 @@
 //! permuted replay and live-out verification for every loop of a module
 //! (paper Fig. 3).
 
-use crate::config::{DcaConfig, PermutationSet, VerifyScope};
+use crate::config::{DcaConfig, DigestMode, PermutationSet, VerifyScope};
 use crate::fault::{catch_contained, FaultKind, FaultPlan, STALL_DURATION};
-use crate::outcome::{ProgramOutcome, StateDigest};
+use crate::outcome::{hash_live_state, DigestScratch, StateDigest};
 use crate::parallel::{
     effective_threads, parallel_map, parallel_scan_with, split_threads, StopIndex,
 };
@@ -14,7 +14,7 @@ use crate::replay::{run_replay_governed, ReplayController, ReplayEnd, ReplayGove
 use crate::report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};
 use dca_analysis::{exclusion, EffectMap, IteratorSlice, Liveness};
 use dca_interp::{JournalStats, Machine, OpCounts, Value};
-use dca_ir::{FuncId, FuncView, Loop, LoopRef, Module, Ty};
+use dca_ir::{FuncId, FuncView, Loop, LoopRef, Module, Ty, VarId};
 use dca_obs::{Obs, TraceVal};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -103,6 +103,33 @@ struct PermOutcome {
     /// harness). Counted from the fold so `engine.faults.*` is as
     /// thread-count-invariant as everything else.
     injected: Option<FaultKind>,
+    /// Digest-capture work of this replay's verify step (`verify.digest.*`
+    /// counters), also recorded from the fold.
+    digest: DigestStats,
+}
+
+/// Digest-capture work done by one verify step, split by tier. `cells`
+/// counts canonical values absorbed — scalar roots plus reachable heap
+/// cells — the same unit for both tiers, so the counter tracks state
+/// size independently of which comparator ran.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct DigestStats {
+    /// Fingerprint captures (tier 1).
+    hashed: u64,
+    /// Materialized [`StateDigest`] captures (tier 2 / diagnostics).
+    structural: u64,
+    /// Canonical values absorbed across both tiers.
+    cells: u64,
+}
+
+impl DigestStats {
+    fn plus(&self, o: &DigestStats) -> DigestStats {
+        DigestStats {
+            hashed: self.hashed + o.hashed,
+            structural: self.structural + o.structural,
+            cells: self.cells + o.cells,
+        }
+    }
 }
 
 /// Per-worker state for the permutation scan: one interpreter machine
@@ -114,6 +141,12 @@ struct ReplayWorker<'m> {
     /// journal armed — the steady state between replays. False on first
     /// use and after a contained panic left the machine dirty.
     clean: bool,
+    /// Traversal scratch (canon map + BFS order) reused across this
+    /// worker's digest captures, so steady-state verification allocates
+    /// nothing per replay.
+    scratch: DigestScratch,
+    /// Reusable buffer for the digest-root values, refilled per replay.
+    roots: Vec<Value>,
 }
 
 /// The obs counter charged for one injected fault kind.
@@ -137,6 +170,7 @@ struct FoldTotals {
     verify: Duration,
     ops: OpCounts,
     journal: JournalStats,
+    digest: DigestStats,
     /// `(counter, slot)` per injected fault in the folded prefix.
     faults: Vec<(&'static str, usize)>,
 }
@@ -150,6 +184,7 @@ impl FoldTotals {
         self.verify += o.verify;
         self.ops = self.ops.plus(&o.ops);
         self.journal = self.journal.plus(&o.journal);
+        self.digest = self.digest.plus(&o.digest);
         if let Some(kind) = o.injected {
             self.faults.push((fault_counter(kind), slot));
         }
@@ -164,6 +199,9 @@ impl FoldTotals {
         obs.count("journal.rollbacks", self.journal.rollbacks);
         obs.count("journal.cells_undone", self.journal.cells_undone);
         obs.count("journal.objs_discarded", self.journal.objs_discarded);
+        obs.count("verify.digest.hashed", self.digest.hashed);
+        obs.count("verify.digest.structural", self.digest.structural);
+        obs.count("verify.digest.cells", self.digest.cells);
         record_machine_ops(obs, &self.ops);
         for &(counter, slot) in &self.faults {
             obs.count(counter, 1);
@@ -886,12 +924,19 @@ impl Dca {
         let t_start = move || if timing { Some(Instant::now()) } else { None };
         let t_since = |t: Option<Instant>| t.map_or(Duration::ZERO, |t| t.elapsed());
         let stop_at_exit = self.config.verify_scope == VerifyScope::LoopExit;
+        // Tier 1 (hashed) applies when a tolerance of exactly zero makes
+        // canonical-bit equality the comparator — then the traversal can
+        // stream into a fingerprint instead of materializing a digest.
+        let hashed = stop_at_exit
+            && self.config.float_tolerance == 0.0
+            && self.config.digest == DigestMode::Auto;
+        let roots = stop_at_exit.then(|| digest_roots(view, live, l));
         let governed = !self.config.max_wall.is_unlimited();
         let mut reference_steps = 0u64;
-        // Under the loop-exit scope the reference digest comes from an
+        // Under the loop-exit scope the reference state comes from an
         // identity replay (identical by construction to the golden run up
         // to the exit point).
-        let reference_digest = if stop_at_exit {
+        let reference = if stop_at_exit {
             let identity: Vec<usize> = (0..golden.iters.len()).collect();
             let t_restore = t_start();
             let mut machine = Machine::new(module);
@@ -947,9 +992,23 @@ impl Dca {
                 }
             }
             let t_digest = t_start();
-            let digest = self.capture_digest(&machine, live, l);
+            let dr = roots.as_ref().expect("loop-exit scope");
+            let mut scratch = DigestScratch::new();
+            let mut vals = Vec::with_capacity(dr.vars.len());
+            read_roots(&machine, &dr.vars, &mut vals);
+            let r = if hashed {
+                let (h, cells) = hash_live_state(&machine, &vals, &mut scratch);
+                obs.count("verify.digest.hashed", 1);
+                obs.count("verify.digest.cells", cells);
+                Reference::Hash(h)
+            } else {
+                let d = StateDigest::capture_with(&machine, &vals, &mut scratch);
+                obs.count("verify.digest.structural", 1);
+                obs.count("verify.digest.cells", d.cell_count());
+                Reference::Digest(d)
+            };
             obs.record_span("stage.verify", t_since(t_digest), 1);
-            Some(digest)
+            Some(r)
         } else {
             None
         };
@@ -1017,25 +1076,112 @@ impl Dca {
             let replay = t_since(t_replay);
             let steps = w.machine.steps() - before;
             let t_verify = t_start();
+            let mut digest = DigestStats::default();
             let end = match (&self.config.verify_scope, end) {
                 (VerifyScope::ProgramEnd, ReplayEnd::Finished(ret)) => {
-                    let outcome = ProgramOutcome::capture(&w.machine, ret);
+                    // Compare against the machine's own output buffer —
+                    // no per-replay outcome materialization.
                     if golden
                         .outcome
-                        .matches(&outcome, self.config.float_tolerance)
+                        .matches_parts(w.machine.output(), &ret, self.config.float_tolerance)
                     {
                         VerifyEnd::Complete
                     } else {
-                        VerifyEnd::Violated(Violation::OutcomeMismatch)
+                        VerifyEnd::Violated(Violation::OutcomeMismatch(
+                            golden.outcome.first_divergence(
+                                w.machine.output(),
+                                &ret,
+                                self.config.float_tolerance,
+                            ),
+                        ))
                     }
                 }
                 (VerifyScope::LoopExit, ReplayEnd::LoopExited) => {
-                    let digest = self.capture_digest(&w.machine, live, l);
-                    let reference = reference_digest.as_ref().expect("captured above");
-                    if reference.matches(&digest, self.config.float_tolerance) {
-                        VerifyEnd::Complete
-                    } else {
-                        VerifyEnd::Violated(Violation::OutcomeMismatch)
+                    let dr = roots.as_ref().expect("loop-exit scope");
+                    read_roots(&w.machine, &dr.vars, &mut w.roots);
+                    match reference.as_ref().expect("captured above") {
+                        Reference::Hash(expected) => {
+                            let (h, cells) = hash_live_state(&w.machine, &w.roots, &mut w.scratch);
+                            digest.hashed += 1;
+                            digest.cells += cells;
+                            if h == *expected {
+                                VerifyEnd::Complete
+                            } else {
+                                // Tier-2 diagnostics: the 16-byte reference
+                                // can say *that* the states differ but not
+                                // *where*. Materialize the permuted
+                                // structural digest, rewind, rebuild the
+                                // golden loop-exit state via an identity
+                                // replay, and diff the two. Only the
+                                // terminal replay pays this; `steps` was
+                                // measured before the verify step, so the
+                                // diagnostic replay never perturbs
+                                // `replay_steps`.
+                                let permuted = StateDigest::capture_with(
+                                    &w.machine,
+                                    &w.roots,
+                                    &mut w.scratch,
+                                );
+                                digest.structural += 1;
+                                digest.cells += permuted.cell_count();
+                                w.machine.rollback();
+                                w.machine.clear_alloc_fault();
+                                w.machine.begin_journal();
+                                let identity: Vec<usize> = (0..golden.iters.len()).collect();
+                                let mut ictl = ReplayController::new(
+                                    view.id, view.func, l, slice, golden, &identity,
+                                );
+                                let igov = ReplayGovernor {
+                                    deadline: if governed {
+                                        self.run_deadline(ctx.analysis_deadline)
+                                    } else {
+                                        None
+                                    },
+                                    trap_at_step: None,
+                                };
+                                let iend = run_replay_governed(
+                                    &mut w.machine,
+                                    &mut ictl,
+                                    true,
+                                    self.config.max_steps,
+                                    igov,
+                                );
+                                let div = if matches!(iend, ReplayEnd::LoopExited) {
+                                    read_roots(&w.machine, &dr.vars, &mut w.roots);
+                                    let golden_digest = StateDigest::capture_with(
+                                        &w.machine,
+                                        &w.roots,
+                                        &mut w.scratch,
+                                    );
+                                    digest.structural += 1;
+                                    digest.cells += golden_digest.cell_count();
+                                    golden_digest.first_divergence(&permuted, 0.0, &dr.names)
+                                } else {
+                                    // The diagnostic replay itself hit a
+                                    // budget/deadline: report the mismatch
+                                    // without a pinpointed divergence.
+                                    None
+                                };
+                                VerifyEnd::Violated(Violation::OutcomeMismatch(div))
+                            }
+                        }
+                        Reference::Digest(reference) => {
+                            let d =
+                                StateDigest::capture_with(&w.machine, &w.roots, &mut w.scratch);
+                            digest.structural += 1;
+                            digest.cells += d.cell_count();
+                            if reference.matches(&d, self.config.float_tolerance) {
+                                VerifyEnd::Complete
+                            } else {
+                                VerifyEnd::Violated(Violation::OutcomeMismatch(
+                                    reference.first_divergence(
+                                        &d,
+                                        self.config.float_tolerance,
+                                        &dr.names,
+                                    ),
+                                ))
+                            }
+                        }
                     }
                 }
                 (VerifyScope::LoopExit, ReplayEnd::Finished(_)) => {
@@ -1070,6 +1216,7 @@ impl Dca {
                 ops: w.machine.op_counts().since(&ops_before),
                 journal: w.machine.journal_stats().since(&journal_before),
                 injected,
+                digest,
             }
         };
         let stop = StopIndex::new();
@@ -1085,6 +1232,8 @@ impl Dca {
             || ReplayWorker {
                 machine: Machine::new(module),
                 clean: false,
+                scratch: DigestScratch::new(),
+                roots: Vec::new(),
             },
             |w, i, perm| {
                 // Contain per-replay faults: a panicking replay — injected
@@ -1103,6 +1252,7 @@ impl Dca {
                         ops: OpCounts::default(),
                         journal: JournalStats::default(),
                         injected: ctx.fault.and_then(|p| p.for_replay(ctx.ordinal, i)),
+                        digest: DigestStats::default(),
                     });
                 if out.end != VerifyEnd::Complete {
                     stop.stop_at(i);
@@ -1164,20 +1314,46 @@ impl Dca {
         }
     }
 
-    /// Captures the loop-exit digest. Roots are *all* variables live at
-    /// any exit target — not just loop-defined ones — so arrays allocated
-    /// before the loop but filled inside it (their pointer is live-in and
-    /// live-out) contribute their contents to the digest; globals are
-    /// always included by [`StateDigest::capture`].
-    fn capture_digest(&self, machine: &Machine<'_>, live: &Liveness, l: &Loop) -> StateDigest {
-        let mut vars: std::collections::BTreeSet<dca_ir::VarId> =
-            live.loop_live_outs(l).into_iter().collect();
-        for t in l.exit_targets() {
-            vars.extend(live.live_in(t).iter().copied());
-        }
-        let roots: Vec<Value> = vars.iter().map(|&v| machine.read_var(v)).collect();
-        StateDigest::capture(machine, &roots)
+}
+
+/// The loop-exit reference state captured from the identity replay: a
+/// 16-byte fingerprint under the hashed tier, the materialized
+/// structural digest otherwise.
+enum Reference {
+    Hash(u128),
+    Digest(StateDigest),
+}
+
+/// The digest-root set for the loop-exit scope. Roots are *all*
+/// variables live at any exit target — not just loop-defined ones — so
+/// arrays allocated before the loop but filled inside it (their pointer
+/// is live-in and live-out) contribute their contents; globals are
+/// always included by the traversal itself. Computed once per
+/// verification (`names` parallels `vars`, for divergence reports);
+/// workers only re-read the values.
+struct DigestRoots {
+    vars: Vec<VarId>,
+    names: Vec<String>,
+}
+
+fn digest_roots(view: &FuncView<'_>, live: &Liveness, l: &Loop) -> DigestRoots {
+    let mut vars: std::collections::BTreeSet<VarId> =
+        live.loop_live_outs(l).into_iter().collect();
+    for t in l.exit_targets() {
+        vars.extend(live.live_in(t).iter().copied());
     }
+    let vars: Vec<VarId> = vars.into_iter().collect();
+    let names = vars
+        .iter()
+        .map(|&v| view.func.var(v).name.clone())
+        .collect();
+    DigestRoots { vars, names }
+}
+
+/// Refills `buf` with the current values of the digest-root variables.
+fn read_roots(machine: &Machine<'_>, vars: &[VarId], buf: &mut Vec<Value>) {
+    buf.clear();
+    buf.extend(vars.iter().map(|&v| machine.read_var(v)));
 }
 
 /// The placeholder result for a loop whose analysis panicked: the panic
@@ -1295,7 +1471,7 @@ mod tests {
         );
         assert!(matches!(
             verdict(&r, "rec"),
-            LoopVerdict::NonCommutative(Violation::OutcomeMismatch)
+            LoopVerdict::NonCommutative(Violation::OutcomeMismatch(_))
         ));
     }
 
@@ -1401,6 +1577,121 @@ mod tests {
              return s; }",
         );
         assert_eq!(verdict(&r, "fred"), LoopVerdict::Commutative);
+    }
+
+    #[test]
+    fn deterministic_nan_live_outs_are_commutative() {
+        // Float division never traps: 0.0 / 0.0 is NaN, produced
+        // identically by every iteration order. Before canonical float
+        // comparison, NaN != NaN misclassified this map loop as
+        // `NonCommutative(OutcomeMismatch)` under every scope.
+        let src = "fn main() -> float { let a: [float; 16]; \
+             @nan: for (let i: int = 0; i < 16; i = i + 1) { \
+               a[i] = (0.0 / 0.0) + (0.0 - 0.0); } \
+             return a[3]; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let configs = [
+            DcaConfig::fast(),                // ProgramEnd, tolerance 1e-8
+            DcaConfig {
+                float_tolerance: 0.0,
+                ..DcaConfig::fast()
+            },                                // ProgramEnd, bit-exact
+            DcaConfig {
+                verify_scope: VerifyScope::LoopExit,
+                ..DcaConfig::fast()
+            },                                // LoopExit, structural tier
+            DcaConfig::exact(),               // LoopExit, hashed tier
+            DcaConfig {
+                digest: DigestMode::Structural,
+                ..DcaConfig::exact()
+            },                                // LoopExit, forced structural
+        ];
+        for (i, cfg) in configs.into_iter().enumerate() {
+            let r = Dca::new(cfg).analyze_module(&m).expect("analyze");
+            assert_eq!(
+                r.by_tag("nan").expect("nan").verdict,
+                LoopVerdict::Commutative,
+                "config {i}: deterministic NaN must not refute commutativity"
+            );
+        }
+    }
+
+    #[test]
+    fn hashed_and_structural_tiers_agree_and_pinpoint_divergence() {
+        // A recurrence under the loop-exit scope: both tiers must refute
+        // it with the *same* first divergence — the hashed tier's
+        // diagnostic pass rebuilds the golden state and diffs exactly
+        // what the structural tier compares directly.
+        let src = "fn main() -> int { let a: [int; 16]; a[0] = 1; let s: int = 0; \
+             @rec: for (let i: int = 1; i < 16; i = i + 1) { a[i] = a[i - 1] * 2; } \
+             for (let i: int = 0; i < 16; i = i + 1) { s = s + a[i]; } return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let diverge = |cfg: DcaConfig| {
+            let r = Dca::new(cfg).analyze_module(&m).expect("analyze");
+            match r.by_tag("rec").expect("rec").verdict.clone() {
+                LoopVerdict::NonCommutative(Violation::OutcomeMismatch(d)) => {
+                    d.expect("divergence pinpointed")
+                }
+                v => panic!("expected a live-out mismatch, got {v}"),
+            }
+        };
+        let hashed = diverge(DcaConfig::exact());
+        let structural = diverge(DcaConfig {
+            digest: DigestMode::Structural,
+            ..DcaConfig::exact()
+        });
+        assert_eq!(hashed, structural, "tiers must report the same divergence");
+        let rendered = Violation::OutcomeMismatch(Some(hashed)).to_string();
+        assert!(
+            rendered.contains("golden") && rendered.contains("permuted"),
+            "divergence names both sides: {rendered}"
+        );
+
+        // The obs counters record the tier split: hashed runs fingerprint
+        // every verify (plus two structural captures for the diagnostic),
+        // structural runs materialize every one.
+        let count = |cfg: DcaConfig| {
+            let r = Dca::new(DcaConfig {
+                obs: crate::config::ObsOptions::metrics(),
+                ..cfg
+            })
+            .analyze_module(&m)
+            .expect("analyze");
+            let obs = r.obs.expect("metrics on");
+            (
+                obs.counter("verify.digest.hashed"),
+                obs.counter("verify.digest.structural"),
+                obs.counter("verify.digest.cells"),
+            )
+        };
+        let (h_hashed, h_structural, h_cells) = count(DcaConfig::exact());
+        assert!(h_hashed >= 2, "reference + terminal replay fingerprinted");
+        assert_eq!(h_structural, 2, "one diagnostic pair per refutation");
+        let (s_hashed, s_structural, s_cells) = count(DcaConfig {
+            digest: DigestMode::Structural,
+            ..DcaConfig::exact()
+        });
+        assert_eq!(s_hashed, 0, "forced structural never fingerprints");
+        assert!(s_structural >= 2, "reference + terminal replay digested");
+        assert!(h_cells > 0 && s_cells > 0);
+    }
+
+    #[test]
+    fn program_end_mismatch_pinpoints_divergence() {
+        let r = analyze(
+            "fn main() -> int { let a: [int; 16]; a[0] = 1; let s: int = 0; \
+             @rec: for (let i: int = 1; i < 16; i = i + 1) { a[i] = a[i - 1] * 2; } \
+             for (let i: int = 0; i < 16; i = i + 1) { s = s + a[i]; } return s; }",
+        );
+        match verdict(&r, "rec") {
+            LoopVerdict::NonCommutative(Violation::OutcomeMismatch(Some(d))) => {
+                assert!(
+                    matches!(d, crate::outcome::Divergence::Ret { .. }),
+                    "the only live-out is the return value, got {d}"
+                );
+            }
+            v => panic!("expected a pinpointed mismatch, got {v}"),
+        }
     }
 
     #[test]

@@ -58,11 +58,14 @@ pub mod record;
 pub mod replay;
 pub mod report;
 
-pub use config::{DcaConfig, ObsOptions, PermutationSet, VerifyScope, WallLimits};
+pub use config::{DcaConfig, DigestMode, ObsOptions, PermutationSet, VerifyScope, WallLimits};
 pub use dca_obs::{Obs, ObsRollup, SpanStat};
 pub use engine::{Dca, DcaError};
 pub use fault::{catch_contained, FaultKind, FaultPlan, FaultSpecError};
-pub use outcome::{float_close, ProgramOutcome, StateDigest};
+pub use outcome::{
+    canon_f64_bits, float_close, hash_live_state, DigestScratch, Divergence, ProgramOutcome,
+    StateDigest,
+};
 pub use parallel::effective_threads;
 pub use record::{record_golden, record_golden_governed, GoldenRecord, RecordError};
 pub use replay::{run_replay, run_replay_governed, ReplayController, ReplayEnd, ReplayGovernor};

@@ -1,5 +1,6 @@
 //! DCA verdicts and the per-module analysis report.
 
+use crate::outcome::Divergence;
 use dca_analysis::ExclusionReason;
 use dca_interp::Trap;
 use dca_ir::LoopRef;
@@ -12,8 +13,11 @@ use std::time::Duration;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Violation {
     /// A permuted execution produced a different outcome than the golden
-    /// reference.
-    OutcomeMismatch,
+    /// reference. Carries the first point of divergence in canonical
+    /// traversal order when the engine could pinpoint one (`None` only
+    /// when the diagnostic pass itself could not complete — e.g. the
+    /// identity replay used to rebuild the golden state hit a budget).
+    OutcomeMismatch(Option<Divergence>),
     /// A permuted execution trapped (paper §IV-E: permuted execution of
     /// non-commutative loops can behave unpredictably; we detect this
     /// reliably). Carries the concrete fault so reports can say *which*
@@ -27,7 +31,8 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::OutcomeMismatch => write!(f, "live-out mismatch"),
+            Violation::OutcomeMismatch(None) => write!(f, "live-out mismatch"),
+            Violation::OutcomeMismatch(Some(d)) => write!(f, "live-out mismatch: {d}"),
             Violation::ReplayTrapped(t) => write!(f, "permuted execution trapped: {t}"),
             Violation::ReplayDiverged => write!(f, "permuted execution diverged"),
         }
@@ -273,7 +278,7 @@ mod tests {
         rep.push(LoopResult {
             lref: lref(0, 1),
             tag: None,
-            verdict: LoopVerdict::NonCommutative(Violation::OutcomeMismatch),
+            verdict: LoopVerdict::NonCommutative(Violation::OutcomeMismatch(None)),
             trips: 8,
             permutations_tested: 1,
             replay_steps: 50,
@@ -291,8 +296,16 @@ mod tests {
     fn verdict_display() {
         assert_eq!(LoopVerdict::Commutative.to_string(), "commutative");
         assert_eq!(
-            LoopVerdict::NonCommutative(Violation::OutcomeMismatch).to_string(),
+            LoopVerdict::NonCommutative(Violation::OutcomeMismatch(None)).to_string(),
             "non-commutative (live-out mismatch)"
+        );
+        assert_eq!(
+            LoopVerdict::NonCommutative(Violation::OutcomeMismatch(Some(Divergence::Ret {
+                golden: "1".into(),
+                permuted: "2".into(),
+            })))
+            .to_string(),
+            "non-commutative (live-out mismatch: return value: golden 1, permuted 2)"
         );
         assert_eq!(LoopVerdict::NotExercised.to_string(), "not exercised");
         assert_eq!(

@@ -374,6 +374,22 @@ impl<'m> Machine<'m> {
         &self.heap
     }
 
+    /// The cells of one heap object — the accessor the streaming
+    /// live-out digest walks with (no per-call allocation, no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` does not name a live heap object.
+    pub fn obj_cells(&self, o: ObjId) -> &[Value] {
+        &self.heap[o.index()].cells
+    }
+
+    /// Number of global heap objects (they occupy the first slots of
+    /// [`Machine::heap`], in declaration order).
+    pub fn globals_len(&self) -> usize {
+        self.module.globals.len()
+    }
+
     /// The heap object backing global `g`.
     pub fn global_obj(&self, g: dca_ir::GlobalId) -> ObjId {
         ObjId(g.0)
@@ -435,6 +451,18 @@ impl<'m> Machine<'m> {
     /// Reads a memory cell directly (no hook events).
     pub fn read_cell(&self, addr: Addr) -> Value {
         self.heap[addr.obj.index()].cells[addr.cell as usize]
+    }
+
+    /// Overwrites a memory cell directly — no hook events, no journal
+    /// entry, no op counting. Test and bench harnesses use this to build
+    /// heap states source programs cannot express (specific NaN
+    /// payloads, signed zeros); engine replay code never calls it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not name a live cell.
+    pub fn poke_cell(&mut self, addr: Addr, value: Value) {
+        self.heap[addr.obj.index()].cells[addr.cell as usize] = value;
     }
 
     /// Captures a restorable copy of the full machine state.

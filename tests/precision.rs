@@ -2,7 +2,7 @@
 //! ground truth, and agreement between the pragmatic permutation presets
 //! and exhaustive permutation testing on small trip counts.
 
-use dca::core::{Dca, DcaConfig, LoopVerdict, PermutationSet};
+use dca::core::{Dca, DcaConfig, LoopVerdict, PermutationSet, Violation};
 use dca::ir::LoopRef;
 use std::collections::BTreeSet;
 
@@ -69,10 +69,19 @@ fn presets_agree_with_exhaustive_on_small_trips() {
     })
     .analyze_module(&m)
     .expect("analyze");
+    // Mismatch diagnostics name the witnessing permutation's values, and
+    // different permutation sets legitimately find different witnesses;
+    // agreement here means reaching the same classification.
+    let class = |v: &LoopVerdict| match v {
+        LoopVerdict::NonCommutative(Violation::OutcomeMismatch(_)) => {
+            LoopVerdict::NonCommutative(Violation::OutcomeMismatch(None))
+        }
+        other => other.clone(),
+    };
     for tag in ["map", "red", "rec"] {
         let a = &presets.by_tag(tag).expect("tag").verdict;
         let b = &exhaustive.by_tag(tag).expect("tag").verdict;
-        assert_eq!(a, b, "@{tag}: presets vs exhaustive disagree");
+        assert_eq!(class(a), class(b), "@{tag}: presets vs exhaustive disagree");
     }
     assert!(exhaustive.by_tag("map").expect("map").permutations_tested >= 719);
     assert!(matches!(

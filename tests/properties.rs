@@ -2,7 +2,7 @@
 //! programs and inputs. Cases are generated from a fixed-seed [`Rng`], so
 //! every run explores the same space deterministically.
 
-use dca::core::{Dca, DcaConfig, LoopVerdict};
+use dca::core::{Dca, DcaConfig, DigestMode, LoopVerdict};
 use dca::interp::Value;
 use dca_rng::Rng;
 
@@ -269,6 +269,86 @@ fn simulator_speedup_is_bounded_by_cores_and_work() {
         if cores > 1 {
             let max = *costs.iter().max().expect("non-empty");
             assert!(r.par_steps >= max);
+        }
+    }
+}
+
+/// The hashed verification tier is a pure optimization: at zero float
+/// tolerance, `DigestMode::Auto` (streamed 128-bit fingerprints, tier 1,
+/// falling back to the structural digest only to explain a mismatch)
+/// must produce a report bit-identical to `DigestMode::Structural` (the
+/// materializing oracle) — same verdicts including `Violation` payloads,
+/// same trips and permutation counts, same replay-step accounting — for
+/// generated programs whose live-out heaps mix int cells, float cells
+/// seeded with NaN and `-0.0`, commutative and non-commutative loops,
+/// at every worker-thread width.
+#[test]
+fn hash_digest_equals_structural_digest() {
+    let mut rng = Rng::seed_from_u64(11);
+    for case in 0..10 {
+        let expr = gen_expr(&mut rng, 2);
+        let n = rng.range_usize(4, 24);
+        let c = rng.range_i64(1, 9);
+        // Every third float cell is NaN (0.0 / 0.0) and every fourth is
+        // -0.0 ((0.0 - 1.0) * 0.0); both are produced identically by any
+        // iteration order, so @fmap stays commutative only if the
+        // comparator canonicalizes them — in both tiers.
+        let src = format!(
+            "fn main() -> float {{ \
+             let a: [int; 32]; let f: [float; 32]; let s: int = 0; \
+             @imap: for (let i: int = 0; i < {n}; i = i + 1) {{ a[i] = {expr}; }} \
+             @fmap: for (let i: int = 0; i < {n}; i = i + 1) {{ \
+               if (i % 3 == 0) {{ f[i] = 0.0 / 0.0; }} \
+               else {{ if (i % 4 == 0) {{ f[i] = (0.0 - 1.0) * 0.0; }} \
+               else {{ f[i] = (i as float) / 3.0; }} }} }} \
+             @red: for (let i: int = 0; i < {n}; i = i + 1) {{ s = s + a[i] * (i + 1); }} \
+             @rec: for (let i: int = 1; i < {n}; i = i + 1) {{ a[i] = a[i - 1] + {c}; }} \
+             @ncr: for (let i: int = 0; i < {n}; i = i + 1) {{ s = s * 2 + i; }} \
+             return f[1] + (s as float); }}"
+        );
+        let m = dca::ir::compile(&src).expect("compile");
+        for threads in [1, 2, 4] {
+            let hashed = Dca::new(DcaConfig {
+                threads,
+                ..DcaConfig::exact()
+            })
+            .analyze_module(&m)
+            .expect("hashed analysis");
+            let structural = Dca::new(DcaConfig {
+                threads,
+                digest: DigestMode::Structural,
+                ..DcaConfig::exact()
+            })
+            .analyze_module(&m)
+            .expect("structural analysis");
+            assert_eq!(
+                hashed.len(),
+                structural.len(),
+                "case {case} threads={threads}: loop counts differ"
+            );
+            for (h, st) in hashed.iter().zip(structural.iter()) {
+                assert_eq!(
+                    h, st,
+                    "case {case} threads={threads}: outcome differs at {}",
+                    h.lref
+                );
+                assert_eq!(
+                    h.replay_steps, st.replay_steps,
+                    "case {case} threads={threads}: replay accounting differs at {}",
+                    h.lref
+                );
+            }
+            assert!(
+                hashed.by_tag("fmap").expect("fmap").verdict.is_commutative(),
+                "case {case} threads={threads}: NaN/-0.0 map must stay commutative"
+            );
+            // `s = s * 2 + i` weights each iteration by a distinct power
+            // of two, so no permutation preserves it — unlike @rec, which
+            // a generated @imap can accidentally leave at a fixpoint.
+            assert!(
+                !hashed.by_tag("ncr").expect("ncr").verdict.is_commutative(),
+                "case {case} threads={threads}: order-sensitive reduction must stay refuted"
+            );
         }
     }
 }
