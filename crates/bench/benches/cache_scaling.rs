@@ -1,0 +1,134 @@
+//! Measures what the persistent verdict cache buys on re-analysis, and
+//! gates the incremental-reanalysis claim (DESIGN.md §15): a fully warm
+//! run over the 8-loop suite — every verdict served from the cache file,
+//! no recording, no permuted replays — must be at least 10x faster than
+//! the cold run that populates it.
+//!
+//! Three variants over the same module:
+//!
+//! * `cache/none` — no cache configured: the baseline every prior bench
+//!   measured, and the overhead reference for `cache/cold`.
+//! * `cache/cold` — a fresh cache file per iteration: full analysis plus
+//!   key derivation and write-back (the worst case a cache user pays).
+//! * `cache/warm` — a pre-populated file: key derivation, one file
+//!   parse, and per-loop hits.
+//!
+//! The process exits non-zero when a gate fails, so `cargo bench --bench
+//! cache_scaling` doubles as a CI gate like `digest_scaling`.
+
+use dca_bench::harness::Harness;
+use dca_core::{Dca, DcaConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The 8-loop suite from `parallel_engine`: independent tagged map loops
+/// plus untagged reduction loops, so a run exercises several verdict
+/// classes and a non-trivial store count.
+fn multi_loop_module(loops: usize, trip: usize) -> dca_ir::Module {
+    let mut src = String::from("fn main() -> int { let s: int = 0;\n");
+    for k in 0..loops {
+        src.push_str(&format!("let a{k}: [int; {trip}];\n"));
+        src.push_str(&format!(
+            "@l{k}: for (let i: int = 0; i < {trip}; i = i + 1) {{ a{k}[i] = i * {m}; }}\n",
+            m = k + 2
+        ));
+        src.push_str(&format!(
+            "for (let i: int = 0; i < {trip}; i = i + 1) {{ s = s + a{k}[i]; }}\n"
+        ));
+    }
+    src.push_str("return s; }");
+    dca_ir::compile(&src).expect("generated module compiles")
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dca-bench-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+fn with_cache(path: Option<PathBuf>) -> DcaConfig {
+    DcaConfig {
+        cache: path,
+        threads: 1,
+        ..DcaConfig::fast()
+    }
+}
+
+fn min_of(h: &Harness, name: &str) -> Duration {
+    h.results()
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("bench {name} did not run"))
+        .min
+}
+
+fn main() {
+    let dir = scratch_dir();
+    let m = multi_loop_module(8, 48);
+    let mut h = Harness::new().sample_size(10);
+
+    h.bench_function("cache/none", |b| {
+        let dca = Dca::new(with_cache(None));
+        b.iter(|| black_box(dca.analyze_module(&m).expect("analyze")))
+    });
+
+    h.bench_function("cache/cold", |b| {
+        let path = dir.join("cold.json");
+        let dca = Dca::new(with_cache(Some(path.clone())));
+        b.iter(|| {
+            // Each sample pays the full cold path: analysis, key
+            // derivation, and the write-back of every verdict.
+            std::fs::remove_file(&path).ok();
+            let r = dca.analyze_module(&m).expect("analyze");
+            assert_eq!(r.cached_count(), 0, "cold run must not hit");
+            black_box(r)
+        })
+    });
+
+    h.bench_function("cache/warm", |b| {
+        let path = dir.join("warm.json");
+        std::fs::remove_file(&path).ok();
+        let dca = Dca::new(with_cache(Some(path)));
+        let cold = dca.analyze_module(&m).expect("populate cache");
+        b.iter(|| {
+            let r = dca.analyze_module(&m).expect("analyze");
+            assert_eq!(
+                r.cached_count(),
+                cold.len(),
+                "warm run must serve every loop from the cache"
+            );
+            black_box(r)
+        })
+    });
+
+    h.finish();
+
+    // Gate 1: warm re-analysis is at least 10x faster than the cold run
+    // it replaces. Minima, not medians — the fastest sample is the
+    // least-noise estimator for CPU-bound loops, and medians would make
+    // the gate flaky under CI machine load.
+    let cold = min_of(&h, "cache/cold");
+    let warm = min_of(&h, "cache/warm");
+    assert!(
+        warm.as_secs_f64() * 10.0 <= cold.as_secs_f64(),
+        "warm analysis ({warm:?}) is not >=10x faster than cold ({cold:?})"
+    );
+
+    // Gate 2: carrying a cache costs little — the cold run (analysis +
+    // keying + write-back) stays within 2x of the cacheless baseline.
+    let none = min_of(&h, "cache/none");
+    assert!(
+        cold.as_secs_f64() <= none.as_secs_f64() * 2.0,
+        "cold cached analysis ({cold:?}) more than doubles the cacheless \
+         baseline ({none:?})"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "cache scaling gates passed: cold {cold:?} vs warm {warm:?} \
+         ({:.1}x), overhead vs no-cache {:+.1}%",
+        cold.as_secs_f64() / warm.as_secs_f64(),
+        (cold.as_secs_f64() / none.as_secs_f64() - 1.0) * 100.0
+    );
+}

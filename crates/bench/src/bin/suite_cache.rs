@@ -1,0 +1,70 @@
+//! Analyzes every suite program on its test workload and prints one
+//! stable line per loop verdict, plus a trailing aggregate
+//! `cache-stats:` line when a verdict cache is configured.
+//!
+//! CI's `cache` job runs this twice against one `DCA_CACHE` file and
+//! fails when the verdict lines differ between runs or the second run
+//! serves zero hits — the executable end-to-end proof that warm
+//! verdicts are indistinguishable from fresh ones.
+//!
+//! The verdict lines deliberately include the full verdict payload
+//! (violation details, trip counts, permutation counts, replay steps)
+//! so a cached verdict that drifted in *any* field breaks the diff, not
+//! just one whose headline class changed. Provenance fields that are
+//! expected to differ between cold and warm runs (`cached`, wall time)
+//! are deliberately absent.
+
+use dca_core::{Dca, DcaConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let dca = Dca::new(DcaConfig::fast());
+    let mut totals = (0u64, 0u64, 0u64, 0u64); // hits, misses, stores, faults
+    let mut bypassed = 0u64;
+    let mut saw_stats = false;
+    for p in dca_suite::all_programs() {
+        let m = p.module();
+        let report = match dca.analyze(&m, &p.targs()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: {e}", p.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        for r in report.iter() {
+            let tag = r
+                .tag
+                .as_deref()
+                .map(|t| format!(" @{t}"))
+                .unwrap_or_default();
+            println!(
+                "{} {}{tag}: {} trips={} perms={} steps={}",
+                p.name, r.lref, r.verdict, r.trips, r.permutations_tested, r.replay_steps
+            );
+        }
+        if let Some(s) = &report.cache {
+            saw_stats = true;
+            totals.0 += s.hits;
+            totals.1 += s.misses;
+            totals.2 += s.stores;
+            totals.3 += s.faults;
+            bypassed += u64::from(s.bypassed);
+        }
+    }
+    if saw_stats {
+        let (hits, misses, stores, faults) = totals;
+        let consults = hits + misses;
+        let rate = if consults > 0 {
+            100.0 * hits as f64 / consults as f64
+        } else {
+            0.0
+        };
+        println!(
+            "cache-stats: hits={hits} misses={misses} stores={stores} \
+             faults={faults} bypassed={bypassed} hit_rate={rate:.1}%"
+        );
+    } else {
+        println!("cache-stats: disabled (set DCA_CACHE)");
+    }
+    ExitCode::SUCCESS
+}

@@ -181,6 +181,14 @@ pub struct DcaConfig {
     pub fault: Option<FaultPlan>,
     /// Observability: per-stage metrics and trace-event streaming.
     pub obs: ObsOptions,
+    /// Path of the persistent verdict cache (see [`crate::cache`] and
+    /// DESIGN.md §15). `None` (the default) falls back to the
+    /// `DCA_CACHE=<path>` environment variable, and no caching at all
+    /// when that is unset too. The engine bypasses a configured cache —
+    /// [`crate::cache::CacheDecision::Bypass`] — whenever fault injection
+    /// or wall-clock deadlines are active, since those verdicts are not
+    /// functions of the cache key.
+    pub cache: Option<PathBuf>,
 }
 
 impl Default for DcaConfig {
@@ -198,6 +206,7 @@ impl Default for DcaConfig {
             max_wall: WallLimits::default(),
             fault: None,
             obs: ObsOptions::default(),
+            cache: None,
         }
     }
 }
@@ -257,6 +266,7 @@ mod tests {
         assert!(!c.obs.metrics);
         assert!(c.max_wall.is_unlimited(), "no deadlines by default");
         assert!(c.fault.is_none(), "no fault injection by default");
+        assert!(c.cache.is_none(), "no verdict cache by default");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! permuted replay and live-out verification for every loop of a module
 //! (paper Fig. 3).
 
+use crate::cache::{CacheDecision, CacheStats, CachedVerdict, KeyBuilder, VerdictCache};
 use crate::config::{DcaConfig, DigestMode, PermutationSet, VerifyScope};
 use crate::fault::{catch_contained, FaultKind, FaultPlan, STALL_DURATION};
 use crate::outcome::{hash_live_state, DigestScratch, StateDigest};
@@ -35,6 +36,15 @@ fn make_obs(config: &DcaConfig) -> Obs {
     } else {
         Obs::disabled()
     }
+}
+
+/// The verdict-cache path in effect for one engine run: the
+/// `DCA_CACHE=<path>` environment variable wins (mirroring `DCA_TRACE`),
+/// then [`crate::DcaConfig::cache`]; `None` disables caching.
+fn resolve_cache_path(config: &DcaConfig) -> Option<std::path::PathBuf> {
+    std::env::var_os("DCA_CACHE")
+        .map(std::path::PathBuf::from)
+        .or_else(|| config.cache.clone())
 }
 
 /// Adds an interpreter's heap-op totals to the `interp.heap.*` counters.
@@ -452,12 +462,54 @@ impl Dca {
                 });
             }
         }
+        // Open the verdict cache, if one is configured. Runs with fault
+        // injection or wall deadlines bypass it wholesale — their
+        // verdicts are not functions of the cache key — and a damaged
+        // file bypasses itself inside `open`. Keys are precomputed here,
+        // index-aligned with `items`, so consulting the cache inside the
+        // parallel fold is a read-only map lookup.
+        let cache: Option<(VerdictCache, Vec<u128>)> =
+            resolve_cache_path(&self.config).map(|path| {
+                if fault.is_some() || !self.config.max_wall.is_unlimited() {
+                    (VerdictCache::bypass(&path), Vec::new())
+                } else {
+                    let vc = VerdictCache::open(&path);
+                    let keys = if vc.is_bypassed() {
+                        Vec::new()
+                    } else {
+                        let kb_t = obs.span_start();
+                        let keys =
+                            KeyBuilder::new(&self.config, args, module).all_loop_keys(module);
+                        obs.span_end("cache.keying", kb_t);
+                        keys
+                    };
+                    (vc, keys)
+                }
+            });
         // Split the worker budget: independent loops fan out across
         // `outer` workers, and each loop's permutation replays across
         // `inner` — so a module with one hot loop still uses every core.
         let threads = effective_threads(self.config.threads);
         let (outer, inner) = split_threads(threads, items.len());
         let results = parallel_map(outer, &items, &obs, "loops", |i, lref| {
+            // Cache consultation happens before any recording or replay:
+            // a hit serves the stored verdict outright.
+            if let Some((vc, keys)) = &cache {
+                if let Some(&key) = keys.get(i) {
+                    if let CacheDecision::Hit(hit) = vc.decide(key) {
+                        return LoopResult {
+                            lref: *lref,
+                            tag: hit.tag,
+                            verdict: hit.verdict,
+                            trips: hit.trips,
+                            permutations_tested: hit.permutations_tested,
+                            replay_steps: hit.replay_steps,
+                            wall: Duration::ZERO,
+                            cached: true,
+                        };
+                    }
+                }
+            }
             let ctx = LoopCtx {
                 ordinal: i,
                 fault: fault.as_ref(),
@@ -492,11 +544,51 @@ impl Dca {
             obs.count("engine.permutations_tested", r.permutations_tested as u64);
             obs.count("engine.replay_steps", r.replay_steps);
         }
+        // Cache accounting and write-back, all from the ordered result
+        // vector after the fold — `cache.{hits,misses,stores}` and
+        // `engine.cache_fault` are as thread-count-invariant as the
+        // verdict tallies above.
+        let cache_stats = cache.map(|(mut vc, keys)| {
+            let mut stats = CacheStats {
+                path: vc.path().to_path_buf(),
+                bypassed: vc.is_bypassed(),
+                faults: vc.load_faults(),
+                ..CacheStats::default()
+            };
+            if !vc.is_bypassed() {
+                for (i, r) in results.iter().enumerate() {
+                    if r.cached {
+                        stats.hits += 1;
+                    } else {
+                        stats.misses += 1;
+                        let v = CachedVerdict {
+                            tag: r.tag.clone(),
+                            verdict: r.verdict.clone(),
+                            trips: r.trips,
+                            permutations_tested: r.permutations_tested,
+                            replay_steps: r.replay_steps,
+                        };
+                        if vc.store(keys[i], &v) {
+                            stats.stores += 1;
+                        }
+                    }
+                }
+                if vc.save().is_err() {
+                    stats.faults += 1;
+                }
+            }
+            obs.count("cache.hits", stats.hits);
+            obs.count("cache.misses", stats.misses);
+            obs.count("cache.stores", stats.stores);
+            obs.count("engine.cache_fault", stats.faults);
+            stats
+        });
         let mut report = DcaReport::with_threads(threads);
         for result in results {
             report.push(result);
         }
         report.wall = start.elapsed();
+        report.cache = cache_stats;
         obs.span_end("engine.analyze", whole);
         report.obs = obs.rollup();
         Ok(report)
@@ -614,6 +706,7 @@ impl Dca {
             permutations_tested: 0,
             replay_steps: 0,
             wall: std::time::Duration::ZERO,
+            cached: false,
         };
         if let Some(reason) = exclusion(&view, l, &slice, &effects.io_funcs()) {
             return Ok(vec![LoopResult {
@@ -750,6 +843,7 @@ impl Dca {
             permutations_tested: 0,
             replay_steps: 0,
             wall: std::time::Duration::ZERO,
+            cached: false,
         };
         // An analysis deadline that has already expired skips the loop up
         // front — the report stays complete, each remaining loop just
@@ -1081,10 +1175,11 @@ impl Dca {
                 (VerifyScope::ProgramEnd, ReplayEnd::Finished(ret)) => {
                     // Compare against the machine's own output buffer —
                     // no per-replay outcome materialization.
-                    if golden
-                        .outcome
-                        .matches_parts(w.machine.output(), &ret, self.config.float_tolerance)
-                    {
+                    if golden.outcome.matches_parts(
+                        w.machine.output(),
+                        &ret,
+                        self.config.float_tolerance,
+                    ) {
                         VerifyEnd::Complete
                     } else {
                         VerifyEnd::Violated(Violation::OutcomeMismatch(
@@ -1117,11 +1212,8 @@ impl Dca {
                                 // measured before the verify step, so the
                                 // diagnostic replay never perturbs
                                 // `replay_steps`.
-                                let permuted = StateDigest::capture_with(
-                                    &w.machine,
-                                    &w.roots,
-                                    &mut w.scratch,
-                                );
+                                let permuted =
+                                    StateDigest::capture_with(&w.machine, &w.roots, &mut w.scratch);
                                 digest.structural += 1;
                                 digest.cells += permuted.cell_count();
                                 w.machine.rollback();
@@ -1166,8 +1258,7 @@ impl Dca {
                             }
                         }
                         Reference::Digest(reference) => {
-                            let d =
-                                StateDigest::capture_with(&w.machine, &w.roots, &mut w.scratch);
+                            let d = StateDigest::capture_with(&w.machine, &w.roots, &mut w.scratch);
                             digest.structural += 1;
                             digest.cells += d.cell_count();
                             if reference.matches(&d, self.config.float_tolerance) {
@@ -1313,7 +1404,6 @@ impl Dca {
             replay_steps,
         }
     }
-
 }
 
 /// The loop-exit reference state captured from the identity replay: a
@@ -1337,8 +1427,7 @@ struct DigestRoots {
 }
 
 fn digest_roots(view: &FuncView<'_>, live: &Liveness, l: &Loop) -> DigestRoots {
-    let mut vars: std::collections::BTreeSet<VarId> =
-        live.loop_live_outs(l).into_iter().collect();
+    let mut vars: std::collections::BTreeSet<VarId> = live.loop_live_outs(l).into_iter().collect();
     for t in l.exit_targets() {
         vars.extend(live.live_in(t).iter().copied());
     }
@@ -1369,6 +1458,7 @@ fn engine_fault_result(lref: LoopRef, msg: String) -> LoopResult {
         permutations_tested: 0,
         replay_steps: 0,
         wall: Duration::ZERO,
+        cached: false,
     }
 }
 
@@ -1409,6 +1499,7 @@ fn merge_reports(a: DcaReport, b: DcaReport) -> DcaReport {
             permutations_tested: ra.permutations_tested + rb.permutations_tested,
             replay_steps: ra.replay_steps + rb.replay_steps,
             wall: ra.wall + rb.wall,
+            cached: ra.cached && rb.cached,
         });
     }
     out
@@ -1591,20 +1682,20 @@ mod tests {
              return a[3]; }";
         let m = dca_ir::compile(src).expect("compile");
         let configs = [
-            DcaConfig::fast(),                // ProgramEnd, tolerance 1e-8
+            DcaConfig::fast(), // ProgramEnd, tolerance 1e-8
             DcaConfig {
                 float_tolerance: 0.0,
                 ..DcaConfig::fast()
-            },                                // ProgramEnd, bit-exact
+            }, // ProgramEnd, bit-exact
             DcaConfig {
                 verify_scope: VerifyScope::LoopExit,
                 ..DcaConfig::fast()
-            },                                // LoopExit, structural tier
-            DcaConfig::exact(),               // LoopExit, hashed tier
+            }, // LoopExit, structural tier
+            DcaConfig::exact(), // LoopExit, hashed tier
             DcaConfig {
                 digest: DigestMode::Structural,
                 ..DcaConfig::exact()
-            },                                // LoopExit, forced structural
+            }, // LoopExit, forced structural
         ];
         for (i, cfg) in configs.into_iter().enumerate() {
             let r = Dca::new(cfg).analyze_module(&m).expect("analyze");

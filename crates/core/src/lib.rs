@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -58,6 +59,7 @@ pub mod record;
 pub mod replay;
 pub mod report;
 
+pub use cache::{CacheDecision, CacheStats, CachedVerdict, KeyBuilder, VerdictCache};
 pub use config::{DcaConfig, DigestMode, ObsOptions, PermutationSet, VerifyScope, WallLimits};
 pub use dca_obs::{Obs, ObsRollup, SpanStat};
 pub use engine::{Dca, DcaError};

@@ -144,18 +144,14 @@ impl fmt::Display for Divergence {
                 golden,
                 permuted,
             } => write!(f, "live-out `{name}`: golden {golden}, permuted {permuted}"),
-            Divergence::ObjectCount { golden, permuted } => write!(
-                f,
-                "reachable objects: golden {golden}, permuted {permuted}"
-            ),
+            Divergence::ObjectCount { golden, permuted } => {
+                write!(f, "reachable objects: golden {golden}, permuted {permuted}")
+            }
             Divergence::ObjectShape {
                 object,
                 golden,
                 permuted,
-            } => write!(
-                f,
-                "object #{object}: golden {golden}, permuted {permuted}"
-            ),
+            } => write!(f, "object #{object}: golden {golden}, permuted {permuted}"),
             Divergence::Cell {
                 object,
                 cell,
@@ -173,10 +169,7 @@ impl fmt::Display for Divergence {
                 index,
                 golden,
                 permuted,
-            } => write!(
-                f,
-                "output[{index}]: golden {golden}, permuted {permuted}"
-            ),
+            } => write!(f, "output[{index}]: golden {golden}, permuted {permuted}"),
             Divergence::Ret { golden, permuted } => {
                 write!(f, "return value: golden {golden}, permuted {permuted}")
             }
@@ -428,11 +421,7 @@ fn visit_ref(canon: &mut HashMap<ObjId, u32>, order: &mut Vec<ObjId>, o: ObjId) 
 /// (assigned on the spot for objects seen here first — see
 /// [`visit_ref`]).
 #[inline(always)]
-fn enc(
-    canon: &mut HashMap<ObjId, u32>,
-    order: &mut Vec<ObjId>,
-    v: &Value,
-) -> (u64, u64) {
+fn enc(canon: &mut HashMap<ObjId, u32>, order: &mut Vec<ObjId>, v: &Value) -> (u64, u64) {
     match v {
         Value::Int(i) => (tag::INT, *i as u64),
         Value::Float(x) => (tag::FLOAT, canon_f64_bits(*x)),
@@ -531,12 +520,7 @@ impl CellStream {
     /// tags packed eight per fold (remainder cells pushed singly, their
     /// tags folded as one final sub-24-bit word — the run length pins
     /// which shape was used).
-    fn run(
-        &mut self,
-        canon: &mut HashMap<ObjId, u32>,
-        order: &mut Vec<ObjId>,
-        cells: &[Value],
-    ) {
+    fn run(&mut self, canon: &mut HashMap<ObjId, u32>, order: &mut Vec<ObjId>, cells: &[Value]) {
         self.cells += cells.len() as u64;
         // Lane state and tag lane ride in locals (the block absorber by
         // value, the tag word explicitly) so the loops stay in
@@ -625,7 +609,7 @@ impl CellStream {
 /// Unlike [`StateDigest::capture`], which runs a pointer-scanning
 /// traversal pass and then walks the cells again to materialize them,
 /// this streams each object's cells *once*: pointers discovered during
-/// absorption are numbered and enqueued on the fly ([`visit_ref`]),
+/// absorption are numbered and enqueued on the fly (`visit_ref`),
 /// which yields the identical first-visit numbering because the
 /// traversal's BFS queue is the visit order itself. On large heaps the
 /// verify cost is one pass at near memory bandwidth, not two.
@@ -783,9 +767,7 @@ impl StateDigest {
                 permuted: permuted.heap.len(),
             });
         }
-        for (object, ((ka, ca), (kb, cb))) in
-            self.heap.iter().zip(&permuted.heap).enumerate()
-        {
+        for (object, ((ka, ca), (kb, cb))) in self.heap.iter().zip(&permuted.heap).enumerate() {
             let object = object as u32;
             if ka != kb || ca.len() != cb.len() {
                 let shape = |k: &u32, c: &Vec<CanonValue>| format!("class {k} × {} cells", c.len());
@@ -989,7 +971,10 @@ mod tests {
             assert_eq!(cells, digest.cell_count(), "cell accounting agrees");
             (hash, digest)
         };
-        let results: Vec<_> = srcs.iter().map(|s| capture(&run(s).0, &mut scratch)).collect();
+        let results: Vec<_> = srcs
+            .iter()
+            .map(|s| capture(&run(s).0, &mut scratch))
+            .collect();
         assert_eq!(results[0].0, results[1].0, "isomorphic heaps hash equal");
         assert!(results[0].1.matches(&results[1].1, 0.0));
         assert_ne!(results[0].0, results[2].0, "differing cell hashes apart");
@@ -1120,7 +1105,7 @@ mod tests {
             None
         );
         assert!(matches!(
-            golden.first_divergence(&golden.output[..1].to_vec(), &golden.ret, 1e-8),
+            golden.first_divergence(&golden.output[..1], &golden.ret, 1e-8),
             Some(Divergence::OutputLen {
                 golden: 2,
                 permuted: 1,

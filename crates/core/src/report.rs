@@ -134,6 +134,13 @@ pub struct LoopResult {
     /// Wall-clock time spent analyzing this loop (golden recording plus
     /// replays). Purely informational; varies run to run.
     pub wall: Duration,
+    /// True when this verdict was served from the persistent verdict
+    /// cache ([`crate::cache`]) instead of being recomputed. Provenance
+    /// metadata like [`wall`]: not part of the outcome, so equality
+    /// ignores it.
+    ///
+    /// [`wall`]: LoopResult::wall
+    pub cached: bool,
 }
 
 /// Equality compares the analysis outcome — verdict, trips, permutation
@@ -168,6 +175,11 @@ pub struct DcaReport {
     /// deterministic for a given configuration and workload, identical
     /// at every worker-thread count; span durations are wall time.
     pub obs: Option<ObsRollup>,
+    /// Verdict-cache statistics for this analysis — `Some` whenever a
+    /// cache path was configured (via [`crate::DcaConfig::cache`] or
+    /// `DCA_CACHE`), even if the engine had to bypass it. `None` when no
+    /// cache was configured.
+    pub cache: Option<crate::cache::CacheStats>,
 }
 
 impl DcaReport {
@@ -225,6 +237,11 @@ impl DcaReport {
     pub fn replay_steps(&self) -> u64 {
         self.results.iter().map(|r| r.replay_steps).sum()
     }
+
+    /// Count of loops whose verdict came from the persistent cache.
+    pub fn cached_count(&self) -> usize {
+        self.results.iter().filter(|r| r.cached).count()
+    }
 }
 
 impl fmt::Display for DcaReport {
@@ -241,9 +258,10 @@ impl fmt::Display for DcaReport {
                 .as_deref()
                 .map(|t| format!(" @{t}"))
                 .unwrap_or_default();
+            let cached = if r.cached { " [cached]" } else { "" };
             writeln!(
                 f,
-                "  {}{tag}: {} (trips={}, perms={})",
+                "  {}{tag}: {} (trips={}, perms={}){cached}",
                 r.lref, r.verdict, r.trips, r.permutations_tested
             )?;
         }
@@ -274,6 +292,7 @@ mod tests {
             permutations_tested: 4,
             replay_steps: 100,
             wall: Duration::from_millis(1),
+            cached: false,
         });
         rep.push(LoopResult {
             lref: lref(0, 1),
@@ -283,6 +302,7 @@ mod tests {
             permutations_tested: 1,
             replay_steps: 50,
             wall: Duration::from_millis(2),
+            cached: false,
         });
         assert_eq!(rep.len(), 2);
         assert_eq!(rep.commutative_count(), 1);
@@ -350,13 +370,15 @@ mod tests {
             permutations_tested: 3,
             replay_steps: 1_000,
             wall: Duration::from_millis(7),
+            cached: false,
         };
         let b = LoopResult {
             replay_steps: 999,
             wall: Duration::ZERO,
+            cached: true,
             ..a.clone()
         };
-        assert_eq!(a, b, "wall/replay_steps are not part of the outcome");
+        assert_eq!(a, b, "wall/replay_steps/cached are not part of the outcome");
         let c = LoopResult {
             permutations_tested: 4,
             ..a.clone()

@@ -1,0 +1,140 @@
+//! Canonical, semantics-complete text forms of IR entities.
+//!
+//! The verdict cache in `dca-core` keys cached commutativity verdicts by
+//! a fingerprint of these strings, so their shape is a **stability
+//! contract**: two compiles must produce identical canonical text if and
+//! only if they are the same program at the IR level. Whitespace,
+//! comments and declaration order in the *source* never show up here —
+//! lowering normalizes all of that — while anything that can change a
+//! verdict does:
+//!
+//! * every instruction and terminator of every block, in block order
+//!   (via the deterministic [`std::fmt::Display`] impls in `print.rs`);
+//! * struct layouts, globals and their initializers;
+//! * the full per-function variable table (names **and** types — local
+//!   types drive interpreter semantics, and names appear verbatim in
+//!   divergence reports, so a rename must miss the cache rather than
+//!   replay a stale report);
+//! * source loop tags, which select loops for analysis.
+//!
+//! Growing the text with new information is always safe (old cache
+//! entries just miss); *removing* information is what would make two
+//! different programs collide, and is the thing reviewers should block.
+
+use crate::loops::Loop;
+use crate::module::{Function, Module};
+use std::fmt::Write as _;
+
+/// Canonical text of a whole module: the deterministic IR printing plus
+/// a per-function variable table.
+///
+/// The printed IR alone only shows parameter types; locals and
+/// temporaries appear as bare `v7` uses. Their declared types still
+/// change evaluation (e.g. float vs. int arithmetic on the same
+/// operator), so the table makes them part of the canonical form.
+#[must_use]
+pub fn canonical_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{m}");
+    for (fi, func) in m.funcs.iter().enumerate() {
+        let _ = writeln!(out, "vars f{fi} {}:", func.name);
+        for (vi, v) in func.vars.iter().enumerate() {
+            let _ = writeln!(out, "  v{vi} {}: {}", v.name, v.ty);
+        }
+    }
+    out
+}
+
+/// Canonical text of one loop's body within `func`: the loop's identity
+/// (header, depth, tag) followed by every member block's instructions
+/// and terminator in ascending block order, plus the exit edges that
+/// define where live-outs are verified.
+#[must_use]
+pub fn canonical_loop_body(func: &Function, l: &Loop) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "loop {} header {} depth {}", l.id, l.header, l.depth);
+    if let Some(tag) = &l.tag {
+        let _ = write!(out, " @{tag}");
+    }
+    let _ = writeln!(out);
+    for &b in &l.blocks {
+        let _ = writeln!(out, "{b}:");
+        let blk = func.block(b);
+        for inst in &blk.insts {
+            let _ = writeln!(out, "  {inst}");
+        }
+        let _ = writeln!(out, "  {}", blk.term);
+    }
+    for (from, to) in &l.exit_edges {
+        let _ = writeln!(out, "exit {from} -> {to}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    const TAGGED: &str = "fn main() -> int {
+        let s: int = 0;
+        let i: int = 0;
+        @acc: while (i < 4) { s = s + i; i = i + 1; }
+        return s;
+    }";
+
+    #[test]
+    fn canonical_text_ignores_source_formatting() {
+        let a = compile(TAGGED).expect("compile");
+        let b = compile(
+            "// a comment\nfn main() -> int { let s: int = 0; \t let i: int = 0;\n\n\
+             @acc: while (i < 4) { s = s + i; i = i + 1; } return s; }",
+        )
+        .expect("compile");
+        assert_eq!(canonical_module(&a), canonical_module(&b));
+    }
+
+    #[test]
+    fn canonical_text_distinguishes_semantic_changes() {
+        let base = canonical_module(&compile(TAGGED).expect("compile"));
+        // A different constant.
+        let c = canonical_module(&compile(&TAGGED.replace("i < 4", "i < 5")).expect("compile"));
+        assert_ne!(base, c);
+        // Local types are recorded even though instruction printing
+        // elides them: the var table names every declared local.
+        assert!(base.contains("vars f0 main:"), "var table present: {base}");
+        assert!(base.contains("s: int"), "local type recorded: {base}");
+        // A rename: verdicts embed variable names in divergence reports,
+        // so renames must change the canonical form too.
+        let r = canonical_module(
+            &compile(
+                &TAGGED
+                    .replace("let s", "let total")
+                    .replace("s =", "total =")
+                    .replace("s + i", "total + i")
+                    .replace("return s", "return total"),
+            )
+            .expect("compile"),
+        );
+        assert_ne!(base, r);
+    }
+
+    #[test]
+    fn loop_body_covers_blocks_tag_and_exits() {
+        let m = compile(TAGGED).expect("compile");
+        let view = crate::FuncView::new(&m, m.main().expect("main"));
+        let l = view
+            .loops
+            .iter()
+            .find(|l| l.tag.as_deref() == Some("acc"))
+            .expect("tagged loop");
+        let text = canonical_loop_body(view.func, l);
+        assert!(text.starts_with("loop "), "identity line first: {text}");
+        assert!(text.contains("@acc"));
+        assert!(text.contains("exit "), "exit edges present: {text}");
+        // Every member block appears exactly once.
+        for &b in &l.blocks {
+            assert_eq!(text.matches(&format!("{b}:")).count(), 1);
+        }
+    }
+}

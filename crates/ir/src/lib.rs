@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod cfg;
 pub mod dom;
 pub mod loops;
@@ -34,6 +35,7 @@ pub mod lower;
 pub mod module;
 mod print;
 
+pub use canon::{canonical_loop_body, canonical_module};
 pub use cfg::Cfg;
 pub use dca_lang::sema::{StructInfo, Ty};
 pub use dom::DomTree;

@@ -37,9 +37,11 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod rollup;
 pub mod trace;
 
+pub use json::{parse_json, Json};
 pub use rollup::{ObsRollup, SpanStat};
 pub use trace::{json_escape, TraceSink, TraceVal};
 

@@ -42,7 +42,7 @@ pub fn mix64(mut z: u64) -> u64 {
 ///   absorption is a bijection of the lane state, and the count is
 ///   finalized in);
 /// * **fast** — a couple of ALU ops per word with no serial cross-word
-///   dependency inside a four-word block, so [`Fingerprint::push4`] on
+///   dependency inside a four-word block, so [`Block4::push4`] on
 ///   an aligned stream sustains near-memory-bandwidth absorption; no
 ///   allocation, fixed state.
 ///
@@ -141,6 +141,33 @@ impl Fingerprint {
             }
         }
         self.n += 1;
+    }
+
+    /// Absorbs a byte slice as a self-delimiting record: the length in
+    /// bytes first, then the bytes packed into little-endian words with
+    /// zero padding in the final partial word. The length prefix keeps
+    /// the encoding prefix-free — `push_bytes(b"ab"); push_bytes(b"c")`
+    /// and `push_bytes(b"abc")` produce different streams — so
+    /// structured keys built from several variable-length components
+    /// (the verdict cache's canonical IR text, for one) can never
+    /// collide by re-bracketing.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.push(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.push(u64::from_le_bytes(c.try_into().expect("exact chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            self.push(u64::from_le_bytes(w));
+        }
+    }
+
+    /// Absorbs a string's UTF-8 bytes (see [`Fingerprint::push_bytes`]).
+    pub fn push_str(&mut self, s: &str) {
+        self.push_bytes(s.as_bytes());
     }
 
     /// Pads the stream with zero words up to the next four-word block
@@ -421,6 +448,37 @@ mod tests {
         assert_eq!(d1, fp.digest());
         fp.push(8);
         assert_ne!(d1, fp.digest());
+    }
+
+    #[test]
+    fn byte_absorption_is_prefix_free_and_padding_safe() {
+        let digest_of = |parts: &[&[u8]]| {
+            let mut fp = Fingerprint::new();
+            for p in parts {
+                fp.push_bytes(p);
+            }
+            fp.digest()
+        };
+        assert_eq!(digest_of(&[b"abc"]), digest_of(&[b"abc"]));
+        // Re-bracketing a byte stream changes the digest.
+        assert_ne!(digest_of(&[b"ab", b"c"]), digest_of(&[b"abc"]));
+        assert_ne!(digest_of(&[b"a", b"bc"]), digest_of(&[b"ab", b"c"]));
+        // Zero padding of the last partial word cannot be confused with
+        // real trailing NULs.
+        assert_ne!(digest_of(&[b"abc"]), digest_of(&[b"abc\0"]));
+        assert_ne!(digest_of(&[b""]), digest_of(&[b"\0"]));
+        // Word-aligned and unaligned lengths all distinct.
+        let mut seen = std::collections::HashSet::new();
+        let data = [7u8; 40];
+        for len in 0..=data.len() {
+            assert!(seen.insert(digest_of(&[&data[..len]])), "len {len}");
+        }
+        // push_str is push_bytes over UTF-8.
+        let mut a = Fingerprint::new();
+        a.push_str("héllo");
+        let mut b = Fingerprint::new();
+        b.push_bytes("héllo".as_bytes());
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

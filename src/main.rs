@@ -75,6 +75,32 @@ fn parse_opts() -> Result<Opts, String> {
     Ok(opts)
 }
 
+/// One-line verdict-cache summary after an `analyze` report, shown only
+/// when a cache is configured (`DCA_CACHE` or `DcaConfig::cache`).
+fn print_cache_footer(stats: Option<&dca::core::CacheStats>) {
+    let Some(s) = stats else { return };
+    if s.bypassed {
+        println!(
+            "cache: bypassed ({}{})",
+            s.path.display(),
+            if s.faults > 0 { ", file damaged" } else { "" }
+        );
+        return;
+    }
+    let faults = if s.faults > 0 {
+        format!(", {} fault(s)", s.faults)
+    } else {
+        String::new()
+    };
+    println!(
+        "cache: {} hit(s), {} miss(es), {} stored{faults} ({})",
+        s.hits,
+        s.misses,
+        s.stores,
+        s.path.display()
+    );
+}
+
 fn main() -> ExitCode {
     let opts = match parse_opts() {
         Ok(o) => o,
@@ -156,6 +182,7 @@ fn main() -> ExitCode {
             match report {
                 Ok(r) => {
                     print!("{r}");
+                    print_cache_footer(r.cache.as_ref());
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

@@ -339,7 +339,11 @@ fn hash_digest_equals_structural_digest() {
                 );
             }
             assert!(
-                hashed.by_tag("fmap").expect("fmap").verdict.is_commutative(),
+                hashed
+                    .by_tag("fmap")
+                    .expect("fmap")
+                    .verdict
+                    .is_commutative(),
                 "case {case} threads={threads}: NaN/-0.0 map must stay commutative"
             );
             // `s = s * 2 + i` weights each iteration by a distinct power
