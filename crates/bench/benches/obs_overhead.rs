@@ -5,15 +5,18 @@
 //! primitives on a disabled handle (must be branch-on-`Option` cheap,
 //! with no clock reads); a whole `analyze` run with obs disabled vs
 //! metrics enabled; and the same run with the wall-clock governor armed
-//! (a generous deadline, so its cooperative checks run but never fire)
-//! and with a fault plan armed that targets a loop that does not exist
-//! (the full targeting machinery runs, nothing is injected). The process
+//! (a generous deadline, so its cooperative checks run but never fire),
+//! with a fault plan armed that targets a loop that does not exist
+//! (the full targeting machinery runs, nothing is injected), with a
+//! cancel token installed that never trips, and against a run paying
+//! for real write-ahead journaling (proving the journal-disabled branch
+//! is free). The process
 //! exits non-zero when any assertion fails, so a
 //! `cargo bench --bench obs_overhead` in CI guards the "disabled — or
 //! armed-but-idle — adds no measurable overhead" claims.
 
 use dca_bench::harness::Harness;
-use dca_core::{Dca, DcaConfig, FaultPlan, Obs, ObsOptions, WallLimits};
+use dca_core::{CancelToken, Dca, DcaConfig, FaultPlan, Obs, ObsOptions, WallLimits};
 use dca_interp::{Machine, NoHooks};
 use std::hint::black_box;
 use std::time::Duration;
@@ -93,6 +96,35 @@ fn main() {
         b.iter(|| black_box(armed.analyze_module(&m).expect("analyze")))
     });
 
+    // Cancel token installed but never tripped: every cooperative check
+    // in the interpreter granules and at stage boundaries executes (an
+    // atomic load), none fires.
+    let cancel_armed = Dca::new(DcaConfig {
+        cancel: Some(CancelToken::new()),
+        ..DcaConfig::fast()
+    });
+    h.bench_function("robust/analyze_cancel_armed_idle", |b| {
+        b.iter(|| black_box(cancel_armed.analyze_module(&m).expect("analyze")))
+    });
+
+    // Run journal actually recording (the file is removed each iteration
+    // so every run is a cold, fully-written one) — the comparison
+    // baseline proving the journal-disabled path adds nothing.
+    let jdir = std::env::temp_dir().join(format!("dca-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&jdir).expect("mkdir");
+    let jpath = jdir.join("bench.journal");
+    let journaled = Dca::new(DcaConfig {
+        journal: Some(jpath.clone()),
+        ..DcaConfig::fast()
+    });
+    h.bench_function("robust/analyze_journaled_cold", |b| {
+        b.iter(|| {
+            std::fs::remove_file(&jpath).ok();
+            black_box(journaled.analyze_module(&m).expect("analyze"))
+        })
+    });
+    std::fs::remove_dir_all(&jdir).ok();
+
     // Write journal (DESIGN.md §13): a write-heavy replay with the
     // journal disarmed (the recording path, and any machine outside a
     // permuted replay) vs the same replay armed. The disarmed store hook
@@ -162,7 +194,25 @@ fn main() {
         "fault-armed analyze ({armed_t:?}) measurably slower than fault-free ({off_t:?})"
     );
 
-    // Gate 5: the disarmed journal's store hook must be free. The
+    // Gate 5: a disarmed cancellation check — one relaxed atomic load
+    // per interpreter granule and stage boundary — must stay in the
+    // noise of a full analysis.
+    let cancel_t = median_of(&h, "robust/analyze_cancel_armed_idle");
+    assert!(
+        cancel_t.as_secs_f64() <= off_t.as_secs_f64() * 1.25,
+        "cancel-armed analyze ({cancel_t:?}) measurably slower than tokenless ({off_t:?})"
+    );
+
+    // Gate 6: with no journal configured the per-loop consultation is a
+    // branch on `None` — a run without one must not be slower than a run
+    // paying for real write-ahead journaling.
+    let journaled_t = median_of(&h, "robust/analyze_journaled_cold");
+    assert!(
+        off_t.as_secs_f64() <= journaled_t.as_secs_f64() * 1.25,
+        "journal-disabled analyze ({off_t:?}) slower than a journaling one ({journaled_t:?})"
+    );
+
+    // Gate 7: the disarmed journal's store hook must be free. The
     // disarmed replay rewinds by full restore and the armed one by
     // rollback, so at this write footprint (every heap cell dirtied)
     // their rewind work is comparable and the ratio isolates the
@@ -185,6 +235,7 @@ fn main() {
     println!(
         "obs overhead gates passed: disabled calls {calls:?}/1000, analyze {off_t:?} (off) vs \
          {on_t:?} (metrics), {governed_t:?} (governed), {armed_t:?} (fault armed, idle), \
+         {cancel_t:?} (cancel armed, idle), {journaled_t:?} (run journal cold), \
          replay {disarmed:?} (journal disarmed) vs {journal_armed:?} (armed)"
     );
 }

@@ -1,0 +1,69 @@
+//! Analyzes every suite program on its test workload and prints one
+//! stable line per loop verdict, plus a trailing aggregate
+//! `journal-stats:` line when a run journal is configured.
+//!
+//! CI's `interrupt` job runs this three times: once fault-free for an
+//! oracle, once with a `DCA_FAULT=cancel@…` plan killing the run
+//! mid-verification against a `DCA_JOURNAL`, and once more against the
+//! same journal with the fault cleared. It fails when the resumed
+//! verdict lines differ from the oracle, when the resume serves nothing
+//! from the journal, or when a `*.tmp` rotation file is left behind —
+//! the executable end-to-end proof that a killed run resumes exactly
+//! where it stopped.
+//!
+//! The verdict lines deliberately include the full verdict payload
+//! (violation details, trip counts, permutation counts, replay steps)
+//! so a journal-served verdict that drifted in *any* field breaks the
+//! diff. Provenance fields expected to differ between the interrupted
+//! and resumed runs (`resumed`, wall time) are deliberately absent.
+
+use dca_core::{Dca, DcaConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let dca = Dca::new(DcaConfig::fast());
+    // resumed, recorded, quarantined, dropped, faults
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut bypassed = 0u64;
+    let mut saw_stats = false;
+    for p in dca_suite::all_programs() {
+        let m = p.module();
+        let report = match dca.analyze(&m, &p.targs()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: {e}", p.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        for r in report.iter() {
+            let tag = r
+                .tag
+                .as_deref()
+                .map(|t| format!(" @{t}"))
+                .unwrap_or_default();
+            println!(
+                "{} {}{tag}: {} trips={} perms={} steps={}",
+                p.name, r.lref, r.verdict, r.trips, r.permutations_tested, r.replay_steps
+            );
+        }
+        if let Some(s) = &report.journal {
+            saw_stats = true;
+            totals.0 += s.resumed;
+            totals.1 += s.recorded;
+            totals.2 = totals.2.max(s.quarantined);
+            totals.3 += s.dropped;
+            totals.4 += s.faults;
+            bypassed += u64::from(s.bypassed);
+        }
+    }
+    if saw_stats {
+        let (resumed, recorded, quarantined, dropped, faults) = totals;
+        println!(
+            "journal-stats: resumed={resumed} recorded={recorded} \
+             quarantined={quarantined} dropped={dropped} faults={faults} bypassed={bypassed}"
+        );
+    } else {
+        println!("journal-stats: disabled (set DCA_JOURNAL)");
+    }
+    ExitCode::SUCCESS
+}

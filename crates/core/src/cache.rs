@@ -45,12 +45,14 @@
 //! # What is never cached
 //!
 //! Verdicts that are not functions of the key: [`SkipReason::Deadline`]
-//! (host speed) and [`SkipReason::EngineFault`] (contained panic). Runs
-//! with fault injection or wall deadlines configured bypass the cache
-//! wholesale for the same reason — see
+//! (host speed), [`SkipReason::EngineFault`] (contained panic) and
+//! [`SkipReason::Cancelled`] (operator action). Runs with
+//! verdict-perturbing fault injection or wall deadlines configured
+//! bypass the cache wholesale for the same reason — see
 //! [`DcaConfig::cache`](crate::DcaConfig::cache).
 
 use crate::config::{DcaConfig, DigestMode, PermutationSet, VerifyScope};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::outcome::Divergence;
 use crate::report::{LoopVerdict, SkipReason, Violation};
 use dca_analysis::ExclusionReason;
@@ -170,6 +172,15 @@ impl KeyBuilder {
         fp.push(u64::from(config.invocations));
         fp.push(config.max_steps);
         fp.push(config.max_trip as u64);
+        // The heap budget changes verdicts (a budgeted replay can skip
+        // where an unbudgeted one commits), so it is part of the key.
+        match config.max_heap_cells {
+            None => fp.push(0),
+            Some(cells) => {
+                fp.push(1);
+                fp.push(cells);
+            }
+        }
         fp.push(args.len() as u64);
         for v in args {
             match v {
@@ -349,6 +360,21 @@ impl VerdictCache {
     ///
     /// Returns the I/O error; callers degrade it to a cache fault.
     pub fn save(&self) -> std::io::Result<()> {
+        self.save_faulted(None)
+    }
+
+    /// [`save`](Self::save), with an optional [`FaultKind::KillSave`]
+    /// plan simulating a process kill at a chosen point of the write:
+    /// stage `0` dies after the temp file is fully written but before
+    /// the rename; any other stage dies mid temp-file write, leaving a
+    /// torn temp file. Either way the previous cache file is untouched —
+    /// that is the atomicity property the chaos suite asserts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error (injected or real); callers degrade it to a
+    /// cache fault.
+    pub fn save_faulted(&self, fault: Option<&FaultPlan>) -> std::io::Result<()> {
         if self.bypassed || self.added == 0 {
             return Ok(());
         }
@@ -370,6 +396,19 @@ impl VerdictCache {
         }
         doc.push_str("\n]}\n");
         let tmp = self.path.with_extension("tmp");
+        match fault.map(|p| p.kind) {
+            Some(FaultKind::KillSave { stage: 0 }) => {
+                std::fs::write(&tmp, &doc)?;
+                return Err(std::io::Error::other(
+                    "injected kill after temp write, before rename",
+                ));
+            }
+            Some(FaultKind::KillSave { .. }) => {
+                std::fs::write(&tmp, &doc[..doc.len() / 2])?;
+                return Err(std::io::Error::other("injected kill mid temp write"));
+            }
+            _ => {}
+        }
         std::fs::write(&tmp, &doc)?;
         std::fs::rename(&tmp, &self.path)
     }
@@ -487,7 +526,7 @@ fn obj(kind: &str) -> BTreeMap<String, Json> {
     m
 }
 
-fn encode_verdict(v: &LoopVerdict) -> Option<Json> {
+pub(crate) fn encode_verdict(v: &LoopVerdict) -> Option<Json> {
     let m = match v {
         LoopVerdict::Commutative => obj("commutative"),
         LoopVerdict::NonCommutative(violation) => {
@@ -519,7 +558,7 @@ fn encode_verdict(v: &LoopVerdict) -> Option<Json> {
     Some(Json::Obj(m))
 }
 
-fn decode_verdict(j: &Json) -> Option<LoopVerdict> {
+pub(crate) fn decode_verdict(j: &Json) -> Option<LoopVerdict> {
     let m = j.as_object()?;
     Some(match m.get("kind")?.as_str()? {
         "commutative" => LoopVerdict::Commutative,
@@ -577,9 +616,13 @@ fn encode_skip(r: &SkipReason) -> Option<Json> {
         }
         SkipReason::GoldenBudget => obj("golden_budget"),
         SkipReason::ReplayBudget => obj("replay_budget"),
-        // Host-speed and contained-panic verdicts are not functions of
-        // the key; replaying them from a cache would be a wrong verdict.
-        SkipReason::Deadline | SkipReason::EngineFault(_) => return None,
+        // The heap budget is part of the cache key, so a budget skip is a
+        // pure function of it — cacheable like the step-budget skips.
+        SkipReason::MemoryBudget => obj("memory_budget"),
+        // Host-speed, contained-panic and operator-cancellation verdicts
+        // are not functions of the key; replaying them from a cache would
+        // be a wrong verdict.
+        SkipReason::Deadline | SkipReason::EngineFault(_) | SkipReason::Cancelled => return None,
     };
     Some(Json::Obj(m))
 }
@@ -591,6 +634,7 @@ fn decode_skip(j: &Json) -> Option<SkipReason> {
         "golden_trapped" => SkipReason::GoldenTrapped(decode_trap(m.get("trap")?)?),
         "golden_budget" => SkipReason::GoldenBudget,
         "replay_budget" => SkipReason::ReplayBudget,
+        "memory_budget" => SkipReason::MemoryBudget,
         _ => return None,
     })
 }
@@ -782,6 +826,7 @@ mod tests {
             LoopVerdict::Skipped(SkipReason::TripLimit),
             LoopVerdict::Skipped(SkipReason::GoldenBudget),
             LoopVerdict::Skipped(SkipReason::ReplayBudget),
+            LoopVerdict::Skipped(SkipReason::MemoryBudget),
             LoopVerdict::Skipped(SkipReason::GoldenTrapped(Trap::DivByZero)),
             LoopVerdict::NonCommutative(Violation::ReplayDiverged),
             LoopVerdict::NonCommutative(Violation::OutcomeMismatch(None)),
@@ -860,6 +905,7 @@ mod tests {
     fn non_key_verdicts_are_never_cacheable() {
         for v in [
             LoopVerdict::Skipped(SkipReason::Deadline),
+            LoopVerdict::Skipped(SkipReason::Cancelled),
             LoopVerdict::Skipped(SkipReason::EngineFault("boom".into())),
             LoopVerdict::NonCommutative(Violation::ReplayTrapped(Trap::IllTyped("op"))),
             LoopVerdict::NonCommutative(Violation::ReplayTrapped(Trap::Injected)),
@@ -963,6 +1009,38 @@ mod tests {
     }
 
     #[test]
+    fn kill_save_fault_never_touches_the_real_file() {
+        let dir = tmpdir("killsave");
+        let path = dir.join("cache.json");
+        let mut c = VerdictCache::open(&path);
+        assert!(c.store(1, &cached(LoopVerdict::Commutative)));
+        c.save().expect("clean save");
+        let before = std::fs::read_to_string(&path).expect("read");
+        let mut c = VerdictCache::open(&path);
+        assert!(c.store(2, &cached(LoopVerdict::NotExercised)));
+        for stage in [0u64, 1] {
+            let plan = FaultPlan {
+                kind: FaultKind::KillSave { stage },
+                loop_ordinal: 0,
+                replay: 0,
+            };
+            let err = c.save_faulted(Some(&plan)).expect_err("injected kill");
+            assert!(err.to_string().contains("injected kill"), "{err}");
+            assert_eq!(
+                std::fs::read_to_string(&path).expect("read"),
+                before,
+                "stage {stage} left the real file untouched"
+            );
+        }
+        // A later clean save overwrites the stale temp file and lands.
+        c.save().expect("save");
+        let back = VerdictCache::open(&path);
+        assert_eq!(back.load_faults(), 0);
+        assert_eq!(back.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn key_builder_separates_config_args_and_program() {
         let m1 = dca_ir::compile(
             "fn main() -> int { let i: int = 0; let s: int = 0;
@@ -1014,6 +1092,10 @@ mod tests {
             },
             DcaConfig {
                 max_trip: 3,
+                ..DcaConfig::fast()
+            },
+            DcaConfig {
+                max_heap_cells: Some(1 << 20),
                 ..DcaConfig::fast()
             },
         ] {

@@ -2,6 +2,7 @@
 //! wall-clock deadlines, fault injection, observability options.
 
 use crate::fault::FaultPlan;
+use crate::parallel::CancelToken;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -189,6 +190,34 @@ pub struct DcaConfig {
     /// or wall-clock deadlines are active, since those verdicts are not
     /// functions of the cache key.
     pub cache: Option<PathBuf>,
+    /// Path of the write-ahead run journal (see [`crate::journal`] and
+    /// DESIGN.md §16). `None` (the default) falls back to the
+    /// `DCA_JOURNAL=<path>` environment variable, and no journaling at
+    /// all when that is unset too. With a journal configured, every
+    /// freshly computed verdict is appended as soon as it lands, and a
+    /// re-run of the same analysis replays those records instead of
+    /// recomputing — so a run killed mid-flight resumes where it
+    /// stopped. Unlike the cache, the journal stays active under fault
+    /// injection (that is how quarantine works).
+    pub journal: Option<PathBuf>,
+    /// Heap budget per interpreter machine, in cells. `None` (the
+    /// default) leaves the interpreter's own backstop limit in place; a
+    /// configured budget makes a runaway replay degrade to
+    /// [`crate::SkipReason::MemoryBudget`] instead of OOM-killing the
+    /// process.
+    pub max_heap_cells: Option<u64>,
+    /// How many times a loop whose analysis hit a transient engine fault
+    /// ([`crate::SkipReason::EngineFault`], a contained panic) is re-run
+    /// before the fault verdict stands. `0` (the default) disables
+    /// retries. Retries are accounted deterministically in the
+    /// `engine.retries` counter; a loop that exhausts them is quarantined
+    /// in the run journal, so subsequent journaled runs skip it
+    /// immediately.
+    pub fault_retries: u32,
+    /// Cooperative cancellation token. `None` (the default) means the
+    /// run cannot be cancelled externally; the CLI installs a token
+    /// wired to Ctrl-C. See [`CancelToken`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for DcaConfig {
@@ -207,6 +236,10 @@ impl Default for DcaConfig {
             fault: None,
             obs: ObsOptions::default(),
             cache: None,
+            journal: None,
+            max_heap_cells: None,
+            fault_retries: 0,
+            cancel: None,
         }
     }
 }
@@ -267,6 +300,10 @@ mod tests {
         assert!(c.max_wall.is_unlimited(), "no deadlines by default");
         assert!(c.fault.is_none(), "no fault injection by default");
         assert!(c.cache.is_none(), "no verdict cache by default");
+        assert!(c.journal.is_none(), "no run journal by default");
+        assert!(c.max_heap_cells.is_none(), "no heap budget by default");
+        assert_eq!(c.fault_retries, 0, "no fault retries by default");
+        assert!(c.cancel.is_none(), "no cancellation token by default");
     }
 
     #[test]

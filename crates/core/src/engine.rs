@@ -5,16 +5,17 @@
 use crate::cache::{CacheDecision, CacheStats, CachedVerdict, KeyBuilder, VerdictCache};
 use crate::config::{DcaConfig, DigestMode, PermutationSet, VerifyScope};
 use crate::fault::{catch_contained, FaultKind, FaultPlan, STALL_DURATION};
+use crate::journal::{RunJournal, RunJournalStats};
 use crate::outcome::{hash_live_state, DigestScratch, StateDigest};
 use crate::parallel::{
-    effective_threads, parallel_map, parallel_scan_with, split_threads, StopIndex,
+    effective_threads, parallel_map, parallel_scan_with, split_threads, CancelToken, StopIndex,
 };
 use crate::perm::{derive_seed, schedules};
 use crate::record::{record_golden_governed, GoldenRecord, RecordError};
 use crate::replay::{run_replay_governed, ReplayController, ReplayEnd, ReplayGovernor};
 use crate::report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};
 use dca_analysis::{exclusion, EffectMap, IteratorSlice, Liveness};
-use dca_interp::{JournalStats, Machine, OpCounts, Value};
+use dca_interp::{JournalStats, Limits, Machine, OpCounts, Trap, Value};
 use dca_ir::{FuncId, FuncView, Loop, LoopRef, Module, Ty, VarId};
 use dca_obs::{Obs, TraceVal};
 use std::fmt;
@@ -47,6 +48,15 @@ fn resolve_cache_path(config: &DcaConfig) -> Option<std::path::PathBuf> {
         .or_else(|| config.cache.clone())
 }
 
+/// The run-journal path in effect: the `DCA_JOURNAL=<path>` environment
+/// variable wins (mirroring `DCA_CACHE`), then
+/// [`crate::DcaConfig::journal`]; `None` disables the journal.
+fn resolve_journal_path(config: &DcaConfig) -> Option<std::path::PathBuf> {
+    std::env::var_os("DCA_JOURNAL")
+        .map(std::path::PathBuf::from)
+        .or_else(|| config.journal.clone())
+}
+
 /// Adds an interpreter's heap-op totals to the `interp.heap.*` counters.
 fn record_machine_ops(obs: &Obs, ops: &OpCounts) {
     obs.count("interp.heap.allocs", ops.heap_allocs);
@@ -71,6 +81,13 @@ enum VerifyEnd {
     /// A replay worker panicked; the panic was contained and carries its
     /// message. Conclusion-free like a budget limit.
     Fault(String),
+    /// The run's [`CancelToken`] was tripped mid-verification — a stop
+    /// request like [`VerifyEnd::Deadline`], never a violation.
+    Cancelled,
+    /// A replay exceeded the configured heap budget
+    /// ([`DcaConfig::max_heap_cells`]) — a resource limit like
+    /// [`VerifyEnd::Budget`], never a violation.
+    MemBudget,
 }
 
 /// The outcome of verifying one permutation set, with the counters the
@@ -166,6 +183,8 @@ fn fault_counter(kind: FaultKind) -> &'static str {
         FaultKind::Stall => "engine.faults.stall",
         FaultKind::Trap { .. } => "engine.faults.trap",
         FaultKind::AllocFail { .. } => "engine.faults.oom",
+        FaultKind::Cancel => "engine.faults.cancel",
+        FaultKind::KillSave { .. } => "engine.faults.kill",
     }
 }
 
@@ -361,6 +380,9 @@ struct LoopCtx<'p> {
     fault: Option<&'p FaultPlan>,
     /// Absolute deadline for the whole analysis call.
     analysis_deadline: Option<Instant>,
+    /// The run's cancellation token, checked cooperatively at stage
+    /// boundaries and replay granules.
+    cancel: Option<&'p CancelToken>,
 }
 
 impl Dca {
@@ -407,6 +429,31 @@ impl Dca {
     /// `DCA_FAULT` environment variable as the fallback.
     fn resolve_fault(&self) -> Option<FaultPlan> {
         self.config.fault.clone().or_else(FaultPlan::from_env)
+    }
+
+    /// A fresh interpreter honoring the configured replay heap budget:
+    /// with [`DcaConfig::max_heap_cells`] set, a runaway allocation traps
+    /// as [`Trap::OutOfMemory`] inside the interpreter — mapped to
+    /// [`SkipReason::MemoryBudget`] — instead of exhausting host memory.
+    fn new_machine<'m>(&self, module: &'m Module) -> Machine<'m> {
+        match self.config.max_heap_cells {
+            None => Machine::new(module),
+            Some(cells) => Machine::with_limits(
+                module,
+                Limits {
+                    max_heap_cells: cells,
+                    ..Limits::default()
+                },
+            ),
+        }
+    }
+
+    /// The internally-created cancellation token for a
+    /// [`FaultKind::Cancel`] plan when the caller supplied none — the
+    /// fault needs a token to trip.
+    fn internal_cancel(&self, fault: Option<&FaultPlan>) -> Option<CancelToken> {
+        (self.config.cancel.is_none() && fault.is_some_and(|p| matches!(p.kind, FaultKind::Cancel)))
+            .then(CancelToken::new)
     }
 
     /// The whole-analysis deadline for a call starting now.
@@ -462,42 +509,101 @@ impl Dca {
                 });
             }
         }
-        // Open the verdict cache, if one is configured. Runs with fault
-        // injection or wall deadlines bypass it wholesale — their
-        // verdicts are not functions of the cache key — and a damaged
-        // file bypasses itself inside `open`. Keys are precomputed here,
-        // index-aligned with `items`, so consulting the cache inside the
-        // parallel fold is a read-only map lookup.
-        let cache: Option<(VerdictCache, Vec<u128>)> =
-            resolve_cache_path(&self.config).map(|path| {
-                if fault.is_some() || !self.config.max_wall.is_unlimited() {
-                    (VerdictCache::bypass(&path), Vec::new())
-                } else {
-                    let vc = VerdictCache::open(&path);
-                    let keys = if vc.is_bypassed() {
-                        Vec::new()
-                    } else {
-                        let kb_t = obs.span_start();
-                        let keys =
-                            KeyBuilder::new(&self.config, args, module).all_loop_keys(module);
-                        obs.span_end("cache.keying", kb_t);
-                        keys
-                    };
-                    (vc, keys)
-                }
-            });
+        // The run's cancellation token: the caller's, or an internal one
+        // a `cancel@…` fault plan can trip.
+        let internal_cancel = self.internal_cancel(fault.as_ref());
+        let cancel = self.config.cancel.as_ref().or(internal_cancel.as_ref());
+        // Open the verdict cache, if one is configured. Runs with
+        // verdict-perturbing fault injection or wall deadlines bypass it
+        // wholesale — their verdicts are not functions of the cache key —
+        // and a damaged file bypasses itself inside `open`.
+        let perturbing = fault.as_ref().is_some_and(|p| p.kind.perturbs_verdicts());
+        let cache: Option<VerdictCache> = resolve_cache_path(&self.config).map(|path| {
+            if perturbing || !self.config.max_wall.is_unlimited() {
+                VerdictCache::bypass(&path)
+            } else {
+                VerdictCache::open(&path)
+            }
+        });
+        // Open the run journal, if one is configured. Unlike the cache it
+        // stays active under fault injection — that is how quarantine
+        // records land — but under a perturbing plan it only *serves*
+        // quarantine entries and only *records* quarantine verdicts.
+        let journal: Option<RunJournal> =
+            resolve_journal_path(&self.config).map(|p| RunJournal::open(&p));
+        // Per-loop keys, index-aligned with `items` and shared by the
+        // cache and the journal, so consulting either inside the parallel
+        // fan-out is a read-only map lookup.
+        let need_keys = cache.as_ref().is_some_and(|c| !c.is_bypassed())
+            || journal.as_ref().is_some_and(|j| !j.is_bypassed());
+        let keys: Vec<u128> = if need_keys {
+            let kb_t = obs.span_start();
+            let keys = KeyBuilder::new(&self.config, args, module).all_loop_keys(module);
+            obs.span_end("cache.keying", kb_t);
+            keys
+        } else {
+            Vec::new()
+        };
         // Split the worker budget: independent loops fan out across
         // `outer` workers, and each loop's permutation replays across
         // `inner` — so a module with one hot loop still uses every core.
         let threads = effective_threads(self.config.threads);
         let (outer, inner) = split_threads(threads, items.len());
-        let results = parallel_map(outer, &items, &obs, "loops", |i, lref| {
+        let outcomes = parallel_map(outer, &items, &obs, "loops", |i, lref| {
+            // A tripped token means stop at the next safe point: loops
+            // not yet started are skipped outright, and the partial
+            // report stays valid.
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                let tag = FuncView::new(module, lref.func)
+                    .loops
+                    .get(lref.loop_id)
+                    .tag
+                    .clone();
+                return (
+                    LoopResult {
+                        lref: *lref,
+                        tag,
+                        verdict: LoopVerdict::Skipped(SkipReason::Cancelled),
+                        trips: 0,
+                        permutations_tested: 0,
+                        replay_steps: 0,
+                        wall: Duration::ZERO,
+                        cached: false,
+                        resumed: false,
+                    },
+                    0u64,
+                );
+            }
+            let key = keys.get(i).copied();
+            // Journal consultation comes first: an interrupted run's
+            // decided loops are served exactly as recorded, including
+            // skips the cache refuses to persist.
+            if let (Some(j), Some(key)) = (&journal, key) {
+                if let Some(e) = j.decide(key) {
+                    if e.quarantined || !perturbing {
+                        return (
+                            LoopResult {
+                                lref: *lref,
+                                tag: e.cached.tag,
+                                verdict: e.cached.verdict,
+                                trips: e.cached.trips,
+                                permutations_tested: e.cached.permutations_tested,
+                                replay_steps: e.cached.replay_steps,
+                                wall: Duration::ZERO,
+                                cached: false,
+                                resumed: true,
+                            },
+                            0u64,
+                        );
+                    }
+                }
+            }
             // Cache consultation happens before any recording or replay:
             // a hit serves the stored verdict outright.
-            if let Some((vc, keys)) = &cache {
-                if let Some(&key) = keys.get(i) {
-                    if let CacheDecision::Hit(hit) = vc.decide(key) {
-                        return LoopResult {
+            if let (Some(vc), Some(key)) = (&cache, key) {
+                if let CacheDecision::Hit(hit) = vc.decide(key) {
+                    return (
+                        LoopResult {
                             lref: *lref,
                             tag: hit.tag,
                             verdict: hit.verdict,
@@ -506,29 +612,80 @@ impl Dca {
                             replay_steps: hit.replay_steps,
                             wall: Duration::ZERO,
                             cached: true,
-                        };
-                    }
+                            resumed: false,
+                        },
+                        0u64,
+                    );
                 }
             }
             let ctx = LoopCtx {
                 ordinal: i,
                 fault: fault.as_ref(),
                 analysis_deadline,
+                cancel,
             };
+            // Write-ahead: announce the loop before verifying it, so an
+            // operator tailing the journal sees what was in flight when a
+            // kill lands.
+            if let (Some(j), Some(key)) = (&journal, key) {
+                j.record_start(key, &lref.to_string());
+            }
             // Contain per-loop engine faults: a panic anywhere in this
             // loop's analysis becomes a classified `EngineFault` skip and
             // the remaining loops keep analyzing, instead of the panic
             // poisoning the worker scope and aborting the whole report.
-            catch_contained(|| {
-                let view = FuncView::new(module, lref.func);
-                let live = Liveness::new_with_obs(&view, &obs);
-                let l = view.loops.get(lref.loop_id);
-                self.test_loop_inner(
-                    module, main, args, &effects, &view, &live, l, inner, &obs, ctx,
-                )
-            })
-            .unwrap_or_else(|msg| engine_fault_result(*lref, msg))
+            // Transient faults are retried up to `fault_retries` times;
+            // the retry count rides the result tuple so the post-fold
+            // accounting stays deterministic.
+            let mut retries = 0u64;
+            let result = loop {
+                let r = catch_contained(|| {
+                    let view = FuncView::new(module, lref.func);
+                    let live = Liveness::new_with_obs(&view, &obs);
+                    let l = view.loops.get(lref.loop_id);
+                    self.test_loop_inner(
+                        module, main, args, &effects, &view, &live, l, inner, &obs, ctx,
+                    )
+                })
+                .unwrap_or_else(|msg| engine_fault_result(*lref, msg));
+                let faulted = matches!(r.verdict, LoopVerdict::Skipped(SkipReason::EngineFault(_)));
+                if faulted && retries < u64::from(self.config.fault_retries) {
+                    retries += 1;
+                    continue;
+                }
+                break r;
+            };
+            // Journal the verdict as soon as it exists — the file on disk
+            // is never more than one in-flight loop behind. A verdict
+            // still `EngineFault` after the retry budget is a quarantine
+            // record: subsequent runs skip the loop immediately.
+            if let (Some(j), Some(key)) = (&journal, key) {
+                let quarantine = matches!(
+                    result.verdict,
+                    LoopVerdict::Skipped(SkipReason::EngineFault(_))
+                );
+                if quarantine || !perturbing {
+                    let v = CachedVerdict {
+                        tag: result.tag.clone(),
+                        verdict: result.verdict.clone(),
+                        trips: result.trips,
+                        permutations_tested: result.permutations_tested,
+                        replay_steps: result.replay_steps,
+                    };
+                    j.record_verdict(key, &result.lref.to_string(), &v, quarantine);
+                }
+            }
+            (result, retries)
         });
+        let mut retries_total = 0u64;
+        let results: Vec<LoopResult> = outcomes
+            .into_iter()
+            .map(|(r, n)| {
+                retries_total += n;
+                r
+            })
+            .collect();
+        obs.count("engine.retries", retries_total);
         // Verdict tallies come from the ordered result vector, not the
         // workers, so they are deterministic like everything else here.
         obs.count("engine.loops", results.len() as u64);
@@ -544,11 +701,20 @@ impl Dca {
             obs.count("engine.permutations_tested", r.permutations_tested as u64);
             obs.count("engine.replay_steps", r.replay_steps);
         }
+        obs.count(
+            "engine.mem_budget",
+            results
+                .iter()
+                .filter(|r| matches!(r.verdict, LoopVerdict::Skipped(SkipReason::MemoryBudget)))
+                .count() as u64,
+        );
         // Cache accounting and write-back, all from the ordered result
         // vector after the fold — `cache.{hits,misses,stores}` and
         // `engine.cache_fault` are as thread-count-invariant as the
-        // verdict tallies above.
-        let cache_stats = cache.map(|(mut vc, keys)| {
+        // verdict tallies above. Journal-served results take the miss
+        // path, so a resumed run backfills the cache it never got to
+        // write before the interrupt.
+        let cache_stats = cache.map(|mut vc| {
             let mut stats = CacheStats {
                 path: vc.path().to_path_buf(),
                 bypassed: vc.is_bypassed(),
@@ -573,7 +739,7 @@ impl Dca {
                         }
                     }
                 }
-                if vc.save().is_err() {
+                if vc.save_faulted(fault.as_ref()).is_err() {
                     stats.faults += 1;
                 }
             }
@@ -583,12 +749,23 @@ impl Dca {
             obs.count("engine.cache_fault", stats.faults);
             stats
         });
+        // Journal accounting, same post-fold discipline.
+        let journal_stats = journal.map(|j| {
+            let mut s = j.stats();
+            s.resumed = results.iter().filter(|r| r.resumed).count() as u64;
+            obs.count("journal.resumed", s.resumed);
+            obs.count("journal.recorded", s.recorded);
+            obs.count("journal.dropped", s.dropped);
+            obs.count("engine.journal_fault", s.faults);
+            s
+        });
         let mut report = DcaReport::with_threads(threads);
         for result in results {
             report.push(result);
         }
         report.wall = start.elapsed();
         report.cache = cache_stats;
+        report.journal = journal_stats;
         obs.span_end("engine.analyze", whole);
         report.obs = obs.rollup();
         Ok(report)
@@ -643,10 +820,12 @@ impl Dca {
         let obs = make_obs(&self.config);
         let main = self.validate_entry(module, args)?;
         let fault = self.resolve_fault();
+        let internal_cancel = self.internal_cancel(fault.as_ref());
         let ctx = LoopCtx {
             ordinal: 0,
             fault: fault.as_ref(),
             analysis_deadline: self.analysis_deadline(),
+            cancel: self.config.cancel.as_ref().or(internal_cancel.as_ref()),
         };
         let effects = EffectMap::new_with_obs(module, &obs);
         let view = FuncView::new(module, lref.func);
@@ -687,10 +866,12 @@ impl Dca {
         let obs = make_obs(&self.config);
         let main = self.validate_entry(module, args)?;
         let fault = self.resolve_fault();
+        let internal_cancel = self.internal_cancel(fault.as_ref());
         let ctx = LoopCtx {
             ordinal: 0,
             fault: fault.as_ref(),
             analysis_deadline: self.analysis_deadline(),
+            cancel: self.config.cancel.as_ref().or(internal_cancel.as_ref()),
         };
         let effects = EffectMap::new_with_obs(module, &obs);
         let view = FuncView::new(module, lref.func);
@@ -707,6 +888,7 @@ impl Dca {
             replay_steps: 0,
             wall: std::time::Duration::ZERO,
             cached: false,
+            resumed: false,
         };
         if let Some(reason) = exclusion(&view, l, &slice, &effects.io_funcs()) {
             return Ok(vec![LoopResult {
@@ -718,7 +900,7 @@ impl Dca {
         for invocation in 0..k {
             let inv_start = Instant::now();
             let rec_t = obs.span_start();
-            let mut machine = Machine::new(module);
+            let mut machine = self.new_machine(module);
             let rec = record_golden_governed(
                 &mut machine,
                 main,
@@ -731,6 +913,7 @@ impl Dca {
                 self.config.max_steps,
                 2,
                 self.run_deadline(ctx.analysis_deadline),
+                ctx.cancel,
             );
             obs.span_end("stage.record", rec_t);
             obs.count("engine.golden_runs", 1);
@@ -741,6 +924,15 @@ impl Dca {
                 Err(RecordError::TripLimit) => {
                     out.push(LoopResult {
                         verdict: LoopVerdict::Skipped(SkipReason::TripLimit),
+                        ..base.clone()
+                    });
+                    break;
+                }
+                Err(RecordError::Trapped(Trap::OutOfMemory))
+                    if self.config.max_heap_cells.is_some() =>
+                {
+                    out.push(LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::MemoryBudget),
                         ..base.clone()
                     });
                     break;
@@ -766,6 +958,13 @@ impl Dca {
                     });
                     break;
                 }
+                Err(RecordError::Cancelled) => {
+                    out.push(LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::Cancelled),
+                        ..base.clone()
+                    });
+                    break;
+                }
             };
             let trip = golden.iters.len();
             let seed = derive_seed(self.config.seed, lref.func.0, lref.loop_id.0, invocation);
@@ -779,6 +978,8 @@ impl Dca {
                 VerifyEnd::Budget => LoopVerdict::Skipped(SkipReason::ReplayBudget),
                 VerifyEnd::Deadline => LoopVerdict::Skipped(SkipReason::Deadline),
                 VerifyEnd::Fault(msg) => LoopVerdict::Skipped(SkipReason::EngineFault(msg)),
+                VerifyEnd::Cancelled => LoopVerdict::Skipped(SkipReason::Cancelled),
+                VerifyEnd::MemBudget => LoopVerdict::Skipped(SkipReason::MemoryBudget),
             };
             out.push(LoopResult {
                 verdict,
@@ -844,6 +1045,7 @@ impl Dca {
             replay_steps: 0,
             wall: std::time::Duration::ZERO,
             cached: false,
+            resumed: false,
         };
         // An analysis deadline that has already expired skips the loop up
         // front — the report stays complete, each remaining loop just
@@ -855,6 +1057,14 @@ impl Dca {
                     ..base
                 };
             }
+        }
+        // A tripped cancel token likewise skips up front, keeping the
+        // partial report valid.
+        if ctx.cancel.is_some_and(CancelToken::is_cancelled) {
+            return LoopResult {
+                verdict: LoopVerdict::Skipped(SkipReason::Cancelled),
+                ..base
+            };
         }
         // ---- static stage (paper §IV-A): separation + exclusion.
         let static_t = obs.span_start();
@@ -874,7 +1084,7 @@ impl Dca {
         let mut exercised = false;
         for invocation in 0..self.config.invocations {
             let rec_t = obs.span_start();
-            let mut machine = Machine::new(module);
+            let mut machine = self.new_machine(module);
             let rec = record_golden_governed(
                 &mut machine,
                 main,
@@ -887,6 +1097,7 @@ impl Dca {
                 self.config.max_steps,
                 2,
                 self.run_deadline(ctx.analysis_deadline),
+                ctx.cancel,
             );
             obs.span_end("stage.record", rec_t);
             obs.count("engine.golden_runs", 1);
@@ -897,6 +1108,14 @@ impl Dca {
                 Err(RecordError::TripLimit) => {
                     return LoopResult {
                         verdict: LoopVerdict::Skipped(SkipReason::TripLimit),
+                        ..base
+                    }
+                }
+                Err(RecordError::Trapped(Trap::OutOfMemory))
+                    if self.config.max_heap_cells.is_some() =>
+                {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::MemoryBudget),
                         ..base
                     }
                 }
@@ -915,6 +1134,12 @@ impl Dca {
                 Err(RecordError::DeadlineExpired) => {
                     return LoopResult {
                         verdict: LoopVerdict::Skipped(SkipReason::Deadline),
+                        ..base
+                    }
+                }
+                Err(RecordError::Cancelled) => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::Cancelled),
                         ..base
                     }
                 }
@@ -965,6 +1190,24 @@ impl Dca {
                 VerifyEnd::Fault(msg) => {
                     return LoopResult {
                         verdict: LoopVerdict::Skipped(SkipReason::EngineFault(msg)),
+                        trips: trip,
+                        permutations_tested: perms_total,
+                        replay_steps: steps_total,
+                        ..base
+                    }
+                }
+                VerifyEnd::Cancelled => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::Cancelled),
+                        trips: trip,
+                        permutations_tested: perms_total,
+                        replay_steps: steps_total,
+                        ..base
+                    }
+                }
+                VerifyEnd::MemBudget => {
+                    return LoopResult {
+                        verdict: LoopVerdict::Skipped(SkipReason::MemoryBudget),
                         trips: trip,
                         permutations_tested: perms_total,
                         replay_steps: steps_total,
@@ -1033,7 +1276,7 @@ impl Dca {
         let reference = if stop_at_exit {
             let identity: Vec<usize> = (0..golden.iters.len()).collect();
             let t_restore = t_start();
-            let mut machine = Machine::new(module);
+            let mut machine = self.new_machine(module);
             machine.restore(&golden.snapshot);
             obs.record_span("stage.restore", t_since(t_restore), 1);
             let before = machine.steps();
@@ -1045,6 +1288,7 @@ impl Dca {
                 } else {
                     None
                 },
+                cancel: ctx.cancel,
                 trap_at_step: None,
             };
             let end = run_replay_governed(&mut machine, &mut ctl, true, self.config.max_steps, gov);
@@ -1070,6 +1314,13 @@ impl Dca {
                         replay_steps: reference_steps,
                     }
                 }
+                ReplayEnd::Trapped(Trap::OutOfMemory) if self.config.max_heap_cells.is_some() => {
+                    return VerifySummary {
+                        end: VerifyEnd::MemBudget,
+                        tested: 0,
+                        replay_steps: reference_steps,
+                    }
+                }
                 ReplayEnd::Trapped(t) => {
                     return VerifySummary {
                         end: VerifyEnd::Violated(Violation::ReplayTrapped(t)),
@@ -1080,6 +1331,13 @@ impl Dca {
                 ReplayEnd::DeadlineExpired => {
                     return VerifySummary {
                         end: VerifyEnd::Deadline,
+                        tested: 0,
+                        replay_steps: reference_steps,
+                    }
+                }
+                ReplayEnd::Cancelled => {
+                    return VerifySummary {
+                        end: VerifyEnd::Cancelled,
                         tested: 0,
                         replay_steps: reference_steps,
                     }
@@ -1109,10 +1367,22 @@ impl Dca {
         let check_one = |w: &mut ReplayWorker<'_>, slot: usize, perm: &Vec<usize>| -> PermOutcome {
             // Deterministic fault targeting: the (loop ordinal, slot)
             // pair is position-based, so the same replay is hit at every
-            // thread count.
-            let injected = ctx.fault.and_then(|p| p.for_replay(ctx.ordinal, slot));
+            // thread count. `KillSave` targets the cache save, not a
+            // replay — its positional match here is incidental.
+            let injected = ctx
+                .fault
+                .and_then(|p| p.for_replay(ctx.ordinal, slot))
+                .filter(|k| !matches!(k, FaultKind::KillSave { .. }));
             if matches!(injected, Some(FaultKind::Stall)) {
                 std::thread::sleep(STALL_DURATION);
+            }
+            if matches!(injected, Some(FaultKind::Cancel)) {
+                // Trip the run's token exactly where a user interrupt
+                // would land mid-verification; the governor observes it
+                // at the next granule boundary.
+                if let Some(c) = ctx.cancel {
+                    c.cancel();
+                }
             }
             // Rewind the worker's machine to the golden snapshot. The
             // normal steady state is `clean` (the previous replay rolled
@@ -1155,6 +1425,7 @@ impl Dca {
                 } else {
                     None
                 },
+                cancel: ctx.cancel,
                 trap_at_step: match injected {
                     Some(FaultKind::Trap { at_step }) => Some(at_step),
                     _ => None,
@@ -1229,6 +1500,7 @@ impl Dca {
                                     } else {
                                         None
                                     },
+                                    cancel: ctx.cancel,
                                     trap_at_step: None,
                                 };
                                 let iend = run_replay_governed(
@@ -1280,12 +1552,23 @@ impl Dca {
                     // nothing safe to digest — conservative refutation.
                     VerifyEnd::Violated(Violation::ReplayDiverged)
                 }
+                // A heap-budget overflow is a resource limit like the step
+                // budget below — unless this slot carries an injected
+                // `AllocFail`, whose out-of-memory trap must keep counting
+                // as a contained violation.
+                (_, ReplayEnd::Trapped(Trap::OutOfMemory))
+                    if self.config.max_heap_cells.is_some()
+                        && !matches!(injected, Some(FaultKind::AllocFail { .. })) =>
+                {
+                    VerifyEnd::MemBudget
+                }
                 (_, ReplayEnd::Trapped(t)) => VerifyEnd::Violated(Violation::ReplayTrapped(t)),
                 // An exhausted replay budget is a resource limit, not
                 // evidence of non-commutativity: the callers map it to
                 // `Skipped(ReplayBudget)`, never to a violation.
                 (_, ReplayEnd::BudgetExhausted) => VerifyEnd::Budget,
                 (_, ReplayEnd::DeadlineExpired) => VerifyEnd::Deadline,
+                (_, ReplayEnd::Cancelled) => VerifyEnd::Cancelled,
                 (VerifyScope::ProgramEnd, ReplayEnd::LoopExited) => {
                     unreachable!("ProgramEnd replays never stop at loop exit")
                 }
@@ -1321,7 +1604,7 @@ impl Dca {
             // from the shared snapshot once, then rewound by journal
             // rollback between replays (O(writes), not O(heap)).
             || ReplayWorker {
-                machine: Machine::new(module),
+                machine: self.new_machine(module),
                 clean: false,
                 scratch: DigestScratch::new(),
                 roots: Vec::new(),
@@ -1342,7 +1625,10 @@ impl Dca {
                         verify: Duration::ZERO,
                         ops: OpCounts::default(),
                         journal: JournalStats::default(),
-                        injected: ctx.fault.and_then(|p| p.for_replay(ctx.ordinal, i)),
+                        injected: ctx
+                            .fault
+                            .and_then(|p| p.for_replay(ctx.ordinal, i))
+                            .filter(|k| !matches!(k, FaultKind::KillSave { .. })),
                         digest: DigestStats::default(),
                     });
                 if out.end != VerifyEnd::Complete {
@@ -1459,6 +1745,7 @@ fn engine_fault_result(lref: LoopRef, msg: String) -> LoopResult {
         replay_steps: 0,
         wall: Duration::ZERO,
         cached: false,
+        resumed: false,
     }
 }
 
@@ -1500,8 +1787,21 @@ fn merge_reports(a: DcaReport, b: DcaReport) -> DcaReport {
             replay_steps: ra.replay_steps + rb.replay_steps,
             wall: ra.wall + rb.wall,
             cached: ra.cached && rb.cached,
+            resumed: ra.resumed && rb.resumed,
         });
     }
+    out.journal = match (a.journal.clone(), b.journal.clone()) {
+        (Some(ja), Some(jb)) => Some(RunJournalStats {
+            path: ja.path,
+            bypassed: ja.bypassed || jb.bypassed,
+            resumed: ja.resumed + jb.resumed,
+            recorded: ja.recorded + jb.recorded,
+            quarantined: ja.quarantined.max(jb.quarantined),
+            dropped: ja.dropped + jb.dropped,
+            faults: ja.faults + jb.faults,
+        }),
+        (ja, jb) => ja.or(jb),
+    };
     out
 }
 

@@ -34,19 +34,23 @@
 //!
 //! ```text
 //! spec     := kind '@' trigger (',' modifier)*
-//! kind     := 'panic' | 'stall' | 'trap' | 'oom'
-//! trigger  := 'replay:' index          (panic, stall)
+//! kind     := 'panic' | 'stall' | 'trap' | 'oom' | 'cancel' | 'kill'
+//! trigger  := 'replay:' index          (panic, stall, cancel)
 //!           | 'step:' number           (trap: synthetic trap after that
 //!                                       many replay steps)
 //!           | 'alloc:' number          (oom: that many allocations
 //!                                       succeed, the next one fails)
+//!           | 'save:' number           (kill: abort the verdict-cache
+//!                                       save; 0 = after the temp file
+//!                                       is written, 1 = mid-write)
 //! modifier := 'loop:' number           (loop ordinal; default 0)
 //!           | 'replay:' index          (permutation slot; default 0)
 //! index    := number | 'rand:' seed    (seed resolved with dca-rng)
 //! ```
 //!
 //! Examples: `panic@replay:1`, `trap@step:64,replay:1`,
-//! `oom@alloc:2,loop:1`, `stall@replay:rand:7`.
+//! `oom@alloc:2,loop:1`, `stall@replay:rand:7`, `cancel@replay:1,loop:2`,
+//! `kill@save:0`.
 
 use dca_rng::Rng;
 use std::fmt;
@@ -85,6 +89,20 @@ pub enum FaultKind {
         /// Allocations that succeed before the failure.
         allocs: u64,
     },
+    /// Trip the run's [`crate::parallel::CancelToken`] when the targeted
+    /// replay starts (exercises cooperative cancellation from the
+    /// deterministic chaos harness; the engine creates an internal token
+    /// when the config has none).
+    Cancel,
+    /// Simulate a process kill mid verdict-cache save: `stage` 0 aborts
+    /// after the temp file is fully written but before the rename,
+    /// `stage` 1 aborts mid-write leaving a truncated temp file. Either
+    /// way the previously saved cache file must survive untouched — the
+    /// chaos proof of the tmp+rename protocol's atomicity.
+    KillSave {
+        /// Where in the save protocol the simulated kill strikes.
+        stage: u64,
+    },
 }
 
 impl FaultKind {
@@ -96,7 +114,22 @@ impl FaultKind {
             FaultKind::Stall => "stall",
             FaultKind::Trap { .. } => "trap",
             FaultKind::AllocFail { .. } => "oom",
+            FaultKind::Cancel => "cancel",
+            FaultKind::KillSave { .. } => "kill",
         }
+    }
+
+    /// True when an injected fault of this kind can change the verdict
+    /// of the loop it lands in — panics, stalls, traps and allocation
+    /// failures all perturb the replay itself. The engine bypasses the
+    /// verdict cache for such plans (a perturbed verdict is not a
+    /// function of the cache key). [`FaultKind::Cancel`] and
+    /// [`FaultKind::KillSave`] strike *around* the verification — every
+    /// verdict that completes is the true one — so the cache stays
+    /// active under them.
+    #[must_use]
+    pub fn perturbs_verdicts(&self) -> bool {
+        !matches!(self, FaultKind::Cancel | FaultKind::KillSave { .. })
     }
 }
 
@@ -179,6 +212,13 @@ impl FaultPlan {
             ("oom", "alloc") => FaultKind::AllocFail {
                 allocs: parse_number(tval)?,
             },
+            ("cancel", "replay") => {
+                replay = Some(parse_index(tval)?);
+                FaultKind::Cancel
+            }
+            ("kill", "save") => FaultKind::KillSave {
+                stage: parse_number(tval)?,
+            },
             _ => {
                 return Err(FaultSpecError(format!(
                     "unknown kind/trigger `{kind_str}@{tkey}`"
@@ -235,6 +275,8 @@ impl fmt::Display for FaultPlan {
             FaultKind::AllocFail { allocs } => {
                 write!(f, "oom@alloc:{allocs},replay:{}", self.replay)?
             }
+            FaultKind::Cancel => write!(f, "cancel@replay:{}", self.replay)?,
+            FaultKind::KillSave { stage } => write!(f, "kill@save:{stage}")?,
         }
         if self.loop_ordinal != 0 {
             write!(f, ",loop:{}", self.loop_ordinal)?;
@@ -318,6 +360,22 @@ mod tests {
                 replay: 3
             }
         );
+        assert_eq!(
+            FaultPlan::parse("cancel@replay:1,loop:2").expect("parse"),
+            FaultPlan {
+                kind: FaultKind::Cancel,
+                loop_ordinal: 2,
+                replay: 1
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("kill@save:1").expect("parse"),
+            FaultPlan {
+                kind: FaultKind::KillSave { stage: 1 },
+                loop_ordinal: 0,
+                replay: 0
+            }
+        );
     }
 
     #[test]
@@ -327,6 +385,9 @@ mod tests {
             "stall@replay:0",
             "trap@step:64,replay:1",
             "oom@alloc:2,replay:3,loop:1",
+            "cancel@replay:2,loop:1",
+            "kill@save:0",
+            "kill@save:1,loop:3",
         ] {
             let plan = FaultPlan::parse(spec).expect("parse");
             let round = FaultPlan::parse(&plan.to_string()).expect("reparse");
@@ -362,6 +423,9 @@ mod tests {
             "panic@replay:1,bogus:2",
             "explode@replay:1",
             "panic@replay:rand:notanumber",
+            "cancel@step:1",
+            "kill@replay:0",
+            "kill@save:x",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must be rejected");
         }
@@ -373,6 +437,16 @@ mod tests {
         assert_eq!(plan.for_replay(1, 2), Some(FaultKind::Trap { at_step: 5 }));
         assert_eq!(plan.for_replay(1, 3), None);
         assert_eq!(plan.for_replay(0, 2), None);
+    }
+
+    #[test]
+    fn only_replay_perturbing_kinds_bypass_the_cache() {
+        assert!(FaultKind::Panic.perturbs_verdicts());
+        assert!(FaultKind::Stall.perturbs_verdicts());
+        assert!(FaultKind::Trap { at_step: 1 }.perturbs_verdicts());
+        assert!(FaultKind::AllocFail { allocs: 0 }.perturbs_verdicts());
+        assert!(!FaultKind::Cancel.perturbs_verdicts());
+        assert!(!FaultKind::KillSave { stage: 0 }.perturbs_verdicts());
     }
 
     #[test]

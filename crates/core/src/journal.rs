@@ -1,0 +1,635 @@
+//! Write-ahead run journal: crash-safe resume for `engine::analyze`
+//! (DESIGN.md §16).
+//!
+//! The verdict cache (DESIGN.md §15) makes *completed* runs cheap to
+//! repeat; it says nothing about a run that dies halfway. The journal
+//! closes that gap: before a loop is verified the engine appends a
+//! `start` record, and as soon as its verdict folds out it appends a
+//! `verdict` record — one line each, flushed immediately, so the file on
+//! disk is never more than one loop behind the computation. A re-run
+//! against the same `DCA_JOURNAL` replays those records and serves the
+//! already-decided loops without recording or replaying anything,
+//! producing a final report bit-identical to an uninterrupted run.
+//!
+//! # Relationship to the verdict cache
+//!
+//! The journal is keyed by the *same* 128-bit per-loop keys as the cache
+//! ([`crate::cache::KeyBuilder`]), so one journal file serves any number
+//! of programs and workloads without rotation, and a key collision
+//! across config changes is as impossible here as there. The two differ
+//! in coverage and lifetime:
+//!
+//! * the cache persists only verdicts that are pure functions of the key
+//!   and lives forever; the journal additionally carries
+//!   [`SkipReason::EngineFault`] quarantine records — a loop that
+//!   exhausted its fault retries is *quarantined*: subsequent runs skip
+//!   it immediately instead of re-tripping the same contained panic;
+//! * the journal keeps recording under verdict-perturbing fault
+//!   injection (that is how quarantine records land), while the cache
+//!   bypasses such runs wholesale.
+//!
+//! [`SkipReason::Cancelled`] and [`SkipReason::Deadline`] verdicts are
+//! never journaled — a cancelled loop must re-run on resume, and a
+//! deadline skip is a property of the host's speed, not of the loop.
+//!
+//! # Integrity
+//!
+//! The file is line-oriented JSON: a header line naming [`SCHEMA`], then
+//! one self-contained record per line, each carrying a fingerprint
+//! checksum over its own fields. A process killed mid-append leaves at
+//! worst one torn final line; on open, torn or garbled lines are dropped
+//! (counted, never a panic or a wrong verdict) and the file is rewritten
+//! compacted through a sibling temp file and rename. A header from a
+//! different schema orphans every record: the journal rotates to a fresh
+//! file. I/O failure at any point degrades to a bypassed journal that
+//! serves nothing and writes nothing.
+
+use crate::cache::{decode_verdict, encode_verdict, CachedVerdict};
+use crate::report::{LoopVerdict, SkipReason};
+use dca_obs::{parse_json, Json};
+use dca_rng::Fingerprint;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Schema identifier of the on-disk journal format. A file with a
+/// different schema is rotated (its records orphaned), never
+/// misinterpreted.
+pub const SCHEMA: &str = "dca-journal/1";
+
+/// One decided loop recovered from (or written to) the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// The loop's `func:loop` reference, for display on resume.
+    pub lref: String,
+    /// The verdict and its deterministic counters.
+    pub cached: CachedVerdict,
+    /// True when this entry is a retry-exhausted quarantine record:
+    /// subsequent runs skip the loop immediately.
+    pub quarantined: bool,
+}
+
+/// Journal statistics for one analysis run, surfaced as
+/// [`crate::DcaReport::journal`] and printed by the CLI footer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunJournalStats {
+    /// The journal file consulted (or that would have been).
+    pub path: PathBuf,
+    /// True when the journal was unusable this run (I/O failure).
+    pub bypassed: bool,
+    /// Loops served from the journal instead of being re-verified.
+    pub resumed: u64,
+    /// Verdict records appended this run.
+    pub recorded: u64,
+    /// Quarantined loops known to the journal (loaded plus added).
+    pub quarantined: u64,
+    /// Torn or garbled lines dropped while loading.
+    pub dropped: u64,
+    /// Append failures absorbed after open.
+    pub faults: u64,
+}
+
+/// An open run journal: the decided loops loaded from disk plus an
+/// append handle for this run's records. Lookups are read-only and
+/// thread-safe by `&self`; appends serialize on an internal mutex and
+/// are line-atomic, so records written from the parallel verification
+/// workers interleave without tearing.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    bypassed: bool,
+    entries: BTreeMap<u128, JournalEntry>,
+    dropped: u64,
+    quarantined_loaded: u64,
+    writer: Option<Mutex<File>>,
+    /// Set on the first append failure: later appends are skipped so one
+    /// full disk does not produce a fault per loop.
+    dead: AtomicBool,
+    recorded: AtomicU64,
+    quarantined_added: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl RunJournal {
+    /// Opens (or creates) the journal at `path`, replaying its records.
+    /// Damage degrades, never errors: torn lines are dropped and the
+    /// file rewritten compacted; a wrong-schema header rotates the file;
+    /// I/O failure yields a bypassed journal. Never panics.
+    #[must_use]
+    pub fn open(path: &Path) -> Self {
+        let mut j = RunJournal {
+            path: path.to_path_buf(),
+            bypassed: false,
+            entries: BTreeMap::new(),
+            dropped: 0,
+            quarantined_loaded: 0,
+            writer: None,
+            dead: AtomicBool::new(false),
+            recorded: AtomicU64::new(0),
+            quarantined_added: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+        };
+        if path.exists() {
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let (entries, dropped) = parse_file(&text);
+                    j.entries = entries;
+                    j.dropped = dropped;
+                }
+                Err(_) => {
+                    j.bypassed = true;
+                    j.faults = AtomicU64::new(1);
+                    return j;
+                }
+            }
+        }
+        j.quarantined_loaded = j.entries.values().filter(|e| e.quarantined).count() as u64;
+        // Rewrite compacted (header plus one line per surviving verdict)
+        // through a temp file and rename, then reopen for appending.
+        // Stale `start` lines from an interrupted run are dropped here:
+        // their loops re-run and re-announce themselves.
+        let mut doc = header_line();
+        for (key, e) in &j.entries {
+            if let Some(line) = encode_verdict_line(*key, e) {
+                doc.push_str(&line);
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        let rewritten = std::fs::write(&tmp, &doc).and_then(|()| std::fs::rename(&tmp, path));
+        if rewritten.is_err() {
+            j.bypassed = true;
+            j.faults.fetch_add(1, Ordering::SeqCst);
+            return j;
+        }
+        match OpenOptions::new().append(true).open(path) {
+            Ok(f) => j.writer = Some(Mutex::new(f)),
+            Err(_) => {
+                j.bypassed = true;
+                j.faults.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        j
+    }
+
+    /// The journal file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True when the journal is unusable this run.
+    #[must_use]
+    pub fn is_bypassed(&self) -> bool {
+        self.bypassed
+    }
+
+    /// Number of decided loops loaded from disk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no decided loops were loaded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consults the journal for one loop key. `Some` means the loop was
+    /// decided by an earlier (interrupted) run and its verdict can be
+    /// served without re-verification.
+    #[must_use]
+    pub fn decide(&self, key: u128) -> Option<JournalEntry> {
+        if self.bypassed {
+            return None;
+        }
+        self.entries.get(&key).cloned()
+    }
+
+    /// Appends a write-ahead `start` record announcing that the loop
+    /// keyed by `key` is about to be verified. Purely informational on
+    /// resume (an unmatched start means the kill landed mid-loop and the
+    /// loop simply re-runs), but it timestamps progress in the file for
+    /// operators tailing it.
+    pub fn record_start(&self, key: u128, lref: &str) {
+        self.append(&encode_start_line(key, lref));
+    }
+
+    /// Appends a `verdict` record for the loop keyed by `key`. Returns
+    /// whether the verdict was journalable: [`SkipReason::Cancelled`]
+    /// and [`SkipReason::Deadline`] are refused (they must re-run on
+    /// resume), everything else — including the quarantine-carrying
+    /// [`SkipReason::EngineFault`] — is recorded.
+    pub fn record_verdict(
+        &self,
+        key: u128,
+        lref: &str,
+        v: &CachedVerdict,
+        quarantined: bool,
+    ) -> bool {
+        let e = JournalEntry {
+            lref: lref.to_string(),
+            cached: v.clone(),
+            quarantined,
+        };
+        let Some(line) = encode_verdict_line(key, &e) else {
+            return false;
+        };
+        if self.bypassed || self.dead.load(Ordering::SeqCst) {
+            return false;
+        }
+        self.append(&line);
+        self.recorded.fetch_add(1, Ordering::SeqCst);
+        if quarantined {
+            self.quarantined_added.fetch_add(1, Ordering::SeqCst);
+        }
+        true
+    }
+
+    /// This run's statistics. `resumed` is filled by the engine from the
+    /// folded result vector (the journal cannot know which of its
+    /// entries were actually consulted).
+    #[must_use]
+    pub fn stats(&self) -> RunJournalStats {
+        RunJournalStats {
+            path: self.path.clone(),
+            bypassed: self.bypassed,
+            resumed: 0,
+            recorded: self.recorded.load(Ordering::SeqCst),
+            quarantined: self.quarantined_loaded + self.quarantined_added.load(Ordering::SeqCst),
+            dropped: self.dropped,
+            faults: self.faults.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Appends one line (terminated by the caller) and flushes it, so a
+    /// kill immediately after tears at most the line being written.
+    fn append(&self, line: &str) {
+        if self.bypassed || self.dead.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(w) = &self.writer else { return };
+        let mut f = w.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let res = f.write_all(line.as_bytes()).and_then(|()| f.flush());
+        if res.is_err() {
+            self.faults.fetch_add(1, Ordering::SeqCst);
+            self.dead.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn header_line() -> String {
+    let mut m = BTreeMap::new();
+    m.insert("schema".to_string(), Json::Str(SCHEMA.to_string()));
+    m.insert(
+        "tool".to_string(),
+        Json::Str(format!("dca {}", env!("CARGO_PKG_VERSION"))),
+    );
+    let mut s = Json::Obj(m).to_string();
+    s.push('\n');
+    s
+}
+
+/// Parses every record line of a journal document. Returns the decided
+/// loops plus the count of dropped (torn, garbled or checksum-rejected)
+/// lines. A missing or wrong-schema header orphans everything: all
+/// record lines count as dropped and the caller rotates the file.
+fn parse_file(text: &str) -> (BTreeMap<u128, JournalEntry>, u64) {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_ok = lines.next().is_some_and(|h| {
+        parse_json(h).is_ok_and(|j| {
+            j.as_object()
+                .and_then(|m| m.get("schema"))
+                .and_then(Json::as_str)
+                == Some(SCHEMA)
+        })
+    });
+    let mut out = BTreeMap::new();
+    let mut dropped = 0u64;
+    for line in lines {
+        if !header_ok {
+            dropped += 1;
+            continue;
+        }
+        match decode_line(line) {
+            Some(Record::Verdict(key, e)) => {
+                out.insert(key, e);
+            }
+            Some(Record::Start) => {}
+            None => dropped += 1,
+        }
+    }
+    (out, dropped)
+}
+
+enum Record {
+    Start,
+    Verdict(u128, JournalEntry),
+}
+
+fn decode_line(line: &str) -> Option<Record> {
+    let j = parse_json(line).ok()?;
+    let m = j.as_object()?;
+    let key = u128::from_str_radix(m.get("key")?.as_str()?, 16).ok()?;
+    let check = u128::from_str_radix(m.get("check")?.as_str()?, 16).ok()?;
+    let lref = m.get("lref")?.as_str()?.to_string();
+    match m.get("rec")?.as_str()? {
+        "start" => (start_check(key, &lref) == check).then_some(Record::Start),
+        "verdict" => {
+            let tag = match m.get("tag")? {
+                Json::Null => None,
+                Json::Str(s) => Some(s.clone()),
+                _ => return None,
+            };
+            let verdict = decode_journal_verdict(m.get("verdict")?)?;
+            let e = JournalEntry {
+                lref,
+                cached: CachedVerdict {
+                    tag,
+                    verdict,
+                    trips: m.get("trips")?.as_u64()? as usize,
+                    permutations_tested: m.get("perms")?.as_u64()? as usize,
+                    replay_steps: m.get("replay_steps")?.as_u64()?,
+                },
+                quarantined: m.get("quarantined")?.as_bool()?,
+            };
+            // Checksum over the canonical re-encoding, as the cache does.
+            let canon = encode_journal_verdict(&e.cached.verdict)?.to_string();
+            (verdict_check(key, &e, &canon) == check).then_some(Record::Verdict(key, e))
+        }
+        _ => None,
+    }
+}
+
+fn encode_start_line(key: u128, lref: &str) -> String {
+    let mut m = BTreeMap::new();
+    m.insert("rec".to_string(), Json::Str("start".to_string()));
+    m.insert("key".to_string(), Json::Str(format!("{key:032x}")));
+    m.insert("lref".to_string(), Json::Str(lref.to_string()));
+    m.insert(
+        "check".to_string(),
+        Json::Str(format!("{:032x}", start_check(key, lref))),
+    );
+    let mut s = Json::Obj(m).to_string();
+    s.push('\n');
+    s
+}
+
+/// `None` when the verdict is not journalable (cancelled / deadline).
+fn encode_verdict_line(key: u128, e: &JournalEntry) -> Option<String> {
+    let verdict = encode_journal_verdict(&e.cached.verdict)?;
+    let verdict_text = verdict.to_string();
+    let mut m = BTreeMap::new();
+    m.insert("rec".to_string(), Json::Str("verdict".to_string()));
+    m.insert("key".to_string(), Json::Str(format!("{key:032x}")));
+    m.insert("lref".to_string(), Json::Str(e.lref.clone()));
+    m.insert(
+        "tag".to_string(),
+        match &e.cached.tag {
+            Some(t) => Json::Str(t.clone()),
+            None => Json::Null,
+        },
+    );
+    m.insert("verdict".to_string(), verdict);
+    m.insert("trips".to_string(), Json::Num(e.cached.trips as f64));
+    m.insert(
+        "perms".to_string(),
+        Json::Num(e.cached.permutations_tested as f64),
+    );
+    m.insert(
+        "replay_steps".to_string(),
+        Json::Num(e.cached.replay_steps as f64),
+    );
+    m.insert("quarantined".to_string(), Json::Bool(e.quarantined));
+    m.insert(
+        "check".to_string(),
+        Json::Str(format!("{:032x}", verdict_check(key, e, &verdict_text))),
+    );
+    let mut s = Json::Obj(m).to_string();
+    s.push('\n');
+    Some(s)
+}
+
+fn start_check(key: u128, lref: &str) -> u128 {
+    let mut fp = Fingerprint::new();
+    fp.push_str(SCHEMA);
+    fp.push_str("start");
+    fp.push(key as u64);
+    fp.push((key >> 64) as u64);
+    fp.push_str(lref);
+    fp.digest()
+}
+
+fn verdict_check(key: u128, e: &JournalEntry, verdict_json: &str) -> u128 {
+    let mut fp = Fingerprint::new();
+    fp.push_str(SCHEMA);
+    fp.push_str("verdict");
+    fp.push(key as u64);
+    fp.push((key >> 64) as u64);
+    fp.push_str(&e.lref);
+    match &e.cached.tag {
+        Some(t) => {
+            fp.push(1);
+            fp.push_str(t);
+        }
+        None => fp.push(0),
+    }
+    fp.push_str(verdict_json);
+    fp.push(e.cached.trips as u64);
+    fp.push(e.cached.permutations_tested as u64);
+    fp.push(e.cached.replay_steps);
+    fp.push(u64::from(e.quarantined));
+    fp.digest()
+}
+
+// The journal's verdict codec is the cache's, widened by one kind:
+// `engine_fault` carries a quarantine's contained-panic message, which
+// the cache deliberately refuses to persist.
+
+fn encode_journal_verdict(v: &LoopVerdict) -> Option<Json> {
+    if let LoopVerdict::Skipped(SkipReason::EngineFault(msg)) = v {
+        let mut m = BTreeMap::new();
+        m.insert("kind".to_string(), Json::Str("engine_fault".to_string()));
+        m.insert("msg".to_string(), Json::Str(msg.clone()));
+        return Some(Json::Obj(m));
+    }
+    encode_verdict(v)
+}
+
+fn decode_journal_verdict(j: &Json) -> Option<LoopVerdict> {
+    let kind = j
+        .as_object()
+        .and_then(|m| m.get("kind"))
+        .and_then(Json::as_str);
+    if kind == Some("engine_fault") {
+        let msg = j.as_object()?.get("msg")?.as_str()?.to_string();
+        return Some(LoopVerdict::Skipped(SkipReason::EngineFault(msg)));
+    }
+    decode_verdict(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Violation;
+
+    fn tmpdir(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dca-journal-unit-{label}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn cached(verdict: LoopVerdict) -> CachedVerdict {
+        CachedVerdict {
+            tag: Some("t".into()),
+            verdict,
+            trips: 4,
+            permutations_tested: 3,
+            replay_steps: 123,
+        }
+    }
+
+    #[test]
+    fn verdicts_round_trip_across_reopen() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("run.journal");
+        let j = RunJournal::open(&path);
+        assert!(!j.is_bypassed());
+        assert!(j.is_empty());
+        j.record_start(1, "main:l0");
+        assert!(j.record_verdict(1, "main:l0", &cached(LoopVerdict::Commutative), false));
+        j.record_start(2, "main:l1");
+        assert!(j.record_verdict(
+            2,
+            "main:l1",
+            &cached(LoopVerdict::NonCommutative(Violation::ReplayDiverged)),
+            false,
+        ));
+        // An in-flight loop: start without a verdict.
+        j.record_start(3, "main:l2");
+        assert_eq!(j.stats().recorded, 2);
+        let back = RunJournal::open(&path);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.stats().dropped, 0);
+        let e = back.decide(1).expect("decided");
+        assert_eq!(e.lref, "main:l0");
+        assert_eq!(e.cached, cached(LoopVerdict::Commutative));
+        assert!(!e.quarantined);
+        assert!(back.decide(3).is_none(), "start records decide nothing");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_records_survive_and_flag() {
+        let dir = tmpdir("quarantine");
+        let path = dir.join("run.journal");
+        let j = RunJournal::open(&path);
+        let fault = cached(LoopVerdict::Skipped(SkipReason::EngineFault(
+            "injected panic".into(),
+        )));
+        assert!(j.record_verdict(7, "f:l0", &fault, true));
+        assert_eq!(j.stats().quarantined, 1);
+        let back = RunJournal::open(&path);
+        let e = back.decide(7).expect("decided");
+        assert!(e.quarantined);
+        assert_eq!(e.cached.verdict, fault.verdict);
+        assert_eq!(back.stats().quarantined, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancelled_and_deadline_verdicts_are_refused() {
+        let dir = tmpdir("refused");
+        let path = dir.join("run.journal");
+        let j = RunJournal::open(&path);
+        for v in [
+            LoopVerdict::Skipped(SkipReason::Cancelled),
+            LoopVerdict::Skipped(SkipReason::Deadline),
+        ] {
+            assert!(
+                !j.record_verdict(9, "f:l0", &cached(v.clone()), false),
+                "{v:?}"
+            );
+        }
+        assert_eq!(j.stats().recorded, 0);
+        assert!(RunJournal::open(&path).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_lines_are_dropped_and_compacted_away() {
+        let dir = tmpdir("torn");
+        let path = dir.join("run.journal");
+        let j = RunJournal::open(&path);
+        assert!(j.record_verdict(1, "main:l0", &cached(LoopVerdict::Commutative), false));
+        drop(j);
+        // Simulate a kill mid-append: a torn half-line at the tail.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let torn = format!("{text}{{\"rec\": \"verdict\", \"key\": \"00");
+        std::fs::write(&path, &torn).expect("write");
+        let back = RunJournal::open(&path);
+        assert!(!back.is_bypassed());
+        assert_eq!(back.stats().dropped, 1);
+        assert_eq!(back.decide(1).expect("survives").lref, "main:l0");
+        // The compacting rewrite removed the torn line from disk.
+        let compacted = std::fs::read_to_string(&path).expect("read");
+        assert!(!compacted.contains("\"key\": \"00\n"));
+        assert_eq!(RunJournal::open(&path).stats().dropped, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_lines_fail_their_checksum() {
+        let dir = tmpdir("tamper");
+        let path = dir.join("run.journal");
+        let j = RunJournal::open(&path);
+        assert!(j.record_verdict(1, "main:l0", &cached(LoopVerdict::Commutative), false));
+        drop(j);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let tampered = text.replace("\"commutative\"", "\"not_exercised\"");
+        assert_ne!(text, tampered);
+        std::fs::write(&path, &tampered).expect("write");
+        let back = RunJournal::open(&path);
+        assert_eq!(back.stats().dropped, 1);
+        assert!(back.decide(1).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_schema_header_rotates_the_file() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("run.journal");
+        std::fs::write(
+            &path,
+            "{\"schema\": \"dca-journal/999\"}\n{\"rec\": \"verdict\"}\n",
+        )
+        .expect("write");
+        let j = RunJournal::open(&path);
+        assert!(!j.is_bypassed());
+        assert!(j.is_empty());
+        assert_eq!(j.stats().dropped, 1, "orphaned records count as dropped");
+        assert!(j.record_verdict(1, "main:l0", &cached(LoopVerdict::Commutative), false));
+        drop(j);
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.starts_with("{\"schema\": \"dca-journal/1\""));
+        assert!(!text.contains("dca-journal/999"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_path_degrades_to_bypass() {
+        let dir = tmpdir("bypass");
+        // A directory cannot be read as a journal file.
+        let j = RunJournal::open(&dir);
+        assert!(j.is_bypassed());
+        assert_eq!(j.stats().faults, 1);
+        assert!(j.decide(1).is_none());
+        assert!(!j.record_verdict(1, "main:l0", &cached(LoopVerdict::Commutative), false));
+        assert_eq!(j.stats().recorded, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -52,6 +52,7 @@ pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod fault;
+pub mod journal;
 pub mod outcome;
 pub mod parallel;
 pub mod perm;
@@ -64,11 +65,12 @@ pub use config::{DcaConfig, DigestMode, ObsOptions, PermutationSet, VerifyScope,
 pub use dca_obs::{Obs, ObsRollup, SpanStat};
 pub use engine::{Dca, DcaError};
 pub use fault::{catch_contained, FaultKind, FaultPlan, FaultSpecError};
+pub use journal::{JournalEntry, RunJournal, RunJournalStats};
 pub use outcome::{
     canon_f64_bits, float_close, hash_live_state, DigestScratch, Divergence, ProgramOutcome,
     StateDigest,
 };
-pub use parallel::effective_threads;
+pub use parallel::{effective_threads, CancelToken};
 pub use record::{record_golden, record_golden_governed, GoldenRecord, RecordError};
 pub use replay::{run_replay, run_replay_governed, ReplayController, ReplayEnd, ReplayGovernor};
 pub use report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};

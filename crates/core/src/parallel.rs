@@ -37,9 +37,57 @@
 
 use dca_obs::{Obs, TraceVal};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag shared between a controller (a CLI
+/// Ctrl-C handler, a supervising thread) and the analysis it governs.
+///
+/// Cancellation is *advisory*: setting the token never interrupts a
+/// worker mid-step. The engine polls it at its safe points — before
+/// starting a loop, before golden recording, and every
+/// [`crate::replay::GOVERN_GRANULE`] interpreter steps inside a governed
+/// replay — and winds the run down into a valid partial
+/// [`crate::DcaReport`] with [`crate::SkipReason::Cancelled`] for every
+/// loop it did not finish.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// flag. The single store/load is atomic and lock-free, so a clone may
+/// safely be triggered from a signal handler.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; there is no way to un-cancel.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Tokens compare by identity (same underlying flag), mirroring what a
+/// [`crate::DcaConfig`] equality check needs: two configs are
+/// interchangeable only if cancelling one run would cancel the other.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
 
 /// Resolves a [`crate::DcaConfig::threads`] request to a concrete worker
 /// count: `0` means the `DCA_THREADS` environment variable if it is set
@@ -493,6 +541,21 @@ mod tests {
             }
             assert!(max_seen >= items.len().div_ceil(built));
         }
+    }
+
+    #[test]
+    fn cancel_token_is_shared_by_clones_and_compares_by_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        let c = CancelToken::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled(), "clones observe the same flag");
+        assert!(!c.is_cancelled(), "independent tokens are independent");
+        a.cancel();
+        assert!(a.is_cancelled(), "cancel is idempotent");
     }
 
     #[test]

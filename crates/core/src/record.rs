@@ -12,6 +12,7 @@
 //!    permuted execution is verified against (§IV-B3).
 
 use crate::outcome::ProgramOutcome;
+use crate::parallel::CancelToken;
 use crate::replay::GOVERN_GRANULE;
 use dca_analysis::IteratorSlice;
 use dca_interp::{Hooks, InstAction, Machine, Site, Snapshot, Trap, Value};
@@ -60,6 +61,8 @@ pub enum RecordError {
     /// A wall-clock deadline ([`crate::config::WallLimits`]) expired
     /// during the golden run.
     DeadlineExpired,
+    /// The run's [`CancelToken`] was tripped during the golden run.
+    Cancelled,
 }
 
 enum Phase {
@@ -291,16 +294,19 @@ pub fn record_golden_min_trip(
         max_steps,
         min_trip,
         None,
+        None,
     )
 }
 
 /// Like [`record_golden_min_trip`], with an optional wall-clock deadline
-/// checked cooperatively every [`GOVERN_GRANULE`] steps. `None` keeps the
-/// recording loop free of clock reads.
+/// and an optional [`CancelToken`], both checked cooperatively every
+/// [`GOVERN_GRANULE`] steps. `None` for both keeps the recording loop
+/// free of clock reads and atomic loads.
 ///
 /// # Errors
 ///
-/// See [`RecordError`]; expiry yields [`RecordError::DeadlineExpired`].
+/// See [`RecordError`]; expiry yields [`RecordError::DeadlineExpired`],
+/// a tripped token yields [`RecordError::Cancelled`].
 #[allow(clippy::too_many_arguments)]
 pub fn record_golden_governed(
     machine: &mut Machine<'_>,
@@ -314,6 +320,7 @@ pub fn record_golden_governed(
     max_steps: u64,
     min_trip: usize,
     deadline: Option<Instant>,
+    cancel: Option<&CancelToken>,
 ) -> Result<GoldenRecord, RecordError> {
     let rec_vars: Vec<VarId> = slice.slice_vars.iter().copied().collect();
     machine
@@ -350,11 +357,21 @@ pub fn record_golden_governed(
         if machine.steps() >= budget {
             return Err(RecordError::BudgetExhausted);
         }
-        // Cooperative deadline, one clock read per granule (checked at
-        // n == 0 too, so a zero deadline expires deterministically).
-        if let Some(d) = deadline {
-            if n.is_multiple_of(GOVERN_GRANULE) && Instant::now() >= d {
-                return Err(RecordError::DeadlineExpired);
+        // Cooperative deadline and cancellation, one clock read / atomic
+        // load per granule (checked at n == 0 too, so a zero deadline or
+        // pre-tripped token fires deterministically).
+        if deadline.is_some() || cancel.is_some() {
+            if n.is_multiple_of(GOVERN_GRANULE) {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(RecordError::DeadlineExpired);
+                    }
+                }
+                if let Some(c) = cancel {
+                    if c.is_cancelled() {
+                        return Err(RecordError::Cancelled);
+                    }
+                }
             }
             n += 1;
         }

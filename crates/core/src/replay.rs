@@ -25,6 +25,7 @@
 //!    variables and control jumps to the golden exit target; the rest of
 //!    the program runs untouched.
 
+use crate::parallel::CancelToken;
 use crate::record::GoldenRecord;
 use dca_analysis::IteratorSlice;
 use dca_interp::{Hooks, InstAction, Machine, Site, TermAction, Trap, Value};
@@ -49,32 +50,41 @@ pub enum ReplayEnd {
     /// A wall-clock deadline ([`crate::config::WallLimits`]) expired
     /// mid-replay.
     DeadlineExpired,
+    /// The run's [`CancelToken`] was tripped mid-replay.
+    Cancelled,
 }
 
 /// Cooperative governance for one program run: an optional wall-clock
-/// deadline and an optional injected synthetic trap, both resolved by the
-/// stepping driver rather than the interpreter. The deadline is checked
-/// once every [`GOVERN_GRANULE`] steps so an enabled deadline costs one
-/// branch per step and one clock read per granule; a default (inactive)
-/// governor routes through the ungoverned tight loop and costs nothing.
+/// deadline, an optional cancellation token and an optional injected
+/// synthetic trap, all resolved by the stepping driver rather than the
+/// interpreter. The deadline and the token are checked once every
+/// [`GOVERN_GRANULE`] steps so an enabled governor costs one branch per
+/// step and one clock read (or atomic load) per granule; a default
+/// (inactive) governor routes through the ungoverned tight loop and
+/// costs nothing.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct ReplayGovernor {
+pub struct ReplayGovernor<'c> {
     /// Absolute deadline; expiry ends the run with
     /// [`ReplayEnd::DeadlineExpired`].
     pub deadline: Option<Instant>,
     /// Inject [`Trap::Injected`] after this many steps of this run
     /// (fault-injection harness, see [`crate::fault`]).
     pub trap_at_step: Option<u64>,
+    /// Cooperative cancellation: a tripped token ends the run with
+    /// [`ReplayEnd::Cancelled`] at the next granule boundary.
+    pub cancel: Option<&'c CancelToken>,
 }
 
-/// How many interpreter steps pass between wall-clock deadline checks.
+/// How many interpreter steps pass between wall-clock deadline and
+/// cancellation checks.
 pub const GOVERN_GRANULE: u64 = 1024;
 
-impl ReplayGovernor {
-    /// True when neither a deadline nor an injected trap is armed.
+impl ReplayGovernor<'_> {
+    /// True when no deadline, no cancellation token and no injected trap
+    /// is armed.
     #[must_use]
     pub fn is_inactive(&self) -> bool {
-        self.deadline.is_none() && self.trap_at_step.is_none()
+        self.deadline.is_none() && self.trap_at_step.is_none() && self.cancel.is_none()
     }
 }
 
@@ -357,7 +367,7 @@ pub fn run_replay_governed(
     ctl: &mut ReplayController<'_>,
     stop_at_loop_exit: bool,
     max_steps: u64,
-    gov: ReplayGovernor,
+    gov: ReplayGovernor<'_>,
 ) -> ReplayEnd {
     if gov.is_inactive() {
         return run_replay(machine, ctl, stop_at_loop_exit, max_steps);
@@ -379,12 +389,18 @@ pub fn run_replay_governed(
                 return ReplayEnd::Trapped(Trap::Injected);
             }
         }
-        // Checked at n == 0 too, so a zero deadline expires
-        // deterministically before the first step.
+        // Checked at n == 0 too, so a zero deadline (or an
+        // already-tripped token) expires deterministically before the
+        // first step.
         if n.is_multiple_of(GOVERN_GRANULE) {
             if let Some(d) = gov.deadline {
                 if Instant::now() >= d {
                     return ReplayEnd::DeadlineExpired;
+                }
+            }
+            if let Some(c) = gov.cancel {
+                if c.is_cancelled() {
+                    return ReplayEnd::Cancelled;
                 }
             }
         }
@@ -449,6 +465,54 @@ mod tests {
         let mut ctl = ReplayController::new(fid, m.func(fid), &l, &slice, &golden, &perm);
         let end = run_replay(&mut machine, &mut ctl, false, DcaConfig::TEST_STEP_BUDGET);
         (golden.outcome.clone(), end, machine.output().to_vec())
+    }
+
+    #[test]
+    fn governor_cancellation_ends_a_replay_at_the_first_granule() {
+        let src = "fn main() -> int { let a: [int; 8]; let s: int = 0; \
+             @l: for (let i: int = 0; i < 8; i = i + 1) { a[i] = i * i; } \
+             for (let i: int = 0; i < 8; i = i + 1) { s = s + a[i]; } return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let main = m.main().expect("main");
+        let view = FuncView::new(&m, main);
+        let l = view.loops.by_tag("l").expect("tagged loop").clone();
+        let slice = IteratorSlice::compute(&view, &l);
+        let mut machine = Machine::new(&m);
+        let golden = record_golden(
+            &mut machine,
+            main,
+            &[],
+            main,
+            &l,
+            &slice,
+            0,
+            DcaConfig::DEFAULT_MAX_TRIP,
+            DcaConfig::TEST_STEP_BUDGET,
+        )
+        .expect("golden");
+        let perm: Vec<usize> = (0..golden.iters.len()).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let gov = ReplayGovernor {
+            cancel: Some(&token),
+            ..ReplayGovernor::default()
+        };
+        assert!(!gov.is_inactive(), "a token arms the governor");
+        machine.restore(&golden.snapshot);
+        let mut ctl = ReplayController::new(main, m.func(main), &l, &slice, &golden, &perm);
+        let end = run_replay_governed(
+            &mut machine,
+            &mut ctl,
+            false,
+            DcaConfig::TEST_STEP_BUDGET,
+            gov,
+        );
+        assert_eq!(
+            end,
+            ReplayEnd::Cancelled,
+            "a pre-tripped token cancels before the first step"
+        );
+        assert!(ReplayGovernor::default().is_inactive());
     }
 
     #[test]

@@ -61,6 +61,17 @@ pub enum SkipReason {
     /// is unaffected — engine faults are contained, classified and
     /// reported, never a crash.
     EngineFault(String),
+    /// The run was cancelled (Ctrl-C, a tripped
+    /// [`crate::parallel::CancelToken`]) before this loop's verification
+    /// could finish. The partial report is still valid; a re-run against
+    /// the same `DCA_JOURNAL` resumes exactly here.
+    Cancelled,
+    /// A replay exceeded the configured heap budget
+    /// ([`crate::DcaConfig::max_heap_cells`]). Like
+    /// [`SkipReason::ReplayBudget`], a resource limit, not a violation —
+    /// the budget exists so a runaway replay degrades to a skip instead
+    /// of OOM-killing the whole process.
+    MemoryBudget,
 }
 
 impl fmt::Display for SkipReason {
@@ -72,6 +83,8 @@ impl fmt::Display for SkipReason {
             SkipReason::ReplayBudget => write!(f, "permuted replay exceeded budget"),
             SkipReason::Deadline => write!(f, "wall-clock deadline expired"),
             SkipReason::EngineFault(msg) => write!(f, "engine fault contained: {msg}"),
+            SkipReason::Cancelled => write!(f, "run cancelled"),
+            SkipReason::MemoryBudget => write!(f, "replay exceeded heap budget"),
         }
     }
 }
@@ -141,6 +154,13 @@ pub struct LoopResult {
     ///
     /// [`wall`]: LoopResult::wall
     pub cached: bool,
+    /// True when this verdict was replayed from the write-ahead run
+    /// journal ([`crate::journal`]) of an earlier, interrupted run
+    /// instead of being recomputed. Provenance metadata like
+    /// [`cached`]: not part of the outcome, so equality ignores it.
+    ///
+    /// [`cached`]: LoopResult::cached
+    pub resumed: bool,
 }
 
 /// Equality compares the analysis outcome — verdict, trips, permutation
@@ -180,6 +200,11 @@ pub struct DcaReport {
     /// `DCA_CACHE`), even if the engine had to bypass it. `None` when no
     /// cache was configured.
     pub cache: Option<crate::cache::CacheStats>,
+    /// Run-journal statistics for this analysis — `Some` whenever a
+    /// journal path was configured (via [`crate::DcaConfig::journal`] or
+    /// `DCA_JOURNAL`), even if the engine had to bypass it. `None` when
+    /// no journal was configured.
+    pub journal: Option<crate::journal::RunJournalStats>,
 }
 
 impl DcaReport {
@@ -242,6 +267,12 @@ impl DcaReport {
     pub fn cached_count(&self) -> usize {
         self.results.iter().filter(|r| r.cached).count()
     }
+
+    /// Count of loops whose verdict was replayed from the run journal of
+    /// an earlier, interrupted run.
+    pub fn resumed_count(&self) -> usize {
+        self.results.iter().filter(|r| r.resumed).count()
+    }
 }
 
 impl fmt::Display for DcaReport {
@@ -258,7 +289,13 @@ impl fmt::Display for DcaReport {
                 .as_deref()
                 .map(|t| format!(" @{t}"))
                 .unwrap_or_default();
-            let cached = if r.cached { " [cached]" } else { "" };
+            let cached = if r.cached {
+                " [cached]"
+            } else if r.resumed {
+                " [resumed]"
+            } else {
+                ""
+            };
             writeln!(
                 f,
                 "  {}{tag}: {} (trips={}, perms={}){cached}",
@@ -293,6 +330,7 @@ mod tests {
             replay_steps: 100,
             wall: Duration::from_millis(1),
             cached: false,
+            resumed: false,
         });
         rep.push(LoopResult {
             lref: lref(0, 1),
@@ -303,6 +341,7 @@ mod tests {
             replay_steps: 50,
             wall: Duration::from_millis(2),
             cached: false,
+            resumed: false,
         });
         assert_eq!(rep.len(), 2);
         assert_eq!(rep.commutative_count(), 1);
@@ -358,6 +397,14 @@ mod tests {
             LoopVerdict::Skipped(SkipReason::EngineFault("boom".into())).to_string(),
             "skipped (engine fault contained: boom)"
         );
+        assert_eq!(
+            LoopVerdict::Skipped(SkipReason::Cancelled).to_string(),
+            "skipped (run cancelled)"
+        );
+        assert_eq!(
+            LoopVerdict::Skipped(SkipReason::MemoryBudget).to_string(),
+            "skipped (replay exceeded heap budget)"
+        );
     }
 
     #[test]
@@ -371,14 +418,19 @@ mod tests {
             replay_steps: 1_000,
             wall: Duration::from_millis(7),
             cached: false,
+            resumed: false,
         };
         let b = LoopResult {
             replay_steps: 999,
             wall: Duration::ZERO,
             cached: true,
+            resumed: true,
             ..a.clone()
         };
-        assert_eq!(a, b, "wall/replay_steps/cached are not part of the outcome");
+        assert_eq!(
+            a, b,
+            "wall/replay_steps/cached/resumed are not part of the outcome"
+        );
         let c = LoopResult {
             permutations_tested: 4,
             ..a.clone()

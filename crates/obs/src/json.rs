@@ -65,6 +65,15 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as a boolean, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Serializes the value as valid JSON. JSON has no representation for
@@ -330,6 +339,9 @@ mod tests {
         assert_eq!(inner["b"].as_str(), Some("q\"\nA"));
         assert_eq!(obj["c"], Json::Null);
         assert_eq!(obj["d"], Json::Bool(true));
+        assert_eq!(obj["d"].as_bool(), Some(true));
+        assert_eq!(obj["c"].as_bool(), None);
+        assert_eq!(arr[0].as_bool(), None);
     }
 
     #[test]

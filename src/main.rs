@@ -9,10 +9,40 @@
 //! ```
 
 use dca::baselines::all_detectors;
-use dca::core::{Dca, DcaConfig};
+use dca::core::{CancelToken, Dca, DcaConfig};
 use dca::interp::Value;
 use dca::parallel::SimConfig;
 use std::process::ExitCode;
+
+/// Installs a SIGINT handler that trips the run's [`CancelToken`], so
+/// Ctrl-C stops an analysis at the next safe point — the partial report
+/// still prints, the run journal is flushed, and a re-run against the
+/// same `DCA_JOURNAL` resumes where this one stopped. Unix only; on
+/// other platforms Ctrl-C keeps its default process-kill behavior.
+#[cfg(unix)]
+fn install_ctrl_c(token: &CancelToken) {
+    use std::os::raw::c_int;
+    use std::sync::OnceLock;
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    // Only an atomic store happens in the handler — async-signal-safe.
+    extern "C" fn on_sigint(_sig: c_int) {
+        if let Some(t) = TOKEN.get() {
+            t.cancel();
+        }
+    }
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+    if TOKEN.set(token.clone()).is_ok() {
+        const SIGINT: c_int = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_ctrl_c(_token: &CancelToken) {}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -101,6 +131,36 @@ fn print_cache_footer(stats: Option<&dca::core::CacheStats>) {
     );
 }
 
+/// One-line run-journal summary, mirroring the cache footer; shown only
+/// when a journal is configured (`DCA_JOURNAL` or `DcaConfig::journal`).
+fn print_journal_footer(stats: Option<&dca::core::RunJournalStats>) {
+    let Some(s) = stats else { return };
+    if s.bypassed {
+        println!(
+            "journal: bypassed ({}{})",
+            s.path.display(),
+            if s.faults > 0 { ", file damaged" } else { "" }
+        );
+        return;
+    }
+    let quarantined = if s.quarantined > 0 {
+        format!(", {} quarantined", s.quarantined)
+    } else {
+        String::new()
+    };
+    let dropped = if s.dropped > 0 {
+        format!(", {} dropped", s.dropped)
+    } else {
+        String::new()
+    };
+    println!(
+        "journal: {} resumed, {} recorded{quarantined}{dropped} ({})",
+        s.resumed,
+        s.recorded,
+        s.path.display()
+    );
+}
+
 fn main() -> ExitCode {
     let opts = match parse_opts() {
         Ok(o) => o,
@@ -173,7 +233,12 @@ fn main() -> ExitCode {
             }
         },
         "analyze" => {
-            let dca = Dca::new(DcaConfig::default());
+            let cancel = CancelToken::new();
+            install_ctrl_c(&cancel);
+            let dca = Dca::new(DcaConfig {
+                cancel: Some(cancel.clone()),
+                ..DcaConfig::default()
+            });
             let report = if opts.inputs.is_empty() {
                 dca.analyze(&module, &opts.args)
             } else {
@@ -183,6 +248,15 @@ fn main() -> ExitCode {
                 Ok(r) => {
                     print!("{r}");
                     print_cache_footer(r.cache.as_ref());
+                    print_journal_footer(r.journal.as_ref());
+                    if cancel.is_cancelled() {
+                        eprintln!(
+                            "interrupted: partial report; re-run with DCA_JOURNAL \
+                             set to resume the remaining loops"
+                        );
+                        // The conventional SIGINT exit status.
+                        return ExitCode::from(130);
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

@@ -67,6 +67,8 @@ fn faults_counter(report: &DcaReport, kind: &str) -> u64 {
             "stall" => "engine.faults.stall",
             "trap" => "engine.faults.trap",
             "oom" => "engine.faults.oom",
+            "cancel" => "engine.faults.cancel",
+            "kill" => "engine.faults.kill",
             other => panic!("unknown fault kind {other}"),
         })
 }
@@ -332,6 +334,252 @@ fn zero_replay_deadline_skips_recorded_loops() {
             LoopVerdict::Skipped(SkipReason::Deadline),
             "width {width}: recording hits the zero deadline"
         );
+    }
+}
+
+/// An injected `cancel@…` fault trips the run's cancellation token
+/// mid-verification: the targeted loop stops at the next safe point with
+/// `Skipped(Cancelled)`, every other loop is either bit-identical to the
+/// fault-free run or likewise cancelled, and the report stays complete.
+#[test]
+fn cancel_fault_stops_at_a_safe_point_with_a_valid_partial_report() {
+    let m = compile();
+    let baseline = analyze(&m, config(1));
+    let sum = ordinal_of(&baseline, "sum");
+    let plan = FaultPlan::parse(&format!("cancel@replay:0,loop:{sum}")).expect("valid");
+    for width in WIDTHS {
+        let cfg = DcaConfig {
+            fault: Some(plan.clone()),
+            ..config(width)
+        };
+        let report = analyze(&m, cfg);
+        let context = format!("cancel width {width}");
+        assert_eq!(report.len(), baseline.len(), "{context}: report complete");
+        let target = report.iter().nth(sum).expect("target loop present");
+        assert_eq!(
+            target.verdict,
+            LoopVerdict::Skipped(SkipReason::Cancelled),
+            "{context}: the targeted loop stops at the next safe point"
+        );
+        for (i, (b, f)) in baseline.iter().zip(report.iter()).enumerate() {
+            if i == sum {
+                continue;
+            }
+            assert!(
+                f.verdict == LoopVerdict::Skipped(SkipReason::Cancelled) || b == f,
+                "{context}: loop {i} must be cancelled or baseline-identical, got {:?}",
+                f.verdict
+            );
+        }
+        assert_eq!(
+            faults_counter(&report, "cancel"),
+            1,
+            "{context}: rollup counts the injected cancel once"
+        );
+        // Width 1 is fully sequential, so the cut point is exact: loops
+        // before the target completed, loops after never started.
+        if width == 1 {
+            for (i, (b, f)) in baseline.iter().zip(report.iter()).enumerate() {
+                if i < sum {
+                    assert_eq!(b, f, "loop {i} completed before the cancel");
+                } else {
+                    assert_eq!(
+                        f.verdict,
+                        LoopVerdict::Skipped(SkipReason::Cancelled),
+                        "loop {i} never started after the cancel"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The chaos proof of the cache save protocol's atomicity: a simulated
+/// process kill mid-save (`kill@save:0` between temp write and rename,
+/// `kill@save:1` mid temp write) never corrupts or replaces the real
+/// cache file, and a later clean run behaves exactly like the cacheless
+/// oracle.
+#[test]
+fn kill_save_fault_never_corrupts_the_cache_file() {
+    let m = compile();
+    let oracle = analyze(&m, config(1));
+    let dir = std::env::temp_dir().join(format!("dca-chaos-killsave-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("verdicts.dcache");
+    let cache_cfg = |fault: Option<&str>| DcaConfig {
+        cache: Some(path.clone()),
+        fault: fault.map(|s| FaultPlan::parse(s).expect("valid")),
+        ..config(2)
+    };
+    // A kill on a *cold* save leaves no cache file at all — a torn temp
+    // write must never become the cache. The verdicts themselves are
+    // unperturbed: the kill strikes after verification.
+    let cold = analyze(&m, cache_cfg(Some("kill@save:1")));
+    assert_eq!(cold.cache.as_ref().expect("stats").faults, 1);
+    assert!(!path.exists(), "torn temp file must never be renamed in");
+    for (o, r) in oracle.iter().zip(cold.iter()) {
+        assert_eq!(o, r, "kill-save must not perturb verdicts");
+    }
+    // A clean run lands the file; the leftover temp is simply rewritten
+    // and consumed by the rename.
+    let stored = analyze(&m, cache_cfg(None));
+    assert_eq!(stored.cache.as_ref().expect("stats").faults, 0);
+    let good = std::fs::read(&path).expect("cache file exists after clean save");
+    assert!(
+        !path.with_extension("tmp").exists(),
+        "clean save leaves no temp file"
+    );
+    // Kills at both stages leave the existing file byte-identical. A
+    // roomy heap budget shifts the cache keys (it is absorbed into
+    // them) without touching any verdict, so these runs miss, add
+    // fresh entries, and actually attempt the save the kill targets.
+    for (stage, spec) in [
+        ("after temp write", "kill@save:0"),
+        ("mid temp write", "kill@save:1"),
+    ] {
+        let killed = analyze(
+            &m,
+            DcaConfig {
+                max_heap_cells: Some(1 << 20),
+                ..cache_cfg(Some(spec))
+            },
+        );
+        assert_eq!(
+            killed.cache.as_ref().expect("stats").faults,
+            1,
+            "{stage}: save fault surfaced in the stats"
+        );
+        assert_eq!(
+            std::fs::read(&path).expect("cache file"),
+            good,
+            "{stage}: the real file must be untouched"
+        );
+    }
+    // A warm run against the surviving file serves every verdict; the
+    // inert temp left by the simulated kills never shadows it.
+    let warm = analyze(&m, cache_cfg(None));
+    assert_eq!(
+        warm.cache.as_ref().expect("stats").hits as usize,
+        oracle.len()
+    );
+    for (o, r) in oracle.iter().zip(warm.iter()) {
+        assert_eq!(o, r, "warm verdicts match the cacheless oracle");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A deterministic engine fault is retried `fault_retries` times with
+/// exact accounting; once the budget is exhausted the loop is
+/// quarantined in the run journal, and the next journaled run skips it
+/// immediately instead of re-tripping the same contained panic.
+#[test]
+fn exhausted_retries_quarantine_the_loop_in_the_journal() {
+    let m = compile();
+    let baseline = analyze(&m, config(1));
+    let fill = ordinal_of(&baseline, "fill");
+    let dir = std::env::temp_dir().join(format!("dca-chaos-quarantine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("run.journal");
+    let cfg = || DcaConfig {
+        journal: Some(path.clone()),
+        fault: Some(FaultPlan::parse(&format!("panic@replay:0,loop:{fill}")).expect("valid")),
+        fault_retries: 2,
+        ..config(2)
+    };
+    let first = analyze(&m, cfg());
+    let f = first.iter().nth(fill).expect("target loop");
+    assert!(
+        matches!(f.verdict, LoopVerdict::Skipped(SkipReason::EngineFault(_))),
+        "deterministic fault survives every retry: {:?}",
+        f.verdict
+    );
+    assert!(!f.resumed);
+    let obs = first.obs.as_ref().expect("metrics on");
+    assert_eq!(obs.counter("engine.retries"), 2, "both retries accounted");
+    assert_eq!(
+        faults_counter(&first, "panic"),
+        3,
+        "initial attempt plus two retries each trip the fault"
+    );
+    let js = first.journal.as_ref().expect("journal stats");
+    assert_eq!(js.quarantined, 1, "the exhausted loop is quarantined");
+    assert_eq!(
+        js.recorded, 1,
+        "perturbing plan: only the quarantine record is journaled"
+    );
+    // Second run against the same journal: the quarantined loop is
+    // served immediately, the panic never re-fires, and the untargeted
+    // loops still verify to their true verdicts.
+    let second = analyze(&m, cfg());
+    let f2 = second.iter().nth(fill).expect("target loop");
+    assert!(
+        f2.resumed,
+        "quarantined loop must be served from the journal"
+    );
+    assert!(matches!(
+        f2.verdict,
+        LoopVerdict::Skipped(SkipReason::EngineFault(_))
+    ));
+    assert_eq!(faults_counter(&second, "panic"), 0);
+    assert_eq!(
+        second
+            .obs
+            .as_ref()
+            .expect("metrics")
+            .counter("engine.retries"),
+        0
+    );
+    assert_eq!(second.journal.as_ref().expect("stats").resumed, 1);
+    for (i, (b, s)) in baseline.iter().zip(second.iter()).enumerate() {
+        if i != fill {
+            assert_eq!(b, s, "untargeted loop {i} diverged");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A heap budget turns a runaway replay into `Skipped(MemoryBudget)`
+/// instead of an OOM kill — deterministically at every width — while a
+/// roomy budget perturbs nothing.
+#[test]
+fn heap_budget_degrades_to_memory_budget_skips() {
+    let m = compile();
+    for width in WIDTHS {
+        let cfg = DcaConfig {
+            max_heap_cells: Some(4),
+            ..config(width)
+        };
+        let report = analyze(&m, cfg);
+        assert_eq!(report.len(), 4, "width {width}: report complete");
+        for r in report.iter() {
+            assert_eq!(
+                r.verdict,
+                LoopVerdict::Skipped(SkipReason::MemoryBudget),
+                "width {width}: loop {} must degrade to a budget skip",
+                r.lref
+            );
+        }
+        assert_eq!(
+            report
+                .obs
+                .as_ref()
+                .expect("metrics on")
+                .counter("engine.mem_budget"),
+            4,
+            "width {width}: every budget skip is counted"
+        );
+    }
+    let baseline = analyze(&m, config(1));
+    let roomy = analyze(
+        &m,
+        DcaConfig {
+            max_heap_cells: Some(1 << 20),
+            ..config(1)
+        },
+    );
+    for (b, r) in baseline.iter().zip(roomy.iter()) {
+        assert_eq!(b, r, "a roomy budget must not perturb verdicts");
+        assert_eq!(b.replay_steps, r.replay_steps);
     }
 }
 

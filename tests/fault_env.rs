@@ -74,6 +74,53 @@ fn dca_fault_env_spec_is_honored_ignored_and_overridden() {
         assert_eq!(b, r, "invalid spec must leave the analysis untouched");
     }
 
+    // A `cancel@…` spec cooperatively stops the run mid-verification.
+    // Single-threaded, so the cut point is exact: loops decided before
+    // the cancel keep their verdicts, the target stops at the next safe
+    // point with a valid partial report.
+    let seq = DcaConfig {
+        threads: 1,
+        ..cfg.clone()
+    };
+    std::env::set_var("DCA_FAULT", "cancel@replay:0,loop:1");
+    let cancelled = analyze(&m, seq.clone());
+    assert_eq!(
+        verdict_of(&cancelled, "fill"),
+        LoopVerdict::Commutative,
+        "loops decided before the cancel keep their verdicts"
+    );
+    assert_eq!(
+        verdict_of(&cancelled, "sum"),
+        LoopVerdict::Skipped(SkipReason::Cancelled),
+        "the targeted loop stops at the next safe point"
+    );
+
+    // `DCA_JOURNAL` plumbing: the interrupted run journals its decided
+    // loops; with the fault cleared, a resumed run against the same
+    // journal serves them and finishes the rest, matching the baseline.
+    let dir = std::env::temp_dir().join(format!("dca-fault-env-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let jpath = dir.join("run.journal");
+    std::env::set_var("DCA_JOURNAL", &jpath);
+    let interrupted = analyze(&m, seq.clone());
+    assert_eq!(
+        verdict_of(&interrupted, "sum"),
+        LoopVerdict::Skipped(SkipReason::Cancelled)
+    );
+    std::env::remove_var("DCA_FAULT");
+    let resumed = analyze(&m, seq);
+    std::env::remove_var("DCA_JOURNAL");
+    assert_eq!(
+        resumed.journal.as_ref().expect("journal stats").resumed,
+        1,
+        "the decided loop is served from the env-configured journal"
+    );
+    assert!(resumed.by_tag("fill").expect("fill").resumed);
+    for (b, r) in baseline.iter().zip(resumed.iter()) {
+        assert_eq!(b, r, "resumed run equals the uninterrupted baseline");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
     std::env::remove_var("DCA_FAULT");
     let clean = analyze(&m, cfg);
     for (b, r) in baseline.iter().zip(clean.iter()) {
