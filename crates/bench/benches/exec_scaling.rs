@@ -1,0 +1,81 @@
+//! Measures the real-thread loop executor ([`dca_parallel::execute_loop`])
+//! across worker counts, on the two shapes that matter: a doall map
+//! (journal-merged heap writes) and a scalar reduction (chunk-ordered
+//! partial combining). Every measured run validates against the
+//! sequential oracle; a divergence panics the bench, so `cargo bench
+//! --bench exec_scaling` doubles as a correctness gate for the executor
+//! under release-mode timing pressure.
+//!
+//! No wall-clock speedup is asserted — CI runners have few cores and the
+//! interpreter's per-worker pre-pass is a known sequential fraction — but
+//! the per-width medians land in the JSON report and regress against
+//! `bench/baseline.json` like every other bench.
+
+use dca_bench::harness::Harness;
+use dca_core::Obs;
+use dca_parallel::{execute_loop, ExecConfig, Schedule};
+
+const WIDTHS: &[usize] = &[1, 2, 4];
+
+fn fixture(kind: &str) -> (dca_ir::Module, dca_ir::LoopRef) {
+    let src = match kind {
+        "map" => {
+            "fn main() -> int { let a: [int; 2048]; let s: int = 0; \
+             @hot: for (let i: int = 0; i < 2048; i = i + 1) { \
+               a[i] = (i * i + 7 * i) % 1021; } \
+             for (let i: int = 0; i < 2048; i = i + 1) { s = s + a[i]; } \
+             return s; }"
+        }
+        "reduce" => {
+            "fn main() -> int { let s: int = 0; \
+             @hot: for (let i: int = 0; i < 2048; i = i + 1) { \
+               s = s + (i * i + 3) % 257; } \
+             return s; }"
+        }
+        other => panic!("unknown fixture {other}"),
+    };
+    let m = dca_ir::compile(src).expect("fixture compiles");
+    let lref = dca_ir::all_loops(&m)
+        .into_iter()
+        .find(|(_, t)| t.as_deref() == Some("hot"))
+        .expect("tagged loop")
+        .0;
+    (m, lref)
+}
+
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+    let obs = Obs::disabled();
+
+    for kind in ["map", "reduce"] {
+        let (m, lref) = fixture(kind);
+        for &w in WIDTHS {
+            let cfg = ExecConfig {
+                threads: w,
+                ..ExecConfig::default()
+            };
+            h.bench_function(&format!("exec/{kind}/static/w{w}"), |b| {
+                b.iter(|| {
+                    let out = execute_loop(&m, &[], lref, &cfg, &obs).expect("execute");
+                    assert!(out.validated && out.exact, "{kind} w{w} must validate");
+                    out.fingerprint
+                })
+            });
+        }
+        let cfg = ExecConfig {
+            threads: 4,
+            schedule: Schedule::Dynamic { chunk: 64 },
+            ..ExecConfig::default()
+        };
+        h.bench_function(&format!("exec/{kind}/dynamic/w4"), |b| {
+            b.iter(|| {
+                let out = execute_loop(&m, &[], lref, &cfg, &obs).expect("execute");
+                assert!(out.validated && out.exact, "{kind} dynamic must validate");
+                out.fingerprint
+            })
+        });
+    }
+
+    h.finish();
+    println!("exec scaling: all widths validated against the sequential oracle");
+}

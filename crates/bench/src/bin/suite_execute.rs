@@ -1,0 +1,151 @@
+//! Analyzes every suite program, then runs each DCA-proven loop on real
+//! threads ([`dca_parallel::execute_loop`]) at several worker counts,
+//! differentially validating every parallel run against the sequential
+//! oracle and printing one stable line per loop.
+//!
+//! Two invariants are enforced here, per loop:
+//!
+//! * **Oracle stability** — the sequential oracle fingerprint must be
+//!   identical at every execution width (it is computed from the same
+//!   golden recording; a difference means the executor perturbed
+//!   recording or replay). The binary exits non-zero on a mismatch.
+//! * **No silent corruption** — a width where the merged parallel state
+//!   does not match the oracle must surface as a rejection
+//!   ([`dca_parallel::ExecError::Diverged`]), never as a validated run.
+//!
+//! A rejection itself is *not* a failure: dynamic commutativity (paper
+//! §III) certifies that reordering whole iterations preserves the
+//! outcome, not that iterations are independent of each other's heap
+//! writes — timestep-style loops (lu's SSOR sweep, em3d's propagation,
+//! mst's greedy growth) are commutative under sequential permutation yet
+//! carry cross-iteration flow that snapshot-isolated workers cannot see.
+//! The differential validator is exactly the guard that lets the
+//! executor attempt such loops and refuse them with evidence (see
+//! DESIGN.md §17). Traps, exhausted budgets and oracle mismatches are
+//! hard failures.
+//!
+//! CI runs this binary twice and diffs stdout: the width sweep is
+//! internal (`DCA_EXEC_WIDTHS`, default `1 2 4`), every printed field is
+//! deterministic, so any diff means non-deterministic execution or
+//! merge. Width-dependent accounting (steals, combines) goes to stderr.
+
+use dca_core::{Dca, DcaConfig, Obs};
+use dca_parallel::{execute_loop, ExecConfig, ExecError};
+use std::process::ExitCode;
+
+fn widths() -> Vec<usize> {
+    let raw = std::env::var("DCA_EXEC_WIDTHS").unwrap_or_else(|_| "1 2 4".into());
+    let ws: Vec<usize> = raw
+        .split([' ', ','])
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().expect("DCA_EXEC_WIDTHS: positive integers"))
+        .collect();
+    assert!(!ws.is_empty(), "DCA_EXEC_WIDTHS is empty");
+    ws
+}
+
+fn main() -> ExitCode {
+    let widths = widths();
+    let dca = Dca::new(DcaConfig::fast());
+    let obs = Obs::disabled();
+    let (mut executable, mut rejected, mut refused) = (0u64, 0u64, 0u64);
+    let (mut hard_failures, mut steals, mut combines) = (0u64, 0u64, 0u64);
+    for p in dca_suite::all_programs() {
+        let m = p.module();
+        let report = match dca.analyze(&m, &p.targs()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: {e}", p.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        for r in report.commutative_loops() {
+            let tag = r
+                .tag
+                .as_deref()
+                .map(|t| format!(" @{t}"))
+                .unwrap_or_default();
+            let name = format!("{} {}{tag}", p.name, r.lref);
+            // Sweep the widths; collect per-width status and the oracle
+            // fingerprint each run reports (validated runs carry it in
+            // the outcome, diverging runs in the error).
+            let mut statuses: Vec<String> = Vec::new();
+            let mut oracle_fps: Vec<u128> = Vec::new();
+            let mut diverged = 0usize;
+            let mut structural: Option<String> = None;
+            let mut hard: Option<String> = None;
+            let mut trips = 0usize;
+            for &w in &widths {
+                let cfg = ExecConfig {
+                    threads: w,
+                    ..ExecConfig::from_dca(&DcaConfig::fast())
+                };
+                match execute_loop(&m, &p.targs(), r.lref, &cfg, &obs) {
+                    Ok(out) => {
+                        trips = out.trips;
+                        steals += out.steals;
+                        combines += out.combine_steps;
+                        if let Some(fp) = out.oracle_fingerprint {
+                            oracle_fps.push(fp);
+                        }
+                        statuses.push(format!("w{w}:ok"));
+                    }
+                    Err(ExecError::Diverged { expected, .. }) => {
+                        diverged += 1;
+                        oracle_fps.push(expected);
+                        statuses.push(format!("w{w}:rejected"));
+                    }
+                    Err(
+                        e @ (ExecError::Unresolved(_)
+                        | ExecError::OrderSensitive(_)
+                        | ExecError::Unsupported(_)),
+                    ) => {
+                        structural = Some(e.to_string());
+                        break;
+                    }
+                    Err(e) => {
+                        hard = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = hard {
+                hard_failures += 1;
+                println!("{name}: FAILED: {e}");
+                continue;
+            }
+            if let Some(e) = structural {
+                refused += 1;
+                println!("{name}: refused: {e}");
+                continue;
+            }
+            // Oracle fingerprints must agree across widths.
+            if oracle_fps.windows(2).any(|p| p[0] != p[1]) {
+                hard_failures += 1;
+                println!("{name}: FAILED: oracle fingerprint varies with width: {oracle_fps:x?}");
+                continue;
+            }
+            let fp = oracle_fps.first().copied().unwrap_or_default();
+            if diverged > 0 {
+                rejected += 1;
+                println!(
+                    "{name}: not parallel-executable ({}) trips={trips} oracle_fp={fp:032x}",
+                    statuses.join(",")
+                );
+            } else {
+                executable += 1;
+                println!("{name}: validated trips={trips} oracle_fp={fp:032x}");
+            }
+        }
+    }
+    println!(
+        "exec-stats: widths={widths:?} executable={executable} \
+         rejected={rejected} refused={refused} failed={hard_failures}"
+    );
+    eprintln!("exec-accounting: steals={steals} combines={combines}");
+    if hard_failures > 0 {
+        eprintln!("error: {hard_failures} loop(s) trapped, stalled or broke oracle stability");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -218,6 +218,18 @@ pub struct DcaConfig {
     /// run cannot be cancelled externally; the CLI installs a token
     /// wired to Ctrl-C. See [`CancelToken`].
     pub cancel: Option<CancelToken>,
+    /// Worker threads for the *real-thread loop executor* (the CLI's
+    /// `--execute` mode, `dca-parallel::exec`); `0` means the
+    /// `DCA_EXEC_THREADS` environment variable if set, else one per
+    /// available CPU. Independent of [`DcaConfig::threads`] (the
+    /// verification engine's pool): analysis width and execution width
+    /// are different knobs.
+    pub exec_threads: usize,
+    /// Whether every parallel execution is differentially validated
+    /// against the sequential oracle (live-out fingerprint comparison,
+    /// divergence = hard error). On by default; turning it off trades
+    /// the correctness oracle for one sequential run less per loop.
+    pub exec_validate: bool,
 }
 
 impl Default for DcaConfig {
@@ -240,6 +252,8 @@ impl Default for DcaConfig {
             max_heap_cells: None,
             fault_retries: 0,
             cancel: None,
+            exec_threads: 0,
+            exec_validate: true,
         }
     }
 }
@@ -304,6 +318,8 @@ mod tests {
         assert!(c.max_heap_cells.is_none(), "no heap budget by default");
         assert_eq!(c.fault_retries, 0, "no fault retries by default");
         assert!(c.cancel.is_none(), "no cancellation token by default");
+        assert_eq!(c.exec_threads, 0, "auto-detect executor width by default");
+        assert!(c.exec_validate, "parallel runs validate by default");
     }
 
     #[test]

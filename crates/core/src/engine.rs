@@ -1707,12 +1707,21 @@ enum Reference {
 /// always included by the traversal itself. Computed once per
 /// verification (`names` parallels `vars`, for divergence reports);
 /// workers only re-read the values.
-struct DigestRoots {
-    vars: Vec<VarId>,
-    names: Vec<String>,
+///
+/// Public because the real-thread executor (`dca-parallel::exec`)
+/// validates its merged state over exactly this root set — the two
+/// comparators must agree on what "loop-exit live-out state" means.
+pub struct DigestRoots {
+    /// The root variables, deduplicated, in `VarId` order.
+    pub vars: Vec<VarId>,
+    /// Source names parallel to `vars`, for divergence reports.
+    pub names: Vec<String>,
 }
 
-fn digest_roots(view: &FuncView<'_>, live: &Liveness, l: &Loop) -> DigestRoots {
+/// Computes the loop-exit digest-root set for `l`: the loop's live-out
+/// variables plus everything live into any of its exit targets. See
+/// [`DigestRoots`].
+pub fn digest_roots(view: &FuncView<'_>, live: &Liveness, l: &Loop) -> DigestRoots {
     let mut vars: std::collections::BTreeSet<VarId> = live.loop_live_outs(l).into_iter().collect();
     for t in l.exit_targets() {
         vars.extend(live.live_in(t).iter().copied());
@@ -1726,7 +1735,7 @@ fn digest_roots(view: &FuncView<'_>, live: &Liveness, l: &Loop) -> DigestRoots {
 }
 
 /// Refills `buf` with the current values of the digest-root variables.
-fn read_roots(machine: &Machine<'_>, vars: &[VarId], buf: &mut Vec<Value>) {
+pub fn read_roots(machine: &Machine<'_>, vars: &[VarId], buf: &mut Vec<Value>) {
     buf.clear();
     buf.extend(vars.iter().map(|&v| machine.read_var(v)));
 }

@@ -63,7 +63,7 @@ pub mod report;
 pub use cache::{CacheDecision, CacheStats, CachedVerdict, KeyBuilder, VerdictCache};
 pub use config::{DcaConfig, DigestMode, ObsOptions, PermutationSet, VerifyScope, WallLimits};
 pub use dca_obs::{Obs, ObsRollup, SpanStat};
-pub use engine::{Dca, DcaError};
+pub use engine::{digest_roots, read_roots, Dca, DcaError, DigestRoots};
 pub use fault::{catch_contained, FaultKind, FaultPlan, FaultSpecError};
 pub use journal::{JournalEntry, RunJournal, RunJournalStats};
 pub use outcome::{

@@ -538,6 +538,28 @@ impl<'m> Machine<'m> {
         self.journal.is_some()
     }
 
+    /// The armed journal's heap-cell undo records, oldest first: one
+    /// `(addr, prior_value)` pair per logged overwrite of a pre-existing
+    /// object (a cell overwritten several times appears once per write,
+    /// and its *first* record holds the value from before the region).
+    /// Empty when no journal is armed. The parallel executor reads this
+    /// as each worker's write-set: the touched cells are exactly these
+    /// addresses, and the worker's contribution is the machine's current
+    /// value at each of them.
+    pub fn journal_writes(&self) -> impl Iterator<Item = (Addr, Value)> + '_ {
+        self.journal.iter().flat_map(|j| {
+            j.cells.iter().map(|u| {
+                (
+                    Addr {
+                        obj: u.obj,
+                        cell: u.cell,
+                    },
+                    u.old,
+                )
+            })
+        })
+    }
+
     /// Monotonic journal counters for this machine's lifetime. Not
     /// rewound by [`Machine::restore`] or [`Machine::rollback`] — see
     /// [`JournalStats`].

@@ -1,0 +1,1349 @@
+//! Real-thread parallel execution of DCA-proven loops.
+//!
+//! The analysis pipeline ends with a verdict ([`dca_core::LoopVerdict`])
+//! and a clause set ([`ParallelPlan`]); the simulator ([`crate::sim`])
+//! predicts what running them in parallel *would* buy. This module is the
+//! payoff: it actually runs a proven loop's iterations across a pool of
+//! OS threads, one interpreter per worker, and then **differentially
+//! validates** the merged result against the sequential oracle before
+//! anyone gets to trust it.
+//!
+//! The execution model reuses the dynamic stage's machinery end to end:
+//!
+//! 1. [`dca_core::record_golden`] captures the loop's first invocation —
+//!    the entry snapshot, the linearized iterator values and the iterator
+//!    exit state — exactly as the analysis did.
+//! 2. Each worker restores the snapshot into its own [`Machine`], runs
+//!    the iterator pre-pass (applying destructive iterator effects once,
+//!    identically in every worker), then executes only *its* subset of
+//!    payload instances, chosen by an OpenMP-style schedule
+//!    ([`Schedule::StaticBlock`] contiguous blocks or
+//!    [`Schedule::Dynamic`] chunk self-scheduling over a shared atomic
+//!    counter). Heap writes are tracked by the machine's write journal;
+//!    recognized reduction accumulators are seeded with the operator's
+//!    identity and harvested as per-chunk partials.
+//! 3. The main thread merges every harvest onto a fresh master machine:
+//!    journal write-sets are applied cell by cell, histogram cells and
+//!    scalar partials are combined with the plan's operators in a
+//!    deterministic chunk-ordered tree, and the recorded iterator exit
+//!    values close the loop.
+//! 4. Unless validation is disabled, the merged live-out state is
+//!    fingerprinted ([`dca_core::hash_live_state`]) and compared against
+//!    a sequential identity replay of the same invocation. A mismatch is
+//!    a hard [`ExecError::Diverged`] carrying the first divergent root or
+//!    cell — a parallel run never silently returns corrupted state.
+//!
+//! Floating-point reductions combined in a different order are not
+//! bit-identical in general; [`ExecConfig::float_tolerance`] falls back
+//! to a tolerance comparison ([`dca_core::StateDigest`]) when the exact
+//! fingerprints differ. With the tolerance at `0.0` the comparison is
+//! exact up to NaN/`-0.0` canonicalization.
+//!
+//! ```
+//! use dca_parallel::exec::{execute_loop, ExecConfig};
+//!
+//! let m = dca_ir::compile(
+//!     "fn main() -> int { let s: int = 0; \
+//!      @l: for (let i: int = 0; i < 64; i = i + 1) { s = s + i * i; } \
+//!      return s; }",
+//! ).map_err(|e| e.to_string())?;
+//! let lref = dca_ir::all_loops(&m)[0].0;
+//! let cfg = ExecConfig { threads: 2, ..ExecConfig::default() };
+//! let out = execute_loop(&m, &[], lref, &cfg, &dca_core::Obs::disabled())
+//!     .map_err(|e| e.to_string())?;
+//! assert_eq!(out.trips, 64);
+//! assert!(out.validated && out.exact, "integer reduction is bit-exact");
+//! # Ok::<(), String>(())
+//! ```
+
+use crate::plan::ParallelPlan;
+use crate::sim::Schedule;
+use dca_analysis::{ArrayKey, EffectMap, IteratorSlice, Liveness, ReductionOp};
+use dca_core::{
+    digest_roots, hash_live_state, read_roots, record_golden, run_replay, DcaConfig, DcaReport,
+    DigestScratch, Divergence, GoldenRecord, Obs, RecordError, ReplayController, ReplayEnd,
+    StateDigest,
+};
+use dca_interp::{Addr, Hooks, InstAction, Machine, ObjId, Site, TermAction, Trap, Value};
+use dca_ir::{
+    BinOp, BlockId, FuncId, FuncView, Function, Inst, Loop, LoopRef, Module, Operand, Terminator,
+    VarId,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves an [`ExecConfig::threads`] request to a concrete worker
+/// count: `0` means the `DCA_EXEC_THREADS` environment variable if it is
+/// set to a positive integer, else one worker per CPU the process can
+/// use; any other value is taken as-is. Deliberately independent of the
+/// analysis pool (`DCA_THREADS`), so CI can sweep execution widths
+/// without changing how verdicts are computed.
+#[must_use]
+pub fn exec_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("DCA_EXEC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Configuration for one parallel loop execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Worker threads; `0` resolves via [`exec_threads`].
+    pub threads: usize,
+    /// Iteration schedule. [`Schedule::Dynamic`] chunks are clamped to at
+    /// least one iteration per grab.
+    pub schedule: Schedule,
+    /// Run the sequential oracle and compare live-out fingerprints.
+    /// Leaving this on is the whole point; turning it off is for
+    /// benchmarking the parallel path alone.
+    pub validate: bool,
+    /// Relative tolerance for the digest fallback when fingerprints are
+    /// not bit-identical (reassociated float reductions). `0.0` demands
+    /// exactness up to NaN/`-0.0` canonicalization.
+    pub float_tolerance: f64,
+    /// Interpreter step budget per worker (and for the oracle).
+    pub max_steps: u64,
+    /// Trip-count cap for the golden recording.
+    pub max_trip: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: 0,
+            schedule: Schedule::StaticBlock,
+            validate: true,
+            float_tolerance: 1e-8,
+            max_steps: DcaConfig::DEFAULT_MAX_STEPS,
+            max_trip: DcaConfig::DEFAULT_MAX_TRIP,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Derives an execution configuration from an analysis
+    /// configuration: `exec_threads`/`exec_validate` plus the shared
+    /// float tolerance and budgets.
+    #[must_use]
+    pub fn from_dca(cfg: &DcaConfig) -> Self {
+        ExecConfig {
+            threads: cfg.exec_threads,
+            schedule: Schedule::StaticBlock,
+            validate: cfg.exec_validate,
+            float_tolerance: cfg.float_tolerance,
+            max_steps: cfg.max_steps,
+            max_trip: cfg.max_trip,
+        }
+    }
+}
+
+/// Why a parallel execution did not produce a trusted result.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The plan carries loop-carried scalars no clause explains.
+    Unresolved(Vec<String>),
+    /// A live-out scalar is defined in the loop but is neither iterator
+    /// control nor a recognized reduction — its final value depends on
+    /// iteration order and cannot be merged.
+    OrderSensitive(Vec<String>),
+    /// A structural limitation of the executor (allocation inside the
+    /// loop, output statements, an unsupported reduction shape, ...).
+    Unsupported(String),
+    /// Recording the golden invocation failed.
+    Record(RecordError),
+    /// A worker (or the oracle) trapped.
+    Trapped(Trap),
+    /// A worker (or the oracle) ran out of interpreter steps.
+    BudgetExhausted,
+    /// The merged parallel state does not match the sequential oracle.
+    Diverged {
+        /// The oracle's live-out fingerprint.
+        expected: u128,
+        /// The merged parallel fingerprint.
+        actual: u128,
+        /// First divergent root/cell, when the digest walk found one.
+        detail: Option<Box<Divergence>>,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Unresolved(vars) => {
+                write!(f, "unresolved loop-carried scalars: {}", vars.join(", "))
+            }
+            ExecError::OrderSensitive(vars) => {
+                write!(f, "order-sensitive live-out scalars: {}", vars.join(", "))
+            }
+            ExecError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ExecError::Record(e) => write!(f, "golden recording failed: {e:?}"),
+            ExecError::Trapped(t) => write!(f, "trapped: {t}"),
+            ExecError::BudgetExhausted => write!(f, "step budget exhausted"),
+            ExecError::Diverged {
+                expected,
+                actual,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "parallel execution diverged from the sequential oracle \
+                     (expected {expected:032x}, got {actual:032x})"
+                )?;
+                if let Some(d) = detail {
+                    write!(f, ": {d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// What one parallel loop execution produced (state lives in the merged
+/// machine; this is the accounting).
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The executed loop.
+    pub lref: LoopRef,
+    /// Its source tag, if any.
+    pub tag: Option<String>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Trip count of the executed invocation.
+    pub trips: usize,
+    /// Dynamic-schedule chunk grabs beyond each worker's first (always 0
+    /// under [`Schedule::StaticBlock`]).
+    pub steals: u64,
+    /// Reduction combine operations performed during the merge (scalar
+    /// tree combines plus histogram cell combines).
+    pub combine_steps: u64,
+    /// True when the sequential oracle ran and agreed.
+    pub validated: bool,
+    /// True when the agreement was bit-exact (fingerprint equality);
+    /// false under the float-tolerance fallback or when validation was
+    /// disabled.
+    pub exact: bool,
+    /// The merged live-out fingerprint ([`dca_core::hash_live_state`]).
+    pub fingerprint: u128,
+    /// The sequential oracle's fingerprint, when validation ran. Unlike
+    /// [`ExecOutcome::fingerprint`] this is independent of the worker
+    /// count even for tolerance-validated float reductions, so it is
+    /// the value to compare across execution widths.
+    pub oracle_fingerprint: Option<u128>,
+}
+
+/// One row of [`execute_commutative`]: the loop, its tag, and what
+/// executing it produced.
+pub type ExecRun = (LoopRef, Option<String>, Result<ExecOutcome, ExecError>);
+
+/// Executes every loop `report` proved commutative, in report order.
+/// Failures are per-loop: one refused or diverging loop does not stop
+/// the others.
+pub fn execute_commutative(
+    module: &Module,
+    args: &[Value],
+    report: &DcaReport,
+    cfg: &ExecConfig,
+    obs: &Obs,
+) -> Vec<ExecRun> {
+    report
+        .commutative_loops()
+        .map(|r| {
+            (
+                r.lref,
+                r.tag.clone(),
+                execute_loop(module, args, r.lref, cfg, obs),
+            )
+        })
+        .collect()
+}
+
+/// Runs loop `lref`'s first invocation across a worker pool and merges
+/// the results, differentially validating against the sequential oracle
+/// (see the module docs for the full protocol).
+///
+/// # Errors
+///
+/// Refuses loops the merge cannot cover ([`ExecError::Unresolved`],
+/// [`ExecError::OrderSensitive`], [`ExecError::Unsupported`]); propagates
+/// recording/trap/budget failures; reports oracle disagreement as
+/// [`ExecError::Diverged`].
+pub fn execute_loop(
+    module: &Module,
+    args: &[Value],
+    lref: LoopRef,
+    cfg: &ExecConfig,
+    obs: &Obs,
+) -> Result<ExecOutcome, ExecError> {
+    let threads = exec_threads(cfg.threads);
+    let main = module
+        .main()
+        .ok_or_else(|| ExecError::Unsupported("module has no main".into()))?;
+    let view = FuncView::new(module, lref.func);
+    let l = view.loops.get(lref.loop_id).clone();
+    let live = Liveness::new(&view);
+    let effects = EffectMap::new(module);
+    let slice = IteratorSlice::compute_with(&view, &l, &effects);
+    let func_ir = module.func(lref.func);
+    let var_name = |v: VarId| func_ir.var(v).name.clone();
+
+    let plan = ParallelPlan::build(module, lref);
+    if !plan.is_clean() {
+        return Err(ExecError::Unresolved(
+            plan.unresolved.iter().copied().map(var_name).collect(),
+        ));
+    }
+    // Refuse loops whose live-out scalars no merge rule covers: defined
+    // in the loop, not iterator control (covered by the recorded exit
+    // values), not a reduction (covered by the partial combine). Their
+    // final value is a function of iteration order.
+    let roots = digest_roots(&view, &live, &l);
+    let defined = live.loop_defs(&l);
+    let red_vars: BTreeSet<VarId> = plan.reductions.iter().map(|r| r.var).collect();
+    let sensitive: Vec<String> = roots
+        .vars
+        .iter()
+        .zip(&roots.names)
+        .filter(|(v, _)| defined.contains(v) && !plan.control.contains(v) && !red_vars.contains(v))
+        .map(|(_, name)| name.clone())
+        .collect();
+    if !sensitive.is_empty() {
+        return Err(ExecError::OrderSensitive(sensitive));
+    }
+
+    let golden = {
+        let mut rec = Machine::new(module);
+        record_golden(
+            &mut rec,
+            main,
+            args,
+            lref.func,
+            &l,
+            &slice,
+            0,
+            cfg.max_trip,
+            cfg.max_steps,
+        )
+        .map_err(ExecError::Record)?
+    };
+    let n = golden.iters.len();
+
+    // The master machine the harvests merge onto; also used to resolve
+    // pre-loop state (reduction seeds, histogram base objects).
+    let mut master = Machine::new(module);
+    master.restore(&golden.snapshot);
+
+    let mut reds: Vec<ScalarMerge> = Vec::with_capacity(plan.reductions.len());
+    for sr in &plan.reductions {
+        let bop = if sr.op == ReductionOp::Bitwise {
+            Some(
+                bitwise_op_for_var(func_ir, &l.blocks, sr.var).ok_or_else(|| {
+                    ExecError::Unsupported(format!(
+                        "ambiguous bitwise reduction operator for {}",
+                        var_name(sr.var)
+                    ))
+                })?,
+            )
+        } else {
+            None
+        };
+        let identity = identity_for(sr.op, bop, master.read_var(sr.var))?;
+        reds.push(ScalarMerge {
+            var: sr.var,
+            op: sr.op,
+            bop,
+            identity,
+        });
+    }
+
+    let mut hists: Vec<(ObjId, ReductionOp, Option<BinOp>)> = Vec::new();
+    for h in &plan.histograms {
+        let obj = match h.array {
+            ArrayKey::Global(g) => master.global_obj(g),
+            ArrayKey::Var(v) => match master.read_var(v) {
+                Value::Ptr(o) => o,
+                other => {
+                    return Err(ExecError::Unsupported(format!(
+                        "histogram base {} is not a pointer ({other})",
+                        var_name(v)
+                    )))
+                }
+            },
+        };
+        let bop = if h.op == ReductionOp::Bitwise {
+            Some(bitwise_op_in_loop(func_ir, &l.blocks).ok_or_else(|| {
+                ExecError::Unsupported("ambiguous bitwise histogram operator".into())
+            })?)
+        } else {
+            None
+        };
+        if let Some(&(_, prev_op, _)) = hists.iter().find(|&&(o, ..)| o == obj) {
+            if prev_op != h.op {
+                return Err(ExecError::Unsupported(
+                    "aliased histogram arrays with different operators".into(),
+                ));
+            }
+            continue;
+        }
+        hists.push((obj, h.op, bop));
+    }
+
+    let red_seed: Vec<(VarId, Value)> = reds.iter().map(|r| (r.var, r.identity)).collect();
+    let ctx = WorkerCtx {
+        module,
+        func: lref.func,
+        func_ir,
+        l: &l,
+        slice: &slice,
+        golden: &golden,
+        red: &red_seed,
+        hists: &hists,
+        max_steps: cfg.max_steps,
+    };
+
+    let harvests: Vec<Harvest> = if threads <= 1 {
+        vec![run_worker(
+            &ctx,
+            IterSource::Static {
+                range: 0..n,
+                chunk: 0,
+            },
+        )?]
+    } else {
+        let next = AtomicUsize::new(0);
+        let results: Vec<Result<Harvest, ExecError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let source = make_source(cfg.schedule, w, threads, n, &next);
+                    let ctx = &ctx;
+                    s.spawn(move || run_worker(ctx, source))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        results.into_iter().collect::<Result<Vec<_>, _>>()?
+    };
+
+    let iters: u64 = harvests.iter().map(|h| h.iters).sum();
+    debug_assert_eq!(
+        iters, n as u64,
+        "schedule must partition the iteration space"
+    );
+    let steals: u64 = harvests.iter().map(|h| h.grabs.saturating_sub(1)).sum();
+
+    // --- Merge, deterministically. ---
+    let hist_map: BTreeMap<u32, (ReductionOp, Option<BinOp>)> =
+        hists.iter().map(|&(o, op, bop)| (o.0, (op, bop))).collect();
+    let mut combine_steps: u64 = 0;
+
+    // Heap write-sets, in worker order. Histogram cells combine (worker
+    // partials start from the identity we poked, which is a true
+    // identity of the combine operator, so untouched-looking values are
+    // safe to fold); everything else — the iterator pre-pass effects,
+    // identical in every worker, and doall payload stores, disjoint
+    // across workers — overwrites. Cells a worker never wrote are not in
+    // its journal and leave the master untouched.
+    for h in &harvests {
+        for &(addr, post) in &h.cells {
+            if let Some(&(op, bop)) = hist_map.get(&addr.obj.0) {
+                let merged = combine_value(op, bop, master.read_cell(addr), post)?;
+                master.poke_cell(addr, merged);
+                combine_steps += 1;
+            } else {
+                master.poke_cell(addr, post);
+            }
+        }
+    }
+
+    // Scalar reduction partials, combined in chunk order with a pairwise
+    // tree, then folded onto the pre-loop accumulator value. Only chunks
+    // that ran at least one iteration are flushed as partials, and the
+    // seeds are true identities of the combine operators (see
+    // [`identity_for`]), so every harvested partial participates — no
+    // bit-pattern filtering, which could not tell an untouched chunk
+    // from one whose values legitimately combined to the identity (a
+    // zero-sum chunk, an all-`+inf` minimum).
+    let mut partials: Vec<&(usize, Vec<Value>)> =
+        harvests.iter().flat_map(|h| &h.partials).collect();
+    partials.sort_by_key(|(chunk, _)| *chunk);
+    for (j, r) in reds.iter().enumerate() {
+        let mut vals: Vec<Value> = partials.iter().map(|(_, vs)| vs[j]).collect();
+        while vals.len() > 1 {
+            let mut next_round = Vec::with_capacity(vals.len().div_ceil(2));
+            for pair in vals.chunks(2) {
+                if let [a, b] = pair {
+                    next_round.push(combine_value(r.op, r.bop, *a, *b)?);
+                    combine_steps += 1;
+                } else {
+                    next_round.push(pair[0]);
+                }
+            }
+            vals = next_round;
+        }
+        if let Some(&p) = vals.first() {
+            let s0 = master.read_var(r.var);
+            master.write_var(r.var, combine_value(r.op, r.bop, s0, p)?);
+            combine_steps += 1;
+        }
+    }
+
+    // Iterator exit state: the recorded values close the loop exactly as
+    // the replay controller's exit phase does.
+    for (pos, &v) in golden.rec_vars.iter().enumerate() {
+        master.write_var(v, golden.exit_vals[pos]);
+    }
+
+    // --- Differential validation. ---
+    let mut scratch = DigestScratch::new();
+    let mut buf = Vec::new();
+    read_roots(&master, &roots.vars, &mut buf);
+    let (par_fp, _) = hash_live_state(&master, &buf, &mut scratch);
+
+    let mut validated = false;
+    let mut exact = false;
+    let mut oracle_fp = None;
+    if cfg.validate {
+        let mut oracle = Machine::new(module);
+        oracle.restore(&golden.snapshot);
+        let perm: Vec<usize> = (0..n).collect();
+        let mut octl = ReplayController::new(lref.func, func_ir, &l, &slice, &golden, &perm);
+        match run_replay(&mut oracle, &mut octl, true, cfg.max_steps) {
+            ReplayEnd::LoopExited => {}
+            ReplayEnd::Trapped(t) => return Err(ExecError::Trapped(t)),
+            ReplayEnd::BudgetExhausted => return Err(ExecError::BudgetExhausted),
+            other => {
+                return Err(ExecError::Unsupported(format!(
+                    "oracle replay ended unexpectedly: {other:?}"
+                )))
+            }
+        }
+        let mut obuf = Vec::new();
+        read_roots(&oracle, &roots.vars, &mut obuf);
+        let (seq_fp, _) = hash_live_state(&oracle, &obuf, &mut scratch);
+        oracle_fp = Some(seq_fp);
+        validated = true;
+        exact = par_fp == seq_fp;
+        if !exact {
+            let seq_digest = StateDigest::capture(&oracle, &obuf);
+            let par_digest = StateDigest::capture(&master, &buf);
+            let tol = cfg.float_tolerance;
+            if !(tol > 0.0 && seq_digest.matches(&par_digest, tol)) {
+                obs.count("exec.divergences", 1);
+                return Err(ExecError::Diverged {
+                    expected: seq_fp,
+                    actual: par_fp,
+                    detail: seq_digest
+                        .first_divergence(&par_digest, tol, &roots.names)
+                        .map(Box::new),
+                });
+            }
+        }
+    }
+
+    obs.count("exec.invocations", 1);
+    obs.count("exec.iters", iters);
+    obs.count("exec.steals", steals);
+    obs.count("exec.combine_steps", combine_steps);
+
+    Ok(ExecOutcome {
+        lref,
+        tag: l.tag.clone(),
+        threads,
+        trips: n,
+        steals,
+        combine_steps,
+        validated,
+        exact,
+        fingerprint: par_fp,
+        oracle_fingerprint: oracle_fp,
+    })
+}
+
+/// How one scalar reduction merges.
+struct ScalarMerge {
+    var: VarId,
+    op: ReductionOp,
+    bop: Option<BinOp>,
+    identity: Value,
+}
+
+/// Everything a worker borrows, shared across the pool.
+struct WorkerCtx<'a> {
+    module: &'a Module,
+    func: FuncId,
+    func_ir: &'a Function,
+    l: &'a Loop,
+    slice: &'a IteratorSlice,
+    golden: &'a GoldenRecord,
+    /// `(accumulator, identity)` seeds for recognized scalar reductions.
+    red: &'a [(VarId, Value)],
+    /// Histogram base objects with their combine operators.
+    hists: &'a [(ObjId, ReductionOp, Option<BinOp>)],
+    max_steps: u64,
+}
+
+/// What one worker brings home.
+struct Harvest {
+    /// `(chunk index, accumulator values)` — one entry per chunk the
+    /// worker executed, values parallel to [`WorkerCtx::red`].
+    partials: Vec<(usize, Vec<Value>)>,
+    /// Post-execution values of every heap cell the worker overwrote,
+    /// deduplicated, in address order.
+    cells: Vec<(Addr, Value)>,
+    iters: u64,
+    /// Successful dynamic chunk grabs (0 under static scheduling).
+    grabs: u64,
+}
+
+fn make_source<'a>(
+    schedule: Schedule,
+    worker: usize,
+    threads: usize,
+    n: usize,
+    next: &'a AtomicUsize,
+) -> IterSource<'a> {
+    match schedule {
+        Schedule::StaticBlock => IterSource::Static {
+            range: worker * n / threads..(worker + 1) * n / threads,
+            chunk: worker,
+        },
+        Schedule::Dynamic { chunk } => IterSource::Dynamic {
+            next,
+            total: n,
+            chunk_size: chunk.max(1),
+            cur: 0..0,
+            grabs: 0,
+        },
+    }
+}
+
+/// Where a worker's iterations come from. Yields `(iteration, chunk)`
+/// pairs; the chunk index keys the per-chunk reduction partials so the
+/// merge can combine them in a schedule-independent deterministic order
+/// (dynamic chunk indices are `start / chunk_size`, a pure function of
+/// the iteration space, not of which worker grabbed the chunk).
+enum IterSource<'a> {
+    Static {
+        range: Range<usize>,
+        chunk: usize,
+    },
+    Dynamic {
+        next: &'a AtomicUsize,
+        total: usize,
+        chunk_size: usize,
+        cur: Range<usize>,
+        grabs: u64,
+    },
+}
+
+impl IterSource<'_> {
+    fn next(&mut self) -> Option<(usize, usize)> {
+        match self {
+            IterSource::Static { range, chunk } => range.next().map(|i| (i, *chunk)),
+            IterSource::Dynamic {
+                next,
+                total,
+                chunk_size,
+                cur,
+                grabs,
+            } => {
+                if let Some(i) = cur.next() {
+                    return Some((i, i / *chunk_size));
+                }
+                let start = next.fetch_add(*chunk_size, Ordering::Relaxed);
+                if start >= *total {
+                    return None;
+                }
+                *grabs += 1;
+                *cur = start..start.saturating_add(*chunk_size).min(*total);
+                cur.next().map(|i| (i, i / *chunk_size))
+            }
+        }
+    }
+
+    fn grabs(&self) -> u64 {
+        match self {
+            IterSource::Static { .. } => 0,
+            IterSource::Dynamic { grabs, .. } => *grabs,
+        }
+    }
+}
+
+fn run_worker(ctx: &WorkerCtx<'_>, source: IterSource<'_>) -> Result<Harvest, ExecError> {
+    let mut machine = Machine::new(ctx.module);
+    machine.restore(&ctx.golden.snapshot);
+    let base_heap = machine.heap().len();
+    let base_out = machine.output().len();
+
+    // Seed histogram cells with the identity *before* arming the
+    // journal, so the worker's write-set reports pure partials.
+    for &(obj, op, bop) in ctx.hists {
+        let cells = machine.obj_cells(obj).len();
+        for cell in 0..cells {
+            let addr = Addr {
+                obj,
+                cell: cell as u32,
+            };
+            let identity = identity_for(op, bop, machine.read_cell(addr))?;
+            machine.poke_cell(addr, identity);
+        }
+    }
+    machine.begin_journal();
+
+    let mut ctl = ExecController::new(ctx, source);
+    let budget = machine.steps().saturating_add(ctx.max_steps);
+    loop {
+        if ctl.loop_exited {
+            break;
+        }
+        if machine.result().is_some() {
+            return Err(ExecError::Unsupported(
+                "program finished inside the parallel loop".into(),
+            ));
+        }
+        if machine.steps() >= budget {
+            return Err(ExecError::BudgetExhausted);
+        }
+        match machine.step(&mut ctl) {
+            Ok(()) => {}
+            Err(t) => return Err(ExecError::Trapped(t)),
+        }
+    }
+
+    if machine.heap().len() > base_heap {
+        return Err(ExecError::Unsupported(
+            "loop allocates heap objects; their identities cannot be merged".into(),
+        ));
+    }
+    if machine.output().len() > base_out {
+        return Err(ExecError::Unsupported(
+            "loop writes program output; ordering cannot be merged".into(),
+        ));
+    }
+
+    let touched: BTreeSet<(u32, u32)> = machine
+        .journal_writes()
+        .map(|(addr, _old)| (addr.obj.0, addr.cell))
+        .collect();
+    let cells = touched
+        .into_iter()
+        .map(|(obj, cell)| {
+            let addr = Addr {
+                obj: ObjId(obj),
+                cell,
+            };
+            (addr, machine.read_cell(addr))
+        })
+        .collect();
+
+    Ok(Harvest {
+        partials: ctl.partials,
+        cells,
+        iters: ctl.iters,
+        grabs: ctl.source.grabs(),
+    })
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Running the iterator alone (linearization semantics).
+    PrePass,
+    /// Running this worker's payload instances.
+    Payload,
+    /// This worker's share is done: skip in-loop code, jump to the exit.
+    Exiting,
+    /// Out of the loop.
+    Done,
+}
+
+/// The [`Hooks`] implementation driving one worker: a
+/// [`dca_core::ReplayController`] whose permutation is pulled
+/// incrementally from an [`IterSource`] instead of being fixed up front,
+/// with per-chunk reduction partial harvesting at chunk boundaries.
+struct ExecController<'a> {
+    func: FuncId,
+    func_ir: &'a Function,
+    header: BlockId,
+    blocks: &'a BTreeSet<BlockId>,
+    slice: &'a IteratorSlice,
+    golden: &'a GoldenRecord,
+    red: &'a [(VarId, Value)],
+    var_pos: HashMap<VarId, usize>,
+    source: IterSource<'a>,
+    partials: Vec<(usize, Vec<Value>)>,
+    cur_chunk: Option<usize>,
+    iters: u64,
+    needs_iter_start: bool,
+    prepass_arrivals: usize,
+    mode: Mode,
+    loop_exited: bool,
+}
+
+impl<'a> ExecController<'a> {
+    fn new(ctx: &WorkerCtx<'a>, source: IterSource<'a>) -> Self {
+        let var_pos: HashMap<VarId, usize> = ctx
+            .golden
+            .rec_vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        ExecController {
+            func: ctx.func,
+            func_ir: ctx.func_ir,
+            header: ctx.l.header,
+            blocks: &ctx.l.blocks,
+            slice: ctx.slice,
+            golden: ctx.golden,
+            red: ctx.red,
+            var_pos,
+            source,
+            partials: Vec::new(),
+            cur_chunk: None,
+            iters: 0,
+            needs_iter_start: false,
+            prepass_arrivals: 0,
+            mode: Mode::PrePass,
+            loop_exited: false,
+        }
+    }
+
+    fn active_at(&self, site: Site, block: BlockId) -> bool {
+        site.func == self.func && site.depth == self.golden.depth && self.blocks.contains(&block)
+    }
+
+    /// Harvests the current chunk's accumulator values as a partial.
+    fn flush_chunk(&mut self, vars: &mut [Value]) {
+        if let Some(chunk) = self.cur_chunk.take() {
+            let vals = self.red.iter().map(|&(v, _)| vars[v.index()]).collect();
+            self.partials.push((chunk, vals));
+        }
+    }
+
+    /// Binds the recorded values of this worker's next iteration (or
+    /// switches to exit mode when its share is exhausted). At chunk
+    /// boundaries the previous partial is flushed and the accumulators
+    /// reset to the identity.
+    fn iter_start(&mut self, vars: &mut [Value]) {
+        self.needs_iter_start = false;
+        match self.source.next() {
+            Some((iter, chunk)) => {
+                if self.cur_chunk != Some(chunk) {
+                    self.flush_chunk(vars);
+                    self.cur_chunk = Some(chunk);
+                    for &(v, identity) in self.red {
+                        vars[v.index()] = identity;
+                    }
+                }
+                let rec = &self.golden.iters[iter];
+                for (v, &pos) in &self.var_pos {
+                    vars[v.index()] = rec[pos];
+                }
+                self.iters += 1;
+            }
+            None => {
+                self.flush_chunk(vars);
+                self.mode = Mode::Exiting;
+            }
+        }
+    }
+
+    fn begin_payload(&mut self) {
+        self.mode = Mode::Payload;
+        self.needs_iter_start = true;
+    }
+
+    /// Pre-pass header-arrival cap, as in the replay controller.
+    fn prepass_cap(&self) -> usize {
+        self.golden.iters.len().saturating_mul(4).saturating_add(16)
+    }
+}
+
+impl Hooks for ExecController<'_> {
+    fn on_block(&mut self, site: Site, block: BlockId, _vars: &mut [Value]) {
+        match self.mode {
+            Mode::Done => {}
+            Mode::PrePass => {
+                if site.func == self.func && site.depth == self.golden.depth && block == self.header
+                {
+                    self.prepass_arrivals += 1;
+                    if self.prepass_arrivals > self.prepass_cap() {
+                        self.begin_payload();
+                    }
+                }
+            }
+            Mode::Payload | Mode::Exiting => {
+                if site.func == self.func && site.depth == self.golden.depth {
+                    if block == self.header {
+                        self.needs_iter_start = true;
+                    } else if !self.blocks.contains(&block) {
+                        self.mode = Mode::Done;
+                        self.loop_exited = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn before_inst(
+        &mut self,
+        site: Site,
+        block: BlockId,
+        idx: usize,
+        vars: &mut [Value],
+    ) -> InstAction {
+        if matches!(self.mode, Mode::Done) || !self.active_at(site, block) {
+            return InstAction::Run;
+        }
+        match self.mode {
+            Mode::PrePass => {
+                if self.slice.contains((block, idx)) {
+                    InstAction::Run
+                } else {
+                    InstAction::Skip
+                }
+            }
+            Mode::Payload => {
+                if self.needs_iter_start && block == self.header {
+                    self.iter_start(vars);
+                }
+                if matches!(self.mode, Mode::Exiting) {
+                    return InstAction::Skip;
+                }
+                if self.slice.contains((block, idx)) {
+                    InstAction::Skip
+                } else {
+                    InstAction::Run
+                }
+            }
+            Mode::Exiting => InstAction::Skip,
+            Mode::Done => InstAction::Run,
+        }
+    }
+
+    fn on_term(
+        &mut self,
+        site: Site,
+        block: BlockId,
+        default_target: Option<BlockId>,
+        vars: &mut [Value],
+    ) -> TermAction {
+        if matches!(self.mode, Mode::Done) || !self.active_at(site, block) {
+            return TermAction::Default;
+        }
+        match self.mode {
+            Mode::PrePass => match default_target {
+                Some(t) if self.blocks.contains(&t) => TermAction::Default,
+                _ => {
+                    self.begin_payload();
+                    TermAction::Goto(self.header)
+                }
+            },
+            Mode::Payload => {
+                if self.needs_iter_start && block == self.header {
+                    self.iter_start(vars);
+                }
+                if matches!(self.mode, Mode::Exiting) {
+                    for (v, &pos) in &self.var_pos {
+                        vars[v.index()] = self.golden.exit_vals[pos];
+                    }
+                    return TermAction::Goto(self.golden.exit_target);
+                }
+                match default_target {
+                    Some(t) if self.blocks.contains(&t) => TermAction::Default,
+                    _ => TermAction::Goto(in_loop_alternative(
+                        &self.func_ir.block(block).term,
+                        self.blocks,
+                        self.header,
+                    )),
+                }
+            }
+            Mode::Exiting => {
+                for (v, &pos) in &self.var_pos {
+                    vars[v.index()] = self.golden.exit_vals[pos];
+                }
+                TermAction::Goto(self.golden.exit_target)
+            }
+            Mode::Done => TermAction::Default,
+        }
+    }
+}
+
+/// The forced-branch alternative (mirrors the replay controller): the
+/// terminator's in-loop successor when the default leaves the loop, or
+/// the header when no successor stays inside.
+fn in_loop_alternative(term: &Terminator, blocks: &BTreeSet<BlockId>, header: BlockId) -> BlockId {
+    match term {
+        Terminator::Branch {
+            then_bb, else_bb, ..
+        } => {
+            if blocks.contains(then_bb) {
+                *then_bb
+            } else if blocks.contains(else_bb) {
+                *else_bb
+            } else {
+                header
+            }
+        }
+        _ => header,
+    }
+}
+
+/// The identity element for `op` at the type of `sample` (the pre-loop
+/// accumulator or cell value).
+///
+/// The float identities are the *true* identities of the interpreter's
+/// operators, chosen so that seeding a chunk accumulator is invisible
+/// bit-for-bit and no merge-time special-casing is needed:
+///
+/// * Sum uses `-0.0`, not `0.0`: under round-to-nearest `-0.0 + x == x`
+///   for every `x` including both signed zeros, whereas `0.0 + -0.0`
+///   is `+0.0` and would flip the sign of an all-negative-zero chunk.
+/// * Min/Max use `NaN`: the interpreter's `fmin`/`fmax` are Rust's
+///   NaN-ignoring `f64::min`/`max`, under which NaN is a two-sided
+///   identity. An infinity seed would be wrong twice over — it absorbs
+///   a NaN accumulator (`min(NaN, +inf)` is `+inf`) and is
+///   indistinguishable from a genuine infinite value in the data.
+fn identity_for(op: ReductionOp, bop: Option<BinOp>, sample: Value) -> Result<Value, ExecError> {
+    use ReductionOp as R;
+    Ok(match (op, sample) {
+        (R::Sum, Value::Int(_)) => Value::Int(0),
+        (R::Sum, Value::Float(_)) => Value::Float(-0.0),
+        (R::Product, Value::Int(_)) => Value::Int(1),
+        (R::Product, Value::Float(_)) => Value::Float(1.0),
+        (R::Min, Value::Int(_)) => Value::Int(i64::MAX),
+        (R::Min, Value::Float(_)) => Value::Float(f64::NAN),
+        (R::Max, Value::Int(_)) => Value::Int(i64::MIN),
+        (R::Max, Value::Float(_)) => Value::Float(f64::NAN),
+        (R::Bitwise, Value::Int(_)) => match bop {
+            Some(BinOp::BitAnd) => Value::Int(-1),
+            Some(BinOp::BitOr | BinOp::BitXor) => Value::Int(0),
+            _ => {
+                return Err(ExecError::Unsupported(
+                    "ambiguous bitwise reduction operator".into(),
+                ))
+            }
+        },
+        _ => {
+            return Err(ExecError::Unsupported(format!(
+                "unsupported reduction operand type ({sample})"
+            )))
+        }
+    })
+}
+
+/// Combines two partial values with the reduction operator, matching the
+/// interpreter's evaluation semantics exactly (wrapping integer
+/// arithmetic, IEEE floats, NaN-ignoring `fmin`/`fmax`).
+fn combine_value(
+    op: ReductionOp,
+    bop: Option<BinOp>,
+    a: Value,
+    b: Value,
+) -> Result<Value, ExecError> {
+    use ReductionOp as R;
+    Ok(match (op, a, b) {
+        (R::Sum, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(y)),
+        (R::Sum, Value::Float(x), Value::Float(y)) => Value::Float(x + y),
+        (R::Product, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_mul(y)),
+        (R::Product, Value::Float(x), Value::Float(y)) => Value::Float(x * y),
+        (R::Min, Value::Int(x), Value::Int(y)) => Value::Int(x.min(y)),
+        (R::Min, Value::Float(x), Value::Float(y)) => Value::Float(x.min(y)),
+        (R::Max, Value::Int(x), Value::Int(y)) => Value::Int(x.max(y)),
+        (R::Max, Value::Float(x), Value::Float(y)) => Value::Float(x.max(y)),
+        (R::Bitwise, Value::Int(x), Value::Int(y)) => match bop {
+            Some(BinOp::BitAnd) => Value::Int(x & y),
+            Some(BinOp::BitOr) => Value::Int(x | y),
+            Some(BinOp::BitXor) => Value::Int(x ^ y),
+            _ => {
+                return Err(ExecError::Unsupported(
+                    "ambiguous bitwise reduction operator".into(),
+                ))
+            }
+        },
+        _ => {
+            return Err(ExecError::Unsupported(format!(
+                "mismatched reduction operand types ({a} vs {b})"
+            )))
+        }
+    })
+}
+
+/// The concrete bitwise operator applied to `var` inside the loop, when
+/// it is unambiguous. [`ReductionOp::Bitwise`] conflates `&`/`|`/`^`;
+/// the identity and combine differ, so the executor re-derives the
+/// operator from the loop body.
+fn bitwise_op_for_var(func_ir: &Function, blocks: &BTreeSet<BlockId>, var: VarId) -> Option<BinOp> {
+    let mut found: Option<BinOp> = None;
+    for &b in blocks {
+        for inst in &func_ir.block(b).insts {
+            if let Inst::Bin { op, a, b: rhs, .. } = inst {
+                let touches = matches!(a, Operand::Var(v) if *v == var)
+                    || matches!(rhs, Operand::Var(v) if *v == var);
+                if touches && matches!(op, BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor) {
+                    match found {
+                        None => found = Some(*op),
+                        Some(prev) if prev == *op => {}
+                        Some(_) => return None,
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+/// Like [`bitwise_op_for_var`], for histogram updates: the single
+/// bitwise operator used anywhere in the loop body, when unambiguous.
+fn bitwise_op_in_loop(func_ir: &Function, blocks: &BTreeSet<BlockId>) -> Option<BinOp> {
+    let mut found: Option<BinOp> = None;
+    for &b in blocks {
+        for inst in &func_ir.block(b).insts {
+            if let Inst::Bin { op, .. } = inst {
+                if matches!(op, BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor) {
+                    match found {
+                        None => found = Some(*op),
+                        Some(prev) if prev == *op => {}
+                        Some(_) => return None,
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec_tagged(src: &str, tag: &str, cfg: &ExecConfig) -> Result<ExecOutcome, ExecError> {
+        let m = dca_ir::compile(src).expect("compile");
+        let lref = dca_ir::all_loops(&m)
+            .into_iter()
+            .find(|(_, t)| t.as_deref() == Some(tag))
+            .expect("tagged loop")
+            .0;
+        execute_loop(&m, &[], lref, cfg, &Obs::disabled())
+    }
+
+    fn widths() -> [usize; 3] {
+        [1, 2, 4]
+    }
+
+    #[test]
+    fn doall_map_is_exact_at_every_width() {
+        let src = "fn main() -> int { let a: [int; 64]; let s: int = 0; \
+             @l: for (let i: int = 0; i < 64; i = i + 1) { a[i] = i * i % 97; } \
+             for (let i: int = 0; i < 64; i = i + 1) { s = s + a[i]; } return s; }";
+        let mut fps = Vec::new();
+        for w in widths() {
+            let cfg = ExecConfig {
+                threads: w,
+                ..ExecConfig::default()
+            };
+            let out = exec_tagged(src, "l", &cfg).expect("execute");
+            assert!(out.validated && out.exact, "width {w}");
+            assert_eq!(out.trips, 64);
+            fps.push(out.fingerprint);
+        }
+        assert!(fps.windows(2).all(|p| p[0] == p[1]), "width-independent");
+    }
+
+    #[test]
+    fn int_reduction_is_exact_and_counts_combines() {
+        let src = "fn main() -> int { let s: int = 7; \
+             @l: for (let i: int = 0; i < 100; i = i + 1) { s = s + i * i; } \
+             return s; }";
+        let cfg = ExecConfig {
+            threads: 4,
+            ..ExecConfig::default()
+        };
+        let out = exec_tagged(src, "l", &cfg).expect("execute");
+        assert!(out.exact);
+        assert!(out.combine_steps >= 4, "4 partials need >= 4 combines");
+    }
+
+    #[test]
+    fn dynamic_zero_chunk_is_clamped_and_terminates() {
+        let src = "fn main() -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < 37; i = i + 1) { s = s + i; } return s; }";
+        let cfg = ExecConfig {
+            threads: 3,
+            schedule: Schedule::Dynamic { chunk: 0 },
+            ..ExecConfig::default()
+        };
+        let out = exec_tagged(src, "l", &cfg).expect("execute");
+        assert!(out.exact);
+        assert_eq!(out.trips, 37);
+    }
+
+    #[test]
+    fn dynamic_schedule_reduction_is_deterministic_across_widths() {
+        let src = "fn main() -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < 100; i = i + 1) { s = s + i * 3; } \
+             return s; }";
+        let mut fps = Vec::new();
+        for w in widths() {
+            let cfg = ExecConfig {
+                threads: w,
+                schedule: Schedule::Dynamic { chunk: 8 },
+                ..ExecConfig::default()
+            };
+            let out = exec_tagged(src, "l", &cfg).expect("execute");
+            assert!(out.exact, "width {w}");
+            fps.push(out.fingerprint);
+        }
+        assert!(fps.windows(2).all(|p| p[0] == p[1]));
+    }
+
+    #[test]
+    fn histogram_loop_merges_per_cell() {
+        let src = "fn main() -> int { let hist: [int; 7]; \
+             @l: for (let i: int = 0; i < 80; i = i + 1) { \
+               let b: int = i * i % 7; hist[b] = hist[b] + 1; } \
+             let s: int = 0; \
+             for (let k: int = 0; k < 7; k = k + 1) { s = s * 100 + hist[k]; } \
+             return s; }";
+        let cfg = ExecConfig {
+            threads: 4,
+            ..ExecConfig::default()
+        };
+        let out = exec_tagged(src, "l", &cfg).expect("execute");
+        assert!(out.exact);
+        assert!(out.combine_steps > 0, "histogram cells combine");
+    }
+
+    #[test]
+    fn float_min_with_nan_accumulator_is_exact() {
+        // The accumulator enters the loop as NaN (0.0/0.0); `fmin` is
+        // NaN-ignoring, so the sequential result is the plain minimum —
+        // and an identity-seeded parallel merge must not let the
+        // +inf identity absorb anything it shouldn't.
+        let src = "fn main() -> float { let s: float = 0.0 / 0.0; \
+             @l: for (let i: int = 0; i < 16; i = i + 1) { \
+               s = fmin(s, (i as float - 8.0) * (i as float - 8.0) + 2.0); } \
+             return s; }";
+        for w in widths() {
+            let cfg = ExecConfig {
+                threads: w,
+                float_tolerance: 0.0,
+                ..ExecConfig::default()
+            };
+            let out = exec_tagged(src, "l", &cfg).expect("execute");
+            assert!(out.exact, "width {w}");
+        }
+    }
+
+    #[test]
+    fn order_sensitive_live_out_is_refused() {
+        // `first` is live out, defined in the loop, and not a reduction:
+        // its final value depends on iteration order.
+        let src = "fn main() -> int { let a: [int; 8]; let first: int = 0 - 1; \
+             for (let i: int = 0; i < 8; i = i + 1) { a[i] = i * 13 % 8; } \
+             @l: for (let i: int = 0; i < 8; i = i + 1) { \
+               if (a[i] > 4 && first < 0) { first = i; } } \
+             return first; }";
+        let cfg = ExecConfig {
+            threads: 2,
+            ..ExecConfig::default()
+        };
+        match exec_tagged(src, "l", &cfg) {
+            Err(ExecError::OrderSensitive(vars) | ExecError::Unresolved(vars)) => {
+                assert!(vars.iter().any(|v| v == "first"), "vars: {vars:?}");
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worklist_drain_executes_in_parallel() {
+        // The destructive-iterator worklist sum (paper Fig. 2 style):
+        // every worker applies the pops once in the pre-pass; payload
+        // sums merge as a reduction.
+        let src = "struct Cell { v: int, next: *Cell }\n\
+             struct List { head: *Cell }\n\
+             fn push(l: *List, v: int) { \
+               let c: *Cell = new Cell; c.v = v; c.next = l.head; l.head = c; }\n\
+             fn main() -> int {\n\
+               let wl: *List = new List;\n\
+               for (let i: int = 0; i < 12; i = i + 1) { push(wl, i * i); }\n\
+               let sum: int = 0;\n\
+               @drain: while (wl.head != null) {\n\
+                 let c: *Cell = wl.head;\n\
+                 wl.head = c.next;\n\
+                 sum = sum + c.v;\n\
+               }\n\
+               return sum;\n\
+             }";
+        for w in widths() {
+            let cfg = ExecConfig {
+                threads: w,
+                ..ExecConfig::default()
+            };
+            let out = exec_tagged(src, "drain", &cfg).expect("execute");
+            assert!(out.validated && out.exact, "width {w}");
+            assert_eq!(out.trips, 12);
+        }
+    }
+
+    #[test]
+    fn zero_trip_invocation_executes_cleanly() {
+        let src = "fn main() -> int { let s: int = 5; let n: int = 0; \
+             @l: for (let i: int = 0; i < n; i = i + 1) { s = s + i; } \
+             return s; }";
+        let cfg = ExecConfig {
+            threads: 4,
+            ..ExecConfig::default()
+        };
+        let out = exec_tagged(src, "l", &cfg).expect("execute");
+        assert!(out.exact);
+        assert_eq!(out.trips, 0);
+    }
+
+    #[test]
+    fn exec_threads_resolves_env_and_explicit() {
+        assert_eq!(exec_threads(3), 3);
+        assert!(exec_threads(0) >= 1);
+    }
+
+    #[test]
+    fn execute_commutative_runs_proven_loops() {
+        let src = "fn main() -> int { let a: [int; 32]; let s: int = 0; \
+             @w: for (let i: int = 0; i < 32; i = i + 1) { a[i] = i * 2; } \
+             @r: for (let i: int = 0; i < 32; i = i + 1) { s = s + a[i]; } \
+             return s; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let report = dca_core::Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        let cfg = ExecConfig {
+            threads: 2,
+            ..ExecConfig::default()
+        };
+        let runs = execute_commutative(&m, &[], &report, &cfg, &Obs::disabled());
+        assert!(!runs.is_empty(), "commutative loops found");
+        for (lref, tag, res) in &runs {
+            let out = res
+                .as_ref()
+                .unwrap_or_else(|e| panic!("loop {lref} ({tag:?}): {e}"));
+            assert!(out.validated, "loop {lref} validated");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Parallelization stage and multicore simulator for the DCA reproduction
 //! (paper §IV-C, §V-B3, §V-C2).
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`plan`] — the OpenMP-style clauses (privatization, reductions) a
 //!   simple loop parallelizer emits, following Tournavitis et al.;
@@ -9,7 +9,10 @@
 //!   sequential run;
 //! * [`sim`] — a deterministic virtual-time multicore executor used in
 //!   place of the paper's 72-core host (see DESIGN.md for why the
-//!   substitution preserves the figures' shape).
+//!   substitution preserves the figures' shape);
+//! * [`exec`] — a real multithreaded executor that runs a proven loop's
+//!   iterations across OS threads and differentially validates the
+//!   merged state against the sequential oracle.
 //!
 //! The [`speedup_for_selection`] helper glues them together: given the set
 //! of loops a detector found (and a profitability selection), it returns
@@ -19,11 +22,15 @@
 
 pub mod advisor;
 pub mod costs;
+pub mod exec;
 pub mod plan;
 pub mod sim;
 
 pub use advisor::{advise, render, Advice};
 pub use costs::{covered_fraction, measure_costs, CostProfile, CostProfiler, InvocationCosts};
+pub use exec::{
+    exec_threads, execute_commutative, execute_loop, ExecConfig, ExecError, ExecOutcome, ExecRun,
+};
 pub use plan::ParallelPlan;
 pub use sim::{
     outermost_only, program_speedup, simulate_invocation, Schedule, SimConfig, SimResult,
@@ -50,7 +57,7 @@ pub fn speedup_for_selection(
     let outer = outermost_only(module, selection);
     let profile = costs::measure_costs(module, args, &outer, u64::MAX)?;
     // Account reduction-combine costs per loop by adjusting the config.
-    let mut total = profile.total_steps.max(1) as f64;
+    let total = profile.total_steps.max(1) as f64;
     let mut parallel_time = total;
     for &lref in &outer {
         let plan = ParallelPlan::build(module, lref);
@@ -67,9 +74,15 @@ pub fn speedup_for_selection(
             parallel_time += r.par_steps as f64;
         }
     }
-    if parallel_time < 1.0 {
-        parallel_time = 1.0;
-        total = total.max(1.0);
+    // Measured profiles always cover the selected loops, so the residual
+    // cannot go negative (see `program_speedup` for the full argument);
+    // an inconsistency is an accounting bug, not a speedup.
+    debug_assert!(
+        parallel_time >= 0.0,
+        "negative simulated parallel time ({parallel_time}) for a measured profile"
+    );
+    if parallel_time <= 0.0 {
+        return Ok(1.0);
     }
     Ok(total / parallel_time)
 }

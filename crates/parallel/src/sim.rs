@@ -70,6 +70,27 @@ impl SimConfig {
             ..SimConfig::default()
         }
     }
+
+    /// A copy with degenerate fields clamped to runnable values:
+    /// `Dynamic { chunk: 0 }` becomes `chunk: 1` (zero iterations per
+    /// grab would spin the chunk-dealing loop forever) and `cores: 0`
+    /// becomes `cores: 1`. `SimConfig` is plain data built with
+    /// struct-update syntax all over, so normalization happens here and
+    /// is applied on entry to every simulation (and by the real
+    /// executor's scheduler).
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        SimConfig {
+            cores: self.cores.max(1),
+            schedule: match self.schedule {
+                Schedule::Dynamic { chunk } => Schedule::Dynamic {
+                    chunk: chunk.max(1),
+                },
+                s => s,
+            },
+            ..self
+        }
+    }
 }
 
 /// Result of simulating one loop invocation.
@@ -93,6 +114,7 @@ impl SimResult {
 
 /// Simulates one invocation: distributes `iter_costs` over the cores.
 pub fn simulate_invocation(iter_costs: &[u64], cfg: &SimConfig) -> SimResult {
+    let cfg = cfg.normalized();
     let seq: u64 = iter_costs.iter().sum();
     if iter_costs.is_empty() || cfg.cores <= 1 {
         return SimResult {
@@ -112,7 +134,7 @@ pub fn simulate_invocation(iter_costs: &[u64], cfg: &SimConfig) -> SimResult {
                 .unwrap_or(0)
         }
         Schedule::Dynamic { chunk } => {
-            let chunk = chunk.max(1);
+            // `normalized()` clamped chunk to >= 1.
             // Greedy list scheduling: each chunk goes to the earliest-free
             // core.
             let mut loads = vec![0u64; cfg.cores];
@@ -155,7 +177,25 @@ pub fn program_speedup(
             parallel_time += r.par_steps as f64;
         }
     }
-    total as f64 / parallel_time.max(1.0)
+    // A consistent profile cannot drive the residual negative: every
+    // selected invocation's seq_steps is part of total_steps, and
+    // par_steps only adds time back. Going below zero means the profile
+    // and the selection disagree (double-counted nesting, a stale
+    // profile) — surface that instead of clamping it into an inflated
+    // speedup.
+    debug_assert!(
+        parallel_time >= 0.0,
+        "negative simulated parallel time ({parallel_time}): \
+         selection costs exceed profile.total_steps"
+    );
+    if parallel_time <= 0.0 {
+        // Release builds degrade to "no claimed speedup" on a corrupt
+        // profile; the zero case (all steps parallelized below the
+        // model's one-step resolution) is unreachable for integral step
+        // counts with nonzero overheads.
+        return 1.0;
+    }
+    total as f64 / parallel_time
 }
 
 /// Removes loops nested inside other selected loops (a parallel region
@@ -261,6 +301,127 @@ mod tests {
         let r = simulate_invocation(&costs, &SimConfig::with_cores(1));
         assert_eq!(r.par_steps, r.seq_steps);
         assert_eq!(r.speedup(), 1.0);
+    }
+
+    #[test]
+    fn zero_trip_invocation_speedup_is_one_not_nan() {
+        // A loop whose tested invocation ran zero iterations simulates to
+        // 0 sequential and 0 parallel steps; its speedup must be the
+        // neutral 1.0, not 0/0 = NaN (which would poison program_speedup's
+        // Amdahl composition downstream).
+        let r = simulate_invocation(&[], &SimConfig::paper_host());
+        assert_eq!(r.seq_steps, 0);
+        assert_eq!(r.par_steps, 0);
+        let s = r.speedup();
+        assert!(s.is_finite(), "speedup {s} must be finite");
+        assert_eq!(s, 1.0);
+        // And the composition stays finite with an empty invocation in
+        // the profile.
+        use dca_ir::{FuncId, LoopId};
+        let lref = LoopRef {
+            func: FuncId(0),
+            loop_id: LoopId(0),
+        };
+        let mut profile = CostProfile {
+            total_steps: 1000,
+            ..Default::default()
+        };
+        profile.per_loop.insert(
+            lref,
+            vec![InvocationCosts {
+                iter_costs: vec![],
+                nested: false,
+            }],
+        );
+        let s = program_speedup(&profile, &BTreeSet::from([lref]), &SimConfig::paper_host());
+        assert!(s.is_finite(), "program speedup {s} must be finite");
+    }
+
+    #[test]
+    fn dynamic_chunk_zero_terminates() {
+        // `Dynamic { chunk: 0 }` would pull zero iterations per grab and
+        // spin forever without the construction-time clamp.
+        let cfg = SimConfig {
+            schedule: Schedule::Dynamic { chunk: 0 },
+            ..SimConfig::paper_host()
+        };
+        assert_eq!(
+            cfg.normalized().schedule,
+            Schedule::Dynamic { chunk: 1 },
+            "normalization clamps chunk to >= 1"
+        );
+        let costs = vec![10u64; 256];
+        let r = simulate_invocation(&costs, &cfg);
+        assert_eq!(r.seq_steps, 2560);
+        assert!(r.par_steps > 0, "simulation completed");
+        // chunk: 0 behaves exactly as chunk: 1.
+        let one = simulate_invocation(
+            &costs,
+            &SimConfig {
+                schedule: Schedule::Dynamic { chunk: 1 },
+                ..SimConfig::paper_host()
+            },
+        );
+        assert_eq!(r, one);
+        // cores: 0 is clamped too instead of panicking in chunks().
+        let r0 = simulate_invocation(&costs, &SimConfig::with_cores(0));
+        assert_eq!(r0.par_steps, r0.seq_steps);
+    }
+
+    #[test]
+    fn overhead_dominated_profile_reports_slowdown() {
+        // All the work sits in 4 tiny iterations: fork/join and chunk
+        // overheads exceed the parallel savings, so the whole-program
+        // "speedup" is genuinely below 1.0 and must be reported as such,
+        // not clamped up.
+        use dca_ir::{FuncId, LoopId};
+        let lref = LoopRef {
+            func: FuncId(0),
+            loop_id: LoopId(0),
+        };
+        let mut profile = CostProfile {
+            total_steps: 40,
+            ..Default::default()
+        };
+        profile.per_loop.insert(
+            lref,
+            vec![InvocationCosts {
+                iter_costs: vec![10u64; 4],
+                nested: false,
+            }],
+        );
+        let s = program_speedup(&profile, &BTreeSet::from([lref]), &SimConfig::paper_host());
+        assert!(
+            s < 1.0,
+            "overhead-bound profile must report slowdown, got {s}"
+        );
+        assert!(s > 0.0, "slowdown is still a positive ratio, got {s}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "negative simulated parallel time")]
+    fn inconsistent_profile_is_detected_not_inflated() {
+        // The selected loop claims more sequential steps than the whole
+        // profile — an accounting bug the old `.max(1.0)` clamp silently
+        // converted into a huge speedup. The debug assertion must fire.
+        use dca_ir::{FuncId, LoopId};
+        let lref = LoopRef {
+            func: FuncId(0),
+            loop_id: LoopId(0),
+        };
+        let mut profile = CostProfile {
+            total_steps: 10,
+            ..Default::default()
+        };
+        profile.per_loop.insert(
+            lref,
+            vec![InvocationCosts {
+                iter_costs: vec![100_000u64; 72],
+                nested: false,
+            }],
+        );
+        let _ = program_speedup(&profile, &BTreeSet::from([lref]), &SimConfig::paper_host());
     }
 
     #[test]

@@ -4,9 +4,17 @@
 //! dca analyze <file.mc> [--args a,b,...]          per-loop DCA verdicts
 //! dca advise  <file.mc> [--args ...] [--cores N]  advisor report with pragmas
 //! dca detect  <file.mc> [--args ...]              all six techniques, per loop
+//! dca execute <file.mc> [--args ...] [--threads N] run proven loops on real threads
 //! dca run     <file.mc> [--args ...]              execute the program
 //! dca ir      <file.mc>                           dump the compiled IR
 //! ```
+//!
+//! `execute` analyzes the program, then runs every loop DCA proved
+//! commutative across a worker-thread pool
+//! ([`dca::parallel::execute_loop`]), differentially validating each
+//! merged result against the sequential oracle. A divergence is a
+//! non-zero exit. `--threads 0` (the default) resolves via
+//! `DCA_EXEC_THREADS`, then the CPU count.
 
 use dca::baselines::all_detectors;
 use dca::core::{CancelToken, Dca, DcaConfig};
@@ -46,8 +54,8 @@ fn install_ctrl_c(_token: &CancelToken) {}
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dca <analyze|advise|detect|run|ir> <file.mc> \
-         [--args a,b,...] [--cores N] [--inputs a,b/c,d]"
+        "usage: dca <analyze|advise|detect|execute|run|ir> <file.mc> \
+         [--args a,b,...] [--cores N] [--inputs a,b/c,d] [--threads N]"
     );
     ExitCode::FAILURE
 }
@@ -58,6 +66,7 @@ struct Opts {
     args: Vec<Value>,
     inputs: Vec<Vec<Value>>,
     cores: usize,
+    threads: usize,
 }
 
 fn parse_int_list(s: &str) -> Result<Vec<Value>, String> {
@@ -84,6 +93,7 @@ fn parse_opts() -> Result<Opts, String> {
         args: Vec::new(),
         inputs: Vec::new(),
         cores: 72,
+        threads: 0,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -98,6 +108,10 @@ fn parse_opts() -> Result<Opts, String> {
             "--cores" => {
                 let v = argv.next().ok_or("--cores needs a value")?;
                 opts.cores = v.parse().map_err(|e| format!("bad core count: {e}"))?;
+            }
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|e| format!("bad thread count: {e}"))?;
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -295,6 +309,62 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "execute" => {
+            let report = match Dca::new(DcaConfig::default()).analyze(&module, &opts.args) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = dca::parallel::ExecConfig {
+                threads: opts.threads,
+                ..dca::parallel::ExecConfig::from_dca(&DcaConfig::default())
+            };
+            let runs = dca::parallel::execute_commutative(
+                &module,
+                &opts.args,
+                &report,
+                &cfg,
+                &dca::core::Obs::disabled(),
+            );
+            if runs.is_empty() {
+                println!("no commutative loops to execute");
+                return ExitCode::SUCCESS;
+            }
+            let mut failed = false;
+            for (lref, tag, res) in &runs {
+                let name = tag
+                    .as_ref()
+                    .map(|t| format!("@{t}"))
+                    .unwrap_or_else(|| lref.to_string());
+                match res {
+                    Ok(out) if out.exact => println!(
+                        "{name:<16} validated  threads={} trips={} steals={} \
+                         combines={} fp={:032x}",
+                        out.threads, out.trips, out.steals, out.combine_steps, out.fingerprint
+                    ),
+                    Ok(out) => println!(
+                        "{name:<16} validated (within float tolerance)  threads={} trips={}",
+                        out.threads, out.trips
+                    ),
+                    Err(
+                        e @ (dca::parallel::ExecError::Unresolved(_)
+                        | dca::parallel::ExecError::OrderSensitive(_)
+                        | dca::parallel::ExecError::Unsupported(_)),
+                    ) => println!("{name:<16} refused: {e}"),
+                    Err(e) => {
+                        println!("{name:<16} FAILED: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                eprintln!("error: parallel execution diverged from the sequential oracle");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
         }
         "detect" => {
             let detectors = all_detectors(DcaConfig::default());

@@ -1,0 +1,213 @@
+//! Property test for the real-thread executor: generated programs whose
+//! loops are parallel-safe by construction must execute at every width
+//! with a state fingerprint identical to the sequential oracle's — the
+//! executor's own differential validation is run with `float_tolerance:
+//! 0.0`, so `exact` means bit-for-bit agreement, including NaN and
+//! signed-zero float cases. Order-sensitive constructions must be
+//! refused, never silently executed.
+
+use dca::core::{Dca, DcaConfig, LoopVerdict, Obs};
+use dca::parallel::{execute_loop, ExecConfig, ExecError, Schedule};
+use dca_rng::Rng;
+
+const WIDTHS: [usize; 3] = [1, 2, 4];
+
+/// Loop shapes the executor must handle exactly. Float cases are chosen
+/// so that every sequential intermediate is exactly representable (small
+/// integral values, NaN-ignoring min, signed-zero sums), making
+/// bit-exact cross-width agreement a hard requirement rather than a
+/// tolerance judgement.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    /// `a[i] = f(i)` — disjoint journal-merged writes.
+    MapInt,
+    /// `x[i] = -0.0` on a strided subset — the merge must preserve the
+    /// sign bit of zero verbatim.
+    MapNegZero,
+    /// `s = s + f(i)` — integer sum, combined in chunk-tree order.
+    SumInt,
+    /// `s = s + g(i)` with small integral floats — exact under any
+    /// association, so the parallel fold must match bitwise.
+    SumFloat,
+    /// `s = fmin(s, g(i))` with a NaN-seeded accumulator — the chunk
+    /// identity must not absorb the NaN, and NaN-ignoring min must
+    /// survive the partial/combine split.
+    MinNaN,
+    /// `h[f(i) % B] += 1` — histogram cells combined per address.
+    Histogram,
+}
+
+const SHAPES: [Shape; 6] = [
+    Shape::MapInt,
+    Shape::MapNegZero,
+    Shape::SumInt,
+    Shape::SumFloat,
+    Shape::MinNaN,
+    Shape::Histogram,
+];
+
+impl Shape {
+    fn source(self, n: usize, k: i64) -> String {
+        let body = match self {
+            Shape::MapInt => format!(
+                "let a: [int; 128];\n\
+                 @l: for (let i: int = 0; i < {n}; i = i + 1) {{ \
+                   a[i] = (i * {k} + 11) % 97; }}\n\
+                 let t: int = 0;\n\
+                 for (let i: int = 0; i < 128; i = i + 1) {{ t = t + a[i] * (i + 1); }}\n\
+                 return t;"
+            ),
+            Shape::MapNegZero => format!(
+                "let x: [float; 128];\n\
+                 @l: for (let i: int = 0; i < {n}; i = i + 1) {{ \
+                   if (i % {step} == 0) {{ x[i] = 0.0 - 0.0; }} \
+                   else {{ x[i] = i as float + {k}.0; }} }}\n\
+                 let t: float = 0.0;\n\
+                 for (let i: int = 0; i < 128; i = i + 1) {{ t = t + x[i]; }}\n\
+                 return t as int;",
+                step = (k % 3) + 2
+            ),
+            Shape::SumInt => format!(
+                "let s: int = {k};\n\
+                 @l: for (let i: int = 0; i < {n}; i = i + 1) {{ \
+                   s = s + (i * i + {k}) % 211; }}\n\
+                 return s;"
+            ),
+            Shape::SumFloat => format!(
+                "let s: float = 0.0 - 0.0;\n\
+                 @l: for (let i: int = 0; i < {n}; i = i + 1) {{ \
+                   s = s + ((i * {k}) % 7 - 3) as float; }}\n\
+                 return s as int;"
+            ),
+            Shape::MinNaN => format!(
+                "let s: float = 0.0 / 0.0;\n\
+                 @l: for (let i: int = 0; i < {n}; i = i + 1) {{ \
+                   s = fmin(s, ((i * {k}) % 31 - 15) as float); }}\n\
+                 return s as int;"
+            ),
+            Shape::Histogram => format!(
+                "let h: [int; 16];\n\
+                 @l: for (let i: int = 0; i < {n}; i = i + 1) {{ \
+                   h[(i * {k} + 5) % 16] = h[(i * {k} + 5) % 16] + 1; }}\n\
+                 let t: int = 0;\n\
+                 for (let i: int = 0; i < 16; i = i + 1) {{ t = t + h[i] * (i + 1); }}\n\
+                 return t;"
+            ),
+        };
+        format!("fn main() -> int {{\n{body}\n}}")
+    }
+}
+
+fn tagged_loop(m: &dca::ir::Module, tag: &str) -> dca::ir::LoopRef {
+    dca::ir::all_loops(m)
+        .into_iter()
+        .find(|(_, t)| t.as_deref() == Some(tag))
+        .expect("tagged loop exists")
+        .0
+}
+
+#[test]
+fn exec_matches_sequential() {
+    let mut rng = Rng::seed_from_u64(0x0E8EC);
+    let obs = Obs::disabled();
+    let mut executed = 0usize;
+    for case in 0..36 {
+        let shape = *rng.choose(&SHAPES).expect("non-empty");
+        let n = rng.range_usize(5, 96);
+        let k = rng.range_i64(1, 17);
+        let src = shape.source(n, k);
+        let m = dca::ir::compile(&src).expect("generated programs compile");
+        let lref = tagged_loop(&m, "l");
+        let report = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        let r = report.by_tag("l").expect("tagged loop analyzed");
+        assert_eq!(
+            r.verdict,
+            LoopVerdict::Commutative,
+            "case {case}: {shape:?} n={n} k={k} must be commutative ({src})"
+        );
+        let schedule = if rng.flip() {
+            Schedule::StaticBlock
+        } else {
+            Schedule::Dynamic {
+                chunk: rng.range_usize(1, 9),
+            }
+        };
+        let mut oracle_fps = Vec::new();
+        for w in WIDTHS {
+            let cfg = ExecConfig {
+                threads: w,
+                schedule,
+                float_tolerance: 0.0,
+                ..ExecConfig::default()
+            };
+            let out = execute_loop(&m, &[], lref, &cfg, &obs).unwrap_or_else(|e| {
+                panic!("case {case}: {shape:?} n={n} k={k} w={w} {schedule:?}: {e}\n{src}")
+            });
+            assert!(
+                out.validated && out.exact,
+                "case {case}: {shape:?} w={w} must be bit-exact against the oracle"
+            );
+            assert_eq!(
+                Some(out.fingerprint),
+                out.oracle_fingerprint,
+                "case {case}: exact run must carry the oracle fingerprint"
+            );
+            oracle_fps.push(out.fingerprint);
+        }
+        assert!(
+            oracle_fps.windows(2).all(|p| p[0] == p[1]),
+            "case {case}: {shape:?} fingerprint must not depend on width: {oracle_fps:x?}"
+        );
+        executed += 1;
+    }
+    assert_eq!(executed, 36, "every generated case must execute");
+}
+
+#[test]
+fn order_sensitive_generated_loops_are_refused() {
+    // A first-match scan is outcome-commutative only when no candidate
+    // matches; with matches present DCA refutes it, and when a sparse
+    // parameterization slips a commutative instance through, the
+    // executor must still refuse the order-sensitive live-out rather
+    // than gamble on the merge.
+    let mut rng = Rng::seed_from_u64(0xBADC0DE);
+    let obs = Obs::disabled();
+    for case in 0..12 {
+        let n = rng.range_usize(8, 64);
+        let k = rng.range_i64(1, 9);
+        let src = format!(
+            "fn main() -> int {{ let a: [int; 64]; let last: int = 0 - 1;\n\
+             for (let i: int = 0; i < 64; i = i + 1) {{ a[i] = (i * {k}) % 9; }}\n\
+             @l: for (let i: int = 0; i < {n}; i = i + 1) {{ \
+               if (a[i] > 3) {{ last = i; }} }}\n\
+             return last; }}"
+        );
+        let m = dca::ir::compile(&src).expect("compiles");
+        let lref = tagged_loop(&m, "l");
+        let report = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        let r = report.by_tag("l").expect("analyzed");
+        if r.verdict != LoopVerdict::Commutative {
+            continue; // DCA already refuted it; nothing reaches the executor.
+        }
+        let cfg = ExecConfig {
+            threads: 4,
+            ..ExecConfig::default()
+        };
+        match execute_loop(&m, &[], lref, &cfg, &obs) {
+            Err(ExecError::OrderSensitive(vars) | ExecError::Unresolved(vars)) => {
+                assert!(
+                    vars.iter().any(|v| v == "last"),
+                    "case {case}: refusal must name the order-sensitive var: {vars:?}"
+                );
+            }
+            Ok(out) => {
+                panic!("case {case} n={n} k={k}: order-sensitive loop executed: {out:?}\n{src}")
+            }
+            Err(e) => panic!("case {case}: unexpected error class: {e}"),
+        }
+    }
+}
