@@ -9,11 +9,14 @@
 //! No wall-clock speedup is asserted — CI runners have few cores and the
 //! interpreter's per-worker pre-pass is a known sequential fraction — but
 //! the per-width medians land in the JSON report and regress against
-//! `bench/baseline.json` like every other bench.
+//! `bench/baseline.json` like every other bench. One self-gate *is*
+//! asserted: [`Schedule::Auto`]'s profile-tuned chunk must land within
+//! 10% of the best fixed schedule at the same width, so the autotuner can
+//! never silently pick a pathological chunk.
 
 use dca_bench::harness::Harness;
 use dca_core::Obs;
-use dca_parallel::{execute_loop, ExecConfig, Schedule};
+use dca_parallel::{execute_loop, ExecConfig, Schedule, DEFAULT_DYNAMIC_CHUNK};
 
 const WIDTHS: &[usize] = &[1, 2, 4];
 
@@ -43,6 +46,17 @@ fn fixture(kind: &str) -> (dca_ir::Module, dca_ir::LoopRef) {
     (m, lref)
 }
 
+/// Fastest sample — what the self-gate compares; minima approximate the
+/// uncontended speed and wobble far less than medians under scheduler
+/// noise.
+fn min_of(h: &Harness, name: &str) -> std::time::Duration {
+    h.results()
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("bench {name} did not run"))
+        .min
+}
+
 fn main() {
     let mut h = Harness::new().sample_size(10);
     let obs = Obs::disabled();
@@ -62,20 +76,49 @@ fn main() {
                 })
             });
         }
-        let cfg = ExecConfig {
-            threads: 4,
-            schedule: Schedule::Dynamic { chunk: 64 },
-            ..ExecConfig::default()
-        };
-        h.bench_function(&format!("exec/{kind}/dynamic/w4"), |b| {
-            b.iter(|| {
-                let out = execute_loop(&m, &[], lref, &cfg, &obs).expect("execute");
-                assert!(out.validated && out.exact, "{kind} dynamic must validate");
-                out.fingerprint
-            })
-        });
+        for (label, schedule) in [
+            (
+                "dynamic",
+                Schedule::Dynamic {
+                    chunk: DEFAULT_DYNAMIC_CHUNK,
+                },
+            ),
+            ("auto", Schedule::Auto),
+        ] {
+            let cfg = ExecConfig {
+                threads: 4,
+                schedule,
+                ..ExecConfig::default()
+            };
+            h.bench_function(&format!("exec/{kind}/{label}/w4"), |b| {
+                b.iter(|| {
+                    let out = execute_loop(&m, &[], lref, &cfg, &obs).expect("execute");
+                    assert!(out.validated && out.exact, "{kind} {label} must validate");
+                    if schedule == Schedule::Auto {
+                        assert!(out.chunk.is_some(), "auto run must report its chunk");
+                    }
+                    out.fingerprint
+                })
+            });
+        }
     }
 
     h.finish();
-    println!("exec scaling: all widths validated against the sequential oracle");
+
+    // The autotuned schedule must not lose more than 10% to the best
+    // fixed schedule at the same width — it pays for the footprint
+    // profile during recording, so a tie within the margin is the
+    // expected outcome, and a big gap means the tuner picked badly.
+    for kind in ["map", "reduce"] {
+        let best_fixed = min_of(&h, &format!("exec/{kind}/static/w4"))
+            .min(min_of(&h, &format!("exec/{kind}/dynamic/w4")));
+        let auto = min_of(&h, &format!("exec/{kind}/auto/w4"));
+        assert!(
+            auto.as_secs_f64() <= best_fixed.as_secs_f64() * 1.10,
+            "{kind}: autotuned schedule ({auto:?}) more than 10% behind the best \
+             fixed schedule ({best_fixed:?})"
+        );
+    }
+
+    println!("exec scaling: all widths validated; autotuned chunk within 10% of best fixed");
 }

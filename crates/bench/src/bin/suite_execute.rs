@@ -24,6 +24,15 @@
 //! DESIGN.md §17). Traps, exhausted budgets and oracle mismatches are
 //! hard failures.
 //!
+//! Since the footprint pre-check (DESIGN.md §18) the expected shape is
+//! sharper still: loops with genuine cross-iteration heap flow are
+//! refused *before any worker spawns* (`refused pre-spawn:` lines, with
+//! the first conflicting `(iter_a, iter_b, cell)` witness), and the
+//! differential validator remains as defense-in-depth behind them. Set
+//! `DCA_DEPS_PRECHECK=0` to disable the pre-check and fall back to
+//! validator-only rejection — CI runs both modes and asserts the two
+//! refuse exactly the same loops.
+//!
 //! CI runs this binary twice and diffs stdout: the width sweep is
 //! internal (`DCA_EXEC_WIDTHS`, default `1 2 4`), every printed field is
 //! deterministic, so any diff means non-deterministic execution or
@@ -44,11 +53,22 @@ fn widths() -> Vec<usize> {
     ws
 }
 
+/// `DCA_DEPS_PRECHECK=0` (or `off`) disables the pre-spawn
+/// decomposability check so the differential validator alone decides —
+/// the agreement mode CI compares against.
+fn deps_precheck() -> bool {
+    !matches!(
+        std::env::var("DCA_DEPS_PRECHECK").as_deref(),
+        Ok("0") | Ok("off")
+    )
+}
+
 fn main() -> ExitCode {
     let widths = widths();
+    let precheck = deps_precheck();
     let dca = Dca::new(DcaConfig::fast());
     let obs = Obs::disabled();
-    let (mut executable, mut rejected, mut refused) = (0u64, 0u64, 0u64);
+    let (mut executable, mut rejected, mut refused, mut prespawn) = (0u64, 0u64, 0u64, 0u64);
     let (mut hard_failures, mut steals, mut combines) = (0u64, 0u64, 0u64);
     for p in dca_suite::all_programs() {
         let m = p.module();
@@ -73,11 +93,13 @@ fn main() -> ExitCode {
             let mut oracle_fps: Vec<u128> = Vec::new();
             let mut diverged = 0usize;
             let mut structural: Option<String> = None;
+            let mut not_decomposable: Option<String> = None;
             let mut hard: Option<String> = None;
             let mut trips = 0usize;
             for &w in &widths {
                 let cfg = ExecConfig {
                     threads: w,
+                    deps_precheck: precheck,
                     ..ExecConfig::from_dca(&DcaConfig::fast())
                 };
                 match execute_loop(&m, &p.targs(), r.lref, &cfg, &obs) {
@@ -103,6 +125,14 @@ fn main() -> ExitCode {
                         structural = Some(e.to_string());
                         break;
                     }
+                    // The footprint pre-check is a pure function of the
+                    // golden recording, so the verdict (and its witness)
+                    // is identical at every width — no need to finish
+                    // the sweep.
+                    Err(e @ ExecError::NotDecomposable { .. }) => {
+                        not_decomposable = Some(e.to_string());
+                        break;
+                    }
                     Err(e) => {
                         hard = Some(e.to_string());
                         break;
@@ -117,6 +147,11 @@ fn main() -> ExitCode {
             if let Some(e) = structural {
                 refused += 1;
                 println!("{name}: refused: {e}");
+                continue;
+            }
+            if let Some(e) = not_decomposable {
+                prespawn += 1;
+                println!("{name}: refused pre-spawn: {e}");
                 continue;
             }
             // Oracle fingerprints must agree across widths.
@@ -140,7 +175,7 @@ fn main() -> ExitCode {
     }
     println!(
         "exec-stats: widths={widths:?} executable={executable} \
-         rejected={rejected} refused={refused} failed={hard_failures}"
+         rejected={rejected} refused={refused} prespawn={prespawn} failed={hard_failures}"
     );
     eprintln!("exec-accounting: steals={steals} combines={combines}");
     if hard_failures > 0 {

@@ -272,6 +272,11 @@ impl DcaConfig {
     /// harnesses — large enough for any fixture in the repo, small enough
     /// to fail fast on an accidental infinite loop.
     pub const TEST_STEP_BUDGET: u64 = 10_000_000;
+    /// Default `schedule(dynamic, N)` chunk size when no profile-driven
+    /// autotuning is in play. Aliases [`dca_deps::DEFAULT_DYNAMIC_CHUNK`]
+    /// — the one authoritative definition every consumer (executor
+    /// fallback, advisor pragmas, scaling benches) must agree with.
+    pub const DEFAULT_DYNAMIC_CHUNK: usize = dca_deps::DEFAULT_DYNAMIC_CHUNK;
 
     /// A configuration for quick tests: reverse + 2 shuffles, small budgets.
     pub fn fast() -> Self {

@@ -62,6 +62,10 @@ pub mod report;
 
 pub use cache::{CacheDecision, CacheStats, CachedVerdict, KeyBuilder, VerdictCache};
 pub use config::{DcaConfig, DigestMode, ObsOptions, PermutationSet, VerifyScope, WallLimits};
+pub use dca_deps::{
+    autotune_chunk, check_decomposable, Conflict, ConflictKind, DepReport, DepVerdict,
+    FootprintProbe, IterFootprint, LoopProfile,
+};
 pub use dca_obs::{Obs, ObsRollup, SpanStat};
 pub use engine::{digest_roots, read_roots, Dca, DcaError, DigestRoots};
 pub use fault::{catch_contained, FaultKind, FaultPlan, FaultSpecError};
@@ -71,6 +75,8 @@ pub use outcome::{
     StateDigest,
 };
 pub use parallel::{effective_threads, CancelToken};
-pub use record::{record_golden, record_golden_governed, GoldenRecord, RecordError};
+pub use record::{
+    record_golden, record_golden_governed, record_golden_profiled, GoldenRecord, RecordError,
+};
 pub use replay::{run_replay, run_replay_governed, ReplayController, ReplayEnd, ReplayGovernor};
 pub use report::{DcaReport, LoopResult, LoopVerdict, SkipReason, Violation};

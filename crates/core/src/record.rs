@@ -15,8 +15,9 @@ use crate::outcome::ProgramOutcome;
 use crate::parallel::CancelToken;
 use crate::replay::GOVERN_GRANULE;
 use dca_analysis::IteratorSlice;
-use dca_interp::{Hooks, InstAction, Machine, Site, Snapshot, Trap, Value};
-use dca_ir::{BlockId, FuncId, Loop, VarId};
+use dca_deps::{FootprintProbe, LoopProfile};
+use dca_interp::{Addr, Hooks, InstAction, Machine, Site, Snapshot, Trap, Value};
+use dca_ir::{BlockId, FuncId, Function, Loop, VarId};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,6 +66,7 @@ pub enum RecordError {
     Cancelled,
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Waiting for the loop header.
     Waiting,
@@ -326,11 +328,122 @@ pub fn record_golden_governed(
     machine
         .push_call(main, args)
         .map_err(RecordError::Trapped)?;
-    let mut rec = Recorder {
+    let mut rec = new_recorder(
+        func,
+        l,
+        &rec_vars,
+        slice,
+        skip_invocations,
+        max_trip,
+        min_trip,
+    );
+    let (ret, snapshot) = drive(machine, &mut rec, max_steps, deadline, cancel)?;
+    seal(rec, snapshot, ret, machine)
+}
+
+/// Like [`record_golden`], but additionally mines a per-iteration
+/// memory/cost footprint ([`dca_deps::LoopProfile`]) from the same run: a
+/// [`dca_deps::FootprintProbe`] composed with the recorder attributes
+/// every heap access and every step to the committed iteration (and the
+/// slice/payload side) it belongs to. The profile's iterations align 1:1
+/// with the golden record's.
+///
+/// The plain recording path is untouched — disarmed recording pays
+/// nothing for the probe's existence.
+///
+/// # Errors
+///
+/// See [`RecordError`].
+#[allow(clippy::too_many_arguments)]
+pub fn record_golden_profiled(
+    machine: &mut Machine<'_>,
+    main: FuncId,
+    args: &[Value],
+    func: FuncId,
+    func_ir: &Function,
+    l: &Loop,
+    slice: &IteratorSlice,
+    skip_invocations: u32,
+    max_trip: usize,
+    max_steps: u64,
+) -> Result<(GoldenRecord, LoopProfile), RecordError> {
+    let rec_vars: Vec<VarId> = slice.slice_vars.iter().copied().collect();
+    machine
+        .push_call(main, args)
+        .map_err(RecordError::Trapped)?;
+    let rec = new_recorder(func, l, &rec_vars, slice, skip_invocations, max_trip, 0);
+    let mut probe = FootprintProbe::new();
+    // Per-block attribution, resolved once. Most loop blocks are *uniform*
+    // (all-slice or all-payload, the way the front end lowers them), and a
+    // uniform block attributes once at block entry — the per-instruction
+    // hook stays a pure delegation unless some block genuinely interleaves
+    // slice and payload instructions.
+    let mut attrs: Vec<BlockAttr> = (0..func_ir.blocks.len())
+        .map(|_| BlockAttr::Outside)
+        .collect();
+    let mut any_mixed = false;
+    for &b in &l.blocks {
+        let ia: Vec<bool> = (0..func_ir.block(b).insts.len())
+            .map(|idx| !slice.contains((b, idx)))
+            .collect();
+        attrs[b.index()] = match ia.split_first() {
+            // An instruction-free block flips nothing — same as the
+            // per-instruction path, which would never fire in it.
+            None => BlockAttr::Outside,
+            Some((&first, rest)) if rest.iter().all(|&p| p == first) => {
+                BlockAttr::Uniform { payload: first }
+            }
+            Some(_) => {
+                any_mixed = true;
+                BlockAttr::Mixed(ia)
+            }
+        };
+    }
+    // Monomorphize the mixed-block flag away: with no mixed block (the
+    // common case) the per-instruction hook compiles to the plain
+    // recorder's, paying nothing per executed instruction.
+    let (ret, snapshot, rec) = if any_mixed {
+        let mut h = ProfiledRecorder::<true> {
+            rec,
+            attrs,
+            probe: &mut probe,
+        };
+        let (ret, snapshot) = drive(machine, &mut h, max_steps, None, None)?;
+        (ret, snapshot, h.rec)
+    } else {
+        let mut h = ProfiledRecorder::<false> {
+            rec,
+            attrs,
+            probe: &mut probe,
+        };
+        let (ret, snapshot) = drive(machine, &mut h, max_steps, None, None)?;
+        (ret, snapshot, h.rec)
+    };
+    let golden = seal(rec, snapshot, ret, machine)?;
+    let profile = probe.finish();
+    debug_assert_eq!(
+        profile.iters.len(),
+        golden.iters.len(),
+        "profile iterations must align with the golden record"
+    );
+    Ok((golden, profile))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn new_recorder<'a>(
+    func: FuncId,
+    l: &'a Loop,
+    rec_vars: &'a [VarId],
+    slice: &'a IteratorSlice,
+    skip_invocations: u32,
+    max_trip: usize,
+    min_trip: usize,
+) -> Recorder<'a> {
+    Recorder {
         func,
         header: l.header,
         blocks: &l.blocks,
-        rec_vars: &rec_vars,
+        rec_vars,
         slice,
         max_trip,
         min_trip,
@@ -345,7 +458,32 @@ pub fn record_golden_governed(
         exit_vals: Vec::new(),
         exit_target: None,
         trip_overflow: false,
-    };
+    }
+}
+
+/// Hook stacks the recording driver accepts: the plain [`Recorder`] or a
+/// composition wrapping one. The driver reads the recorder's request
+/// flags (snapshot, discard, trip overflow) through this access.
+trait RecAccess<'a>: Hooks {
+    fn rec(&mut self) -> &mut Recorder<'a>;
+}
+
+impl<'a> RecAccess<'a> for Recorder<'a> {
+    fn rec(&mut self) -> &mut Recorder<'a> {
+        self
+    }
+}
+
+/// Steps the machine to completion under recording hooks `h` — the
+/// manual-stepping loop shared by every `record_golden*` flavor, kept
+/// generic so the plain path monomorphizes without any probe overhead.
+fn drive<'a, H: RecAccess<'a>>(
+    machine: &mut Machine<'_>,
+    h: &mut H,
+    max_steps: u64,
+    deadline: Option<Instant>,
+    cancel: Option<&CancelToken>,
+) -> Result<(Option<Value>, Option<Snapshot>), RecordError> {
     // Step manually so the snapshot lands exactly at the header arrival.
     let budget = machine.steps().saturating_add(max_steps);
     let mut snapshot: Option<Snapshot> = None;
@@ -375,11 +513,12 @@ pub fn record_golden_governed(
             }
             n += 1;
         }
-        match machine.step(&mut rec) {
+        match machine.step(h) {
             Ok(()) => {}
             Err(Trap::NotRunning) => break machine.result().unwrap_or(None),
             Err(t) => return Err(RecordError::Trapped(t)),
         }
+        let rec = h.rec();
         if rec.want_snapshot {
             rec.want_snapshot = false;
             snapshot = Some(machine.snapshot());
@@ -392,8 +531,19 @@ pub fn record_golden_governed(
             return Err(RecordError::TripLimit);
         }
     };
+    Ok((ret, snapshot))
+}
+
+/// Packages a finished recording into the [`GoldenRecord`].
+fn seal(
+    rec: Recorder<'_>,
+    snapshot: Option<Snapshot>,
+    ret: Option<Value>,
+    machine: &Machine<'_>,
+) -> Result<GoldenRecord, RecordError> {
     let snapshot = snapshot.ok_or(RecordError::NotExercised)?;
     let exit_target = rec.exit_target.ok_or(RecordError::NotExercised)?;
+    let rec_vars = rec.rec_vars.to_vec();
     let (iters, exit_vals, depth) = (rec.iters, rec.exit_vals, rec.depth);
     Ok(GoldenRecord {
         snapshot: Arc::new(snapshot),
@@ -405,6 +555,132 @@ pub fn record_golden_governed(
         outcome: ProgramOutcome::capture(machine, ret),
         total_steps: machine.steps(),
     })
+}
+
+/// Probe attribution for one block of the recorded function: whether its
+/// instructions' memory effects are payload or iterator-slice work.
+enum BlockAttr {
+    /// Outside the loop (or instruction-free): entering it changes no
+    /// attribution. Effects in callees keep the calling side's flag.
+    Outside,
+    /// Every instruction sits on one side — attributed once at block
+    /// entry; the whole block executes once entered (a trap mid-block
+    /// aborts the recording entirely), so entry attribution equals
+    /// per-instruction attribution.
+    Uniform {
+        /// The single side of every instruction in the block: payload
+        /// (`true`) or iterator slice (`false`).
+        payload: bool,
+    },
+    /// Slice and payload instructions interleave: attribution must track
+    /// each instruction (the loop header's compare-and-branch block
+    /// sometimes carries a leading payload store). One side flag per
+    /// instruction.
+    Mixed(Vec<bool>),
+}
+
+/// The [`Recorder`] composed with a [`FootprintProbe`]: delegates every
+/// recording decision to the inner recorder unchanged and mirrors its
+/// phase transitions into probe lifecycle calls, so the profile's
+/// iteration boundaries are *defined by* the recorder's commits — the
+/// two can never disagree about what iteration `k` was.
+/// `MIXED` mirrors whether any loop block is [`BlockAttr::Mixed`]; with
+/// `false` (the common case) the per-instruction hook monomorphizes to a
+/// pure delegation.
+struct ProfiledRecorder<'a, 'p, const MIXED: bool> {
+    rec: Recorder<'a>,
+    /// A [`BlockAttr`] for every block of the recorded function.
+    attrs: Vec<BlockAttr>,
+    probe: &'p mut FootprintProbe,
+}
+
+impl<'a, const MIXED: bool> RecAccess<'a> for ProfiledRecorder<'a, '_, MIXED> {
+    fn rec(&mut self) -> &mut Recorder<'a> {
+        &mut self.rec
+    }
+}
+
+impl<const MIXED: bool> ProfiledRecorder<'_, '_, MIXED> {
+    /// Translates a recorder phase/commit transition (observed around a
+    /// delegated hook call) into probe lifecycle events.
+    fn sync(&mut self, was: (Phase, usize), steps: u64) {
+        let now = (self.rec.phase, self.rec.iters.len());
+        match (was.0, now.0) {
+            (Phase::Waiting, Phase::Recording) => self.probe.begin_invocation(steps),
+            (Phase::Recording, Phase::Waiting) => self.probe.abort_invocation(),
+            _ => {}
+        }
+        if now.1 > was.1 {
+            self.probe.commit_iter(steps);
+        }
+        if now.0 == Phase::Finishing && was.0 != Phase::Finishing {
+            // Loop exited; whatever accumulated since the last commit
+            // belongs to the failed header check, not to an iteration.
+            self.probe.drop_partial();
+        }
+    }
+}
+
+impl<const MIXED: bool> Hooks for ProfiledRecorder<'_, '_, MIXED> {
+    fn on_block(&mut self, site: Site, block: BlockId, vars: &mut [Value]) {
+        if site.func != self.rec.func || self.rec.phase == Phase::Finishing {
+            // The plain recorder ignores foreign-function blocks and is
+            // inert once the kept invocation exited, so there is no
+            // transition to mirror and no attribution to flip (callee
+            // effects keep the calling side's flag).
+            return;
+        }
+        let was = (self.rec.phase, self.rec.iters.len());
+        self.rec.on_block(site, block, vars);
+        self.sync(was, site.steps);
+        if self.rec.phase == Phase::Recording && Some(site.depth) == self.rec.depth {
+            if let BlockAttr::Uniform { payload } = self.attrs[block.index()] {
+                self.probe.set_payload(payload);
+            }
+        }
+    }
+
+    fn before_inst(
+        &mut self,
+        site: Site,
+        block: BlockId,
+        idx: usize,
+        vars: &mut [Value],
+    ) -> InstAction {
+        let act = self.rec.before_inst(site, block, idx, vars);
+        // Attribute subsequent memory effects: payload or slice. Uniform
+        // blocks were attributed at entry; only a mixed block needs the
+        // flag tracked per instruction, and only loop-level instructions
+        // flip it, so effects inside callees attribute to the calling
+        // instruction's side.
+        if MIXED
+            && self.rec.phase == Phase::Recording
+            && site.func == self.rec.func
+            && Some(site.depth) == self.rec.depth
+        {
+            if let BlockAttr::Mixed(sides) = &self.attrs[block.index()] {
+                self.probe.set_payload(sides[idx]);
+            }
+        }
+        act
+    }
+
+    fn on_return(&mut self, site: Site, func: FuncId) {
+        if func != self.rec.func || self.rec.phase != Phase::Recording {
+            return;
+        }
+        let was = (self.rec.phase, self.rec.iters.len());
+        self.rec.on_return(site, func);
+        self.sync(was, site.steps);
+    }
+
+    fn on_read(&mut self, _site: Site, addr: Addr) {
+        self.probe.read(addr.obj.0, addr.cell);
+    }
+
+    fn on_store(&mut self, _site: Site, addr: Addr, old: Value, new: Value) {
+        self.probe.store(addr.obj.0, addr.cell, old, new);
+    }
 }
 
 #[cfg(test)]

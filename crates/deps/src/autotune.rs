@@ -1,0 +1,109 @@
+//! Profile-driven chunk autotuning for dynamic scheduling.
+
+/// The default `schedule(dynamic, N)` chunk when no profile is available
+/// to tune from. Every consumer — the executor's fallback, the advisor's
+/// pragma rendering, the scaling benches — must use this one constant
+/// (`DcaConfig::DEFAULT_DYNAMIC_CHUNK` aliases it); a regression test
+/// pins the agreement.
+pub const DEFAULT_DYNAMIC_CHUNK: usize = 64;
+
+/// Modeled cost (in interpreter steps) of one dynamic chunk grab: the
+/// atomic fetch-add plus scheduling slack. Mirrors the simulator's
+/// default `per_chunk_overhead` so the autotuner and the simulator agree
+/// on the steal-traffic side of the trade-off.
+pub const GRAB_OVERHEAD_STEPS: u64 = 6;
+
+/// Picks a dynamic-schedule chunk size from the recorded per-iteration
+/// step counts: large enough to keep steal traffic (one
+/// [`GRAB_OVERHEAD_STEPS`] per grab) negligible, small enough to avoid
+/// tail imbalance when iteration costs are skewed.
+///
+/// Deterministic pure function of `(iter_steps, workers)`: candidates
+/// are the powers of two up to `ceil(n / workers)` (the static block
+/// size — any larger and some worker idles from the start), each scored
+/// by greedy list-schedule makespan, ties broken toward the larger chunk
+/// (fewer grabs). Always returns at least 1.
+#[must_use]
+pub fn autotune_chunk(iter_steps: &[u64], workers: usize) -> usize {
+    let n = iter_steps.len();
+    if n == 0 {
+        return DEFAULT_DYNAMIC_CHUNK;
+    }
+    let workers = workers.max(1);
+    if workers == 1 {
+        // One worker: a single grab of everything is trivially optimal.
+        return n;
+    }
+    let max_chunk = n.div_ceil(workers).max(1);
+    let mut best_cost = u64::MAX;
+    let mut best_chunk = 1usize;
+    let mut chunk = 1usize;
+    loop {
+        let cost = makespan(iter_steps, workers, chunk);
+        if cost <= best_cost {
+            // `<=` breaks ties toward the larger chunk.
+            best_cost = cost;
+            best_chunk = chunk;
+        }
+        if chunk >= max_chunk {
+            break;
+        }
+        chunk = (chunk * 2).min(max_chunk);
+    }
+    best_chunk
+}
+
+/// Greedy list-schedule makespan of dealing `iter_steps` in `chunk`-sized
+/// grabs to `workers` workers (the simulator's dynamic model).
+fn makespan(iter_steps: &[u64], workers: usize, chunk: usize) -> u64 {
+    let mut loads = vec![0u64; workers];
+    for c in iter_steps.chunks(chunk) {
+        let min = loads.iter_mut().min().expect("workers >= 1");
+        *min += c.iter().sum::<u64>() + GRAB_OVERHEAD_STEPS;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_prefer_big_chunks() {
+        // With uniform iterations there is no imbalance to fix: the
+        // tuner should go straight to the static block size and pay the
+        // minimum number of grabs.
+        let steps = vec![100u64; 2048];
+        let c = autotune_chunk(&steps, 4);
+        assert_eq!(c, 512, "uniform work wants one chunk per worker");
+    }
+
+    #[test]
+    fn skewed_costs_prefer_small_chunks() {
+        // A heavy tail: big chunks strand the heavy iterations on one
+        // worker, so the tuner must pick something finer than the block.
+        let steps: Vec<u64> = (0..512).map(|i| if i >= 480 { 5000 } else { 10 }).collect();
+        let c = autotune_chunk(&steps, 4);
+        assert!(c < 128, "skewed work needs fine-grained chunks, got {c}");
+        // And the choice beats the static block under the same model.
+        let block = 512usize.div_ceil(4);
+        assert!(makespan(&steps, 4, c) <= makespan(&steps, 4, block));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        assert_eq!(autotune_chunk(&[], 4), DEFAULT_DYNAMIC_CHUNK);
+        assert_eq!(autotune_chunk(&[10], 4), 1);
+        assert_eq!(autotune_chunk(&[10, 20, 30], 0), 3, "workers clamp to 1");
+        assert_eq!(autotune_chunk(&[10; 7], 1), 7, "single worker grabs all");
+        assert!(autotune_chunk(&[0; 16], 4) >= 1);
+    }
+
+    #[test]
+    fn autotune_is_deterministic() {
+        let steps: Vec<u64> = (0..300).map(|i| (i * 37 % 91) + 1).collect();
+        let a = autotune_chunk(&steps, 8);
+        let b = autotune_chunk(&steps, 8);
+        assert_eq!(a, b);
+    }
+}

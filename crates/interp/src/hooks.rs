@@ -85,6 +85,13 @@ pub trait Hooks {
     /// A memory cell was written.
     fn on_write(&mut self, site: Site, addr: Addr) {}
 
+    /// A memory cell is about to be overwritten: `old` is the value it
+    /// holds, `new` the value being stored. Fired alongside
+    /// [`Hooks::on_write`]; separate so observers that don't need values
+    /// (the write journal arming, the replay controllers) pay nothing
+    /// for them.
+    fn on_store(&mut self, site: Site, addr: Addr, old: Value, new: Value) {}
+
     /// A call to `callee` is about to push a frame.
     fn on_call(&mut self, site: Site, callee: FuncId) {}
 

@@ -872,6 +872,12 @@ impl<'m> Machine<'m> {
                 let v = eval(&self.frames[fi].vars, value);
                 self.ops.heap_writes += 1;
                 hooks.on_write(site, addr);
+                hooks.on_store(
+                    site,
+                    addr,
+                    self.heap[addr.obj.index()].cells[addr.cell as usize],
+                    v,
+                );
                 self.journal_cell(addr.obj, addr.cell);
                 self.heap[addr.obj.index()].cells[addr.cell as usize] = v;
             }
@@ -887,6 +893,12 @@ impl<'m> Machine<'m> {
                 let v = eval(&self.frames[fi].vars, value);
                 self.ops.heap_writes += 1;
                 hooks.on_write(site, addr);
+                hooks.on_store(
+                    site,
+                    addr,
+                    self.heap[addr.obj.index()].cells[addr.cell as usize],
+                    v,
+                );
                 self.journal_cell(addr.obj, addr.cell);
                 self.heap[addr.obj.index()].cells[addr.cell as usize] = v;
             }
@@ -908,6 +920,7 @@ impl<'m> Machine<'m> {
                 let v = eval(&self.frames[fi].vars, value);
                 self.ops.heap_writes += 1;
                 hooks.on_write(site, addr);
+                hooks.on_store(site, addr, self.heap[addr.obj.index()].cells[0], v);
                 self.journal_cell(addr.obj, addr.cell);
                 self.heap[addr.obj.index()].cells[0] = v;
             }

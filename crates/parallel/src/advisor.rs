@@ -10,7 +10,7 @@
 
 use crate::costs::measure_costs;
 use crate::plan::ParallelPlan;
-use crate::sim::{simulate_invocation, SimConfig};
+use crate::sim::{simulate_invocation, Schedule, SimConfig};
 use dca_analysis::ReductionOp;
 use dca_core::DcaReport;
 use dca_interp::{Trap, Value};
@@ -82,6 +82,25 @@ fn pragma_for(module: &Module, plan: &ParallelPlan) -> String {
     text
 }
 
+/// The `schedule(...)` clause for the configured policy, or `None` for
+/// the (default) static block schedule, which OpenMP implies. Under
+/// [`Schedule::Auto`] the chunk comes from the measured per-iteration
+/// cost distribution of the loop's first invocation — the same
+/// deterministic tuner the real executor uses
+/// ([`dca_deps::autotune_chunk`]).
+fn schedule_clause(cfg: &SimConfig, iter_costs: Option<&[u64]>) -> Option<String> {
+    match cfg.schedule {
+        Schedule::StaticBlock => None,
+        Schedule::Dynamic { chunk } => Some(format!(" schedule(dynamic, {})", chunk.max(1))),
+        Schedule::Auto => {
+            let chunk = iter_costs.map_or(dca_deps::DEFAULT_DYNAMIC_CHUNK, |c| {
+                dca_deps::autotune_chunk(c, cfg.cores)
+            });
+            Some(format!(" schedule(dynamic, {chunk})"))
+        }
+    }
+}
+
 /// Produces advice for every loop in `report`, measuring coverage and
 /// simulating per-loop speedups on `cfg`.
 ///
@@ -117,12 +136,23 @@ pub fn advise(
         } else {
             1.0
         };
+        let first_costs = profile
+            .per_loop
+            .get(&r.lref)
+            .and_then(|invs| invs.iter().find(|inv| !inv.nested))
+            .map(|inv| inv.iter_costs.as_slice());
         out.push(Advice {
             lref: r.lref,
             tag: r.tag.clone(),
             verdict: r.verdict.to_string(),
             commutative,
-            pragma: commutative.then(|| pragma_for(module, &plan)),
+            pragma: commutative.then(|| {
+                let mut p = pragma_for(module, &plan);
+                if let Some(clause) = schedule_clause(cfg, first_costs) {
+                    p.push_str(&clause);
+                }
+                p
+            }),
             coverage_pct: 100.0 * seq / total,
             est_speedup,
             // All profile-guided advice is formally subject to user
@@ -230,6 +260,37 @@ mod tests {
         assert!(!a.commutative);
         assert!(a.pragma.is_none());
         assert_eq!(a.est_speedup, 1.0);
+    }
+
+    #[test]
+    fn schedule_clause_follows_the_configured_policy() {
+        let src = "fn main() -> int { let acc: int = 0; \
+             @red: for (let i: int = 0; i < 64; i = i + 1) { acc = acc + i * i; } \
+             return acc; }";
+        let m = dca_ir::compile(src).expect("compile");
+        let report = Dca::new(DcaConfig::fast())
+            .analyze_module(&m)
+            .expect("analyze");
+        let pragma_under = |schedule| {
+            let cfg = SimConfig {
+                schedule,
+                ..SimConfig::with_cores(4)
+            };
+            let advice = advise(&m, &[], &report, &cfg).expect("advise");
+            advice
+                .iter()
+                .find(|a| a.tag.as_deref() == Some("red"))
+                .and_then(|a| a.pragma.clone())
+                .expect("pragma")
+        };
+        assert!(
+            !pragma_under(Schedule::StaticBlock).contains("schedule("),
+            "static is OpenMP's implied default"
+        );
+        assert!(pragma_under(Schedule::Dynamic { chunk: 16 }).contains("schedule(dynamic, 16)"));
+        let auto = pragma_under(Schedule::Auto);
+        assert!(auto.contains("schedule(dynamic, "), "{auto}");
+        assert_eq!(auto, pragma_under(Schedule::Auto), "deterministic tuning");
     }
 
     #[test]

@@ -60,10 +60,11 @@ use crate::plan::ParallelPlan;
 use crate::sim::Schedule;
 use dca_analysis::{ArrayKey, EffectMap, IteratorSlice, Liveness, ReductionOp};
 use dca_core::{
-    digest_roots, hash_live_state, read_roots, record_golden, run_replay, DcaConfig, DcaReport,
-    DigestScratch, Divergence, GoldenRecord, Obs, RecordError, ReplayController, ReplayEnd,
-    StateDigest,
+    digest_roots, hash_live_state, read_roots, record_golden, record_golden_profiled, run_replay,
+    DcaConfig, DcaReport, DigestScratch, Divergence, GoldenRecord, Obs, RecordError,
+    ReplayController, ReplayEnd, StateDigest,
 };
+use dca_deps::{autotune_chunk, check_decomposable, Conflict, DepVerdict, DEFAULT_DYNAMIC_CHUNK};
 use dca_interp::{Addr, Hooks, InstAction, Machine, ObjId, Site, TermAction, Trap, Value};
 use dca_ir::{
     BinOp, BlockId, FuncId, FuncView, Function, Inst, Loop, LoopRef, Module, Operand, Terminator,
@@ -117,6 +118,12 @@ pub struct ExecConfig {
     pub max_steps: u64,
     /// Trip-count cap for the golden recording.
     pub max_trip: usize,
+    /// Run the trace-footprint decomposability pre-check on the golden
+    /// recording and refuse conflicting loops *before any thread
+    /// spawns* ([`ExecError::NotDecomposable`]). The differential
+    /// validator stays armed either way (defense in depth); turning
+    /// this off is for measuring the validator alone.
+    pub deps_precheck: bool,
 }
 
 impl Default for ExecConfig {
@@ -128,6 +135,7 @@ impl Default for ExecConfig {
             float_tolerance: 1e-8,
             max_steps: DcaConfig::DEFAULT_MAX_STEPS,
             max_trip: DcaConfig::DEFAULT_MAX_TRIP,
+            deps_precheck: true,
         }
     }
 }
@@ -145,6 +153,7 @@ impl ExecConfig {
             float_tolerance: cfg.float_tolerance,
             max_steps: cfg.max_steps,
             max_trip: cfg.max_trip,
+            deps_precheck: true,
         }
     }
 }
@@ -161,6 +170,15 @@ pub enum ExecError {
     /// A structural limitation of the executor (allocation inside the
     /// loop, output statements, an unsupported reduction shape, ...).
     Unsupported(String),
+    /// The trace-footprint pre-check found a cross-iteration heap
+    /// dependence: the loop is commutative but not snapshot-
+    /// decomposable. Raised *before any worker thread spawns*.
+    NotDecomposable {
+        /// The first conflicting `(iter_a, iter_b, address)` witness.
+        witness: Conflict,
+        /// Distinct heap cells carrying at least one hazard.
+        conflicting_cells: u64,
+    },
     /// Recording the golden invocation failed.
     Record(RecordError),
     /// A worker (or the oracle) trapped.
@@ -188,6 +206,16 @@ impl std::fmt::Display for ExecError {
                 write!(f, "order-sensitive live-out scalars: {}", vars.join(", "))
             }
             ExecError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ExecError::NotDecomposable {
+                witness,
+                conflicting_cells,
+            } => {
+                write!(
+                    f,
+                    "not decomposable: {witness} ({conflicting_cells} conflicting cell{})",
+                    if *conflicting_cells == 1 { "" } else { "s" }
+                )
+            }
             ExecError::Record(e) => write!(f, "golden recording failed: {e:?}"),
             ExecError::Trapped(t) => write!(f, "trapped: {t}"),
             ExecError::BudgetExhausted => write!(f, "step budget exhausted"),
@@ -227,6 +255,10 @@ pub struct ExecOutcome {
     /// Dynamic-schedule chunk grabs beyond each worker's first (always 0
     /// under [`Schedule::StaticBlock`]).
     pub steals: u64,
+    /// The dynamic chunk size actually used: the configured one for
+    /// [`Schedule::Dynamic`] (after the ≥1 clamp), the autotuned one for
+    /// [`Schedule::Auto`], `None` under [`Schedule::StaticBlock`].
+    pub chunk: Option<usize>,
     /// Reduction combine operations performed during the merge (scalar
     /// tree combines plus histogram cell combines).
     pub combine_steps: u64,
@@ -324,20 +356,42 @@ pub fn execute_loop(
         return Err(ExecError::OrderSensitive(sensitive));
     }
 
-    let golden = {
+    // The footprint profile feeds both the decomposability pre-check and
+    // chunk autotuning; when neither is requested, record without hooks
+    // so the plain path pays nothing.
+    let want_profile = cfg.deps_precheck || cfg.schedule == Schedule::Auto;
+    let (golden, profile) = {
         let mut rec = Machine::new(module);
-        record_golden(
-            &mut rec,
-            main,
-            args,
-            lref.func,
-            &l,
-            &slice,
-            0,
-            cfg.max_trip,
-            cfg.max_steps,
-        )
-        .map_err(ExecError::Record)?
+        if want_profile {
+            let (g, p) = record_golden_profiled(
+                &mut rec,
+                main,
+                args,
+                lref.func,
+                func_ir,
+                &l,
+                &slice,
+                0,
+                cfg.max_trip,
+                cfg.max_steps,
+            )
+            .map_err(ExecError::Record)?;
+            (g, Some(p))
+        } else {
+            let g = record_golden(
+                &mut rec,
+                main,
+                args,
+                lref.func,
+                &l,
+                &slice,
+                0,
+                cfg.max_trip,
+                cfg.max_steps,
+            )
+            .map_err(ExecError::Record)?;
+            (g, None)
+        }
     };
     let n = golden.iters.len();
 
@@ -401,6 +455,68 @@ pub fn execute_loop(
         hists.push((obj, h.op, bop));
     }
 
+    // --- Pre-spawn decomposability check (DESIGN.md §18). ---
+    // Cells of recognized histogram arrays are exempt: the merge combines
+    // them with the reduction operator instead of overwriting. Scalar
+    // reduction accumulators live in frame variables, never in the heap,
+    // so they need no exclusion.
+    if let Some(p) = &profile {
+        obs.count("deps.loops_profiled", 1);
+        if cfg.deps_precheck {
+            // Structural refusals take precedence over the dependence
+            // verdict: a *payload* access to an object beyond the
+            // loop-entry snapshot means the payload allocates, which the
+            // merge cannot support no matter how the iterations overlap.
+            // Report it with the same message the post-run worker check
+            // uses, so the refusal reason is stable whether or not the
+            // pre-check is armed. Iterator-slice allocations (a
+            // worklist's pushed links) are fine — the pre-pass replays
+            // them identically in every worker. (A truncated profile can
+            // miss accesses; the worker check stays behind this as the
+            // backstop.)
+            let base_heap = master.heap().len() as u32;
+            if p.iters.iter().any(|it| {
+                it.reads.iter().any(|&(obj, _)| obj >= base_heap)
+                    || it.writes.iter().any(|w| w.obj >= base_heap)
+            }) {
+                return Err(ExecError::Unsupported(
+                    "loop allocates heap objects; their identities cannot be merged".into(),
+                ));
+            }
+            let excluded: BTreeSet<u32> = hists.iter().map(|&(o, ..)| o.0).collect();
+            match check_decomposable(p, &excluded) {
+                DepVerdict::Decomposable | DepVerdict::Unknown => {}
+                DepVerdict::Conflicting(report) => {
+                    obs.count("deps.conflicts", report.conflicting_cells);
+                    obs.count("deps.prespawn_refusals", 1);
+                    return Err(ExecError::NotDecomposable {
+                        witness: report.first,
+                        conflicting_cells: report.conflicting_cells,
+                    });
+                }
+            }
+        }
+    }
+
+    // Resolve the schedule: `Auto` becomes `Dynamic` with the chunk the
+    // profile's step-count distribution tunes to — a deterministic pure
+    // function of (profile, worker count), so plans stay byte-stable.
+    let schedule = match cfg.schedule {
+        Schedule::Auto => {
+            let steps: Vec<u64> = profile.as_ref().map(|p| p.iter_steps()).unwrap_or_default();
+            obs.count("exec.autotuned_chunks", 1);
+            Schedule::Dynamic {
+                chunk: autotune_chunk(&steps, threads),
+            }
+        }
+        s => s,
+    };
+    let chunk = match schedule {
+        Schedule::StaticBlock => None,
+        Schedule::Dynamic { chunk } => Some(chunk.max(1)),
+        Schedule::Auto => unreachable!("Auto resolved above"),
+    };
+
     let red_seed: Vec<(VarId, Value)> = reds.iter().map(|r| (r.var, r.identity)).collect();
     let ctx = WorkerCtx {
         module,
@@ -427,7 +543,7 @@ pub fn execute_loop(
         let results: Vec<Result<Harvest, ExecError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
-                    let source = make_source(cfg.schedule, w, threads, n, &next);
+                    let source = make_source(schedule, w, threads, n, &next);
                     let ctx = &ctx;
                     s.spawn(move || run_worker(ctx, source))
                 })
@@ -567,6 +683,7 @@ pub fn execute_loop(
         threads,
         trips: n,
         steals,
+        chunk,
         combine_steps,
         validated,
         exact,
@@ -627,6 +744,16 @@ fn make_source<'a>(
             next,
             total: n,
             chunk_size: chunk.max(1),
+            cur: 0..0,
+            grabs: 0,
+        },
+        // `execute_loop` resolves `Auto` to a tuned `Dynamic` before any
+        // worker spawns; this arm is a defensive fallback for direct
+        // callers.
+        Schedule::Auto => IterSource::Dynamic {
+            next,
+            total: n,
+            chunk_size: DEFAULT_DYNAMIC_CHUNK,
             cur: 0..0,
             grabs: 0,
         },
@@ -1321,6 +1448,156 @@ mod tests {
     fn exec_threads_resolves_env_and_explicit() {
         assert_eq!(exec_threads(3), 3);
         assert!(exec_threads(0) >= 1);
+    }
+
+    /// A loop with genuine cross-iteration heap flow: `a[i]` reads
+    /// `a[i-1]`, which the previous iteration wrote.
+    const FLOW_SRC: &str = "fn main() -> int { let a: [int; 16]; a[0] = 1; let s: int = 0; \
+         @l: for (let i: int = 1; i < 16; i = i + 1) { a[i] = a[i - 1] + i; } \
+         for (let i: int = 0; i < 16; i = i + 1) { s = s + a[i] * (i + 1); } \
+         return s; }";
+
+    #[test]
+    fn flow_dependent_loop_is_refused_before_any_spawn() {
+        // The footprint pre-check refuses at every width — including
+        // width 1 — with the same concrete witness, and the obs counters
+        // are bit-identical across widths (the verdict is a pure
+        // function of the golden recording, not of the thread count).
+        for w in widths() {
+            let obs = Obs::enabled();
+            let m = dca_ir::compile(FLOW_SRC).expect("compile");
+            let lref = dca_ir::all_loops(&m)
+                .into_iter()
+                .find(|(_, t)| t.as_deref() == Some("l"))
+                .expect("tagged loop")
+                .0;
+            let cfg = ExecConfig {
+                threads: w,
+                ..ExecConfig::default()
+            };
+            match execute_loop(&m, &[], lref, &cfg, &obs) {
+                Err(ExecError::NotDecomposable {
+                    witness,
+                    conflicting_cells,
+                }) => {
+                    assert_eq!(witness.kind, crate::ConflictKind::Flow, "width {w}");
+                    assert_eq!(
+                        (witness.iter_a, witness.iter_b),
+                        (0, 1),
+                        "iteration 1 reads what iteration 0 wrote (width {w})"
+                    );
+                    assert!(conflicting_cells >= 1, "width {w}");
+                }
+                other => panic!("width {w}: expected pre-spawn refusal, got {other:?}"),
+            }
+            let counters = obs.rollup().expect("enabled obs").counters;
+            assert_eq!(counters.get("deps.prespawn_refusals"), Some(&1));
+            assert_eq!(counters.get("deps.loops_profiled"), Some(&1));
+            assert_eq!(
+                counters.get("exec.invocations"),
+                None,
+                "refusal happened before the executor counted an invocation"
+            );
+        }
+    }
+
+    #[test]
+    fn validator_agrees_with_precheck_on_flow_loop() {
+        // Defense-in-depth: with the pre-check disarmed, the same loop
+        // reaches the workers and the differential validator rejects the
+        // merged state instead — the two layers refuse the same loop.
+        let cfg = ExecConfig {
+            threads: 2,
+            deps_precheck: false,
+            ..ExecConfig::default()
+        };
+        match exec_tagged(FLOW_SRC, "l", &cfg) {
+            Err(ExecError::Diverged { .. }) => {}
+            other => panic!("expected validator divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_schedule_resolves_deterministic_chunk_and_validates() {
+        let src = "fn main() -> int { let a: [int; 64]; let s: int = 0; \
+             @l: for (let i: int = 0; i < 64; i = i + 1) { a[i] = i * 7 % 31; } \
+             for (let i: int = 0; i < 64; i = i + 1) { s = s + a[i]; } return s; }";
+        for w in widths() {
+            let obs = Obs::enabled();
+            let m = dca_ir::compile(src).expect("compile");
+            let lref = dca_ir::all_loops(&m)
+                .into_iter()
+                .find(|(_, t)| t.as_deref() == Some("l"))
+                .expect("tagged loop")
+                .0;
+            let cfg = ExecConfig {
+                threads: w,
+                schedule: Schedule::Auto,
+                ..ExecConfig::default()
+            };
+            let a = execute_loop(&m, &[], lref, &cfg, &obs).expect("execute");
+            let b = execute_loop(&m, &[], lref, &cfg, &Obs::disabled()).expect("re-execute");
+            assert!(a.validated && a.exact, "width {w}");
+            assert_eq!(a.chunk, b.chunk, "autotuned chunk is deterministic");
+            let chunk = a.chunk.expect("auto resolves to a dynamic chunk");
+            assert!(
+                chunk >= 1 && chunk <= 64usize.div_ceil(w.max(1)),
+                "width {w}: chunk {chunk} within the candidate ladder"
+            );
+            // Uniform iterations tune to one grab per worker — the
+            // largest candidate.
+            if w > 1 {
+                assert_eq!(chunk, 64 / w, "width {w}");
+            }
+            let counters = obs.rollup().expect("enabled obs").counters;
+            assert_eq!(
+                counters.get("exec.autotuned_chunks"),
+                Some(&1),
+                "one tuning decision per invocation regardless of width"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_schedules_report_their_chunk() {
+        let src = "fn main() -> int { let s: int = 0; \
+             @l: for (let i: int = 0; i < 40; i = i + 1) { s = s + i; } return s; }";
+        let stat = exec_tagged(
+            src,
+            "l",
+            &ExecConfig {
+                threads: 2,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("static");
+        assert_eq!(stat.chunk, None, "static block has no chunk");
+        let dyn_ = exec_tagged(
+            src,
+            "l",
+            &ExecConfig {
+                threads: 2,
+                schedule: Schedule::Dynamic { chunk: 5 },
+                ..ExecConfig::default()
+            },
+        )
+        .expect("dynamic");
+        assert_eq!(dyn_.chunk, Some(5));
+    }
+
+    #[test]
+    fn default_dynamic_chunk_constant_agrees_across_crates() {
+        // The one authoritative default lives in dca-deps; every alias
+        // and call site must agree (hoisting regression guard).
+        assert_eq!(DEFAULT_DYNAMIC_CHUNK, dca_deps::DEFAULT_DYNAMIC_CHUNK);
+        assert_eq!(
+            dca_core::DcaConfig::DEFAULT_DYNAMIC_CHUNK,
+            dca_deps::DEFAULT_DYNAMIC_CHUNK
+        );
+        match Schedule::default_dynamic() {
+            Schedule::Dynamic { chunk } => assert_eq!(chunk, dca_deps::DEFAULT_DYNAMIC_CHUNK),
+            other => panic!("default_dynamic is not Dynamic: {other:?}"),
+        }
     }
 
     #[test]

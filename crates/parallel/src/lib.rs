@@ -35,6 +35,13 @@ pub use plan::ParallelPlan;
 pub use sim::{
     outermost_only, program_speedup, simulate_invocation, Schedule, SimConfig, SimResult,
 };
+// Dependence-subsystem types that surface through this crate's API
+// (`ExecError::NotDecomposable` carries a `Conflict`; `Schedule::Auto`
+// resolves through `autotune_chunk`).
+pub use dca_deps::{
+    autotune_chunk, check_decomposable, Conflict, ConflictKind, DepReport, DepVerdict, LoopProfile,
+    DEFAULT_DYNAMIC_CHUNK,
+};
 
 use dca_interp::{Trap, Value};
 use dca_ir::{LoopRef, Module};

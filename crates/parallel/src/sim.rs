@@ -25,6 +25,24 @@ pub enum Schedule {
         /// Iterations per grab.
         chunk: usize,
     },
+    /// Dynamic self-scheduling with the chunk size autotuned from the
+    /// per-iteration cost profile ([`dca_deps::autotune_chunk`]): the
+    /// simulator tunes from `iter_costs`, the real executor from the
+    /// golden recording's footprint profile. Deterministic — the chunk
+    /// is a pure function of the profile and the worker count.
+    Auto,
+}
+
+impl Schedule {
+    /// The dynamic schedule with the one repo-wide default chunk
+    /// ([`dca_deps::DEFAULT_DYNAMIC_CHUNK`]), for callers that want
+    /// self-scheduling without a tuned profile.
+    #[must_use]
+    pub fn default_dynamic() -> Self {
+        Schedule::Dynamic {
+            chunk: dca_deps::DEFAULT_DYNAMIC_CHUNK,
+        }
+    }
 }
 
 /// Simulator configuration.
@@ -133,8 +151,12 @@ pub fn simulate_invocation(iter_costs: &[u64], cfg: &SimConfig) -> SimResult {
                 .max()
                 .unwrap_or(0)
         }
-        Schedule::Dynamic { chunk } => {
-            // `normalized()` clamped chunk to >= 1.
+        Schedule::Dynamic { .. } | Schedule::Auto => {
+            let chunk = match cfg.schedule {
+                // `normalized()` clamped chunk to >= 1.
+                Schedule::Dynamic { chunk } => chunk,
+                _ => dca_deps::autotune_chunk(iter_costs, cfg.cores),
+            };
             // Greedy list scheduling: each chunk goes to the earliest-free
             // core.
             let mut loads = vec![0u64; cfg.cores];
@@ -272,6 +294,33 @@ mod tests {
             },
         );
         assert!(dyn_r.par_steps < static_r.par_steps);
+    }
+
+    #[test]
+    fn auto_schedule_is_tuned_dynamic() {
+        // `Auto` must behave exactly like `Dynamic` with the chunk the
+        // autotuner derives from the same cost profile, and on skewed
+        // costs it must not lose to the static schedule it can always
+        // imitate (chunk = block size).
+        let costs: Vec<u64> = (0..720).map(|i| 1000 - i as u64).collect();
+        let auto = simulate_invocation(
+            &costs,
+            &SimConfig {
+                schedule: Schedule::Auto,
+                ..SimConfig::paper_host()
+            },
+        );
+        let chunk = dca_deps::autotune_chunk(&costs, 72);
+        let tuned = simulate_invocation(
+            &costs,
+            &SimConfig {
+                schedule: Schedule::Dynamic { chunk },
+                ..SimConfig::paper_host()
+            },
+        );
+        assert_eq!(auto, tuned);
+        let static_r = simulate_invocation(&costs, &SimConfig::paper_host());
+        assert!(auto.par_steps <= static_r.par_steps);
     }
 
     #[test]

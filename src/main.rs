@@ -14,12 +14,17 @@
 //! ([`dca::parallel::execute_loop`]), differentially validating each
 //! merged result against the sequential oracle. A divergence is a
 //! non-zero exit. `--threads 0` (the default) resolves via
-//! `DCA_EXEC_THREADS`, then the CPU count.
+//! `DCA_EXEC_THREADS`, then the CPU count. `--schedule` picks the
+//! iteration schedule (`static`, `dynamic[,chunk]`, or `auto` for
+//! profile-driven chunk tuning); the footer reports how many loops the
+//! footprint pre-check refused before any thread spawned and the chunk
+//! each dynamic loop ran with. `--schedule` also feeds `advise`, whose
+//! pragmas then carry the matching `schedule(dynamic, N)` clause.
 
 use dca::baselines::all_detectors;
 use dca::core::{CancelToken, Dca, DcaConfig};
 use dca::interp::Value;
-use dca::parallel::SimConfig;
+use dca::parallel::{Schedule, SimConfig};
 use std::process::ExitCode;
 
 /// Installs a SIGINT handler that trips the run's [`CancelToken`], so
@@ -55,7 +60,8 @@ fn install_ctrl_c(_token: &CancelToken) {}
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dca <analyze|advise|detect|execute|run|ir> <file.mc> \
-         [--args a,b,...] [--cores N] [--inputs a,b/c,d] [--threads N]"
+         [--args a,b,...] [--cores N] [--inputs a,b/c,d] [--threads N] \
+         [--schedule static|dynamic[,N]|auto]"
     );
     ExitCode::FAILURE
 }
@@ -67,6 +73,26 @@ struct Opts {
     inputs: Vec<Vec<Value>>,
     cores: usize,
     threads: usize,
+    schedule: Schedule,
+}
+
+/// Parses `--schedule`: `static`, `dynamic` (default chunk),
+/// `dynamic,N`, or `auto` (profile-driven chunk tuning).
+fn parse_schedule(s: &str) -> Result<Schedule, String> {
+    match s {
+        "static" => Ok(Schedule::StaticBlock),
+        "dynamic" => Ok(Schedule::default_dynamic()),
+        "auto" => Ok(Schedule::Auto),
+        other => match other.strip_prefix("dynamic,") {
+            Some(n) => n
+                .parse::<usize>()
+                .map(|chunk| Schedule::Dynamic { chunk })
+                .map_err(|e| format!("bad dynamic chunk `{n}`: {e}")),
+            None => Err(format!(
+                "bad schedule `{other}` (want static, dynamic[,N] or auto)"
+            )),
+        },
+    }
 }
 
 fn parse_int_list(s: &str) -> Result<Vec<Value>, String> {
@@ -94,9 +120,14 @@ fn parse_opts() -> Result<Opts, String> {
         inputs: Vec::new(),
         cores: 72,
         threads: 0,
+        schedule: Schedule::StaticBlock,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
+            "--schedule" => {
+                let v = argv.next().ok_or("--schedule needs a value")?;
+                opts.schedule = parse_schedule(&v)?;
+            }
             "--args" => {
                 let v = argv.next().ok_or("--args needs a value")?;
                 opts.args = parse_int_list(&v)?;
@@ -287,7 +318,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let cfg = SimConfig::with_cores(opts.cores);
+            let cfg = SimConfig {
+                schedule: opts.schedule,
+                ..SimConfig::with_cores(opts.cores)
+            };
             match dca::parallel::advise(&module, &opts.args, &report, &cfg) {
                 Ok(advice) => {
                     print!("{}", dca::parallel::render(&advice));
@@ -320,6 +354,7 @@ fn main() -> ExitCode {
             };
             let cfg = dca::parallel::ExecConfig {
                 threads: opts.threads,
+                schedule: opts.schedule,
                 ..dca::parallel::ExecConfig::from_dca(&DcaConfig::default())
             };
             let runs = dca::parallel::execute_commutative(
@@ -334,32 +369,63 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             let mut failed = false;
+            let (mut validated, mut refused, mut prespawn) = (0u64, 0u64, 0u64);
+            let mut chunks: Vec<String> = Vec::new();
             for (lref, tag, res) in &runs {
                 let name = tag
                     .as_ref()
                     .map(|t| format!("@{t}"))
                     .unwrap_or_else(|| lref.to_string());
                 match res {
-                    Ok(out) if out.exact => println!(
-                        "{name:<16} validated  threads={} trips={} steals={} \
-                         combines={} fp={:032x}",
-                        out.threads, out.trips, out.steals, out.combine_steps, out.fingerprint
-                    ),
-                    Ok(out) => println!(
-                        "{name:<16} validated (within float tolerance)  threads={} trips={}",
-                        out.threads, out.trips
-                    ),
+                    Ok(out) if out.exact => {
+                        validated += 1;
+                        if let Some(c) = out.chunk {
+                            chunks.push(format!("{name}={c}"));
+                        }
+                        println!(
+                            "{name:<16} validated  threads={} trips={} steals={} \
+                             combines={} fp={:032x}",
+                            out.threads, out.trips, out.steals, out.combine_steps, out.fingerprint
+                        );
+                    }
+                    Ok(out) => {
+                        validated += 1;
+                        if let Some(c) = out.chunk {
+                            chunks.push(format!("{name}={c}"));
+                        }
+                        println!(
+                            "{name:<16} validated (within float tolerance)  threads={} trips={}",
+                            out.threads, out.trips
+                        );
+                    }
+                    Err(e @ dca::parallel::ExecError::NotDecomposable { .. }) => {
+                        refused += 1;
+                        prespawn += 1;
+                        println!("{name:<16} refused pre-spawn: {e}");
+                    }
                     Err(
                         e @ (dca::parallel::ExecError::Unresolved(_)
                         | dca::parallel::ExecError::OrderSensitive(_)
                         | dca::parallel::ExecError::Unsupported(_)),
-                    ) => println!("{name:<16} refused: {e}"),
+                    ) => {
+                        refused += 1;
+                        println!("{name:<16} refused: {e}");
+                    }
                     Err(e) => {
                         println!("{name:<16} FAILED: {e}");
                         failed = true;
                     }
                 }
             }
+            let chunks = if chunks.is_empty() {
+                String::from("-")
+            } else {
+                chunks.join(" ")
+            };
+            println!(
+                "exec: {validated} validated, {refused} refused \
+                 ({prespawn} pre-spawn), chunks: {chunks}"
+            );
             if failed {
                 eprintln!("error: parallel execution diverged from the sequential oracle");
                 return ExitCode::FAILURE;
